@@ -1,0 +1,98 @@
+// Ablation: sensitivity of MNSA to its two tuning constants —
+//   * t  (the t-Optimizer-Cost equivalence threshold; §8.2 calls t = 20%
+//     "a conservative choice"),
+//   * epsilon (the sweep endpoint of §4.1; the paper uses 0.0005 and notes
+//     the guarantee only covers predicate selectivities in [eps, 1-eps]).
+//
+// For each setting: statistics built, creation cost (with optimizer-call
+// overhead), and workload execution cost vs the all-candidates baseline.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace autostats;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: MNSA threshold t and sweep endpoint epsilon",
+      "t = 20% conservative (cost within 2% of all-candidates); "
+      "epsilon = 0.0005");
+
+  const Database db = bench::MakeDb("TPCD_MIX");
+  const Workload w = bench::MakeWorkload(
+      db, bench::RagsSpec(0.0, rags::Complexity::kComplex, 100));
+
+  Optimizer baseline_optimizer(&db);
+  StatsCatalog all(&db);
+  const double all_cost =
+      bench::CreateAll(&all, CandidateStatisticsForWorkload(w));
+  const double all_exec =
+      bench::WorkloadExecCost(db, all, baseline_optimizer, w);
+  std::printf("baseline: create-all cost=%.0f exec=%.0f stats=%zu\n\n",
+              all_cost, all_exec, all.num_active());
+
+  std::printf("--- t sweep (epsilon = 0.0005) ---\n");
+  std::printf("%8s %10s %14s %12s %10s\n", "t(%)", "#stats", "mnsa(+ovh)",
+              "reduction", "exec_incr");
+  for (double t : {0.0, 5.0, 10.0, 20.0, 30.0, 50.0, 100.0}) {
+    StatsCatalog catalog(&db);
+    MnsaConfig config;
+    config.t_percent = t;
+    const MnsaResult r =
+        RunMnsaWorkload(baseline_optimizer, &catalog, w, config);
+    const double cost =
+        r.creation_cost + r.optimizer_calls * bench::kOptimizerCallCost;
+    const double exec =
+        bench::WorkloadExecCost(db, catalog, baseline_optimizer, w);
+    std::printf("%8.0f %10zu %14.0f %11.1f%% %+9.2f%%\n", t,
+                catalog.num_active(), cost,
+                (all_cost - cost) / all_cost * 100.0,
+                (exec - all_exec) / all_exec * 100.0);
+  }
+
+  std::printf("\n--- epsilon sweep (t = 20%%) ---\n");
+  std::printf("%10s %10s %14s %12s %10s\n", "epsilon", "#stats",
+              "mnsa(+ovh)", "reduction", "exec_incr");
+  for (double eps : {0.05, 0.005, 0.0005, 0.00005}) {
+    OptimizerConfig opt_config;
+    opt_config.epsilon = eps;
+    Optimizer optimizer(&db, opt_config);
+    StatsCatalog catalog(&db);
+    MnsaConfig config;
+    config.t_percent = 20.0;
+    const MnsaResult r = RunMnsaWorkload(optimizer, &catalog, w, config);
+    const double cost =
+        r.creation_cost + r.optimizer_calls * bench::kOptimizerCallCost;
+    const double exec = bench::WorkloadExecCost(db, catalog, optimizer, w);
+    std::printf("%10.5f %10zu %14.0f %11.1f%% %+9.2f%%\n", eps,
+                catalog.num_active(), cost,
+                (all_cost - cost) / all_cost * 100.0,
+                (exec - all_exec) / all_exec * 100.0);
+  }
+  std::printf("\n--- workload-cost-weighted MNSA (Section 6): cover only "
+              "the expensive fraction ---\n");
+  std::printf("%10s %10s %14s %12s %10s\n", "coverage", "#stats",
+              "mnsa(+ovh)", "reduction", "exec_incr");
+  for (double fraction : {1.0, 0.8, 0.5, 0.2}) {
+    StatsCatalog catalog(&db);
+    MnsaConfig config;
+    config.t_percent = 20.0;
+    const MnsaResult r = RunMnsaWorkloadWeighted(baseline_optimizer,
+                                                 &catalog, w, config,
+                                                 fraction);
+    const double cost =
+        r.creation_cost + r.optimizer_calls * bench::kOptimizerCallCost;
+    const double exec =
+        bench::WorkloadExecCost(db, catalog, baseline_optimizer, w);
+    std::printf("%9.0f%% %10zu %14.0f %11.1f%% %+9.2f%%\n",
+                fraction * 100.0, catalog.num_active(), cost,
+                (all_cost - cost) / all_cost * 100.0,
+                (exec - all_exec) / all_exec * 100.0);
+  }
+
+  std::printf("\n(larger t / larger epsilon -> fewer statistics; the "
+              "execution-cost column shows what that costs. The coverage "
+              "sweep tunes only the queries carrying that fraction of the "
+              "workload's estimated cost.)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Histogram structure comparison ([10], [14], the structures §3 names):
+// MaxDiff vs equi-depth vs end-biased estimation error across skew levels,
+// at a fixed bucket budget. The paper's techniques are deliberately
+// oblivious to the structure (§1); this exhibit quantifies what the
+// structure choice is worth underneath them.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/zipfian.h"
+#include "stats/endbiased.h"
+#include "stats/equidepth.h"
+#include "stats/maxdiff.h"
+
+using namespace autostats;
+
+namespace {
+
+// Frequency-weighted relative error of equality estimates (errors on
+// heavy values count proportionally to how often queries hit them), and
+// mean absolute error of prefix-range estimates.
+struct Errors {
+  double eq = 0.0;
+  double range = 0.0;
+};
+
+Errors Measure(const Histogram& h, const std::vector<ValueFreq>& dist) {
+  double total = 0.0;
+  for (const ValueFreq& vf : dist) total += vf.freq;
+  Errors e;
+  for (const ValueFreq& vf : dist) {
+    const double truth = vf.freq / total;
+    e.eq += truth * std::fabs(h.SelectivityEq(vf.value) - truth) / truth;
+  }
+
+  int steps = 0;
+  double cum = 0.0;
+  for (size_t i = 0; i < dist.size(); i += std::max<size_t>(1, dist.size() / 32)) {
+    cum = 0.0;
+    for (size_t k = 0; k <= i; ++k) cum += dist[k].freq;
+    const double truth = cum / total;
+    const double est = h.SelectivityRange(
+        -1e300, false, dist[i].value, true);
+    e.range += std::fabs(est - truth);
+    ++steps;
+  }
+  e.range /= std::max(steps, 1);
+  return e;
+}
+
+std::vector<ValueFreq> ZipfDist(int n, double z, uint64_t seed) {
+  Rng rng(seed);
+  Zipfian zipf(static_cast<uint64_t>(n), z);
+  std::vector<double> freq(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < 200000; ++i) freq[zipf.Sample(rng)] += 1.0;
+  std::vector<ValueFreq> out;
+  for (int v = 0; v < n; ++v) {
+    if (freq[static_cast<size_t>(v)] > 0.0) {
+      out.push_back({static_cast<double>(v), freq[static_cast<size_t>(v)]});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Histogram structures under skew: MaxDiff vs equi-depth vs "
+      "end-biased (16 buckets, 500-value domain)",
+      "MaxDiff/end-biased stay accurate on skewed equality predicates "
+      "where equi-depth degrades");
+
+  std::printf("%6s | %-21s | %-21s | %-21s\n", "", "MaxDiff", "equi-depth",
+              "end-biased");
+  std::printf("%6s | %10s %10s | %10s %10s | %10s %10s\n", "z", "eq_err",
+              "range_err", "eq_err", "range_err", "eq_err", "range_err");
+  for (double z : {0.0, 0.5, 1.0, 2.0, 3.0, 4.0}) {
+    const std::vector<ValueFreq> dist = ZipfDist(500, z, 7);
+    const Errors md = Measure(BuildMaxDiff(dist, 16), dist);
+    const Errors ed = Measure(BuildEquiDepth(dist, 16), dist);
+    const Errors eb = Measure(BuildEndBiased(dist, 16), dist);
+    std::printf("%6.1f | %9.3f%% %9.3f%% | %9.3f%% %9.3f%% | %9.3f%% "
+                "%9.3f%%\n",
+                z, md.eq * 100.0, md.range * 100.0, ed.eq * 100.0,
+                ed.range * 100.0, eb.eq * 100.0, eb.range * 100.0);
+  }
+  std::printf("\n(eq_err = frequency-weighted relative error of per-value "
+              "equality estimates; range_err = mean absolute error of "
+              "prefix-range estimates.)\n");
+  return 0;
+}

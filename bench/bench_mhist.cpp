@@ -1,0 +1,102 @@
+// Multi-dimensional statistics (§3's reference to Phased/MHIST-p [14]):
+// conjunction-selectivity estimation error under varying column
+// correlation, comparing
+//   independence  — single-column statistics only,
+//   densities     — the §7.1 two-column statistic (prefix densities),
+//   mhist-2       — the same statistic with a joint 2-D grid.
+// Densities help equality conjunctions; only the grid fixes *range*
+// conjunctions over correlated columns.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "executor/exec_node.h"
+
+using namespace autostats;
+
+namespace {
+
+// Two columns with controllable correlation: b = a with probability rho,
+// otherwise independent uniform. Domain 0..99.
+struct CorrDb {
+  Database db;
+  TableId t = kInvalidTableId;
+  ColumnRef a, b;
+};
+
+CorrDb MakeCorrDb(double rho, size_t rows) {
+  CorrDb out;
+  out.t = out.db.AddTable(Schema(
+      "corr", {{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  Rng rng(99);
+  Table& table = out.db.mutable_table(out.t);
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.NextU64(100));
+    const int64_t b =
+        rng.NextBool(rho) ? a : static_cast<int64_t>(rng.NextU64(100));
+    table.AppendRow({Datum(a), Datum(b)});
+  }
+  out.a = {out.t, 0};
+  out.b = {out.t, 1};
+  return out;
+}
+
+Query Probe(const CorrDb& c) {
+  // A range conjunction whose truth depends on the correlation: a < 50
+  // AND b >= 50 (anti-correlated box).
+  Query q("probe");
+  q.AddTable(c.t);
+  q.AddFilter({c.a, CompareOp::kLt, Datum(int64_t{50}), Datum()});
+  q.AddFilter({c.b, CompareOp::kGe, Datum(int64_t{50}), Datum()});
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Multi-dimensional statistics: conjunction estimation vs correlation",
+      "prefix densities cannot fix range conjunctions; an MHIST-2 grid "
+      "tracks the truth at every correlation level");
+
+  std::printf("%6s %10s | %12s %12s %12s\n", "rho", "truth",
+              "independence", "densities", "mhist-2");
+  MagicNumbers magic;
+  for (double rho : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    CorrDb c = MakeCorrDb(rho, 20000);
+    const Query q = Probe(c);
+    const double truth =
+        ExecFilteredScan(c.db, q, c.t, {0, 1}).count() / 20000.0;
+
+    StatsCatalog singles(&c.db);
+    singles.CreateStatistic({c.a});
+    singles.CreateStatistic({c.b});
+    const double indep =
+        AnalyzeSelectivities(c.db, q, StatsView(&singles), magic)
+            .table_sel(0);
+
+    StatsCatalog densities(&c.db);
+    densities.CreateStatistic({c.a});
+    densities.CreateStatistic({c.b});
+    densities.CreateStatistic({c.a, c.b});
+    const double dens =
+        AnalyzeSelectivities(c.db, q, StatsView(&densities), magic)
+            .table_sel(0);
+
+    StatsBuildConfig grid_config;
+    grid_config.build_2d_grids = true;
+    StatsCatalog grids(&c.db, grid_config);
+    grids.CreateStatistic({c.a});
+    grids.CreateStatistic({c.b});
+    grids.CreateStatistic({c.a, c.b});
+    const double grid =
+        AnalyzeSelectivities(c.db, q, StatsView(&grids), magic).table_sel(0);
+
+    std::printf("%6.2f %9.2f%% | %11.2f%% %11.2f%% %11.2f%%\n", rho,
+                truth * 100.0, indep * 100.0, dens * 100.0, grid * 100.0);
+  }
+  std::printf("\n(probe: a < 50 AND b >= 50 on a pair where b = a with "
+              "probability rho.)\n");
+  return 0;
+}

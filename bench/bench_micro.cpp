@@ -1,0 +1,102 @@
+// Google-benchmark microbenchmarks for the engine's hot paths: histogram
+// construction (the statistics-creation inner loop), selectivity analysis,
+// full optimization, MNSA per query, and hash-join execution.
+#include <benchmark/benchmark.h>
+
+#include "core/mnsa.h"
+#include "executor/exec_node.h"
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "stats/builder.h"
+#include "stats/equidepth.h"
+#include "stats/maxdiff.h"
+#include "tests/test_util.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace autostats {
+namespace {
+
+std::vector<ValueFreq> MakeDist(int n) {
+  std::vector<ValueFreq> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back({static_cast<double>(i), 1.0 + (i % 17)});
+  }
+  return out;
+}
+
+void BM_BuildMaxDiff(benchmark::State& state) {
+  const std::vector<ValueFreq> dist = MakeDist(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildMaxDiff(dist, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildMaxDiff)->Range(256, 65536);
+
+void BM_BuildEquiDepth(benchmark::State& state) {
+  const std::vector<ValueFreq> dist = MakeDist(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildEquiDepth(dist, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildEquiDepth)->Range(256, 65536);
+
+void BM_BuildStatistic(benchmark::State& state) {
+  testing::TwoTableDb t =
+      testing::MakeTwoTableDb(static_cast<size_t>(state.range(0)), 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildStatistic(t.db, {t.fact_val, t.fact_grp},
+                                            StatsBuildConfig{}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildStatistic)->Range(1024, 65536);
+
+void BM_OptimizeTpcdQuery(benchmark::State& state) {
+  static const Database& db =
+      *new Database(tpcd::BuildTpcdVariant("TPCD_2", 0.001, 42));
+  static StatsCatalog& catalog = *new StatsCatalog(&db);
+  Optimizer optimizer(&db);
+  const Query q = tpcd::TpcdQuery(db, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.Optimize(q, StatsView(&catalog)));
+  }
+}
+// Q6: single table; Q10: 4-way join; Q8: 7-way join.
+BENCHMARK(BM_OptimizeTpcdQuery)->Arg(6)->Arg(10)->Arg(8);
+
+void BM_MnsaPerQuery(benchmark::State& state) {
+  static const Database& db =
+      *new Database(tpcd::BuildTpcdVariant("TPCD_2", 0.001, 42));
+  Optimizer optimizer(&db);
+  const Query q = tpcd::TpcdQuery(db, 10);
+  for (auto _ : state) {
+    StatsCatalog catalog(&db);  // fresh catalog: full MNSA run each time
+    MnsaConfig config;
+    benchmark::DoNotOptimize(RunMnsa(optimizer, &catalog, q, config));
+  }
+}
+BENCHMARK(BM_MnsaPerQuery);
+
+void BM_ExecuteHashJoin(benchmark::State& state) {
+  testing::TwoTableDb t =
+      testing::MakeTwoTableDb(static_cast<size_t>(state.range(0)), 100);
+  StatsCatalog catalog(&t.db);
+  Optimizer optimizer(&t.db);
+  Executor executor(&t.db, optimizer.cost_model());
+  const Query q = testing::MakeJoinQuery(t);
+  const OptimizeResult plan = optimizer.Optimize(q, StatsView(&catalog));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Execute(q, plan.plan));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExecuteHashJoin)->Range(1024, 65536);
+
+}  // namespace
+}  // namespace autostats
+
+BENCHMARK_MAIN();

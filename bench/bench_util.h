@@ -1,0 +1,123 @@
+// Shared harness for the paper-reproduction benchmarks: database/workload
+// construction, the experiment pipelines common to several exhibits, and
+// table printing. Every bench is deterministic for a given seed; scale is
+// controlled with the AUTOSTATS_SF environment variable (default 0.002).
+#ifndef AUTOSTATS_BENCH_BENCH_UTIL_H_
+#define AUTOSTATS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/mnsa.h"
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "rags/rags.h"
+#include "stats/stats_catalog.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+#include "tpcd/schema.h"
+
+namespace autostats::bench {
+
+// The paper reports statistics-creation time including MNSA's optimizer
+// calls; this converts optimizer calls into the same cost units (the time
+// to create a statistic "typically far exceeds the time to optimize a
+// query", §4.3).
+inline constexpr double kOptimizerCallCost = 50.0;
+
+inline double ScaleFactor() {
+  const char* env = std::getenv("AUTOSTATS_SF");
+  return env != nullptr ? std::atof(env) : 0.002;
+}
+
+inline Database MakeDb(const std::string& variant) {
+  return tpcd::BuildTpcdVariant(variant, ScaleFactor(), /*seed=*/42);
+}
+
+// A named workload recipe the exhibits iterate over.
+struct WorkloadSpec {
+  std::string name;     // "TPCD-ORIG" or Rags notation ("U25-C-100")
+  int num_statements = 0;
+  double update_fraction = 0.0;
+  rags::Complexity complexity = rags::Complexity::kSimple;
+  bool tpcd_orig = false;
+};
+
+inline WorkloadSpec TpcdOrigSpec() {
+  WorkloadSpec s;
+  s.name = "TPCD-ORIG";
+  s.tpcd_orig = true;
+  return s;
+}
+
+inline WorkloadSpec RagsSpec(double update_fraction,
+                             rags::Complexity complexity,
+                             int num_statements) {
+  WorkloadSpec s;
+  s.num_statements = num_statements;
+  s.update_fraction = update_fraction;
+  s.complexity = complexity;
+  rags::RagsConfig config;
+  config.num_statements = num_statements;
+  config.update_fraction = update_fraction;
+  config.complexity = complexity;
+  s.name = rags::WorkloadName(config);
+  return s;
+}
+
+inline Workload MakeWorkload(const Database& db, const WorkloadSpec& spec,
+                             uint64_t seed = 7) {
+  if (spec.tpcd_orig) return tpcd::TpcdQueries(db);
+  rags::RagsConfig config;
+  config.num_statements = spec.num_statements;
+  config.update_fraction = spec.update_fraction;
+  config.complexity = spec.complexity;
+  config.seed = seed;
+  config.join_edges = tpcd::TpcdForeignKeys(db);
+  return rags::Generate(db, config);
+}
+
+// Executed cost of the workload's queries under the catalog's current
+// statistics (DML statements are ignored — execution-cost comparisons are
+// over identical query sets).
+inline double WorkloadExecCost(const Database& db,
+                               const StatsCatalog& catalog,
+                               const Optimizer& optimizer,
+                               const Workload& w) {
+  Executor executor(&db, optimizer.cost_model());
+  double total = 0.0;
+  for (const Query* q : w.Queries()) {
+    const OptimizeResult r = optimizer.Optimize(*q, StatsView(&catalog));
+    total += executor.Execute(*q, r.plan).work_units;
+  }
+  return total;
+}
+
+// Builds every statistic in `candidates`; returns the creation cost.
+inline double CreateAll(StatsCatalog* catalog,
+                        const std::vector<CandidateStat>& candidates) {
+  double cost = 0.0;
+  for (const CandidateStat& c : candidates) {
+    cost += catalog->CreateStatistic(c.columns);
+  }
+  return cost;
+}
+
+inline void PrintHeader(const char* exhibit, const char* paper_result) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", exhibit);
+  std::printf("Paper result: %s\n", paper_result);
+  std::printf("Scale factor %.4g (set AUTOSTATS_SF to change); deterministic "
+              "seed 42.\n",
+              ScaleFactor());
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace autostats::bench
+
+#endif  // AUTOSTATS_BENCH_BENCH_UTIL_H_

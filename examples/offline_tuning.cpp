@@ -1,0 +1,79 @@
+// Offline statistics tuning — the conservative policy of §6: a DBA (or a
+// scheduled job) hands the tool a recorded workload; it runs MNSA per
+// query to build a sufficient statistics set, then the Shrinking Set
+// algorithm to reduce it to a guaranteed essential set, and prints a
+// recommendation report.
+//
+// Usage: offline_tuning [num_queries] [complex|simple]
+#include <cstdio>
+#include <cstring>
+
+#include "core/mnsa.h"
+#include "core/shrinking_set.h"
+#include "query/printer.h"
+#include "rags/rags.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/schema.h"
+
+using namespace autostats;
+
+int main(int argc, char** argv) {
+  const int num_queries = argc > 1 ? std::atoi(argv[1]) : 30;
+  const bool complex = argc > 2 && std::strcmp(argv[2], "simple") == 0
+                           ? false
+                           : true;
+
+  // The database being tuned: skewed TPC-D.
+  tpcd::TpcdConfig db_config;
+  db_config.scale_factor = 0.002;
+  db_config.skew_mode = tpcd::SkewMode::kMixed;
+  Database db = tpcd::BuildTpcd(db_config);
+
+  // The recorded workload.
+  rags::RagsConfig rags_config;
+  rags_config.num_statements = num_queries;
+  rags_config.complexity =
+      complex ? rags::Complexity::kComplex : rags::Complexity::kSimple;
+  rags_config.join_edges = tpcd::TpcdForeignKeys(db);
+  const Workload w = rags::Generate(db, rags_config);
+  std::printf("Tuning for workload %s (%zu queries).\n\n",
+              w.name().c_str(), w.num_queries());
+
+  StatsCatalog catalog(&db);
+  Optimizer optimizer(&db);
+
+  // Phase 1: MNSA per query (builds a sufficient set).
+  MnsaConfig mnsa;
+  mnsa.t_percent = 20.0;
+  const MnsaResult phase1 = RunMnsaWorkload(optimizer, &catalog, w, mnsa);
+  std::printf("Phase 1 (MNSA): built %zu statistics, cost %.0f units, "
+              "%d optimizer calls.\n",
+              phase1.created.size(), phase1.creation_cost,
+              phase1.optimizer_calls);
+
+  // Phase 2: Shrinking Set (guaranteed essential set).
+  const ShrinkingSetResult phase2 =
+      RunShrinkingSet(optimizer, &catalog, w, {});
+  std::printf("Phase 2 (Shrinking Set): removed %zu non-essential "
+              "statistics with %d optimizer calls.\n\n",
+              phase2.removed.size(), phase2.optimizer_calls);
+
+  std::printf("=== Recommended statistics (%zu) ===\n",
+              phase2.essential.size());
+  for (const StatKey& key : phase2.essential) {
+    const StatEntry* entry = catalog.FindEntry(key);
+    std::printf("  CREATE STATISTICS ON %s   -- update cost %.0f units\n",
+                entry->stat.Name(db).c_str(),
+                catalog.cost_model().UpdateCost(
+                    db.table(entry->stat.table()).num_rows(),
+                    entry->stat.width()));
+  }
+  std::printf("\n=== Dropped as non-essential (%zu) ===\n",
+              phase2.removed.size());
+  for (const StatKey& key : phase2.removed) {
+    std::printf("  %s\n", catalog.FindEntry(key)->stat.Name(db).c_str());
+  }
+  std::printf("\nPending update cost of recommended set: %.0f units.\n",
+              catalog.PendingUpdateCost());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Skew explorer: how data skew changes what statistics are worth having.
+// For each Zipf parameter z it reports (a) how badly magic numbers
+// misestimate a range predicate, (b) how accurate a MaxDiff histogram is,
+// and (c) how many statistics MNSA deems essential for the same query —
+// connecting the paper's skewed-TPC-D methodology (§8.1) to its core
+// claim that usefulness of a statistic depends on the data distribution.
+#include <cmath>
+#include <cstdio>
+
+#include "core/mnsa.h"
+#include "executor/exec_node.h"
+#include "optimizer/optimizer.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+using namespace autostats;
+
+int main() {
+  std::printf("%-6s %14s %14s %14s %10s %12s\n", "z", "true sel",
+              "magic est", "histogram est", "#essential", "#candidates");
+  for (double z : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    tpcd::TpcdConfig config;
+    config.scale_factor = 0.002;
+    config.skew_mode =
+        z == 0.0 ? tpcd::SkewMode::kUniform : tpcd::SkewMode::kFixed;
+    config.z = z;
+    Database db = tpcd::BuildTpcd(config);
+
+    // The probe predicate: lineitem.l_quantity < 24 (from TPC-D Q6).
+    const Query q6 = tpcd::TpcdQuery(db, 6);
+    const TableId lineitem = db.FindTable("lineitem");
+    const double rows =
+        static_cast<double>(db.table(lineitem).num_rows());
+    // True selectivity of the quantity predicate alone.
+    Query probe("probe");
+    probe.AddTable(lineitem);
+    probe.AddFilter(FilterPredicate{
+        db.Resolve("lineitem", "l_quantity"), CompareOp::kLt,
+        Datum(int64_t{24}), Datum()});
+    const double true_sel =
+        ExecFilteredScan(db, probe, lineitem, {0}).count() / rows;
+
+    StatsCatalog catalog(&db);
+    Optimizer optimizer(&db);
+    // Magic estimate: no statistics.
+    const SelectivityAnalysis magic = AnalyzeSelectivities(
+        db, probe, StatsView(&catalog), optimizer.config().magic);
+    // Histogram estimate.
+    catalog.CreateStatistic({db.Resolve("lineitem", "l_quantity")});
+    const SelectivityAnalysis hist = AnalyzeSelectivities(
+        db, probe, StatsView(&catalog), optimizer.config().magic);
+
+    // Essential statistics for full Q6 under MNSA.
+    StatsCatalog fresh(&db);
+    MnsaConfig mnsa;
+    mnsa.t_percent = 20.0;
+    const MnsaResult r = RunMnsa(optimizer, &fresh, q6, mnsa);
+    std::printf("%-6.1f %13.1f%% %13.1f%% %13.1f%% %10zu %12zu\n", z,
+                true_sel * 100.0, magic.filter_sel(0) * 100.0,
+                hist.filter_sel(0) * 100.0, r.created.size(),
+                CandidateStatistics(q6).size());
+  }
+  std::printf(
+      "\nAs z grows the uniform magic number drifts from the truth while "
+      "the\nhistogram stays accurate — and MNSA adjusts how many "
+      "statistics the same\nquery actually needs.\n");
+  return 0;
+}

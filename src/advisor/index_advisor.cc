@@ -1,0 +1,100 @@
+#include "advisor/index_advisor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace autostats {
+
+namespace {
+
+double WorkloadCost(const Optimizer& optimizer, const StatsCatalog& catalog,
+                    const Workload& workload) {
+  const StatsView view(&catalog);
+  double total = 0.0;
+  for (const Query* q : workload.Queries()) {
+    total += optimizer.Optimize(*q, view).cost;
+  }
+  return total;
+}
+
+// Candidate indexable columns: every filter and join column of the
+// workload that does not already have an index with that leading column.
+std::vector<ColumnRef> CandidateColumns(const Database& db,
+                                        const Workload& workload) {
+  std::set<ColumnRef> seen;
+  std::vector<ColumnRef> out;
+  for (const Query* q : workload.Queries()) {
+    for (const ColumnRef& c : q->RelevantColumns()) {
+      if (seen.count(c)) continue;
+      seen.insert(c);
+      if (db.FindIndexWithLeadingColumn(c) != nullptr) continue;
+      out.push_back(c);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+IndexAdvice AdviseIndexes(Database* db, StatsCatalog* catalog,
+                          const Optimizer& optimizer,
+                          const Workload& workload,
+                          const IndexAdvisorConfig& config) {
+  AUTOSTATS_CHECK(db != nullptr && catalog != nullptr);
+  IndexAdvice advice;
+
+  // §2: build the statistics the evaluation needs, cheaply, with MNSA.
+  advice.stats_result =
+      RunMnsaWorkload(optimizer, catalog, workload, config.mnsa);
+
+  std::vector<ColumnRef> candidates = CandidateColumns(*db, workload);
+  advice.initial_cost = WorkloadCost(optimizer, *catalog, workload);
+  advice.final_cost = advice.initial_cost;
+
+  std::set<ColumnRef> chosen;
+  for (int round = 0; round < config.max_indexes; ++round) {
+    double best_cost = advice.final_cost;
+    ColumnRef best_col{kInvalidTableId, -1};
+    std::string best_name;
+    for (const ColumnRef& c : candidates) {
+      if (chosen.count(c)) continue;
+      const std::string name = StrFormat("hyp_ix_%d_%d", c.table, c.column);
+      db->AddIndex(IndexDef{name, c.table, {c.column}});
+      const double cost = WorkloadCost(optimizer, *catalog, workload);
+      db->RemoveIndex(name);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_col = c;
+        best_name = name;
+      }
+    }
+    if (best_col.table == kInvalidTableId) break;
+    const double benefit = advice.final_cost - best_cost;
+    if (benefit < config.min_benefit_fraction * advice.initial_cost) break;
+
+    IndexRecommendation rec;
+    rec.index = IndexDef{
+        "ix_" + db->ColumnName(best_col), best_col.table, {best_col.column}};
+    // Normalize the dot in the generated name.
+    std::replace(rec.index.name.begin(), rec.index.name.end(), '.', '_');
+    rec.cost_before = advice.final_cost;
+    rec.cost_after = best_cost;
+    advice.recommendations.push_back(rec);
+    advice.final_cost = best_cost;
+    chosen.insert(best_col);
+    // Keep the chosen index installed while evaluating further rounds
+    // (interactions matter), then remove it at the end.
+    db->AddIndex(IndexDef{best_name, best_col.table, {best_col.column}});
+  }
+  // Roll back every hypothetical index.
+  for (const ColumnRef& c : chosen) {
+    db->RemoveIndex(StrFormat("hyp_ix_%d_%d", c.table, c.column));
+  }
+  return advice;
+}
+
+}  // namespace autostats

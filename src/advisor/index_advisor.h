@@ -1,0 +1,60 @@
+// What-if index advisor — the AutoAdmin companion the paper connects to in
+// §2: "the new generation of index tuning tools builds statistics to
+// determine the appropriate choice of indexes; such tools will directly
+// benefit from [cheap statistics selection]".
+//
+// The advisor first ensures statistics for the workload (MNSA — the cheap
+// way), then greedily picks the single-column indexes with the largest
+// estimated workload-cost reduction, evaluating each candidate by
+// *hypothetically* adding it (the what-if interface) and re-optimizing.
+#ifndef AUTOSTATS_ADVISOR_INDEX_ADVISOR_H_
+#define AUTOSTATS_ADVISOR_INDEX_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/mnsa.h"
+#include "optimizer/optimizer.h"
+#include "query/workload.h"
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+struct IndexAdvisorConfig {
+  int max_indexes = 5;
+  // Statistics-selection settings used before evaluation begins.
+  MnsaConfig mnsa;
+  // Candidates whose estimated benefit falls below this fraction of the
+  // workload cost are not recommended.
+  double min_benefit_fraction = 0.005;
+};
+
+struct IndexRecommendation {
+  IndexDef index;
+  // Estimated workload cost just before / after adding this index (in the
+  // greedy order recommendations were chosen).
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+
+  double benefit() const { return cost_before - cost_after; }
+};
+
+struct IndexAdvice {
+  std::vector<IndexRecommendation> recommendations;
+  double initial_cost = 0.0;  // workload cost with no recommended indexes
+  double final_cost = 0.0;    // with all recommendations applied
+  MnsaResult stats_result;    // the statistics MNSA built for evaluation
+};
+
+// Analyzes `workload` and returns recommended indexes. The database is
+// mutated only transiently (hypothetical indexes are removed before
+// returning; recommended ones are NOT left installed). The catalog keeps
+// the statistics MNSA built — they are useful for serving anyway.
+IndexAdvice AdviseIndexes(Database* db, StatsCatalog* catalog,
+                          const Optimizer& optimizer,
+                          const Workload& workload,
+                          const IndexAdvisorConfig& config = {});
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_ADVISOR_INDEX_ADVISOR_H_

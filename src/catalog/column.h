@@ -1,0 +1,53 @@
+// Column: typed columnar storage for one table column. Values are stored
+// in a dense vector of the native type; Datum access is provided for
+// generic code paths (statistics building, predicate evaluation).
+#ifndef AUTOSTATS_CATALOG_COLUMN_H_
+#define AUTOSTATS_CATALOG_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace autostats {
+
+class Column {
+ public:
+  explicit Column(ValueType type);
+
+  ValueType type() const { return type_; }
+  size_t size() const;
+
+  void Append(const Datum& v);
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+
+  Datum Get(size_t row) const;
+  // Numeric view used by histograms and comparisons (strings use the
+  // order-preserving prefix key).
+  double NumericKey(size_t row) const;
+
+  // Overwrites the value at `row`.
+  void Set(size_t row, const Datum& v);
+  // Removes `row` by swapping the last element into its place (O(1); row
+  // order is not meaningful in this engine).
+  void SwapRemove(size_t row);
+
+  // Direct typed access for hot loops; CHECKs on type mismatch.
+  const std::vector<int64_t>& int64_data() const;
+  const std::vector<double>& double_data() const;
+  const std::vector<std::string>& string_data() const;
+
+ private:
+  ValueType type_;
+  std::variant<std::vector<int64_t>, std::vector<double>,
+               std::vector<std::string>>
+      data_;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CATALOG_COLUMN_H_

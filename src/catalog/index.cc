@@ -1,0 +1,12 @@
+#include "catalog/index.h"
+
+#include "common/check.h"
+
+namespace autostats {
+
+ColumnRef IndexDef::LeadingColumn() const {
+  AUTOSTATS_CHECK(!key_columns.empty());
+  return ColumnRef{table, key_columns.front()};
+}
+
+}  // namespace autostats

@@ -1,0 +1,27 @@
+// Index metadata. Indexes are not materialized structures in this engine;
+// they enable the IndexSeek access path in the optimizer/executor cost
+// accounting, and (as in SQL Server) an index implies a statistic on its
+// leading column.
+#ifndef AUTOSTATS_CATALOG_INDEX_H_
+#define AUTOSTATS_CATALOG_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace autostats {
+
+struct IndexDef {
+  std::string name;
+  TableId table = kInvalidTableId;
+  // Key columns in index order; the leading column carries the implied
+  // statistic.
+  std::vector<ColumnId> key_columns;
+
+  ColumnRef LeadingColumn() const;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CATALOG_INDEX_H_

@@ -1,0 +1,22 @@
+#include "catalog/schema.h"
+
+#include "common/check.h"
+
+namespace autostats {
+
+Schema::Schema(std::string table_name, std::vector<ColumnDef> columns)
+    : table_name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+const ColumnDef& Schema::column(ColumnId id) const {
+  AUTOSTATS_CHECK(id >= 0 && id < num_columns());
+  return columns_[static_cast<size_t>(id)];
+}
+
+ColumnId Schema::FindColumn(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+}  // namespace autostats

@@ -1,0 +1,66 @@
+// Table schemas and column references. A ColumnRef (table id + column
+// ordinal) is the library-wide way to name a column; statistics, predicates
+// and plans are all expressed in terms of ColumnRefs.
+#ifndef AUTOSTATS_CATALOG_SCHEMA_H_
+#define AUTOSTATS_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace autostats {
+
+using TableId = int32_t;
+using ColumnId = int32_t;
+
+constexpr TableId kInvalidTableId = -1;
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+// Globally identifies a column: table id within a Database plus the column
+// ordinal within that table's schema.
+struct ColumnRef {
+  TableId table = kInvalidTableId;
+  ColumnId column = -1;
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+  bool operator<(const ColumnRef& o) const {
+    return table != o.table ? table < o.table : column < o.column;
+  }
+};
+
+struct ColumnRefHash {
+  size_t operator()(const ColumnRef& c) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(c.table) << 32) |
+                                static_cast<uint32_t>(c.column));
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string table_name, std::vector<ColumnDef> columns);
+
+  const std::string& table_name() const { return table_name_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(ColumnId id) const;
+
+  // Ordinal of the named column, or -1 if absent.
+  ColumnId FindColumn(const std::string& name) const;
+
+ private:
+  std::string table_name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CATALOG_SCHEMA_H_

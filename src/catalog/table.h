@@ -1,0 +1,47 @@
+// Table: an in-memory columnar table (schema + one Column per attribute).
+#ifndef AUTOSTATS_CATALOG_TABLE_H_
+#define AUTOSTATS_CATALOG_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/column.h"
+#include "catalog/schema.h"
+
+namespace autostats {
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+
+  const Column& column(ColumnId id) const;
+  Column& mutable_column(ColumnId id);
+
+  // Appends a full row; `values` must match the schema arity and types.
+  void AppendRow(const std::vector<Datum>& values);
+
+  // Reserves capacity in every column.
+  void Reserve(size_t rows);
+
+  // Removes `row` (swap-remove; row order is not meaningful).
+  void RemoveRow(size_t row);
+
+  // Overwrites one cell.
+  void SetCell(size_t row, ColumnId col, const Datum& v);
+
+  Datum GetCell(size_t row, ColumnId col) const {
+    return column(col).Get(row);
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CATALOG_TABLE_H_

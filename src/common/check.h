@@ -1,0 +1,44 @@
+// Lightweight CHECK macros (the library is built without exceptions;
+// invariant violations are programmer errors and abort with a message).
+#ifndef AUTOSTATS_COMMON_CHECK_H_
+#define AUTOSTATS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace autostats::internal_check {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace autostats::internal_check
+
+#define AUTOSTATS_CHECK(expr)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::autostats::internal_check::CheckFail(__FILE__, __LINE__, #expr,    \
+                                             "");                          \
+    }                                                                      \
+  } while (0)
+
+#define AUTOSTATS_CHECK_MSG(expr, msg)                                     \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::autostats::internal_check::CheckFail(__FILE__, __LINE__, #expr,    \
+                                             (msg));                       \
+    }                                                                      \
+  } while (0)
+
+#ifndef NDEBUG
+#define AUTOSTATS_DCHECK(expr) AUTOSTATS_CHECK(expr)
+#else
+#define AUTOSTATS_DCHECK(expr) \
+  do {                         \
+  } while (0)
+#endif
+
+#endif  // AUTOSTATS_COMMON_CHECK_H_

@@ -1,0 +1,75 @@
+// Deterministic, seedable pseudo-random number generator (xoshiro256**).
+// Every stochastic component of the library (data generation, Rags
+// workloads) takes an explicit Rng so runs are reproducible.
+#ifndef AUTOSTATS_COMMON_RNG_H_
+#define AUTOSTATS_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace autostats {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  uint64_t NextU64(uint64_t n) {
+    AUTOSTATS_DCHECK(n > 0);
+    // Lemire's unbiased bounded generation (simplified: modulo bias is
+    // negligible for n << 2^64, which holds for every call site here).
+    return Next() % n;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    AUTOSTATS_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextU64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // An independent child generator (for per-column streams).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_COMMON_RNG_H_

@@ -1,0 +1,123 @@
+// Error handling without exceptions: Status for fallible operations and
+// Result<T> for fallible value-returning operations, in the style of
+// absl::Status / arrow::Result.
+#ifndef AUTOSTATS_COMMON_STATUS_H_
+#define AUTOSTATS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace autostats {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a short human-readable name ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic status: either OK or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a value of type T or an error Status. `value()` CHECKs on error;
+// callers that can recover should test `ok()` first.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
+  Result(T value) : data_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {
+    AUTOSTATS_CHECK_MSG(!std::get<Status>(data_).ok(),
+                        "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    AUTOSTATS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    AUTOSTATS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    AUTOSTATS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace autostats
+
+// Propagates a non-OK status to the caller.
+#define AUTOSTATS_RETURN_IF_ERROR(expr)        \
+  do {                                         \
+    ::autostats::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // AUTOSTATS_COMMON_STATUS_H_

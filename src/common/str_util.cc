@@ -1,0 +1,40 @@
+#include "common/str_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace autostats {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatDouble(double v, int digits) {
+  std::string s = StrFormat("%.*f", digits, v);
+  // Trim trailing zeros and a dangling decimal point.
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  if (s.empty()) s = "0";
+  return s;
+}
+
+}  // namespace autostats

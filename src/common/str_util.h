@@ -1,0 +1,24 @@
+// Small string helpers used across the library (join, formatting).
+#ifndef AUTOSTATS_COMMON_STR_UTIL_H_
+#define AUTOSTATS_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace autostats {
+
+// Joins `parts` with `sep`: {"a","b"} -> "a, b" for sep = ", ".
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Formats a double with up to `digits` significant decimals, trimming
+// trailing zeros ("12.5", "3").
+std::string FormatDouble(double v, int digits = 3);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_COMMON_STR_UTIL_H_

@@ -1,0 +1,30 @@
+#include "common/zipfian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autostats {
+
+Zipfian::Zipfian(uint64_t n, double z) : n_(n), z_(z) {
+  AUTOSTATS_CHECK_MSG(n > 0, "Zipfian needs a non-empty domain");
+  AUTOSTATS_CHECK_MSG(z >= 0.0, "Zipfian exponent must be non-negative");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), z);
+    cdf_[r] = total;
+  }
+  for (uint64_t r = 0; r < n; ++r) cdf_[r] /= total;
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+uint64_t Zipfian::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace autostats

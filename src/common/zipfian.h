@@ -1,0 +1,35 @@
+// Zipfian distribution sampler with parameter z in [0, 4], matching the
+// skewed TPC-D generator of Chaudhuri & Narasayya [17]: value rank r
+// (1-based, out of n) is drawn with probability proportional to 1/r^z.
+// z = 0 is uniform; z = 4 is highly skewed.
+#ifndef AUTOSTATS_COMMON_ZIPFIAN_H_
+#define AUTOSTATS_COMMON_ZIPFIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace autostats {
+
+class Zipfian {
+ public:
+  // Distribution over ranks [0, n). Precomputes the CDF once (n is at most
+  // a few hundred thousand at the scales this repo runs).
+  Zipfian(uint64_t n, double z);
+
+  // Draws a rank in [0, n); rank 0 is the most frequent.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  uint64_t n_;
+  double z_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_COMMON_ZIPFIAN_H_

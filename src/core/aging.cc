@@ -1,0 +1,13 @@
+#include "core/aging.h"
+
+namespace autostats {
+
+bool IsDampened(const StatsCatalog& catalog, const StatKey& key,
+                const AgingPolicy& policy, double query_cost) {
+  if (query_cost > policy.expensive_query_cost) return false;
+  const StatEntry* entry = catalog.FindEntry(key);
+  if (entry == nullptr || !entry->in_drop_list) return false;
+  return catalog.now() - entry->dropped_at < policy.cooldown_ticks;
+}
+
+}  // namespace autostats

@@ -1,0 +1,28 @@
+// Aging (§6): dampens re-creation of recently dropped statistics so that
+// a repeating workload does not oscillate between dropping and re-creating
+// the same expensive statistic — while making sure expensive queries are
+// not starved of statistics by the damper.
+#ifndef AUTOSTATS_CORE_AGING_H_
+#define AUTOSTATS_CORE_AGING_H_
+
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+struct AgingPolicy {
+  // A dropped statistic stays dormant for this many logical ticks.
+  int64_t cooldown_ticks = 100;
+  // Queries whose estimated cost exceeds this bypass aging entirely (the
+  // paper's requirement that expensive queries not be adversely affected).
+  double expensive_query_cost = 1e9;
+};
+
+// True when re-creating `key` should be suppressed for a query whose
+// estimated cost is `query_cost`. Statistics never dropped are never
+// dampened.
+bool IsDampened(const StatsCatalog& catalog, const StatKey& key,
+                const AgingPolicy& policy, double query_cost);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CORE_AGING_H_

@@ -1,0 +1,154 @@
+#include "core/auto_manager.h"
+
+#include "common/check.h"
+#include "core/mnsa_d.h"
+#include "core/shrinking_set.h"
+#include "executor/dml_exec.h"
+
+namespace autostats {
+
+AutoStatsManager::AutoStatsManager(Database* db, StatsCatalog* catalog,
+                                   const Optimizer* optimizer,
+                                   ManagerPolicy policy)
+    : db_(db),
+      catalog_(catalog),
+      optimizer_(optimizer),
+      executor_(db, optimizer->cost_model()),
+      policy_(std::move(policy)) {
+  AUTOSTATS_CHECK(db != nullptr && catalog != nullptr &&
+                  optimizer != nullptr);
+}
+
+AutoStatsManager::Outcome AutoStatsManager::Process(
+    const Statement& statement) {
+  catalog_->Tick();
+  trace_.Add(statement);
+  if (statement.kind == Statement::Kind::kQuery) {
+    return ProcessQuery(statement.query);
+  }
+  return ProcessDml(statement.dml);
+}
+
+AutoStatsManager::Outcome AutoStatsManager::ProcessQuery(const Query& query) {
+  Outcome outcome;
+  outcome.was_query = true;
+
+  switch (policy_.mode) {
+    case CreationMode::kNone:
+      break;
+    case CreationMode::kSqlServer7: {
+      // The auto-statistics baseline: every syntactically relevant column
+      // gets a single-column statistic, unconditionally.
+      for (const ColumnRef& c : query.RelevantColumns()) {
+        const bool existed = catalog_->HasActive(MakeStatKey({c}));
+        outcome.creation_cost += catalog_->CreateStatistic({c});
+        if (!existed) ++outcome.stats_created;
+      }
+      break;
+    }
+    case CreationMode::kMnsaOnTheFly:
+    case CreationMode::kMnsaDOnTheFly: {
+      MnsaConfig config = policy_.mnsa;
+      config.drop_detection = policy_.mode == CreationMode::kMnsaDOnTheFly;
+      if (policy_.enable_aging) {
+        // Estimate the query's cost once so expensive queries bypass the
+        // damper, then veto re-creation of freshly dropped statistics.
+        const double query_cost =
+            optimizer_->Optimize(query, StatsView(catalog_)).cost;
+        ++outcome.optimizer_calls;
+        config.creation_filter = [this, query_cost](
+                                     const std::vector<ColumnRef>& columns) {
+          return !IsDampened(*catalog_, MakeStatKey(columns), policy_.aging,
+                             query_cost);
+        };
+      }
+      const MnsaResult r = RunMnsa(*optimizer_, catalog_, query, config);
+      outcome.creation_cost += r.creation_cost;
+      outcome.optimizer_calls += r.optimizer_calls;
+      outcome.stats_created += static_cast<int64_t>(r.created.size());
+      outcome.stats_dropped += static_cast<int64_t>(r.dropped.size());
+      break;
+    }
+    case CreationMode::kPeriodicOffline: {
+      pending_window_.AddQuery(query);
+      if (++statements_since_pass_ >= policy_.periodic_interval) {
+        RunOfflinePass(&outcome);
+      }
+      break;
+    }
+  }
+
+  const OptimizeResult plan = optimizer_->Optimize(query, StatsView(catalog_));
+  ++outcome.optimizer_calls;
+  outcome.exec_cost = executor_.Execute(query, plan.plan).work_units;
+  return outcome;
+}
+
+AutoStatsManager::Outcome AutoStatsManager::ProcessDml(
+    const DmlStatement& dml) {
+  Outcome outcome;
+  const size_t modified = ApplyDml(db_, dml);
+  catalog_->RecordModifications(dml.table, modified);
+  outcome.update_cost += catalog_->RefreshIfTriggered(policy_.update_trigger);
+  ApplyUpdateDropRule(&outcome);
+  EnforceDropListPolicy(catalog_, policy_.drop_list);
+  return outcome;
+}
+
+void AutoStatsManager::ApplyUpdateDropRule(Outcome* outcome) {
+  // SQL Server 7.0 rule: drop a statistic after too many updates. Our
+  // improvement restricts the rule to drop-listed (non-essential)
+  // statistics so useful ones are not dropped only to be re-created.
+  std::vector<StatKey> victims;
+  const std::vector<StatKey> keys = policy_.drop_only_drop_listed
+                                        ? catalog_->DropListKeys()
+                                        : catalog_->ActiveKeys();
+  for (const StatKey& key : keys) {
+    const StatEntry* entry = catalog_->FindEntry(key);
+    if (entry->update_count > policy_.max_updates_before_drop) {
+      victims.push_back(key);
+    }
+  }
+  for (const StatKey& key : victims) {
+    catalog_->PhysicallyDrop(key);
+    ++outcome->stats_dropped;
+  }
+}
+
+void AutoStatsManager::RunOfflinePass(Outcome* outcome) {
+  const MnsaResult r =
+      RunMnsaWorkload(*optimizer_, catalog_, pending_window_, policy_.mnsa);
+  outcome->creation_cost += r.creation_cost;
+  outcome->optimizer_calls += r.optimizer_calls;
+  outcome->stats_created += static_cast<int64_t>(r.created.size());
+  if (policy_.periodic_shrink) {
+    const ShrinkingSetResult s =
+        RunShrinkingSet(*optimizer_, catalog_, pending_window_, {});
+    outcome->optimizer_calls += s.optimizer_calls;
+    outcome->stats_dropped += static_cast<int64_t>(s.removed.size());
+  }
+  pending_window_ = Workload();
+  statements_since_pass_ = 0;
+}
+
+RunReport AutoStatsManager::Run(const Workload& workload) {
+  RunReport report;
+  report.label = workload.name() + "/" + CreationModeName(policy_.mode);
+  for (const Statement& s : workload.statements()) {
+    const Outcome o = Process(s);
+    report.exec_cost += o.exec_cost;
+    report.creation_cost += o.creation_cost;
+    report.update_cost += o.update_cost;
+    report.optimizer_calls += o.optimizer_calls;
+    report.stats_created += o.stats_created;
+    report.stats_dropped += o.stats_dropped;
+    if (o.was_query) {
+      ++report.num_queries;
+    } else {
+      ++report.num_dml;
+    }
+  }
+  return report;
+}
+
+}  // namespace autostats

@@ -1,0 +1,68 @@
+// AutoStatsManager: the online statistics-management loop (§6). Processes
+// a stream of statements; before optimizing each incoming query it ensures
+// statistics per the configured creation policy (SQL Server 7.0 baseline,
+// MNSA, or MNSA/D, optionally dampened by aging); DML statements drive the
+// row-modification counters, statistics refreshes, the update-count drop
+// rule, and drop-list housekeeping.
+#ifndef AUTOSTATS_CORE_AUTO_MANAGER_H_
+#define AUTOSTATS_CORE_AUTO_MANAGER_H_
+
+#include "core/policy.h"
+#include "core/report.h"
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "query/workload.h"
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+class AutoStatsManager {
+ public:
+  // `db` is mutated by DML statements; `catalog` accumulates statistics.
+  AutoStatsManager(Database* db, StatsCatalog* catalog,
+                   const Optimizer* optimizer, ManagerPolicy policy);
+
+  struct Outcome {
+    bool was_query = false;
+    double exec_cost = 0.0;
+    double creation_cost = 0.0;
+    double update_cost = 0.0;
+    int64_t optimizer_calls = 0;
+    int64_t stats_created = 0;
+    int64_t stats_dropped = 0;
+  };
+
+  Outcome Process(const Statement& statement);
+
+  // Processes the whole workload and returns aggregate accounting.
+  RunReport Run(const Workload& workload);
+
+  const ManagerPolicy& policy() const { return policy_; }
+
+  // Trace capture: every processed statement, in order — the recorded
+  // workload an offline tuning pass (or the index advisor) consumes.
+  const Workload& recorded_trace() const { return trace_; }
+  void ClearTrace() { trace_ = Workload("trace"); }
+
+ private:
+  Outcome ProcessQuery(const Query& query);
+  Outcome ProcessDml(const DmlStatement& dml);
+  void ApplyUpdateDropRule(Outcome* outcome);
+  // kPeriodicOffline: MNSA + Shrinking Set over the recorded window.
+  void RunOfflinePass(Outcome* outcome);
+
+  Database* db_;
+  StatsCatalog* catalog_;
+  const Optimizer* optimizer_;
+  Executor executor_;
+  ManagerPolicy policy_;
+  // Query window recorded since the last off-line pass.
+  Workload pending_window_;
+  int statements_since_pass_ = 0;
+  // Full statement trace since construction (or the last ClearTrace).
+  Workload trace_{"trace"};
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CORE_AUTO_MANAGER_H_

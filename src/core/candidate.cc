@@ -1,0 +1,151 @@
+#include "core/candidate.h"
+
+#include <algorithm>
+#include <set>
+
+namespace autostats {
+
+namespace {
+
+void AddUniqueCandidate(std::vector<CandidateStat>* out,
+                        std::set<StatKey>* seen, CandidateStat candidate) {
+  if (seen->insert(candidate.key()).second) {
+    out->push_back(std::move(candidate));
+  }
+}
+
+// Per-table column sets of one query: selections, join columns, group-by.
+struct TableColumnSets {
+  TableId table;
+  std::vector<ColumnRef> selection;
+  std::vector<ColumnRef> join;
+  std::vector<ColumnRef> group_by;
+};
+
+std::vector<TableColumnSets> CollectSets(const Query& query) {
+  std::vector<TableColumnSets> out;
+  for (TableId t : query.tables()) {
+    TableColumnSets s;
+    s.table = t;
+    s.selection = query.SelectionColumnsOf(t);
+    s.join = query.JoinColumnsOf(t);
+    s.group_by = query.GroupByColumnsOf(t);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void AddSingles(const Query& query, std::vector<CandidateStat>* out,
+                std::set<StatKey>* seen) {
+  for (const ColumnRef& c : query.RelevantColumns()) {
+    AddUniqueCandidate(out, seen,
+                       CandidateStat{{c}, CandidateStat::Origin::kSingleColumn});
+  }
+}
+
+// All *ordered* column sequences over `columns` of length [2, max_width].
+// Multi-column statistics are asymmetric (§7.1: histogram on the leading
+// column, densities on leading prefixes), so every permutation of every
+// subset is a syntactically distinct statistic — this is what makes the
+// exhaustive space blow up and the Candidate Statistics algorithm matter
+// (Figure 3).
+void AddOrderedSubsets(const std::vector<ColumnRef>& columns, int max_width,
+                       CandidateStat::Origin origin,
+                       std::vector<CandidateStat>* out,
+                       std::set<StatKey>* seen) {
+  const int n = static_cast<int>(columns.size());
+  if (n < 2) return;
+  std::vector<ColumnRef> sorted = columns;
+  std::sort(sorted.begin(), sorted.end());
+  // Depth-first enumeration of ordered sequences without repetition.
+  std::vector<ColumnRef> sequence;
+  std::vector<bool> used(static_cast<size_t>(n), false);
+  auto recurse = [&](auto&& self) -> void {
+    if (sequence.size() >= 2) {
+      AddUniqueCandidate(out, seen, CandidateStat{sequence, origin});
+    }
+    if (static_cast<int>(sequence.size()) >= max_width) return;
+    for (int i = 0; i < n; ++i) {
+      if (used[static_cast<size_t>(i)]) continue;
+      used[static_cast<size_t>(i)] = true;
+      sequence.push_back(sorted[static_cast<size_t>(i)]);
+      self(self);
+      sequence.pop_back();
+      used[static_cast<size_t>(i)] = false;
+    }
+  };
+  recurse(recurse);
+}
+
+}  // namespace
+
+std::vector<CandidateStat> CandidateStatistics(const Query& query) {
+  std::vector<CandidateStat> out;
+  std::set<StatKey> seen;
+  AddSingles(query, &out, &seen);
+  for (const TableColumnSets& s : CollectSets(query)) {
+    if (s.selection.size() >= 2) {
+      AddUniqueCandidate(&out, &seen,
+                         CandidateStat{s.selection,
+                                       CandidateStat::Origin::kSelectionMulti});
+    }
+    if (s.join.size() >= 2) {
+      AddUniqueCandidate(
+          &out, &seen, CandidateStat{s.join, CandidateStat::Origin::kJoinMulti});
+    }
+    if (s.group_by.size() >= 2) {
+      AddUniqueCandidate(&out, &seen,
+                         CandidateStat{s.group_by,
+                                       CandidateStat::Origin::kGroupByMulti});
+    }
+  }
+  return out;
+}
+
+std::vector<CandidateStat> ExhaustiveStatistics(const Query& query,
+                                                int max_width) {
+  std::vector<CandidateStat> out;
+  std::set<StatKey> seen;
+  AddSingles(query, &out, &seen);
+  for (const TableColumnSets& s : CollectSets(query)) {
+    AddOrderedSubsets(s.selection, max_width,
+                      CandidateStat::Origin::kSelectionMulti, &out, &seen);
+    AddOrderedSubsets(s.join, max_width, CandidateStat::Origin::kJoinMulti,
+                      &out, &seen);
+    AddOrderedSubsets(s.group_by, max_width,
+                      CandidateStat::Origin::kGroupByMulti, &out, &seen);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename PerQuery>
+std::vector<CandidateStat> ForWorkload(const Workload& workload,
+                                       PerQuery per_query) {
+  std::vector<CandidateStat> out;
+  std::set<StatKey> seen;
+  for (const Query* q : workload.Queries()) {
+    for (CandidateStat& c : per_query(*q)) {
+      AddUniqueCandidate(&out, &seen, std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CandidateStat> CandidateStatisticsForWorkload(
+    const Workload& workload) {
+  return ForWorkload(workload,
+                     [](const Query& q) { return CandidateStatistics(q); });
+}
+
+std::vector<CandidateStat> ExhaustiveStatisticsForWorkload(
+    const Workload& workload, int max_width) {
+  return ForWorkload(workload, [max_width](const Query& q) {
+    return ExhaustiveStatistics(q, max_width);
+  });
+}
+
+}  // namespace autostats

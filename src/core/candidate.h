@@ -1,0 +1,51 @@
+// Candidate statistics for a query (§3.1, §7.1). The implemented
+// Candidate Statistics algorithm proposes, per query:
+//   (a) a single-column statistic on each relevant column,
+//   (b) one multi-column statistic per table on its selection columns,
+//   (c) one multi-column statistic per table on its join columns,
+//   (d) one multi-column statistic per table on its GROUP BY columns.
+// The Exhaustive baseline of Figure 3 additionally proposes every subset
+// (size >= 2) of each category's columns — Example 3's (e,f), (f,g), (e,g).
+#ifndef AUTOSTATS_CORE_CANDIDATE_H_
+#define AUTOSTATS_CORE_CANDIDATE_H_
+
+#include <vector>
+
+#include "query/workload.h"
+#include "stats/statistic.h"
+
+namespace autostats {
+
+struct CandidateStat {
+  enum class Origin {
+    kSingleColumn,
+    kSelectionMulti,
+    kJoinMulti,
+    kGroupByMulti,
+  };
+
+  std::vector<ColumnRef> columns;
+  Origin origin = Origin::kSingleColumn;
+
+  StatKey key() const { return MakeStatKey(columns); }
+};
+
+// The paper's heuristic candidate algorithm (§7.1).
+std::vector<CandidateStat> CandidateStatistics(const Query& query);
+
+// The Exhaustive baseline (§8.2, Figure 3): all syntactically relevant
+// statistics — singles plus every per-category column subset of size 2 up
+// to `max_width`.
+std::vector<CandidateStat> ExhaustiveStatistics(const Query& query,
+                                                int max_width = 4);
+
+// Candidates for a workload: the union over its queries (Definition 2),
+// deduplicated by key.
+std::vector<CandidateStat> CandidateStatisticsForWorkload(
+    const Workload& workload);
+std::vector<CandidateStat> ExhaustiveStatisticsForWorkload(
+    const Workload& workload, int max_width = 4);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CORE_CANDIDATE_H_

@@ -1,0 +1,41 @@
+#include "core/drop_list.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace autostats {
+
+std::vector<StatKey> EnforceDropListPolicy(StatsCatalog* catalog,
+                                           const DropListPolicy& policy) {
+  AUTOSTATS_CHECK(catalog != nullptr);
+  std::vector<StatKey> deleted;
+  const int64_t now = catalog->now();
+
+  // Age-based deletion first.
+  for (const StatKey& key : catalog->DropListKeys()) {
+    const StatEntry* entry = catalog->FindEntry(key);
+    if (entry->dropped_at >= 0 && now - entry->dropped_at > policy.max_age) {
+      deleted.push_back(key);
+    }
+  }
+  for (const StatKey& key : deleted) catalog->PhysicallyDrop(key);
+
+  // Size-based deletion: evict oldest-dropped first.
+  std::vector<StatKey> remaining = catalog->DropListKeys();
+  if (remaining.size() > policy.max_entries) {
+    std::sort(remaining.begin(), remaining.end(),
+              [&](const StatKey& a, const StatKey& b) {
+                return catalog->FindEntry(a)->dropped_at <
+                       catalog->FindEntry(b)->dropped_at;
+              });
+    const size_t excess = remaining.size() - policy.max_entries;
+    for (size_t i = 0; i < excess; ++i) {
+      catalog->PhysicallyDrop(remaining[i]);
+      deleted.push_back(remaining[i]);
+    }
+  }
+  return deleted;
+}
+
+}  // namespace autostats

@@ -1,0 +1,27 @@
+// Drop-list deletion policy (§6): statistics found non-essential sit on
+// the catalog's drop-list (invisible to the optimizer, resurrectable at
+// zero cost). This policy decides when to *physically* delete them — when
+// the list grows too large or an entry has been dormant too long.
+#ifndef AUTOSTATS_CORE_DROP_LIST_H_
+#define AUTOSTATS_CORE_DROP_LIST_H_
+
+#include <vector>
+
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+struct DropListPolicy {
+  // Physical deletion triggers: more than this many drop-listed entries...
+  size_t max_entries = 64;
+  // ...or an entry older (in logical time) than this.
+  int64_t max_age = 1000;
+};
+
+// Applies the policy; returns the keys physically deleted.
+std::vector<StatKey> EnforceDropListPolicy(StatsCatalog* catalog,
+                                           const DropListPolicy& policy);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CORE_DROP_LIST_H_

@@ -1,0 +1,28 @@
+#include "core/equivalence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autostats {
+
+bool CostsWithinT(double c1, double c2, double t_percent) {
+  const double lo = std::min(c1, c2);
+  const double hi = std::max(c1, c2);
+  if (lo <= 0.0) return hi <= 0.0;
+  return (hi - lo) / lo <= t_percent / 100.0;
+}
+
+bool PlansEquivalent(const EquivalenceSpec& spec, const OptimizeResult& a,
+                     const OptimizeResult& b) {
+  switch (spec.kind) {
+    case EquivalenceKind::kExecutionTree:
+      return a.plan.Signature() == b.plan.Signature();
+    case EquivalenceKind::kOptimizerCost:
+      return CostsWithinT(a.cost, b.cost, 1e-9);
+    case EquivalenceKind::kTOptimizerCost:
+      return CostsWithinT(a.cost, b.cost, spec.t_percent);
+  }
+  return false;
+}
+
+}  // namespace autostats

@@ -1,0 +1,34 @@
+// Equivalence of sets of statistics with respect to a query (§3.2), tested
+// through the plans the optimizer produces under each set:
+//   * Execution-Tree equivalence — identical plan trees (the strongest),
+//   * Optimizer-Cost equivalence — identical estimated costs,
+//   * t-Optimizer-Cost equivalence — costs within t% of each other
+//     (footnote 2: |c1 - c2| / min(c1, c2) < t/100).
+#ifndef AUTOSTATS_CORE_EQUIVALENCE_H_
+#define AUTOSTATS_CORE_EQUIVALENCE_H_
+
+#include "optimizer/optimizer.h"
+
+namespace autostats {
+
+enum class EquivalenceKind {
+  kExecutionTree,
+  kOptimizerCost,
+  kTOptimizerCost,
+};
+
+struct EquivalenceSpec {
+  EquivalenceKind kind = EquivalenceKind::kTOptimizerCost;
+  double t_percent = 20.0;  // used by kTOptimizerCost
+};
+
+// Footnote-2 test; symmetric in c1/c2.
+bool CostsWithinT(double c1, double c2, double t_percent);
+
+// Tests the chosen notion on two optimization outcomes of the same query.
+bool PlansEquivalent(const EquivalenceSpec& spec, const OptimizeResult& a,
+                     const OptimizeResult& b);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CORE_EQUIVALENCE_H_

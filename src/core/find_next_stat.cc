@@ -1,0 +1,123 @@
+#include "core/find_next_stat.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace autostats {
+
+namespace {
+
+// Candidates not yet active in the catalog, keyed for O(1) lookup.
+struct UnbuiltIndex {
+  std::set<StatKey> keys;
+  std::vector<const CandidateStat*> list;
+
+  bool Has(const StatKey& k) const { return keys.count(k) > 0; }
+};
+
+UnbuiltIndex IndexUnbuilt(const std::vector<CandidateStat>& candidates,
+                          const StatsCatalog& catalog) {
+  UnbuiltIndex idx;
+  for (const CandidateStat& c : candidates) {
+    const StatKey k = c.key();
+    if (catalog.HasActive(k)) continue;
+    if (idx.keys.insert(k).second) idx.list.push_back(&c);
+  }
+  return idx;
+}
+
+// The unbuilt multi-column candidate of `origin` on `table`, if any.
+const CandidateStat* FindMulti(const UnbuiltIndex& idx, TableId table,
+                               CandidateStat::Origin origin) {
+  for (const CandidateStat* c : idx.list) {
+    if (c->origin == origin && c->columns.front().table == table) return c;
+  }
+  return nullptr;
+}
+
+// Candidates relevant to one plan node, singles before multis.
+std::vector<std::vector<ColumnRef>> RelevantUnbuilt(const Query& query,
+                                                    const PlanNode& node,
+                                                    const UnbuiltIndex& idx) {
+  // Single-column candidates on this node's filter columns.
+  for (int i : node.filter_indices) {
+    const ColumnRef col = query.filters()[static_cast<size_t>(i)].column;
+    if (idx.Has(MakeStatKey({col}))) return {{col}};
+  }
+  // Join predicates: dependency pair — propose both sides together (§4.2).
+  for (int j : node.join_indices) {
+    const JoinPredicate& jp = query.joins()[static_cast<size_t>(j)];
+    std::vector<std::vector<ColumnRef>> pair;
+    if (idx.Has(MakeStatKey({jp.left}))) pair.push_back({jp.left});
+    if (idx.Has(MakeStatKey({jp.right}))) pair.push_back({jp.right});
+    if (!pair.empty()) return pair;
+  }
+  // Group-by singles (aggregate nodes).
+  for (const ColumnRef& c : node.group_by) {
+    if (idx.Has(MakeStatKey({c}))) return {{c}};
+  }
+  // Multi-column selection candidate of the scanned table.
+  if (node.table != kInvalidTableId && node.filter_indices.size() >= 2) {
+    const CandidateStat* m =
+        FindMulti(idx, node.table, CandidateStat::Origin::kSelectionMulti);
+    if (m != nullptr) return {m->columns};
+  }
+  // Multi-column join candidates: both sides of the node's join pair.
+  if (!node.join_indices.empty()) {
+    std::set<TableId> tables;
+    for (int j : node.join_indices) {
+      const JoinPredicate& jp = query.joins()[static_cast<size_t>(j)];
+      tables.insert(jp.left.table);
+      tables.insert(jp.right.table);
+    }
+    std::vector<std::vector<ColumnRef>> found;
+    for (TableId t : tables) {
+      const CandidateStat* m =
+          FindMulti(idx, t, CandidateStat::Origin::kJoinMulti);
+      if (m != nullptr) found.push_back(m->columns);
+    }
+    if (!found.empty()) return found;
+  }
+  // Multi-column group-by candidates.
+  if (!node.group_by.empty()) {
+    std::set<TableId> tables;
+    for (const ColumnRef& c : node.group_by) tables.insert(c.table);
+    for (TableId t : tables) {
+      const CandidateStat* m =
+          FindMulti(idx, t, CandidateStat::Origin::kGroupByMulti);
+      if (m != nullptr) return {m->columns};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::vector<ColumnRef>> FindNextStatToBuild(
+    const Query& query, const Plan& plan,
+    const std::vector<CandidateStat>& candidates,
+    const StatsCatalog& catalog) {
+  const UnbuiltIndex idx = IndexUnbuilt(candidates, catalog);
+  if (idx.list.empty()) return {};
+
+  // Rank nodes by local cost, most expensive first (stable so equal-cost
+  // nodes keep plan order and the choice is deterministic).
+  std::vector<const PlanNode*> nodes = plan.Nodes();
+  std::stable_sort(nodes.begin(), nodes.end(),
+                   [](const PlanNode* a, const PlanNode* b) {
+                     return a->cost_local > b->cost_local;
+                   });
+  for (const PlanNode* node : nodes) {
+    std::vector<std::vector<ColumnRef>> next =
+        RelevantUnbuilt(query, *node, idx);
+    if (!next.empty()) return next;
+  }
+  // No node claims the remaining candidates (e.g. a candidate on a column
+  // whose predicate was subsumed); fall back to the first unbuilt one so
+  // exhaustive runs terminate.
+  return {idx.list.front()->columns};
+}
+
+}  // namespace autostats

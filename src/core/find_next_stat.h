@@ -1,0 +1,28 @@
+// FindNextStatToBuild (§4.2): given the current plan of a query (obtained
+// with default magic numbers), pick which of the remaining candidate
+// statistics to build next — the candidates relevant to the most expensive
+// operator in the plan, ranked by local cost:
+//   cost(subtree rooted at n) - sum(cost(children(n))).
+// Join-column statistics are a dependency pair (§4.2): both sides are
+// returned together so they are built together.
+#ifndef AUTOSTATS_CORE_FIND_NEXT_STAT_H_
+#define AUTOSTATS_CORE_FIND_NEXT_STAT_H_
+
+#include <vector>
+
+#include "core/candidate.h"
+#include "optimizer/plan.h"
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+// The next statistic(s) to create: one column list, or two for a join
+// dependency pair. Empty when every candidate is already active.
+std::vector<std::vector<ColumnRef>> FindNextStatToBuild(
+    const Query& query, const Plan& plan,
+    const std::vector<CandidateStat>& candidates,
+    const StatsCatalog& catalog);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CORE_FIND_NEXT_STAT_H_

@@ -1,0 +1,183 @@
+#include "core/mnsa.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "core/find_next_stat.h"
+
+namespace autostats {
+
+namespace {
+
+SelectivityOverrides AtBound(const std::vector<SelVarBinding>& uncertain,
+                             bool high) {
+  SelectivityOverrides overrides;
+  for (const SelVarBinding& b : uncertain) {
+    overrides[b.var] = high ? b.high : b.low;
+  }
+  return overrides;
+}
+
+}  // namespace
+
+void MnsaResult::Merge(const MnsaResult& other) {
+  created.insert(created.end(), other.created.begin(), other.created.end());
+  dropped.insert(dropped.end(), other.dropped.begin(), other.dropped.end());
+  creation_cost += other.creation_cost;
+  optimizer_calls += other.optimizer_calls;
+  iterations += other.iterations;
+  converged = converged && other.converged;
+}
+
+MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
+                   const Query& query, const MnsaConfig& config) {
+  AUTOSTATS_CHECK(catalog != nullptr);
+  MnsaResult result;
+  result.converged = true;
+
+  std::vector<CandidateStat> candidates =
+      config.candidates ? config.candidates(query)
+                        : CandidateStatistics(query);
+
+  // Statistics this run already judged non-essential (MNSA/D) must not be
+  // re-proposed within the same query analysis.
+  std::set<StatKey> vetoed;
+  auto may_create = [&](const std::vector<ColumnRef>& columns) {
+    if (vetoed.count(MakeStatKey(columns)) > 0) return false;
+    return !config.creation_filter || config.creation_filter(columns);
+  };
+  auto create = [&](const std::vector<ColumnRef>& columns) {
+    const StatKey key = MakeStatKey(columns);
+    if (catalog->HasActive(key)) return false;
+    if (!may_create(columns)) return false;
+    result.creation_cost += catalog->CreateStatistic(columns);
+    result.created.push_back(key);
+    return true;
+  };
+
+  // Small-table augmentation (§4.3): candidates on small tables are cheap;
+  // build them without analysis.
+  if (config.small_table_rows > 0) {
+    for (const CandidateStat& c : candidates) {
+      const TableId t = c.columns.front().table;
+      if (optimizer.db().table(t).num_rows() < config.small_table_rows) {
+        create(c.columns);
+      }
+    }
+  }
+
+  StatsView view(catalog);
+  OptimizeResult current = optimizer.Optimize(query, view);
+  ++result.optimizer_calls;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    ++result.iterations;
+
+    // Steps 4-7: sensitivity test over the uncertain selectivity variables.
+    if (current.uncertain.empty()) return result;  // nothing left to sweep
+    const OptimizeResult p_low =
+        optimizer.Optimize(query, view, AtBound(current.uncertain, false));
+    const OptimizeResult p_high =
+        optimizer.Optimize(query, view, AtBound(current.uncertain, true));
+    result.optimizer_calls += 2;
+    AUTOSTATS_DCHECK(p_high.cost >= p_low.cost - 1e-6);
+    const EquivalenceSpec spec{config.equivalence, config.t_percent};
+    if (PlansEquivalent(spec, p_low, p_high)) {
+      return result;  // existing statistics include an essential set
+    }
+
+    // Steps 8-10: build the next statistic (or join dependency pair).
+    std::vector<CandidateStat> remaining;
+    for (const CandidateStat& c : candidates) {
+      if (vetoed.count(c.key()) == 0) remaining.push_back(c);
+    }
+    const std::vector<std::vector<ColumnRef>> next =
+        FindNextStatToBuild(query, current.plan, remaining, *catalog);
+    if (next.empty()) {
+      result.converged = false;  // exhausted candidates, test still failing
+      return result;
+    }
+    bool created_any = false;
+    std::vector<StatKey> created_now;
+    for (const std::vector<ColumnRef>& columns : next) {
+      if (create(columns)) {
+        created_any = true;
+        created_now.push_back(MakeStatKey(columns));
+      }
+    }
+    if (!created_any) {
+      // Creation vetoed (aging): stop rather than loop on the same pick.
+      result.converged = false;
+      return result;
+    }
+
+    // Steps 11-12: re-optimize with default magic numbers.
+    OptimizeResult next_plan = optimizer.Optimize(query, view);
+    ++result.optimizer_calls;
+
+    // MNSA/D (§5.1): if the plan did not change, the statistics created
+    // this iteration are heuristically non-essential.
+    if (config.drop_detection &&
+        next_plan.plan.Signature() == current.plan.Signature()) {
+      for (const StatKey& key : created_now) {
+        catalog->MoveToDropList(key);
+        result.dropped.push_back(key);
+        vetoed.insert(key);
+      }
+    }
+    current = std::move(next_plan);
+  }
+  result.converged = false;
+  return result;
+}
+
+MnsaResult RunMnsaWorkload(const Optimizer& optimizer, StatsCatalog* catalog,
+                           const Workload& workload,
+                           const MnsaConfig& config) {
+  MnsaResult merged;
+  merged.converged = true;
+  for (const Query* q : workload.Queries()) {
+    merged.Merge(RunMnsa(optimizer, catalog, *q, config));
+  }
+  return merged;
+}
+
+MnsaResult RunMnsaWorkloadWeighted(const Optimizer& optimizer,
+                                   StatsCatalog* catalog,
+                                   const Workload& workload,
+                                   const MnsaConfig& config,
+                                   double cost_fraction) {
+  AUTOSTATS_CHECK(cost_fraction > 0.0 && cost_fraction <= 1.0);
+  MnsaResult merged;
+  merged.converged = true;
+
+  // Rank queries by estimated cost under the current statistics.
+  struct Ranked {
+    const Query* query;
+    double cost;
+  };
+  std::vector<Ranked> ranked;
+  const StatsView view(catalog);
+  double total_cost = 0.0;
+  for (const Query* q : workload.Queries()) {
+    const double cost = optimizer.Optimize(*q, view).cost;
+    ++merged.optimizer_calls;
+    ranked.push_back({q, cost});
+    total_cost += cost;
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     return a.cost > b.cost;
+                   });
+
+  double covered = 0.0;
+  for (const Ranked& r : ranked) {
+    if (covered >= cost_fraction * total_cost) break;
+    covered += r.cost;
+    merged.Merge(RunMnsa(optimizer, catalog, *r.query, config));
+  }
+  return merged;
+}
+
+}  // namespace autostats

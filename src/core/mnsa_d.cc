@@ -1,0 +1,20 @@
+#include "core/mnsa_d.h"
+
+namespace autostats {
+
+MnsaResult RunMnsaD(const Optimizer& optimizer, StatsCatalog* catalog,
+                    const Query& query, const MnsaConfig& config) {
+  MnsaConfig with_drop = config;
+  with_drop.drop_detection = true;
+  return RunMnsa(optimizer, catalog, query, with_drop);
+}
+
+MnsaResult RunMnsaDWorkload(const Optimizer& optimizer, StatsCatalog* catalog,
+                            const Workload& workload,
+                            const MnsaConfig& config) {
+  MnsaConfig with_drop = config;
+  with_drop.drop_detection = true;
+  return RunMnsaWorkload(optimizer, catalog, workload, with_drop);
+}
+
+}  // namespace autostats

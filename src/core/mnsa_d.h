@@ -1,0 +1,24 @@
+// MNSA/D — Magic Number Sensitivity Analysis with Drop (§5.1): MNSA with
+// interleaved non-essential statistics detection. A statistic whose
+// creation leaves the default-magic plan unchanged is heuristically
+// non-essential and is moved to the drop-list. Cheaper than Shrinking Set
+// (no extra optimizer calls) but, unlike it, guarantees neither an
+// essential set nor the removal of all non-essential statistics.
+#ifndef AUTOSTATS_CORE_MNSA_D_H_
+#define AUTOSTATS_CORE_MNSA_D_H_
+
+#include "core/mnsa.h"
+
+namespace autostats {
+
+// RunMnsa with drop detection forced on.
+MnsaResult RunMnsaD(const Optimizer& optimizer, StatsCatalog* catalog,
+                    const Query& query, const MnsaConfig& config);
+
+MnsaResult RunMnsaDWorkload(const Optimizer& optimizer,
+                            StatsCatalog* catalog, const Workload& workload,
+                            const MnsaConfig& config);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CORE_MNSA_D_H_

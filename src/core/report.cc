@@ -1,0 +1,41 @@
+#include "core/report.h"
+
+#include "common/str_util.h"
+
+namespace autostats {
+
+RunReport& RunReport::operator+=(const RunReport& other) {
+  exec_cost += other.exec_cost;
+  creation_cost += other.creation_cost;
+  update_cost += other.update_cost;
+  optimizer_calls += other.optimizer_calls;
+  stats_created += other.stats_created;
+  stats_dropped += other.stats_dropped;
+  num_queries += other.num_queries;
+  num_dml += other.num_dml;
+  return *this;
+}
+
+double PercentReduction(double base, double ours) {
+  if (base <= 0.0) return 0.0;
+  return (base - ours) / base * 100.0;
+}
+
+double PercentIncrease(double base, double ours) {
+  if (base <= 0.0) return 0.0;
+  return (ours - base) / base * 100.0;
+}
+
+std::string FormatReport(const RunReport& r) {
+  return StrFormat(
+      "%-24s exec=%-12s create=%-12s update=%-12s stats=%lld dropped=%lld "
+      "opt_calls=%lld",
+      r.label.c_str(), FormatDouble(r.exec_cost, 0).c_str(),
+      FormatDouble(r.creation_cost, 0).c_str(),
+      FormatDouble(r.update_cost, 0).c_str(),
+      static_cast<long long>(r.stats_created),
+      static_cast<long long>(r.stats_dropped),
+      static_cast<long long>(r.optimizer_calls));
+}
+
+}  // namespace autostats

@@ -1,0 +1,36 @@
+// Run reports: the accounting the paper's evaluation (§8) is built on —
+// statistics creation cost, statistics update cost, workload execution
+// cost, optimizer-call counts — plus formatting helpers for the benches.
+#ifndef AUTOSTATS_CORE_REPORT_H_
+#define AUTOSTATS_CORE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace autostats {
+
+struct RunReport {
+  std::string label;
+  double exec_cost = 0.0;      // executor work units over the workload
+  double creation_cost = 0.0;  // statistics creation cost units
+  double update_cost = 0.0;    // statistics update (refresh) cost units
+  int64_t optimizer_calls = 0;
+  int64_t stats_created = 0;
+  int64_t stats_dropped = 0;
+  int64_t num_queries = 0;
+  int64_t num_dml = 0;
+
+  RunReport& operator+=(const RunReport& other);
+};
+
+// (base - ours) / base in percent; 0 when base is 0.
+double PercentReduction(double base, double ours);
+// (ours - base) / base in percent; 0 when base is 0.
+double PercentIncrease(double base, double ours);
+
+// One-line rendering for bench output.
+std::string FormatReport(const RunReport& report);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CORE_REPORT_H_

@@ -1,0 +1,92 @@
+#include "core/shrinking_set.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace autostats {
+
+namespace {
+
+// View exposing exactly `visible` out of the catalog's active statistics.
+StatsView RestrictedView(const StatsCatalog& catalog,
+                         const std::set<StatKey>& visible) {
+  StatsView view(&catalog);
+  for (const StatKey& key : catalog.ActiveKeys()) {
+    if (visible.count(key) == 0) view.Ignore(key);
+  }
+  return view;
+}
+
+// "Potentially relevant" (Figure 2, step 4): the statistic shares a column
+// with the query's relevant columns.
+bool PotentiallyRelevant(const Statistic& stat, const Query& query) {
+  const std::vector<ColumnRef> relevant = query.RelevantColumns();
+  for (const ColumnRef& c : stat.columns()) {
+    if (std::find(relevant.begin(), relevant.end(), c) != relevant.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ShrinkingSetResult RunShrinkingSet(const Optimizer& optimizer,
+                                   StatsCatalog* catalog,
+                                   const Workload& workload,
+                                   const ShrinkingSetConfig& config,
+                                   std::vector<StatKey> initial) {
+  AUTOSTATS_CHECK(catalog != nullptr);
+  ShrinkingSetResult result;
+
+  std::vector<StatKey> s_keys =
+      initial.empty() ? catalog->ActiveKeys() : std::move(initial);
+  std::sort(s_keys.begin(), s_keys.end());
+  const std::set<StatKey> s_set(s_keys.begin(), s_keys.end());
+
+  const std::vector<const Query*> queries = workload.Queries();
+
+  // Baseline plans: Plan(Q, S) for every query.
+  std::vector<OptimizeResult> baselines;
+  baselines.reserve(queries.size());
+  {
+    const StatsView base_view = RestrictedView(*catalog, s_set);
+    for (const Query* q : queries) {
+      baselines.push_back(optimizer.Optimize(*q, base_view));
+      ++result.optimizer_calls;
+    }
+  }
+
+  std::set<StatKey> r_set = s_set;
+  for (const StatKey& s : s_keys) {
+    const StatEntry* entry = catalog->FindEntry(s);
+    AUTOSTATS_CHECK_MSG(entry != nullptr, s.c_str());
+
+    std::set<StatKey> without = r_set;
+    without.erase(s);
+    const StatsView view = RestrictedView(*catalog, without);
+
+    bool needed = false;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (!PotentiallyRelevant(entry->stat, *queries[qi])) continue;
+      const OptimizeResult alt = optimizer.Optimize(*queries[qi], view);
+      ++result.optimizer_calls;
+      if (!PlansEquivalent(config.equivalence, alt, baselines[qi])) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) {
+      r_set.erase(s);
+      result.removed.push_back(s);
+      if (config.apply_to_catalog) catalog->MoveToDropList(s);
+    }
+  }
+
+  result.essential.assign(r_set.begin(), r_set.end());
+  return result;
+}
+
+}  // namespace autostats

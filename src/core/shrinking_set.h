@@ -1,0 +1,46 @@
+// The Shrinking Set algorithm (§5.2, Figure 2): given a statistics set S
+// that is a superset of an essential set (e.g. produced by vanilla MNSA),
+// test each statistic s by re-optimizing every query for which s is
+// potentially relevant with s ignored; if no plan changes, s is
+// non-essential and is discarded (never reconsidered). The result is
+// guaranteed to be an essential set for the workload — at the price of up
+// to |S| x |W| optimizer calls.
+#ifndef AUTOSTATS_CORE_SHRINKING_SET_H_
+#define AUTOSTATS_CORE_SHRINKING_SET_H_
+
+#include <vector>
+
+#include "core/equivalence.h"
+#include "optimizer/optimizer.h"
+#include "query/workload.h"
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+struct ShrinkingSetConfig {
+  // Execution-tree equivalence is Figure 2's criterion; the t-cost variant
+  // is supported as in [5].
+  EquivalenceSpec equivalence{EquivalenceKind::kExecutionTree, 20.0};
+  // When true, statistics found non-essential are moved to the catalog's
+  // drop-list (the §5 semantics); when false the catalog is untouched and
+  // only the result reports the essential set.
+  bool apply_to_catalog = true;
+};
+
+struct ShrinkingSetResult {
+  std::vector<StatKey> essential;  // R of Figure 2
+  std::vector<StatKey> removed;
+  int optimizer_calls = 0;
+};
+
+// Shrinks the catalog's active statistics (or `initial`, when non-empty)
+// to an essential set for `workload`.
+ShrinkingSetResult RunShrinkingSet(const Optimizer& optimizer,
+                                   StatsCatalog* catalog,
+                                   const Workload& workload,
+                                   const ShrinkingSetConfig& config,
+                                   std::vector<StatKey> initial = {});
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_CORE_SHRINKING_SET_H_

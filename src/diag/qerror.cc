@@ -1,0 +1,42 @@
+#include "diag/qerror.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace autostats {
+
+QErrorSummary MeasureQErrors(const Database& db, const Optimizer& optimizer,
+                             const StatsCatalog& catalog,
+                             const Workload& workload) {
+  Executor executor(&db, optimizer.cost_model());
+  std::vector<double> qerrors;
+  for (const Query* q : workload.Queries()) {
+    const OptimizeResult r = optimizer.Optimize(*q, StatsView(&catalog));
+    const AnalyzedResult analyzed = executor.ExecuteAnalyzed(*q, r.plan);
+    for (const NodeActuals& a : analyzed.nodes) {
+      qerrors.push_back(a.QError());
+    }
+  }
+  QErrorSummary s;
+  s.num_nodes = qerrors.size();
+  if (qerrors.empty()) return s;
+  std::sort(qerrors.begin(), qerrors.end());
+  s.median = qerrors[qerrors.size() / 2];
+  s.p90 = qerrors[static_cast<size_t>(
+      static_cast<double>(qerrors.size() - 1) * 0.9)];
+  s.max = qerrors.back();
+  double log_sum = 0.0;
+  for (double q : qerrors) log_sum += std::log(q);
+  s.geo_mean = std::exp(log_sum / static_cast<double>(qerrors.size()));
+  return s;
+}
+
+std::string FormatQErrorSummary(const QErrorSummary& s) {
+  return StrFormat(
+      "nodes=%zu q-error: geo-mean=%.2f median=%.2f p90=%.2f max=%.1f",
+      s.num_nodes, s.geo_mean, s.median, s.p90, s.max);
+}
+
+}  // namespace autostats

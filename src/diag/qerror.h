@@ -1,0 +1,37 @@
+// Estimation-quality diagnostics: per-node q-errors (max(est/act, act/est))
+// collected over a workload. This is the ground truth statistics
+// management is ultimately judged by — more statistics should mean lower
+// q-errors, which is what turns into better plans.
+#ifndef AUTOSTATS_DIAG_QERROR_H_
+#define AUTOSTATS_DIAG_QERROR_H_
+
+#include <string>
+#include <vector>
+
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "query/workload.h"
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+struct QErrorSummary {
+  size_t num_nodes = 0;
+  double median = 1.0;
+  double p90 = 1.0;
+  double max = 1.0;
+  // Geometric mean — the standard aggregate for multiplicative errors.
+  double geo_mean = 1.0;
+};
+
+// Optimizes and executes every query of `workload` under `catalog`'s
+// statistics, collecting the q-error of every plan node.
+QErrorSummary MeasureQErrors(const Database& db, const Optimizer& optimizer,
+                             const StatsCatalog& catalog,
+                             const Workload& workload);
+
+std::string FormatQErrorSummary(const QErrorSummary& summary);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_DIAG_QERROR_H_

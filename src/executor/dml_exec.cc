@@ -1,0 +1,58 @@
+#include "executor/dml_exec.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace autostats {
+
+size_t ApplyDml(Database* db, const DmlStatement& dml) {
+  AUTOSTATS_CHECK(db != nullptr);
+  Table& t = db->mutable_table(dml.table);
+  Rng rng(dml.seed ^ 0xD1CEB00Cull);
+  const size_t n = t.num_rows();
+  if (n == 0) return 0;
+  const size_t count = std::min(dml.row_count, n);
+
+  switch (dml.kind) {
+    case DmlKind::kInsert: {
+      const int ncols = t.schema().num_columns();
+      for (size_t i = 0; i < dml.row_count; ++i) {
+        const size_t src = rng.NextU64(n);
+        std::vector<Datum> row;
+        row.reserve(static_cast<size_t>(ncols));
+        for (int c = 0; c < ncols; ++c) {
+          Datum v = t.GetCell(src, c);
+          // Perturb integer columns slightly so inserted rows are not
+          // exact duplicates (skews drift a little, as real inserts do).
+          if (v.type() == ValueType::kInt64 && rng.NextBool(0.5)) {
+            v = Datum(v.AsInt64() + rng.NextInt(0, 3));
+          }
+          row.push_back(std::move(v));
+        }
+        t.AppendRow(row);
+      }
+      return dml.row_count;
+    }
+    case DmlKind::kUpdate: {
+      const ColumnId col = dml.update_column;
+      AUTOSTATS_CHECK(col >= 0 && col < t.schema().num_columns());
+      for (size_t i = 0; i < count; ++i) {
+        const size_t target = rng.NextU64(t.num_rows());
+        const size_t src = rng.NextU64(t.num_rows());
+        t.SetCell(target, col, t.GetCell(src, col));
+      }
+      return count;
+    }
+    case DmlKind::kDelete: {
+      for (size_t i = 0; i < count && t.num_rows() > 0; ++i) {
+        t.RemoveRow(rng.NextU64(t.num_rows()));
+      }
+      return count;
+    }
+  }
+  return 0;
+}
+
+}  // namespace autostats

@@ -1,0 +1,20 @@
+// DML execution: applies INSERT / UPDATE / DELETE statements to the live
+// database, deterministically (seeded), and reports the number of modified
+// rows so the caller can feed the statistics-update counters (§6).
+#ifndef AUTOSTATS_EXECUTOR_DML_EXEC_H_
+#define AUTOSTATS_EXECUTOR_DML_EXEC_H_
+
+#include "catalog/database.h"
+#include "query/dml.h"
+
+namespace autostats {
+
+// Applies `dml` to `db`; returns rows modified. Inserted rows are cloned
+// from existing rows (keys perturbed); updates rewrite the target column
+// with values sampled from the same column (preserving its domain);
+// deletes remove random rows.
+size_t ApplyDml(Database* db, const DmlStatement& dml);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_EXECUTOR_DML_EXEC_H_

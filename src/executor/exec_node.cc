@@ -1,0 +1,213 @@
+#include "executor/exec_node.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace autostats {
+
+namespace {
+
+uint64_t HashCell(const Column& col, uint32_t row) {
+  switch (col.type()) {
+    case ValueType::kInt64:
+      return std::hash<int64_t>()(col.int64_data()[row]);
+    case ValueType::kDouble:
+      return std::hash<double>()(col.double_data()[row]);
+    case ValueType::kString:
+      return std::hash<std::string>()(col.string_data()[row]);
+  }
+  return 0;
+}
+
+bool CellEq(const Column& a, uint32_t ra, const Column& b, uint32_t rb) {
+  if (a.type() != b.type()) return a.Get(ra) == b.Get(rb);
+  switch (a.type()) {
+    case ValueType::kInt64:
+      return a.int64_data()[ra] == b.int64_data()[rb];
+    case ValueType::kDouble:
+      return a.double_data()[ra] == b.double_data()[rb];
+    case ValueType::kString:
+      return a.string_data()[ra] == b.string_data()[rb];
+  }
+  return false;
+}
+
+}  // namespace
+
+int Intermediate::SlotOf(TableId table) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i] == table) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void SampledAppender::Append(const uint32_t* left, size_t left_width,
+                             const uint32_t* right, size_t right_width) {
+  if (emit_counter_++ % keep_every_ != 0) return;
+  out_->data.insert(out_->data.end(), left, left + left_width);
+  out_->data.insert(out_->data.end(), right, right + right_width);
+  MaybeCompact();
+}
+
+void SampledAppender::MaybeCompact() {
+  if (out_->num_stored() < kMaxStoredRows) return;
+  // Keep every other stored tuple; double the weight and the skip rate.
+  const size_t stride = out_->stride();
+  const size_t stored = out_->num_stored();
+  size_t write = 0;
+  for (size_t i = 0; i < stored; i += 2) {
+    for (size_t k = 0; k < stride; ++k) {
+      out_->data[write * stride + k] = out_->data[i * stride + k];
+    }
+    ++write;
+  }
+  out_->data.resize(write * stride);
+  out_->scale *= 2.0;
+  keep_every_ *= 2;
+}
+
+Intermediate ExecFilteredScan(const Database& db, const Query& query,
+                              TableId table,
+                              const std::vector<int>& filter_indices) {
+  const Table& t = db.table(table);
+  Intermediate out;
+  out.tables = {table};
+  for (uint32_t r = 0; r < t.num_rows(); ++r) {
+    bool match = true;
+    for (int i : filter_indices) {
+      const FilterPredicate& f = query.filters()[static_cast<size_t>(i)];
+      if (!f.Matches(t.GetCell(r, f.column.column))) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.data.push_back(r);
+  }
+  return out;
+}
+
+double CountMatchingOnColumn(const Database& db, const Query& query,
+                             TableId table, ColumnRef column,
+                             const std::vector<int>& filter_indices) {
+  const Table& t = db.table(table);
+  double matched = 0.0;
+  for (uint32_t r = 0; r < t.num_rows(); ++r) {
+    bool match = true;
+    for (int i : filter_indices) {
+      const FilterPredicate& f = query.filters()[static_cast<size_t>(i)];
+      if (!(f.column == column)) continue;
+      if (!f.Matches(t.GetCell(r, f.column.column))) {
+        match = false;
+        break;
+      }
+    }
+    if (match) matched += 1.0;
+  }
+  return matched;
+}
+
+Intermediate ExecHashJoin(const Database& db, const Query& query,
+                          const Intermediate& left, const Intermediate& right,
+                          const std::vector<int>& join_indices) {
+  Intermediate out;
+  out.tables = left.tables;
+  out.tables.insert(out.tables.end(), right.tables.begin(),
+                    right.tables.end());
+  out.scale = left.scale * right.scale;
+  SampledAppender appender(&out);
+
+  // Resolve each join predicate to (left slot+column, right slot+column);
+  // predicates that do not span the two inputs are ignored here (they were
+  // applied at a lower join).
+  struct KeyPart {
+    size_t lslot;
+    const Column* lcol;
+    size_t rslot;
+    const Column* rcol;
+  };
+  std::vector<KeyPart> parts;
+  for (int j : join_indices) {
+    const JoinPredicate& jp = query.joins()[static_cast<size_t>(j)];
+    int lslot = left.SlotOf(jp.left.table);
+    int rslot = right.SlotOf(jp.right.table);
+    ColumnRef lc = jp.left, rc = jp.right;
+    if (lslot < 0 || rslot < 0) {
+      lslot = left.SlotOf(jp.right.table);
+      rslot = right.SlotOf(jp.left.table);
+      lc = jp.right;
+      rc = jp.left;
+    }
+    if (lslot < 0 || rslot < 0) continue;  // predicate internal to one side
+    parts.push_back(KeyPart{static_cast<size_t>(lslot),
+                            &db.table(lc.table).column(lc.column),
+                            static_cast<size_t>(rslot),
+                            &db.table(rc.table).column(rc.column)});
+  }
+
+  const size_t lw = left.stride(), rw = right.stride();
+  if (parts.empty()) {
+    // Cross product (disconnected query graph only).
+    for (size_t li = 0; li < left.num_stored(); ++li) {
+      for (size_t ri = 0; ri < right.num_stored(); ++ri) {
+        appender.Append(left.row(li), lw, right.row(ri), rw);
+      }
+    }
+    return out;
+  }
+
+  // Build on the right input.
+  std::unordered_multimap<uint64_t, uint32_t> table_map;
+  table_map.reserve(right.num_stored());
+  for (size_t i = 0; i < right.num_stored(); ++i) {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const KeyPart& p : parts) {
+      h ^= HashCell(*p.rcol, right.row(i)[p.rslot]);
+      h *= 0x100000001b3ull;
+    }
+    table_map.emplace(h, static_cast<uint32_t>(i));
+  }
+  for (size_t li = 0; li < left.num_stored(); ++li) {
+    const uint32_t* lrow = left.row(li);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const KeyPart& p : parts) {
+      h ^= HashCell(*p.lcol, lrow[p.lslot]);
+      h *= 0x100000001b3ull;
+    }
+    auto [begin, end] = table_map.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      const uint32_t* rrow = right.row(it->second);
+      bool eq = true;
+      for (const KeyPart& p : parts) {
+        if (!CellEq(*p.lcol, lrow[p.lslot], *p.rcol, rrow[p.rslot])) {
+          eq = false;
+          break;
+        }
+      }
+      if (eq) appender.Append(lrow, lw, rrow, rw);
+    }
+  }
+  return out;
+}
+
+double CountGroups(const Database& db, const Intermediate& input,
+                   const std::vector<ColumnRef>& group_by) {
+  std::unordered_set<uint64_t> groups;
+  groups.reserve(input.num_stored());
+  for (size_t i = 0; i < input.num_stored(); ++i) {
+    const uint32_t* tuple = input.row(i);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const ColumnRef& c : group_by) {
+      const int slot = input.SlotOf(c.table);
+      AUTOSTATS_CHECK(slot >= 0);
+      h ^= HashCell(db.table(c.table).column(c.column),
+                    tuple[static_cast<size_t>(slot)]);
+      h *= 0x100000001b3ull;
+    }
+    groups.insert(h);
+  }
+  return static_cast<double>(groups.size());
+}
+
+}  // namespace autostats

@@ -1,0 +1,61 @@
+// Executor: runs a physical plan against live data and reports its
+// execution cost. Intermediate results are computed exactly (hash-based),
+// and each operator is charged the cost-model formula for its physical
+// algorithm at the *actual* cardinalities — a deterministic,
+// machine-independent stand-in for the wall-clock execution cost the paper
+// measures on SQL Server. A plan that picks the wrong join order or join
+// method pays for it through the real intermediate sizes.
+#ifndef AUTOSTATS_EXECUTOR_EXECUTOR_H_
+#define AUTOSTATS_EXECUTOR_EXECUTOR_H_
+
+#include "catalog/database.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "query/query.h"
+
+namespace autostats {
+
+struct ExecResult {
+  double work_units = 0.0;  // total charged execution cost
+  double output_rows = 0.0;
+};
+
+// Per-operator actuals recorded by ExecuteAnalyzed (EXPLAIN ANALYZE).
+struct NodeActuals {
+  const PlanNode* node = nullptr;
+  double actual_rows = 0.0;
+  double work = 0.0;  // this operator's own charged work
+
+  // The classic estimation-quality metric: max(est/act, act/est) >= 1.
+  double QError() const;
+};
+
+struct AnalyzedResult {
+  ExecResult result;
+  std::vector<NodeActuals> nodes;  // pre-order, aligned with Plan::Nodes()
+};
+
+class Executor {
+ public:
+  Executor(const Database* db, CostModel cost_model)
+      : db_(db), cost_model_(cost_model) {}
+
+  ExecResult Execute(const Query& query, const Plan& plan) const;
+
+  // Execute and record per-node actual cardinalities and work — the
+  // estimation-quality ground truth statistics management is judged by.
+  AnalyzedResult ExecuteAnalyzed(const Query& query, const Plan& plan) const;
+
+ private:
+  const Database* db_;
+  CostModel cost_model_;
+};
+
+// "EXPLAIN ANALYZE" rendering: the plan tree annotated with estimated vs
+// actual rows and per-node q-errors.
+std::string RenderAnalyzed(const Database& db, const Query& query,
+                           const Plan& plan, const AnalyzedResult& analyzed);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_EXECUTOR_EXECUTOR_H_

@@ -1,0 +1,53 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autostats {
+
+CardinalityModel::CardinalityModel(const Database* db, const Query* query,
+                                   const SelectivityAnalysis* sel)
+    : db_(db), query_(query), sel_(sel) {}
+
+double CardinalityModel::BaseRows(int pos) const {
+  const TableId t = query_->tables()[static_cast<size_t>(pos)];
+  return std::max(1.0, static_cast<double>(db_->table(t).num_rows()));
+}
+
+double CardinalityModel::FilteredRows(int pos) const {
+  return std::max(1.0, BaseRows(pos) * sel_->table_sel(pos));
+}
+
+double CardinalityModel::JoinRows(uint32_t mask) const {
+  double rows = 1.0;
+  for (int pos = 0; pos < query_->num_tables(); ++pos) {
+    if (mask & (1u << pos)) rows *= FilteredRows(pos);
+  }
+  // Apply join selectivities for every predicate whose two tables are both
+  // in the mask; pairs with >= 2 predicates use the combined pair
+  // selectivity (which may come from a multi-column statistic).
+  for (int pa = 0; pa < query_->num_tables(); ++pa) {
+    if (!(mask & (1u << pa))) continue;
+    for (int pb = pa + 1; pb < query_->num_tables(); ++pb) {
+      if (!(mask & (1u << pb))) continue;
+      const int pair = sel_->PairIndexFor(pa, pb);
+      if (pair >= 0) {
+        rows *= sel_->pair_sel(pair);
+        continue;
+      }
+      const std::vector<int> idx = query_->JoinIndicesBetween(
+          query_->tables()[static_cast<size_t>(pa)],
+          query_->tables()[static_cast<size_t>(pb)]);
+      for (int j : idx) rows *= sel_->join_sel(j);
+    }
+  }
+  return std::max(1.0, rows);
+}
+
+double CardinalityModel::GroupRows(double input_rows) const {
+  return sel_->EstimateGroups(input_rows);
+}
+
+}  // namespace autostats

@@ -1,0 +1,41 @@
+// Cardinality model: row-count estimates derived from a selectivity
+// analysis. Join cardinalities are per table-subset (bitmask over the
+// query's table positions), which is what the DP enumerator consumes.
+#ifndef AUTOSTATS_OPTIMIZER_CARDINALITY_H_
+#define AUTOSTATS_OPTIMIZER_CARDINALITY_H_
+
+#include <cstdint>
+
+#include "catalog/database.h"
+#include "optimizer/selectivity.h"
+#include "query/query.h"
+
+namespace autostats {
+
+class CardinalityModel {
+ public:
+  CardinalityModel(const Database* db, const Query* query,
+                   const SelectivityAnalysis* sel);
+
+  // |T| of the table at position `pos`.
+  double BaseRows(int pos) const;
+  // Rows of table `pos` surviving its selection predicates.
+  double FilteredRows(int pos) const;
+  // Rows of the join of the tables in `mask` (after all selections and all
+  // join predicates internal to the mask; missing join edges mean a cross
+  // product).
+  double JoinRows(uint32_t mask) const;
+  // Result groups of the aggregation over `input_rows` join rows.
+  double GroupRows(double input_rows) const;
+
+  const SelectivityAnalysis& sel() const { return *sel_; }
+
+ private:
+  const Database* db_;
+  const Query* query_;
+  const SelectivityAnalysis* sel_;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_OPTIMIZER_CARDINALITY_H_

@@ -1,0 +1,67 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autostats {
+
+namespace {
+double Log2(double x) { return std::log2(std::max(x, 2.0)); }
+}  // namespace
+
+double CostModel::ScanCost(double table_rows, int num_preds) const {
+  return p_.io_page * (table_rows / p_.rows_per_page) +
+         table_rows * (p_.cpu_tuple + p_.cpu_pred * num_preds);
+}
+
+double CostModel::IndexSeekCost(double table_rows, double matched,
+                                int num_residual_preds) const {
+  return p_.random_io_page * Log2(table_rows) +
+         p_.random_io_page * (matched / p_.rows_per_page) +
+         matched * (p_.cpu_tuple + p_.cpu_pred * num_residual_preds);
+}
+
+double CostModel::HashJoinCost(double build_rows, double probe_rows,
+                               double output_rows) const {
+  return p_.hash_build * build_rows + p_.hash_probe * probe_rows +
+         p_.output_tuple * output_rows;
+}
+
+double CostModel::MergeJoinCost(double left_rows, double right_rows,
+                                double output_rows) const {
+  return SortCost(left_rows) + SortCost(right_rows) +
+         p_.cpu_tuple * (left_rows + right_rows) +
+         p_.output_tuple * output_rows;
+}
+
+double CostModel::NestedLoopCost(double outer_rows, double inner_rows,
+                                 double output_rows) const {
+  return p_.nlj_cpu * outer_rows * inner_rows +
+         p_.output_tuple * output_rows;
+}
+
+double CostModel::IndexNestedLoopCost(double outer_rows,
+                                      double inner_table_rows,
+                                      double matched_per_outer,
+                                      double output_rows) const {
+  return outer_rows * (p_.random_io_page * Log2(inner_table_rows) / 10.0 +
+                       p_.cpu_tuple * std::max(matched_per_outer, 1.0)) +
+         p_.output_tuple * output_rows;
+}
+
+double CostModel::SortCost(double rows) const {
+  return p_.sort_cpu * rows * Log2(rows);
+}
+
+double CostModel::HashAggregateCost(double input_rows, double groups) const {
+  return p_.hash_probe * input_rows + p_.cpu_tuple * input_rows +
+         p_.output_tuple * groups;
+}
+
+double CostModel::StreamAggregateCost(double input_rows,
+                                      double groups) const {
+  return SortCost(input_rows) + p_.cpu_tuple * input_rows +
+         p_.output_tuple * groups;
+}
+
+}  // namespace autostats

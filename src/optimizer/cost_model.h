@@ -1,0 +1,73 @@
+// Operator cost model. Textbook I/O + CPU formulas; every formula is
+// non-decreasing in its row-count arguments, which is the
+// cost-monotonicity property MNSA's sufficiency argument rests on (§4.1).
+// The same model is used by the executor on *actual* cardinalities to
+// report execution cost, so plan quality comparisons are apples-to-apples.
+#ifndef AUTOSTATS_OPTIMIZER_COST_MODEL_H_
+#define AUTOSTATS_OPTIMIZER_COST_MODEL_H_
+
+namespace autostats {
+
+struct CostParams {
+  // Rows per page is deliberately low: scans must dominate per-tuple CPU
+  // (the balance of the paper's era), which is also what gives MNSA's
+  // sensitivity test room to conclude that a predicate cannot matter.
+  double rows_per_page = 25.0;
+  double io_page = 1.0;         // sequential page read
+  double random_io_page = 4.0;  // random page access (index traversal)
+  double cpu_tuple = 0.01;      // per tuple processed
+  double cpu_pred = 0.0025;     // per predicate evaluation
+  double hash_build = 0.02;     // per build-side row
+  double hash_probe = 0.01;     // per probe-side row
+  double sort_cpu = 0.0125;     // per row per log2(rows)
+  double nlj_cpu = 0.002;       // per (outer x inner) comparison
+  double output_tuple = 0.005;  // per emitted row
+  double result_tuple = 0.02;   // per row shipped to the client
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = {}) : p_(params) {}
+
+  const CostParams& params() const { return p_; }
+
+  // Sequential scan of `table_rows`, evaluating `num_preds` predicates.
+  double ScanCost(double table_rows, int num_preds) const;
+
+  // B-tree seek into a table of `table_rows` rows returning `matched`
+  // rows, plus `num_residual_preds` residual predicate evaluations.
+  double IndexSeekCost(double table_rows, double matched,
+                       int num_residual_preds) const;
+
+  // Hash join: build `build_rows`, probe `probe_rows`, emit `output_rows`.
+  double HashJoinCost(double build_rows, double probe_rows,
+                      double output_rows) const;
+
+  // Sort-merge join over unsorted inputs (includes both sorts).
+  double MergeJoinCost(double left_rows, double right_rows,
+                       double output_rows) const;
+
+  // Nested-loop join with a scanned inner.
+  double NestedLoopCost(double outer_rows, double inner_rows,
+                        double output_rows) const;
+
+  // Nested-loop join driving an index seek on the inner table per outer
+  // row; `matched_per_outer` inner rows match each outer row.
+  double IndexNestedLoopCost(double outer_rows, double inner_table_rows,
+                             double matched_per_outer,
+                             double output_rows) const;
+
+  double SortCost(double rows) const;
+
+  // Hash aggregation of `input_rows` into `groups`.
+  double HashAggregateCost(double input_rows, double groups) const;
+  // Stream aggregation (requires sorted input; includes the sort).
+  double StreamAggregateCost(double input_rows, double groups) const;
+
+ private:
+  CostParams p_;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,211 @@
+#include "optimizer/enumerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "optimizer/join_graph.h"
+
+namespace autostats {
+
+namespace {
+
+constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+// Best single-table access path for the table at position `pos`.
+std::unique_ptr<PlanNode> BestAccessPath(const Database& db,
+                                         const Query& query,
+                                         const CardinalityModel& card,
+                                         const CostModel& cost,
+                                         const EnumeratorConfig& config,
+                                         int pos) {
+  const TableId table = query.tables()[static_cast<size_t>(pos)];
+  const std::vector<int> filters = query.FilterIndicesOf(table);
+  const double base_rows = card.BaseRows(pos);
+  const double out_rows = card.FilteredRows(pos);
+
+  auto scan = std::make_unique<PlanNode>();
+  scan->op = PlanOp::kTableScan;
+  scan->table = table;
+  scan->filter_indices = filters;
+  scan->est_rows = out_rows;
+  scan->cost_local = cost.ScanCost(base_rows, static_cast<int>(filters.size()));
+  scan->cost_subtree = scan->cost_local;
+
+  std::unique_ptr<PlanNode> best = std::move(scan);
+  if (!config.enable_index_seek) return best;
+
+  for (const IndexDef* index : db.IndexesOn(table)) {
+    const ColumnRef leading = index->LeadingColumn();
+    // Sargable: at least one selection predicate on the leading column.
+    double seek_sel = 1.0;
+    std::vector<int> residual;
+    bool sargable = false;
+    for (int i : filters) {
+      const FilterPredicate& f = query.filters()[static_cast<size_t>(i)];
+      if (f.column == leading) {
+        sargable = true;
+        seek_sel *= card.sel().filter_sel(i);
+      } else {
+        residual.push_back(i);
+      }
+    }
+    if (!sargable) continue;
+    const double matched = std::max(1.0, base_rows * seek_sel);
+    auto seek = std::make_unique<PlanNode>();
+    seek->op = PlanOp::kIndexSeek;
+    seek->table = table;
+    seek->index_name = index->name;
+    seek->filter_indices = filters;
+    seek->est_rows = out_rows;
+    seek->cost_local = cost.IndexSeekCost(base_rows, matched,
+                                          static_cast<int>(residual.size()));
+    seek->cost_subtree = seek->cost_local;
+    if (seek->cost_subtree < best->cost_subtree) best = std::move(seek);
+  }
+  return best;
+}
+
+struct JoinAlternative {
+  std::unique_ptr<PlanNode> node;
+  double cost = kInfCost;
+};
+
+void Consider(JoinAlternative* best, std::unique_ptr<PlanNode> node) {
+  if (node->cost_subtree < best->cost) {
+    best->cost = node->cost_subtree;
+    best->node = std::move(node);
+  }
+}
+
+}  // namespace
+
+Plan EnumerateJoins(const Database& db, const Query& query,
+                    const CardinalityModel& card, const CostModel& cost,
+                    const EnumeratorConfig& config) {
+  const int n = query.num_tables();
+  AUTOSTATS_CHECK_MSG(n >= 1 && n <= 20, "unsupported table count");
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1u);
+  JoinGraph graph(query);
+
+  // Per-position base access paths.
+  std::vector<std::unique_ptr<PlanNode>> base(static_cast<size_t>(n));
+  for (int pos = 0; pos < n; ++pos) {
+    base[static_cast<size_t>(pos)] =
+        BestAccessPath(db, query, card, cost, config, pos);
+  }
+
+  std::vector<std::unique_ptr<PlanNode>> dp(full + 1);
+  for (int pos = 0; pos < n; ++pos) {
+    dp[1u << pos] = base[static_cast<size_t>(pos)]->Clone();
+  }
+
+  // Iterate masks in increasing popcount order (numeric order suffices for
+  // left-deep DP since rest = mask ^ bit < mask).
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    const int popcount = __builtin_popcount(mask);
+    if (popcount < 2) continue;
+    JoinAlternative best;
+    const double out_rows = card.JoinRows(mask);
+    for (int t = 0; t < n; ++t) {
+      const uint32_t bit = 1u << t;
+      if (!(mask & bit)) continue;
+      const uint32_t rest = mask ^ bit;
+      if (!dp[rest]) continue;
+      const bool connected = graph.ConnectedTo(t, rest);
+      // Prefer connected extensions; allow cross products only when this
+      // mask has no connected way to grow (disconnected query graphs).
+      if (!connected && graph.IsConnected(mask)) continue;
+
+      std::vector<int> join_idx;
+      for (int other = 0; other < n; ++other) {
+        if (!(rest & (1u << other))) continue;
+        const std::vector<int> between = query.JoinIndicesBetween(
+            query.tables()[static_cast<size_t>(t)],
+            query.tables()[static_cast<size_t>(other)]);
+        join_idx.insert(join_idx.end(), between.begin(), between.end());
+      }
+
+      const PlanNode& outer = *dp[rest];
+      const PlanNode& inner = *base[static_cast<size_t>(t)];
+      const TableId inner_table = query.tables()[static_cast<size_t>(t)];
+
+      auto make_join = [&](PlanOp op, double local,
+                           std::unique_ptr<PlanNode> left,
+                           std::unique_ptr<PlanNode> right) {
+        auto node = std::make_unique<PlanNode>();
+        node->op = op;
+        node->join_indices = join_idx;
+        node->est_rows = out_rows;
+        node->cost_local = local;
+        node->cost_subtree = local + left->cost_subtree +
+                             (right ? right->cost_subtree : 0.0);
+        node->children.push_back(std::move(left));
+        if (right) node->children.push_back(std::move(right));
+        return node;
+      };
+
+      if (config.enable_hash_join && !join_idx.empty()) {
+        // Build on the new table (typical), and build on the outer side.
+        Consider(&best,
+                 make_join(PlanOp::kHashJoin,
+                           cost.HashJoinCost(inner.est_rows, outer.est_rows,
+                                             out_rows),
+                           outer.Clone(), inner.Clone()));
+        Consider(&best,
+                 make_join(PlanOp::kHashJoin,
+                           cost.HashJoinCost(outer.est_rows, inner.est_rows,
+                                             out_rows),
+                           inner.Clone(), outer.Clone()));
+      }
+      if (config.enable_merge_join && !join_idx.empty()) {
+        Consider(&best,
+                 make_join(PlanOp::kMergeJoin,
+                           cost.MergeJoinCost(outer.est_rows, inner.est_rows,
+                                              out_rows),
+                           outer.Clone(), inner.Clone()));
+      }
+      if (config.enable_nested_loop) {
+        Consider(&best,
+                 make_join(PlanOp::kNestedLoopJoin,
+                           cost.NestedLoopCost(outer.est_rows, inner.est_rows,
+                                               out_rows),
+                           outer.Clone(), inner.Clone()));
+      }
+      if (config.enable_index_nested_loop) {
+        // Drive an index on the inner table's join column per outer row.
+        for (int j : join_idx) {
+          const JoinPredicate& jp = query.joins()[static_cast<size_t>(j)];
+          const ColumnRef inner_col =
+              jp.left.table == inner_table ? jp.left : jp.right;
+          const IndexDef* index = db.FindIndexWithLeadingColumn(inner_col);
+          if (index == nullptr) continue;
+          const double matched_raw =
+              std::max(1.0, card.BaseRows(t) * card.sel().join_sel(j) *
+                                card.sel().SkewFactor(inner_col));
+          auto node = std::make_unique<PlanNode>();
+          node->op = PlanOp::kIndexNestedLoopJoin;
+          node->table = inner_table;
+          node->index_name = index->name;
+          node->join_indices = join_idx;
+          node->filter_indices = query.FilterIndicesOf(inner_table);
+          node->est_rows = out_rows;
+          node->cost_local = cost.IndexNestedLoopCost(
+              outer.est_rows, card.BaseRows(t), matched_raw, out_rows);
+          node->cost_subtree = node->cost_local + outer.cost_subtree;
+          node->children.push_back(outer.Clone());
+          Consider(&best, std::move(node));
+        }
+      }
+    }
+    if (best.node) dp[mask] = std::move(best.node);
+  }
+
+  Plan plan;
+  plan.root = std::move(dp[full]);
+  AUTOSTATS_CHECK_MSG(plan.root != nullptr, "no plan found");
+  return plan;
+}
+
+}  // namespace autostats

@@ -1,0 +1,31 @@
+// Join-order enumeration: Selinger-style left-deep dynamic programming
+// over table subsets, with scan / index-seek access paths and hash, sort-
+// merge, plain and index nested-loop join methods.
+#ifndef AUTOSTATS_OPTIMIZER_ENUMERATOR_H_
+#define AUTOSTATS_OPTIMIZER_ENUMERATOR_H_
+
+#include "catalog/database.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "query/query.h"
+
+namespace autostats {
+
+struct EnumeratorConfig {
+  bool enable_hash_join = true;
+  bool enable_merge_join = true;
+  bool enable_nested_loop = true;
+  bool enable_index_nested_loop = true;
+  bool enable_index_seek = true;
+};
+
+// Returns the cheapest join tree for all of the query's tables (no
+// aggregation; the optimizer facade places that on top).
+Plan EnumerateJoins(const Database& db, const Query& query,
+                    const CardinalityModel& card, const CostModel& cost,
+                    const EnumeratorConfig& config);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_OPTIMIZER_ENUMERATOR_H_

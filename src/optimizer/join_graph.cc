@@ -1,0 +1,37 @@
+#include "optimizer/join_graph.h"
+
+#include "common/check.h"
+
+namespace autostats {
+
+JoinGraph::JoinGraph(const Query& query)
+    : num_tables_(query.num_tables()),
+      adjacency_(static_cast<size_t>(query.num_tables()), 0) {
+  AUTOSTATS_CHECK_MSG(num_tables_ <= 31, "too many tables for bitmask DP");
+  for (const JoinPredicate& j : query.joins()) {
+    const int a = query.TablePosition(j.left.table);
+    const int b = query.TablePosition(j.right.table);
+    adjacency_[static_cast<size_t>(a)] |= (1u << b);
+    adjacency_[static_cast<size_t>(b)] |= (1u << a);
+  }
+}
+
+bool JoinGraph::IsConnected(uint32_t mask) const {
+  if (mask == 0) return true;
+  // BFS from the lowest set bit.
+  const uint32_t start = mask & (~mask + 1);
+  uint32_t visited = start;
+  uint32_t frontier = start;
+  while (frontier != 0) {
+    uint32_t next = 0;
+    for (int pos = 0; pos < num_tables_; ++pos) {
+      if (!(frontier & (1u << pos))) continue;
+      next |= Neighbors(pos) & mask & ~visited;
+    }
+    visited |= next;
+    frontier = next;
+  }
+  return visited == mask;
+}
+
+}  // namespace autostats

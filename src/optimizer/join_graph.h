@@ -1,0 +1,46 @@
+// Join graph over the query's table positions, used by the enumerator to
+// prefer connected join orders (cross products only when the query graph
+// itself is disconnected).
+#ifndef AUTOSTATS_OPTIMIZER_JOIN_GRAPH_H_
+#define AUTOSTATS_OPTIMIZER_JOIN_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+
+namespace autostats {
+
+class JoinGraph {
+ public:
+  explicit JoinGraph(const Query& query);
+
+  int num_tables() const { return num_tables_; }
+
+  // True if positions a and b share at least one join predicate.
+  bool Adjacent(int a, int b) const {
+    return adjacency_[static_cast<size_t>(a)] & (1u << b);
+  }
+
+  // Bitmask of positions adjacent to `pos`.
+  uint32_t Neighbors(int pos) const {
+    return adjacency_[static_cast<size_t>(pos)];
+  }
+
+  // True if table position `pos` is connected to at least one table in
+  // `mask` by a join predicate.
+  bool ConnectedTo(int pos, uint32_t mask) const {
+    return (Neighbors(pos) & mask) != 0;
+  }
+
+  // True if the induced subgraph on `mask` is connected.
+  bool IsConnected(uint32_t mask) const;
+
+ private:
+  int num_tables_;
+  std::vector<uint32_t> adjacency_;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_OPTIMIZER_JOIN_GRAPH_H_

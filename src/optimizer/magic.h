@@ -1,0 +1,21 @@
+// Magic numbers: the system-wide default selectivity constants the
+// optimizer falls back to when no statistics are available (§4.1). All
+// values live in [0,1] and are configurable per optimizer instance so
+// experiments can vary them; defaults follow the classical values (the
+// paper quotes 0.30 for an un-statistic'd range predicate).
+#ifndef AUTOSTATS_OPTIMIZER_MAGIC_H_
+#define AUTOSTATS_OPTIMIZER_MAGIC_H_
+
+namespace autostats {
+
+struct MagicNumbers {
+  double equality = 0.10;          // col = const
+  double open_range = 0.30;        // col < / <= / > / >= const
+  double closed_range = 0.25;      // col BETWEEN a AND b
+  double join = 0.10;              // col = col with no statistics either side
+  double group_by_fraction = 0.10; // distinct fraction for GROUP BY columns
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_OPTIMIZER_MAGIC_H_

@@ -1,0 +1,60 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "optimizer/cardinality.h"
+
+namespace autostats {
+
+Optimizer::Optimizer(const Database* db, OptimizerConfig config)
+    : db_(db), config_(config), cost_model_(config.cost) {
+  AUTOSTATS_CHECK(db != nullptr);
+}
+
+OptimizeResult Optimizer::Optimize(const Query& query, const StatsView& stats,
+                                   const SelectivityOverrides& overrides) const {
+  ++num_calls_;
+  AUTOSTATS_CHECK_MSG(query.num_tables() >= 1, "query has no tables");
+
+  SelectivityAnalysis sel = AnalyzeSelectivities(
+      *db_, query, stats, config_.magic, overrides, config_.epsilon);
+  CardinalityModel card(db_, &query, &sel);
+
+  Plan plan =
+      EnumerateJoins(*db_, query, card, cost_model_, config_.enumerator);
+
+  if (query.has_grouping()) {
+    const double input_rows = plan.root->est_rows;
+    const double groups = card.GroupRows(input_rows);
+    const double hash_cost = cost_model_.HashAggregateCost(input_rows, groups);
+    const double stream_cost =
+        cost_model_.StreamAggregateCost(input_rows, groups);
+    auto agg = std::make_unique<PlanNode>();
+    agg->op = hash_cost <= stream_cost ? PlanOp::kHashAggregate
+                                       : PlanOp::kStreamAggregate;
+    agg->group_by = query.group_by();
+    agg->est_rows = groups;
+    agg->cost_local = std::min(hash_cost, stream_cost);
+    agg->cost_subtree = agg->cost_local + plan.root->cost_subtree;
+    agg->children.push_back(std::move(plan.root));
+    plan.root = std::move(agg);
+  }
+
+  // Result shipping: returning rows to the client costs per-row work, so
+  // the estimate stays sensitive to selectivities even for plans that are
+  // a bare scan (monotone in the root cardinality, like every other term).
+  plan.root->cost_local +=
+      cost_model_.params().result_tuple * plan.root->est_rows;
+  plan.root->cost_subtree +=
+      cost_model_.params().result_tuple * plan.root->est_rows;
+
+  OptimizeResult result;
+  result.cost = plan.cost();
+  result.plan = std::move(plan);
+  result.bindings = sel.bindings();
+  result.uncertain = sel.UncertainBindings();
+  return result;
+}
+
+}  // namespace autostats

@@ -1,0 +1,61 @@
+// Optimizer facade: selectivity analysis -> cardinality model -> join
+// enumeration -> aggregation placement. Accepts a StatsView (the
+// Ignore_Statistics_Subset server extension) and SelectivityOverrides (the
+// selectivity-injection extension), the two hooks the paper adds to the
+// server (§7.2).
+#ifndef AUTOSTATS_OPTIMIZER_OPTIMIZER_H_
+#define AUTOSTATS_OPTIMIZER_OPTIMIZER_H_
+
+#include <vector>
+
+#include "catalog/database.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/plan.h"
+#include "optimizer/selectivity.h"
+#include "query/query.h"
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+struct OptimizerConfig {
+  MagicNumbers magic;
+  CostParams cost;
+  EnumeratorConfig enumerator;
+  double epsilon = kDefaultEpsilon;  // the epsilon of §4.1
+};
+
+struct OptimizeResult {
+  Plan plan;
+  double cost = 0.0;
+  // Every selectivity variable of the query with its binding.
+  std::vector<SelVarBinding> bindings;
+  // The subset with residual uncertainty (MNSA's sweep targets).
+  std::vector<SelVarBinding> uncertain;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(const Database* db, OptimizerConfig config = {});
+
+  const Database& db() const { return *db_; }
+  const OptimizerConfig& config() const { return config_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  OptimizeResult Optimize(const Query& query, const StatsView& stats,
+                          const SelectivityOverrides& overrides = {}) const;
+
+  // Number of Optimize() calls since construction (the bookkeeping the
+  // paper uses to report MNSA's overhead of 3 calls per statistic).
+  int64_t num_calls() const { return num_calls_; }
+
+ private:
+  const Database* db_;
+  OptimizerConfig config_;
+  CostModel cost_model_;
+  mutable int64_t num_calls_ = 0;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,35 @@
+#include "query/dml.h"
+
+#include "common/str_util.h"
+
+namespace autostats {
+
+const char* DmlKindName(DmlKind kind) {
+  switch (kind) {
+    case DmlKind::kInsert:
+      return "INSERT";
+    case DmlKind::kUpdate:
+      return "UPDATE";
+    case DmlKind::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+std::string DmlStatement::ToString(const Database& db) const {
+  const std::string& tname = db.table(table).schema().table_name();
+  switch (kind) {
+    case DmlKind::kInsert:
+      return StrFormat("INSERT INTO %s (%zu rows)", tname.c_str(), row_count);
+    case DmlKind::kUpdate:
+      return StrFormat(
+          "UPDATE %s SET %s (%zu rows)", tname.c_str(),
+          db.table(table).schema().column(update_column).name.c_str(),
+          row_count);
+    case DmlKind::kDelete:
+      return StrFormat("DELETE FROM %s (%zu rows)", tname.c_str(), row_count);
+  }
+  return "?";
+}
+
+}  // namespace autostats

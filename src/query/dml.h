@@ -1,0 +1,33 @@
+// DML statements (INSERT / UPDATE / DELETE). Workloads mix these with
+// queries (the U25/U50 workloads of §8.1); executing them modifies table
+// data and drives the statistics-update counters of §6.
+#ifndef AUTOSTATS_QUERY_DML_H_
+#define AUTOSTATS_QUERY_DML_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/database.h"
+
+namespace autostats {
+
+enum class DmlKind { kInsert, kUpdate, kDelete };
+
+const char* DmlKindName(DmlKind kind);
+
+struct DmlStatement {
+  DmlKind kind = DmlKind::kInsert;
+  TableId table = kInvalidTableId;
+  // Number of rows inserted / deleted / updated.
+  size_t row_count = 0;
+  // Column rewritten by an UPDATE (ignored for insert/delete).
+  ColumnId update_column = 0;
+  // Seed for the deterministic choice of affected rows / generated values.
+  uint64_t seed = 0;
+
+  std::string ToString(const Database& db) const;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_QUERY_DML_H_

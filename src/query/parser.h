@@ -1,0 +1,28 @@
+// Text-to-Query parser for the engine's SPJ + GROUP BY dialect:
+//
+//   SELECT * FROM lineitem, orders
+//   WHERE lineitem.l_orderkey = orders.o_orderkey
+//     AND lineitem.l_quantity < 24
+//     AND orders.o_orderdate BETWEEN 700 AND 1100
+//     AND orders.o_orderpriority = '1-URGENT'
+//   GROUP BY orders.o_orderpriority
+//
+// Column references may be qualified (table.column) or bare when the name
+// is unambiguous among the FROM tables. Keywords are case-insensitive.
+// Errors are reported as InvalidArgument with the offending token.
+#ifndef AUTOSTATS_QUERY_PARSER_H_
+#define AUTOSTATS_QUERY_PARSER_H_
+
+#include <string>
+
+#include "catalog/database.h"
+#include "common/status.h"
+#include "query/query.h"
+
+namespace autostats {
+
+Result<Query> ParseQuery(const Database& db, const std::string& sql);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_QUERY_PARSER_H_

@@ -1,0 +1,59 @@
+#include "query/predicate.h"
+
+#include "common/check.h"
+
+namespace autostats {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kBetween:
+      return "BETWEEN";
+  }
+  return "?";
+}
+
+bool FilterPredicate::Matches(const Datum& v) const {
+  switch (op) {
+    case CompareOp::kEq:
+      return v == value;
+    case CompareOp::kLt:
+      return v < value;
+    case CompareOp::kLe:
+      return v <= value;
+    case CompareOp::kGt:
+      return value < v;
+    case CompareOp::kGe:
+      return value <= v;
+    case CompareOp::kBetween:
+      return value <= v && v <= value2;
+  }
+  return false;
+}
+
+std::string FilterPredicate::ToString(const Database& db) const {
+  std::string s = db.ColumnName(column);
+  s += " ";
+  s += CompareOpSymbol(op);
+  s += " ";
+  s += value.ToString();
+  if (op == CompareOp::kBetween) {
+    s += " AND " + value2.ToString();
+  }
+  return s;
+}
+
+std::string JoinPredicate::ToString(const Database& db) const {
+  return db.ColumnName(left) + " = " + db.ColumnName(right);
+}
+
+}  // namespace autostats

@@ -1,0 +1,43 @@
+// Predicates of the SPJ + GROUP BY query class the paper's algorithms
+// operate on (§4.1): selection predicates (column <op> constant, BETWEEN)
+// and equi-join predicates (column = column). WLOG queries are normalized
+// conjunctions without NOT, as in the paper.
+#ifndef AUTOSTATS_QUERY_PREDICATE_H_
+#define AUTOSTATS_QUERY_PREDICATE_H_
+
+#include <string>
+
+#include "catalog/database.h"
+#include "catalog/schema.h"
+#include "catalog/value.h"
+
+namespace autostats {
+
+enum class CompareOp { kEq, kLt, kLe, kGt, kGe, kBetween };
+
+const char* CompareOpSymbol(CompareOp op);
+
+// Selection predicate: column op value (value2 is the BETWEEN upper bound).
+struct FilterPredicate {
+  ColumnRef column;
+  CompareOp op = CompareOp::kEq;
+  Datum value;
+  Datum value2;
+
+  // True for a row value (used by the executor).
+  bool Matches(const Datum& v) const;
+
+  std::string ToString(const Database& db) const;
+};
+
+// Equi-join predicate: left = right, columns from different tables.
+struct JoinPredicate {
+  ColumnRef left;
+  ColumnRef right;
+
+  std::string ToString(const Database& db) const;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_QUERY_PREDICATE_H_

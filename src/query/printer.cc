@@ -1,0 +1,46 @@
+#include "query/printer.h"
+
+#include "common/str_util.h"
+
+namespace autostats {
+
+std::string QueryToSql(const Database& db, const Query& query) {
+  std::vector<std::string> froms;
+  for (TableId t : query.tables()) {
+    froms.push_back(db.table(t).schema().table_name());
+  }
+  std::string sql = "SELECT * FROM " + Join(froms, ", ");
+
+  std::vector<std::string> conds;
+  for (const JoinPredicate& j : query.joins()) {
+    conds.push_back(j.ToString(db));
+  }
+  for (const FilterPredicate& f : query.filters()) {
+    conds.push_back(f.ToString(db));
+  }
+  if (!conds.empty()) sql += " WHERE " + Join(conds, " AND ");
+
+  if (query.has_grouping()) {
+    std::vector<std::string> groups;
+    for (const ColumnRef& c : query.group_by()) {
+      groups.push_back(db.ColumnName(c));
+    }
+    sql += " GROUP BY " + Join(groups, ", ");
+  }
+  return sql;
+}
+
+std::string WorkloadToString(const Database& db, const Workload& workload) {
+  std::string out;
+  for (const Statement& s : workload.statements()) {
+    if (s.kind == Statement::Kind::kQuery) {
+      out += QueryToSql(db, s.query);
+    } else {
+      out += s.dml.ToString(db);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace autostats

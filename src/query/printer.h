@@ -1,0 +1,19 @@
+// SQL-ish rendering of queries and workloads for reports and debugging.
+#ifndef AUTOSTATS_QUERY_PRINTER_H_
+#define AUTOSTATS_QUERY_PRINTER_H_
+
+#include <string>
+
+#include "query/workload.h"
+
+namespace autostats {
+
+// "SELECT * FROM t1, t2 WHERE t1.a = t2.b AND t1.c < 100 GROUP BY t1.d".
+std::string QueryToSql(const Database& db, const Query& query);
+
+// One statement per line.
+std::string WorkloadToString(const Database& db, const Workload& workload);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_QUERY_PRINTER_H_

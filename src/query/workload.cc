@@ -1,0 +1,13 @@
+#include "query/workload.h"
+
+namespace autostats {
+
+std::vector<const Query*> Workload::Queries() const {
+  std::vector<const Query*> out;
+  for (const Statement& s : statements_) {
+    if (s.kind == Statement::Kind::kQuery) out.push_back(&s.query);
+  }
+  return out;
+}
+
+}  // namespace autostats

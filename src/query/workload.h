@@ -1,0 +1,65 @@
+// Workload: an ordered sequence of statements (queries and DML), the unit
+// the selection algorithms and policies operate on (Definition 2).
+#ifndef AUTOSTATS_QUERY_WORKLOAD_H_
+#define AUTOSTATS_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "query/dml.h"
+#include "query/query.h"
+
+namespace autostats {
+
+// One workload statement: either a query or a DML statement.
+struct Statement {
+  enum class Kind { kQuery, kDml };
+
+  Kind kind = Kind::kQuery;
+  Query query;       // valid when kind == kQuery
+  DmlStatement dml;  // valid when kind == kDml
+
+  static Statement MakeQuery(Query q) {
+    Statement s;
+    s.kind = Kind::kQuery;
+    s.query = std::move(q);
+    return s;
+  }
+  static Statement MakeDml(DmlStatement d) {
+    Statement s;
+    s.kind = Kind::kDml;
+    s.dml = d;
+    return s;
+  }
+};
+
+class Workload {
+ public:
+  Workload() = default;
+  explicit Workload(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void Add(Statement statement) {
+    statements_.push_back(std::move(statement));
+  }
+  void AddQuery(Query q) { Add(Statement::MakeQuery(std::move(q))); }
+  void AddDml(DmlStatement d) { Add(Statement::MakeDml(d)); }
+
+  const std::vector<Statement>& statements() const { return statements_; }
+  size_t size() const { return statements_.size(); }
+
+  // The query statements, in order.
+  std::vector<const Query*> Queries() const;
+  size_t num_queries() const { return Queries().size(); }
+  size_t num_dml() const { return size() - num_queries(); }
+
+ private:
+  std::string name_;
+  std::vector<Statement> statements_;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_QUERY_WORKLOAD_H_

@@ -1,0 +1,130 @@
+#include "query/workload_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "query/parser.h"
+#include "query/printer.h"
+
+namespace autostats {
+
+namespace {
+
+std::string DmlToLine(const Database& db, const DmlStatement& d) {
+  const std::string& table = db.table(d.table).schema().table_name();
+  switch (d.kind) {
+    case DmlKind::kInsert:
+      return StrFormat("INSERT INTO %s ROWS %zu SEED %llu", table.c_str(),
+                       d.row_count,
+                       static_cast<unsigned long long>(d.seed));
+    case DmlKind::kUpdate:
+      return StrFormat(
+          "UPDATE %s SET %s ROWS %zu SEED %llu", table.c_str(),
+          db.table(d.table).schema().column(d.update_column).name.c_str(),
+          d.row_count, static_cast<unsigned long long>(d.seed));
+    case DmlKind::kDelete:
+      return StrFormat("DELETE FROM %s ROWS %zu SEED %llu", table.c_str(),
+                       d.row_count,
+                       static_cast<unsigned long long>(d.seed));
+  }
+  return "";
+}
+
+Result<Statement> ParseDmlLine(const Database& db, const std::string& line) {
+  std::istringstream ss(line);
+  std::string kw1;
+  ss >> kw1;
+  DmlStatement d;
+  std::string table_name;
+  std::string column_name;
+  std::string tok;
+  if (kw1 == "INSERT") {
+    d.kind = DmlKind::kInsert;
+    ss >> tok;  // INTO
+    if (tok != "INTO") return Status::InvalidArgument("expected INTO");
+    ss >> table_name;
+  } else if (kw1 == "UPDATE") {
+    d.kind = DmlKind::kUpdate;
+    ss >> table_name >> tok;  // SET
+    if (tok != "SET") return Status::InvalidArgument("expected SET");
+    ss >> column_name;
+  } else {  // DELETE
+    d.kind = DmlKind::kDelete;
+    ss >> tok;  // FROM
+    if (tok != "FROM") return Status::InvalidArgument("expected FROM");
+    ss >> table_name;
+  }
+  d.table = db.FindTable(table_name);
+  if (d.table == kInvalidTableId) {
+    return Status::NotFound("unknown table: " + table_name);
+  }
+  if (d.kind == DmlKind::kUpdate) {
+    d.update_column = db.table(d.table).schema().FindColumn(column_name);
+    if (d.update_column < 0) {
+      return Status::NotFound("unknown column: " + column_name);
+    }
+  }
+  ss >> tok;
+  if (tok != "ROWS") return Status::InvalidArgument("expected ROWS");
+  ss >> d.row_count;
+  ss >> tok;
+  if (tok != "SEED") return Status::InvalidArgument("expected SEED");
+  ss >> d.seed;
+  if (!ss) return Status::InvalidArgument("malformed DML line: " + line);
+  return Statement::MakeDml(d);
+}
+
+}  // namespace
+
+std::string StatementToLine(const Database& db, const Statement& statement) {
+  if (statement.kind == Statement::Kind::kQuery) {
+    return QueryToSql(db, statement.query);
+  }
+  return DmlToLine(db, statement.dml);
+}
+
+Result<Statement> ParseStatementLine(const Database& db,
+                                     const std::string& line) {
+  if (line.rfind("INSERT", 0) == 0 || line.rfind("UPDATE", 0) == 0 ||
+      line.rfind("DELETE", 0) == 0) {
+    return ParseDmlLine(db, line);
+  }
+  Result<Query> q = ParseQuery(db, line);
+  if (!q.ok()) return q.status();
+  return Statement::MakeQuery(std::move(*q));
+}
+
+Status SaveWorkload(const Database& db, const Workload& workload,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  out << "# autostats workload: " << workload.name() << "\n";
+  for (const Statement& s : workload.statements()) {
+    out << StatementToLine(db, s) << "\n";
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Workload> LoadWorkload(const Database& db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  Workload w(path);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    Result<Statement> s = ParseStatementLine(db, line);
+    if (!s.ok()) {
+      return Status(s.status().code(),
+                    StrFormat("%s:%d: %s", path.c_str(), line_number,
+                              s.status().message().c_str()));
+    }
+    w.Add(std::move(*s));
+  }
+  return w;
+}
+
+}  // namespace autostats

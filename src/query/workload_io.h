@@ -1,0 +1,36 @@
+// Workload files: a recorded workload serialized as one statement per
+// line — queries in the parser's SQL dialect, DML statements in a compact
+// form:
+//
+//   SELECT * FROM lineitem WHERE lineitem.l_quantity < 24
+//   INSERT INTO orders ROWS 30 SEED 7
+//   UPDATE lineitem SET l_quantity ROWS 120 SEED 8
+//   DELETE FROM customer ROWS 5 SEED 9
+//   # comment lines and blank lines are ignored
+//
+// This is the hand-off format between a trace-recording server and the
+// offline tuning tool (examples/offline_tuning).
+#ifndef AUTOSTATS_QUERY_WORKLOAD_IO_H_
+#define AUTOSTATS_QUERY_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "catalog/database.h"
+#include "common/status.h"
+#include "query/workload.h"
+
+namespace autostats {
+
+Status SaveWorkload(const Database& db, const Workload& workload,
+                    const std::string& path);
+
+Result<Workload> LoadWorkload(const Database& db, const std::string& path);
+
+// Single-statement codecs (exposed for tests and tooling).
+std::string StatementToLine(const Database& db, const Statement& statement);
+Result<Statement> ParseStatementLine(const Database& db,
+                                     const std::string& line);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_QUERY_WORKLOAD_IO_H_

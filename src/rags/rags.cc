@@ -1,0 +1,164 @@
+#include "rags/rags.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace autostats::rags {
+
+namespace {
+
+// Tables reachable from `tables` through one join edge not yet used.
+struct Extension {
+  JoinPredicate edge;
+  TableId new_table;
+};
+
+std::vector<Extension> Extensions(const std::vector<TableId>& tables,
+                                  const std::vector<JoinPredicate>& edges) {
+  std::vector<Extension> out;
+  auto in_set = [&](TableId t) {
+    return std::find(tables.begin(), tables.end(), t) != tables.end();
+  };
+  for (const JoinPredicate& e : edges) {
+    const bool l = in_set(e.left.table);
+    const bool r = in_set(e.right.table);
+    if (l && !r) out.push_back({e, e.right.table});
+    if (!l && r) out.push_back({e, e.left.table});
+  }
+  return out;
+}
+
+Datum SampleValue(const Database& db, ColumnRef col, Rng& rng) {
+  const Table& t = db.table(col.table);
+  AUTOSTATS_CHECK(t.num_rows() > 0);
+  return t.GetCell(rng.NextU64(t.num_rows()), col.column);
+}
+
+Query GenerateQuery(const Database& db, const RagsConfig& config, Rng& rng,
+                    int id) {
+  Query q(StrFormat("%s#%d", WorkloadName(config).c_str(), id));
+
+  // --- FROM clause: random walk over the join graph ---
+  const int max_tables = config.complexity == Complexity::kSimple ? 2 : 8;
+  const int want_tables = 1 + static_cast<int>(rng.NextU64(
+                                  static_cast<uint64_t>(max_tables)));
+  // Start from a random end of a random edge so every table is reachable.
+  const JoinPredicate& seed_edge =
+      config.join_edges[rng.NextU64(config.join_edges.size())];
+  std::vector<TableId> tables = {rng.NextBool(0.5) ? seed_edge.left.table
+                                                   : seed_edge.right.table};
+  q.AddTable(tables[0]);
+  while (static_cast<int>(tables.size()) < want_tables) {
+    std::vector<Extension> exts = Extensions(tables, config.join_edges);
+    if (exts.empty()) break;
+    const Extension& e = exts[rng.NextU64(exts.size())];
+    tables.push_back(e.new_table);
+    q.AddTable(e.new_table);
+    q.AddJoin(e.edge);
+  }
+
+  // --- WHERE clause: random selections with constants from live data ---
+  const int num_filters =
+      1 + static_cast<int>(
+              rng.NextU64(static_cast<uint64_t>(config.max_filters)));
+  for (int i = 0; i < num_filters; ++i) {
+    const TableId t = tables[rng.NextU64(tables.size())];
+    const Schema& schema = db.table(t).schema();
+    const ColumnId c =
+        static_cast<ColumnId>(rng.NextU64(
+            static_cast<uint64_t>(schema.num_columns())));
+    const ColumnRef col{t, c};
+    Datum v = SampleValue(db, col, rng);
+    const double pick = rng.NextDouble();
+    FilterPredicate f;
+    f.column = col;
+    if (schema.column(c).type == ValueType::kString || pick < 0.35) {
+      f.op = CompareOp::kEq;
+      f.value = v;
+    } else if (pick < 0.75) {
+      f.op = rng.NextBool(0.5) ? CompareOp::kLt : CompareOp::kGe;
+      f.value = v;
+    } else {
+      Datum v2 = SampleValue(db, col, rng);
+      if (v2 < v) std::swap(v, v2);
+      f.op = CompareOp::kBetween;
+      f.value = v;
+      f.value2 = v2;
+    }
+    q.AddFilter(std::move(f));
+  }
+
+  // --- GROUP BY ---
+  if (rng.NextBool(config.group_by_probability)) {
+    const TableId t = tables[rng.NextU64(tables.size())];
+    const Schema& schema = db.table(t).schema();
+    const int num_groups = rng.NextBool(0.3) ? 2 : 1;
+    std::vector<ColumnId> used;
+    for (int g = 0; g < num_groups; ++g) {
+      const ColumnId c = static_cast<ColumnId>(
+          rng.NextU64(static_cast<uint64_t>(schema.num_columns())));
+      if (std::find(used.begin(), used.end(), c) != used.end()) continue;
+      used.push_back(c);
+      q.AddGroupBy(ColumnRef{t, c});
+    }
+  }
+  return q;
+}
+
+DmlStatement GenerateDml(const Database& db, const RagsConfig& config,
+                         Rng& rng) {
+  // DML targets the tables that appear in join edges (the live part of the
+  // schema), weighted uniformly.
+  std::vector<TableId> candidates;
+  for (const JoinPredicate& e : config.join_edges) {
+    for (TableId t : {e.left.table, e.right.table}) {
+      if (std::find(candidates.begin(), candidates.end(), t) ==
+          candidates.end()) {
+        candidates.push_back(t);
+      }
+    }
+  }
+  DmlStatement d;
+  d.table = candidates[rng.NextU64(candidates.size())];
+  const double pick = rng.NextDouble();
+  d.kind = pick < 0.34   ? DmlKind::kInsert
+           : pick < 0.67 ? DmlKind::kUpdate
+                         : DmlKind::kDelete;
+  const size_t rows = db.table(d.table).num_rows();
+  d.row_count = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(rows) *
+                             config.dml_row_fraction));
+  d.update_column = static_cast<ColumnId>(rng.NextU64(static_cast<uint64_t>(
+      db.table(d.table).schema().num_columns())));
+  d.seed = rng.Next();
+  return d;
+}
+
+}  // namespace
+
+std::string WorkloadName(const RagsConfig& config) {
+  return StrFormat("U%d-%c-%d",
+                   static_cast<int>(config.update_fraction * 100.0 + 0.5),
+                   config.complexity == Complexity::kSimple ? 'S' : 'C',
+                   config.num_statements);
+}
+
+Workload Generate(const Database& db, const RagsConfig& config) {
+  AUTOSTATS_CHECK_MSG(!config.join_edges.empty(),
+                      "RagsConfig needs the schema's join edges");
+  Rng rng(config.seed);
+  Workload w(WorkloadName(config));
+  for (int i = 0; i < config.num_statements; ++i) {
+    if (rng.NextDouble() < config.update_fraction) {
+      w.AddDml(GenerateDml(db, config, rng));
+    } else {
+      w.AddQuery(GenerateQuery(db, config, rng, i));
+    }
+  }
+  return w;
+}
+
+}  // namespace autostats::rags

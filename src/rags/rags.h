@@ -1,0 +1,46 @@
+// Rags-style stochastic workload generation (after Slutz's Rags tool [15],
+// which the paper uses in §8.1). Generates seeded random workloads over
+// any schema given its join-edge list, varying the three knobs the paper
+// varies: the fraction of INSERT/UPDATE/DELETE statements (0/25/50%),
+// query complexity (Simple = up to 2 tables, Complex = up to 8), and the
+// statement count (100/500/1000). Workloads are named in the paper's
+// notation, e.g. "U25-S-1000".
+#ifndef AUTOSTATS_RAGS_RAGS_H_
+#define AUTOSTATS_RAGS_RAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "query/workload.h"
+
+namespace autostats::rags {
+
+enum class Complexity { kSimple, kComplex };
+
+struct RagsConfig {
+  int num_statements = 100;
+  double update_fraction = 0.0;  // fraction of DML statements
+  Complexity complexity = Complexity::kSimple;
+  uint64_t seed = 7;
+
+  // Join edges of the schema (e.g. tpcd::TpcdForeignKeys).
+  std::vector<JoinPredicate> join_edges;
+
+  // Shape knobs.
+  int max_filters = 4;             // selection predicates per query
+  double group_by_probability = 0.35;
+  double dml_row_fraction = 0.02;  // rows touched per DML statement
+};
+
+// "U25-S-1000" for (update_fraction=.25, kSimple, 1000).
+std::string WorkloadName(const RagsConfig& config);
+
+// Generates a workload; filter constants are sampled from live data so
+// predicate selectivities span the full range.
+Workload Generate(const Database& db, const RagsConfig& config);
+
+}  // namespace autostats::rags
+
+#endif  // AUTOSTATS_RAGS_RAGS_H_

@@ -1,0 +1,91 @@
+#include "stats/builder.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "stats/distinct.h"
+#include "stats/endbiased.h"
+#include "stats/equidepth.h"
+#include "stats/maxdiff.h"
+
+namespace autostats {
+
+std::vector<ValueFreq> ColumnDistribution(const Table& table, ColumnId col,
+                                          double sample_fraction) {
+  AUTOSTATS_CHECK(sample_fraction > 0.0 && sample_fraction <= 1.0);
+  const Column& c = table.column(col);
+  const size_t n = table.num_rows();
+  const size_t stride = sample_fraction >= 1.0
+                            ? 1
+                            : std::max<size_t>(
+                                  1, static_cast<size_t>(1.0 / sample_fraction));
+  std::map<double, double> freqs;
+  size_t sampled = 0;
+  for (size_t r = 0; r < n; r += stride) {
+    freqs[c.NumericKey(r)] += 1.0;
+    ++sampled;
+  }
+  // Scale sampled frequencies back to table size.
+  const double scale =
+      sampled > 0 ? static_cast<double>(n) / static_cast<double>(sampled)
+                  : 1.0;
+  std::vector<ValueFreq> out;
+  out.reserve(freqs.size());
+  for (const auto& [value, freq] : freqs) {
+    out.push_back(ValueFreq{value, freq * scale});
+  }
+  return out;
+}
+
+Statistic BuildStatistic(const Database& db,
+                         const std::vector<ColumnRef>& columns,
+                         const StatsBuildConfig& config) {
+  AUTOSTATS_CHECK(!columns.empty());
+  const Table& table = db.table(columns.front().table);
+
+  std::vector<ValueFreq> dist =
+      ColumnDistribution(table, columns.front().column, config.sample_fraction);
+  Histogram hist;
+  switch (config.histogram_kind) {
+    case HistogramKind::kMaxDiff:
+      hist = BuildMaxDiff(dist, config.num_buckets);
+      break;
+    case HistogramKind::kEquiDepth:
+      hist = BuildEquiDepth(dist, config.num_buckets);
+      break;
+    case HistogramKind::kEndBiased:
+      hist = BuildEndBiased(dist, config.num_buckets);
+      break;
+  }
+
+  std::vector<ColumnId> cols;
+  cols.reserve(columns.size());
+  for (const ColumnRef& c : columns) cols.push_back(c.column);
+  std::vector<uint64_t> prefix_counts = CountDistinctPrefixes(table, cols);
+  std::vector<double> prefix_distinct(prefix_counts.begin(),
+                                      prefix_counts.end());
+
+  Statistic stat(columns, std::move(hist), std::move(prefix_distinct),
+                 static_cast<double>(table.num_rows()));
+
+  if (config.build_2d_grids && columns.size() == 2) {
+    const size_t stride =
+        config.sample_fraction >= 1.0
+            ? 1
+            : std::max<size_t>(
+                  1, static_cast<size_t>(1.0 / config.sample_fraction));
+    std::vector<std::array<double, 2>> points;
+    const Column& c1 = table.column(columns[0].column);
+    const Column& c2 = table.column(columns[1].column);
+    for (size_t r = 0; r < table.num_rows(); r += stride) {
+      points.push_back({c1.NumericKey(r), c2.NumericKey(r)});
+    }
+    stat.set_grid2d(BuildMhist2D(std::move(points), config.num_buckets));
+  }
+  return stat;
+}
+
+}  // namespace autostats

@@ -1,0 +1,38 @@
+// Statistics builder: constructs a Statistic (leading-column histogram +
+// prefix densities) by scanning live table data.
+#ifndef AUTOSTATS_STATS_BUILDER_H_
+#define AUTOSTATS_STATS_BUILDER_H_
+
+#include <vector>
+
+#include "catalog/database.h"
+#include "stats/statistic.h"
+
+namespace autostats {
+
+enum class HistogramKind { kMaxDiff, kEquiDepth, kEndBiased };
+
+struct StatsBuildConfig {
+  HistogramKind histogram_kind = HistogramKind::kMaxDiff;
+  int num_buckets = 64;
+  // Fraction of rows sampled when building (1.0 = full scan). Sampling is
+  // deterministic (stride-based) so builds are reproducible.
+  double sample_fraction = 1.0;
+  // Build an MHIST-2 joint grid for two-column statistics (in addition to
+  // the leading histogram and prefix densities).
+  bool build_2d_grids = false;
+};
+
+// Builds a statistic over `columns` (all in one table of `db`).
+Statistic BuildStatistic(const Database& db,
+                         const std::vector<ColumnRef>& columns,
+                         const StatsBuildConfig& config);
+
+// Compresses one column into its sorted (value, frequency) distribution
+// over numeric keys; exposed for tests and for histogram experiments.
+std::vector<ValueFreq> ColumnDistribution(const Table& table, ColumnId col,
+                                          double sample_fraction);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_STATS_BUILDER_H_

@@ -1,0 +1,82 @@
+#include "stats/endbiased.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace autostats {
+
+Histogram BuildEndBiased(const std::vector<ValueFreq>& value_freqs,
+                         int num_buckets) {
+  AUTOSTATS_CHECK(num_buckets > 0);
+  if (value_freqs.empty()) return Histogram();
+
+  const size_t n = value_freqs.size();
+  double total_rows = 0.0;
+  for (const ValueFreq& vf : value_freqs) total_rows += vf.freq;
+
+  // Pick the heavy hitters: up to half the budget, and only values whose
+  // frequency exceeds the uniform mean (a value at or below the mean gains
+  // nothing from a singleton bucket).
+  const size_t max_singletons =
+      std::min(n, static_cast<size_t>(std::max(num_buckets / 2, 1)));
+  std::vector<size_t> by_freq(n);
+  for (size_t i = 0; i < n; ++i) by_freq[i] = i;
+  std::partial_sort(by_freq.begin(), by_freq.begin() + max_singletons,
+                    by_freq.end(), [&](size_t a, size_t b) {
+                      return value_freqs[a].freq > value_freqs[b].freq;
+                    });
+  const double mean_freq = total_rows / static_cast<double>(n);
+  std::set<size_t> singleton;
+  for (size_t k = 0; k < max_singletons; ++k) {
+    if (value_freqs[by_freq[k]].freq > mean_freq) {
+      singleton.insert(by_freq[k]);
+    }
+  }
+
+  // Remaining budget spread equi-depth over the non-singleton mass.
+  const int rest_buckets =
+      std::max(1, num_buckets - static_cast<int>(singleton.size()));
+  double rest_rows = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!singleton.count(i)) rest_rows += value_freqs[i].freq;
+  }
+  const double target = rest_rows / rest_buckets;
+
+  std::vector<HistogramBucket> buckets;
+  HistogramBucket cur;
+  bool open = false;
+  auto flush = [&]() {
+    if (open && cur.rows > 0.0) buckets.push_back(cur);
+    open = false;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const ValueFreq& vf = value_freqs[i];
+    if (singleton.count(i)) {
+      flush();
+      HistogramBucket b;
+      b.lo = buckets.empty() ? vf.value : buckets.back().hi;
+      // Singleton: lo == hi marks the exact-value bucket.
+      b.lo = b.hi = vf.value;
+      b.rows = vf.freq;
+      b.distinct = 1.0;
+      buckets.push_back(b);
+      continue;
+    }
+    if (!open) {
+      cur = HistogramBucket{};
+      cur.lo = buckets.empty() ? vf.value : buckets.back().hi;
+      open = true;
+    }
+    cur.rows += vf.freq;
+    cur.distinct += 1.0;
+    cur.hi = vf.value;
+    if (cur.rows >= target) flush();
+  }
+  flush();
+
+  return Histogram(std::move(buckets), total_rows, static_cast<double>(n));
+}
+
+}  // namespace autostats

@@ -1,0 +1,23 @@
+// End-biased histogram construction (Ioannidis & Poosala [10]): the
+// most frequent values get exact singleton buckets; the remaining values
+// are grouped equi-depth. Accurate for heavy-hitter equality predicates at
+// very low bucket budgets.
+#ifndef AUTOSTATS_STATS_ENDBIASED_H_
+#define AUTOSTATS_STATS_ENDBIASED_H_
+
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace autostats {
+
+// `value_freqs` must be sorted by value with strictly increasing values
+// and positive frequencies. Half the bucket budget goes to singleton
+// buckets for the most frequent values, the rest to equi-depth buckets
+// over the remainder.
+Histogram BuildEndBiased(const std::vector<ValueFreq>& value_freqs,
+                         int num_buckets);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_STATS_ENDBIASED_H_

@@ -1,0 +1,44 @@
+#include "stats/equidepth.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autostats {
+
+Histogram BuildEquiDepth(const std::vector<ValueFreq>& value_freqs,
+                         int num_buckets) {
+  AUTOSTATS_CHECK(num_buckets > 0);
+  if (value_freqs.empty()) return Histogram();
+
+  double total_rows = 0.0;
+  for (const ValueFreq& vf : value_freqs) total_rows += vf.freq;
+  const double target = total_rows / num_buckets;
+
+  std::vector<HistogramBucket> buckets;
+  HistogramBucket cur;
+  cur.lo = value_freqs.front().value;
+  bool open = false;
+  for (const ValueFreq& vf : value_freqs) {
+    if (!open) {
+      cur.lo = buckets.empty() ? vf.value : buckets.back().hi;
+      cur.rows = 0.0;
+      cur.distinct = 0.0;
+      open = true;
+    }
+    cur.rows += vf.freq;
+    cur.distinct += 1.0;
+    cur.hi = vf.value;
+    if (cur.rows >= target &&
+        buckets.size() + 1 < static_cast<size_t>(num_buckets)) {
+      buckets.push_back(cur);
+      open = false;
+    }
+  }
+  if (open) buckets.push_back(cur);
+
+  return Histogram(std::move(buckets), total_rows,
+                   static_cast<double>(value_freqs.size()));
+}
+
+}  // namespace autostats

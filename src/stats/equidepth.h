@@ -1,0 +1,19 @@
+// Equi-depth histogram construction: bucket boundaries chosen so each
+// bucket holds (approximately) the same number of rows.
+#ifndef AUTOSTATS_STATS_EQUIDEPTH_H_
+#define AUTOSTATS_STATS_EQUIDEPTH_H_
+
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace autostats {
+
+// `value_freqs` must be sorted by value with strictly increasing values and
+// positive frequencies. Produces at most `num_buckets` buckets.
+Histogram BuildEquiDepth(const std::vector<ValueFreq>& value_freqs,
+                         int num_buckets);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_STATS_EQUIDEPTH_H_

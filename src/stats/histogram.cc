@@ -1,0 +1,104 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace autostats {
+
+namespace {
+
+// Fraction of bucket (lo, hi] covered by (a, b], assuming uniform spread.
+double CoveredFraction(const HistogramBucket& b, double a, double bb) {
+  if (b.hi <= b.lo) {
+    // Singleton bucket: either fully in or out.
+    return (b.lo > a && b.lo <= bb) ? 1.0 : 0.0;
+  }
+  const double lo = std::max(a, b.lo);
+  const double hi = std::min(bb, b.hi);
+  if (hi <= lo) return 0.0;
+  return (hi - lo) / (b.hi - b.lo);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<HistogramBucket> buckets, double total_rows,
+                     double total_distinct)
+    : buckets_(std::move(buckets)),
+      total_rows_(total_rows),
+      total_distinct_(std::max(total_distinct, 1.0)) {}
+
+double Histogram::min_value() const {
+  AUTOSTATS_CHECK(!buckets_.empty());
+  return buckets_.front().lo;
+}
+
+double Histogram::max_value() const {
+  AUTOSTATS_CHECK(!buckets_.empty());
+  return buckets_.back().hi;
+}
+
+double Histogram::SelectivityEq(double key) const {
+  if (empty()) return 0.0;
+  if (key < min_value() || key > max_value()) return 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const HistogramBucket& b = buckets_[i];
+    const bool in =
+        (b.hi <= b.lo) ? (key == b.lo)  // singleton (end-biased) bucket
+        : (i == 0)     ? (key >= b.lo && key <= b.hi)
+                       : (key > b.lo && key <= b.hi);
+    if (in) {
+      const double d = std::max(b.distinct, 1.0);
+      return (b.rows / d) / total_rows_;
+    }
+  }
+  return 0.0;
+}
+
+double Histogram::SelectivityRange(double lo, bool lo_inclusive, double hi,
+                                   bool hi_inclusive) const {
+  if (empty()) return 0.0;
+  if (hi < lo) return 0.0;
+  // Treat interval as (lo, hi] over numeric keys, then patch the endpoint
+  // inclusion with equality estimates.
+  double rows = 0.0;
+  for (const HistogramBucket& b : buckets_) {
+    rows += b.rows * CoveredFraction(b, lo, hi);
+  }
+  double sel = rows / total_rows_;
+  if (lo_inclusive && lo > -std::numeric_limits<double>::infinity()) {
+    sel += SelectivityEq(lo);
+  }
+  if (!hi_inclusive && hi < std::numeric_limits<double>::infinity()) {
+    sel -= SelectivityEq(hi);
+  }
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+double Histogram::DistinctInRange(double lo, double hi) const {
+  if (empty() || hi < lo) return 0.0;
+  double distinct = 0.0;
+  for (const HistogramBucket& b : buckets_) {
+    distinct += b.distinct * CoveredFraction(b, lo, hi);
+  }
+  return std::max(distinct, 0.0);
+}
+
+std::string Histogram::ToString() const {
+  std::string out = StrFormat("Histogram(rows=%s, distinct=%s, buckets=%zu)",
+                              FormatDouble(total_rows_).c_str(),
+                              FormatDouble(total_distinct_).c_str(),
+                              buckets_.size());
+  for (const HistogramBucket& b : buckets_) {
+    out += StrFormat("\n  (%s, %s] rows=%s distinct=%s",
+                     FormatDouble(b.lo).c_str(), FormatDouble(b.hi).c_str(),
+                     FormatDouble(b.rows).c_str(),
+                     FormatDouble(b.distinct).c_str());
+  }
+  return out;
+}
+
+}  // namespace autostats

@@ -1,0 +1,68 @@
+// Histogram: a bucketized summary of one column's value distribution,
+// supporting equality and range selectivity estimation. Buckets are built
+// by the equi-depth or MaxDiff strategies (equidepth.h / maxdiff.h); the
+// estimation logic here is shared.
+//
+// Values are bucketized over their numeric key (Datum::NumericKey), which
+// is order-preserving for all three value types.
+#ifndef AUTOSTATS_STATS_HISTOGRAM_H_
+#define AUTOSTATS_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autostats {
+
+// One (value, frequency) pair of the compressed column distribution;
+// inputs to histogram builders are sorted by value.
+struct ValueFreq {
+  double value = 0.0;
+  double freq = 0.0;
+};
+
+struct HistogramBucket {
+  // Bucket covers (lo, hi]; the first bucket covers [lo, hi].
+  double lo = 0.0;
+  double hi = 0.0;
+  double rows = 0.0;      // rows falling in the bucket
+  double distinct = 0.0;  // distinct values in the bucket
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(std::vector<HistogramBucket> buckets, double total_rows,
+            double total_distinct);
+
+  double total_rows() const { return total_rows_; }
+  double total_distinct() const { return total_distinct_; }
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+  bool empty() const { return buckets_.empty() || total_rows_ <= 0; }
+
+  double min_value() const;
+  double max_value() const;
+
+  // Fraction of rows with value == key (uniform-within-bucket assumption).
+  double SelectivityEq(double key) const;
+
+  // Fraction of rows with value in the interval; open ends are expressed
+  // with -inf / +inf. `lo_inclusive`/`hi_inclusive` choose </<= semantics.
+  double SelectivityRange(double lo, bool lo_inclusive, double hi,
+                          bool hi_inclusive) const;
+
+  // Distinct values within the interval (for join/grouping estimates).
+  double DistinctInRange(double lo, double hi) const;
+
+  // Human-readable dump for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<HistogramBucket> buckets_;
+  double total_rows_ = 0.0;
+  double total_distinct_ = 0.0;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_STATS_HISTOGRAM_H_

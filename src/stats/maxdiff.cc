@@ -1,0 +1,66 @@
+#include "stats/maxdiff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autostats {
+
+Histogram BuildMaxDiff(const std::vector<ValueFreq>& value_freqs,
+                       int num_buckets) {
+  AUTOSTATS_CHECK(num_buckets > 0);
+  if (value_freqs.empty()) return Histogram();
+
+  const size_t n = value_freqs.size();
+  double total_rows = 0.0;
+  for (const ValueFreq& vf : value_freqs) total_rows += vf.freq;
+
+  // Area of value i = freq(i) * spread(i), spread = distance to next value.
+  // Boundary candidates are between consecutive values, scored by the
+  // absolute difference of adjacent areas.
+  std::vector<std::pair<double, size_t>> diffs;  // (score, boundary after i)
+  diffs.reserve(n > 0 ? n - 1 : 0);
+  auto area = [&](size_t i) {
+    const double spread =
+        (i + 1 < n) ? (value_freqs[i + 1].value - value_freqs[i].value) : 1.0;
+    return value_freqs[i].freq * std::max(spread, 1e-12);
+  };
+  for (size_t i = 0; i + 1 < n; ++i) {
+    diffs.emplace_back(std::fabs(area(i + 1) - area(i)), i);
+  }
+  const size_t num_boundaries =
+      std::min(diffs.size(), static_cast<size_t>(num_buckets - 1));
+  std::partial_sort(diffs.begin(), diffs.begin() + num_boundaries,
+                    diffs.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<size_t> boundaries;
+  boundaries.reserve(num_boundaries);
+  for (size_t i = 0; i < num_boundaries; ++i) {
+    boundaries.push_back(diffs[i].second);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+
+  std::vector<HistogramBucket> buckets;
+  size_t start = 0;
+  auto flush = [&](size_t end) {  // values [start, end] inclusive
+    HistogramBucket b;
+    b.lo = buckets.empty() ? value_freqs[start].value : buckets.back().hi;
+    b.hi = value_freqs[end].value;
+    b.rows = 0.0;
+    b.distinct = 0.0;
+    for (size_t i = start; i <= end; ++i) {
+      b.rows += value_freqs[i].freq;
+      b.distinct += 1.0;
+    }
+    buckets.push_back(b);
+    start = end + 1;
+  };
+  for (size_t boundary : boundaries) flush(boundary);
+  flush(n - 1);
+
+  return Histogram(std::move(buckets), total_rows, static_cast<double>(n));
+}
+
+}  // namespace autostats

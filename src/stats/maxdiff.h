@@ -1,0 +1,22 @@
+// MaxDiff(V,A) histogram construction (Poosala et al., SIGMOD'96): bucket
+// boundaries are placed at the num_buckets-1 largest differences in "area"
+// (frequency × spread) between adjacent values, which isolates frequency
+// outliers into their own buckets. This is the default statistic structure,
+// mirroring Microsoft SQL Server's histograms as referenced by the paper.
+#ifndef AUTOSTATS_STATS_MAXDIFF_H_
+#define AUTOSTATS_STATS_MAXDIFF_H_
+
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace autostats {
+
+// `value_freqs` must be sorted by value with strictly increasing values and
+// positive frequencies. Produces at most `num_buckets` buckets.
+Histogram BuildMaxDiff(const std::vector<ValueFreq>& value_freqs,
+                       int num_buckets);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_STATS_MAXDIFF_H_

@@ -1,0 +1,195 @@
+#include "stats/mhist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace autostats {
+
+namespace {
+
+// A bucket under construction: its points plus the chosen split.
+struct BuildBucket {
+  std::vector<std::array<double, 2>> points;
+  // Best split found: dimension, boundary value (points with
+  // point[dim] <= boundary go left), and its MaxDiff score.
+  int split_dim = -1;
+  double split_boundary = 0.0;
+  double score = -1.0;
+};
+
+// Finds the MaxDiff boundary of the marginal distribution along `dim`:
+// the largest |area(i+1) - area(i)| between adjacent distinct values.
+// Returns (score, boundary); score < 0 when the bucket cannot be split.
+std::pair<double, double> MarginalMaxDiff(
+    const std::vector<std::array<double, 2>>& points, int dim) {
+  std::map<double, double> freq;
+  for (const auto& p : points) freq[p[static_cast<size_t>(dim)]] += 1.0;
+  if (freq.size() < 2) return {-1.0, 0.0};
+  std::vector<std::pair<double, double>> vf(freq.begin(), freq.end());
+  auto area = [&](size_t i) {
+    const double spread =
+        (i + 1 < vf.size()) ? (vf[i + 1].first - vf[i].first) : 1.0;
+    return vf[i].second * std::max(spread, 1e-12);
+  };
+  double best_score = -1.0;
+  double best_boundary = vf.front().first;
+  for (size_t i = 0; i + 1 < vf.size(); ++i) {
+    const double diff = std::fabs(area(i + 1) - area(i));
+    if (diff > best_score) {
+      best_score = diff;
+      best_boundary = vf[i].first;  // split after this value
+    }
+  }
+  // Near-uniform marginal: MaxDiff carries no signal. Fall back to a
+  // balanced median split (the Phased strategy's behaviour), scored by the
+  // bucket's mass x spread so large uniform regions keep getting refined.
+  double total = 0.0;
+  for (const auto& [v, f] : vf) total += f;
+  if (best_score <= 1e-9 * total) {
+    double cum = 0.0;
+    for (size_t i = 0; i + 1 < vf.size(); ++i) {
+      cum += vf[i].second;
+      if (cum >= total / 2.0) {
+        best_boundary = vf[i].first;
+        break;
+      }
+    }
+    const double spread = vf.back().first - vf.front().first;
+    best_score = 1e-9 * total * std::max(spread, 1e-6);
+  }
+  return {best_score, best_boundary};
+}
+
+void ChooseSplit(BuildBucket* b) {
+  b->split_dim = -1;
+  b->score = -1.0;
+  for (int dim = 0; dim < 2; ++dim) {
+    const auto [score, boundary] = MarginalMaxDiff(b->points, dim);
+    if (score > b->score) {
+      b->score = score;
+      b->split_dim = dim;
+      b->split_boundary = boundary;
+    }
+  }
+}
+
+GridBucket Finalize(const std::vector<std::array<double, 2>>& points) {
+  GridBucket g;
+  AUTOSTATS_CHECK(!points.empty());
+  g.lo1 = g.hi1 = points[0][0];
+  g.lo2 = g.hi2 = points[0][1];
+  std::set<std::pair<double, double>> distinct;
+  for (const auto& p : points) {
+    g.lo1 = std::min(g.lo1, p[0]);
+    g.hi1 = std::max(g.hi1, p[0]);
+    g.lo2 = std::min(g.lo2, p[1]);
+    g.hi2 = std::max(g.hi2, p[1]);
+    distinct.insert({p[0], p[1]});
+  }
+  g.rows = static_cast<double>(points.size());
+  g.distinct = static_cast<double>(distinct.size());
+  return g;
+}
+
+}  // namespace
+
+Histogram2D::Histogram2D(std::vector<GridBucket> buckets, double total_rows)
+    : buckets_(std::move(buckets)), total_rows_(total_rows) {}
+
+double Histogram2D::SelectivityBox(double lo1, double hi1, double lo2,
+                                   double hi2) const {
+  if (empty() || hi1 < lo1 || hi2 < lo2) return 0.0;
+  auto covered = [](double blo, double bhi, double qlo, double qhi) {
+    if (bhi <= blo) {  // degenerate extent: in or out
+      return (blo >= qlo && blo <= qhi) ? 1.0 : 0.0;
+    }
+    const double lo = std::max(blo, qlo);
+    const double hi = std::min(bhi, qhi);
+    if (hi < lo) return 0.0;
+    return (hi - lo) / (bhi - blo);
+  };
+  double rows = 0.0;
+  for (const GridBucket& b : buckets_) {
+    rows += b.rows * covered(b.lo1, b.hi1, lo1, hi1) *
+            covered(b.lo2, b.hi2, lo2, hi2);
+  }
+  return std::clamp(rows / total_rows_, 0.0, 1.0);
+}
+
+std::string Histogram2D::ToString() const {
+  std::string out = StrFormat("Histogram2D(rows=%s, buckets=%zu)",
+                              FormatDouble(total_rows_).c_str(),
+                              buckets_.size());
+  for (const GridBucket& b : buckets_) {
+    out += StrFormat("\n  [%s,%s]x[%s,%s] rows=%s distinct=%s",
+                     FormatDouble(b.lo1).c_str(),
+                     FormatDouble(b.hi1).c_str(),
+                     FormatDouble(b.lo2).c_str(),
+                     FormatDouble(b.hi2).c_str(),
+                     FormatDouble(b.rows).c_str(),
+                     FormatDouble(b.distinct).c_str());
+  }
+  return out;
+}
+
+Histogram2D BuildMhist2D(std::vector<std::array<double, 2>> points,
+                         int num_buckets) {
+  AUTOSTATS_CHECK(num_buckets > 0);
+  if (points.empty()) return Histogram2D();
+  const double total_rows = static_cast<double>(points.size());
+
+  // Max-heap of splittable buckets by MaxDiff score.
+  std::vector<BuildBucket> done;
+  auto cmp = [](const BuildBucket* a, const BuildBucket* b) {
+    return a->score < b->score;
+  };
+  std::vector<std::unique_ptr<BuildBucket>> owned;
+  std::priority_queue<BuildBucket*, std::vector<BuildBucket*>, decltype(cmp)>
+      heap(cmp);
+
+  owned.push_back(std::make_unique<BuildBucket>());
+  owned.back()->points = std::move(points);
+  ChooseSplit(owned.back().get());
+  heap.push(owned.back().get());
+
+  int buckets = 1;
+  while (buckets < num_buckets && !heap.empty()) {
+    BuildBucket* top = heap.top();
+    heap.pop();
+    if (top->split_dim < 0) continue;  // unsplittable (single value)
+    auto left = std::make_unique<BuildBucket>();
+    auto right = std::make_unique<BuildBucket>();
+    for (const auto& p : top->points) {
+      if (p[static_cast<size_t>(top->split_dim)] <= top->split_boundary) {
+        left->points.push_back(p);
+      } else {
+        right->points.push_back(p);
+      }
+    }
+    AUTOSTATS_DCHECK(!left->points.empty() && !right->points.empty());
+    top->points.clear();  // replaced by children
+    ChooseSplit(left.get());
+    ChooseSplit(right.get());
+    heap.push(left.get());
+    heap.push(right.get());
+    owned.push_back(std::move(left));
+    owned.push_back(std::move(right));
+    ++buckets;
+  }
+
+  std::vector<GridBucket> grid;
+  for (const auto& b : owned) {
+    if (!b->points.empty()) grid.push_back(Finalize(b->points));
+  }
+  return Histogram2D(std::move(grid), total_rows);
+}
+
+}  // namespace autostats

@@ -1,0 +1,58 @@
+// Two-dimensional histograms built with the MHIST-2 strategy (Poosala &
+// Ioannidis [13,14], cited by §3 for multi-dimensional statistics): start
+// from one rectangle covering the joint distribution and repeatedly split
+// the bucket that is "most in need of partitioning" — the one whose
+// marginal distribution carries the largest MaxDiff area difference —
+// along that dimension at that boundary.
+//
+// Used as an optional upgrade over the asymmetric prefix-density
+// multi-column statistics (§7.1): a 2-D grid estimates *conjunctions of
+// range predicates* over correlated column pairs, which densities cannot.
+#ifndef AUTOSTATS_STATS_MHIST_H_
+#define AUTOSTATS_STATS_MHIST_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace autostats {
+
+struct GridBucket {
+  // Rectangle [lo1, hi1] x [lo2, hi2] (closed; rectangles may share
+  // boundary values only through the split construction, which assigns
+  // each point to exactly one bucket).
+  double lo1 = 0.0, hi1 = 0.0;
+  double lo2 = 0.0, hi2 = 0.0;
+  double rows = 0.0;
+  double distinct = 0.0;  // distinct (v1, v2) pairs in the bucket
+};
+
+class Histogram2D {
+ public:
+  Histogram2D() = default;
+  Histogram2D(std::vector<GridBucket> buckets, double total_rows);
+
+  bool empty() const { return buckets_.empty() || total_rows_ <= 0.0; }
+  double total_rows() const { return total_rows_; }
+  const std::vector<GridBucket>& buckets() const { return buckets_; }
+
+  // Fraction of rows with (v1, v2) inside the box; open ends use +/-inf.
+  // Uniform spread within each bucket.
+  double SelectivityBox(double lo1, double hi1, double lo2,
+                        double hi2) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<GridBucket> buckets_;
+  double total_rows_ = 0.0;
+};
+
+// Builds an MHIST-2 histogram over the joint points (numeric keys of the
+// two columns), with at most `num_buckets` rectangles.
+Histogram2D BuildMhist2D(std::vector<std::array<double, 2>> points,
+                         int num_buckets);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_STATS_MHIST_H_

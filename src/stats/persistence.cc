@@ -1,0 +1,208 @@
+#include "stats/persistence.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace autostats {
+
+namespace {
+constexpr char kMagicLine[] = "autostats-catalog v1";
+}  // namespace
+
+Status SaveCatalog(const StatsCatalog& catalog, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  out.precision(17);
+  out << kMagicLine << "\n";
+
+  std::vector<StatKey> keys = catalog.ActiveKeys();
+  const std::vector<StatKey> dropped = catalog.DropListKeys();
+  keys.insert(keys.end(), dropped.begin(), dropped.end());
+  for (const StatKey& key : keys) {
+    const StatEntry* entry = catalog.FindEntry(key);
+    const Statistic& s = entry->stat;
+    out << "stat\n";
+    out << "columns";
+    for (const ColumnRef& c : s.columns()) {
+      out << " " << c.table << ":" << c.column;
+    }
+    out << "\n";
+    out << "rows_at_build " << s.rows_at_build() << "\n";
+    out << "prefix_distinct";
+    for (int k = 1; k <= s.width(); ++k) out << " " << s.PrefixDistinct(k);
+    out << "\n";
+    const Histogram& h = s.histogram();
+    out << "histogram " << h.total_rows() << " " << h.total_distinct() << " "
+        << h.buckets().size() << "\n";
+    for (const HistogramBucket& b : h.buckets()) {
+      out << "bucket " << b.lo << " " << b.hi << " " << b.rows << " "
+          << b.distinct << "\n";
+    }
+    if (s.has_grid2d()) {
+      const Histogram2D& g = s.grid2d();
+      out << "grid2d " << g.total_rows() << " " << g.buckets().size()
+          << "\n";
+      for (const GridBucket& b : g.buckets()) {
+        out << "cell " << b.lo1 << " " << b.hi1 << " " << b.lo2 << " "
+            << b.hi2 << " " << b.rows << " " << b.distinct << "\n";
+      }
+    }
+    out << "meta " << (entry->in_drop_list ? 1 : 0) << " "
+        << entry->update_count << " " << entry->creation_cost << " "
+        << entry->created_at << " " << entry->dropped_at << "\n";
+    out << "end\n";
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadCatalog(StatsCatalog* catalog, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagicLine) {
+    return Status::InvalidArgument(path + ": not an autostats catalog file");
+  }
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line != "stat") {
+      return Status::InvalidArgument("expected 'stat', got: " + line);
+    }
+    std::vector<ColumnRef> columns;
+    double rows_at_build = 0.0;
+    std::vector<double> prefix_distinct;
+    double hist_rows = 0.0, hist_distinct = 0.0;
+    size_t num_buckets = 0;
+    std::vector<HistogramBucket> buckets;
+    StatEntry entry;
+
+    // columns
+    if (!std::getline(in, line)) return Status::InvalidArgument("truncated");
+    {
+      std::istringstream ss(line);
+      std::string tag;
+      ss >> tag;
+      if (tag != "columns") {
+        return Status::InvalidArgument("expected columns: " + line);
+      }
+      std::string pair;
+      while (ss >> pair) {
+        const size_t colon = pair.find(':');
+        if (colon == std::string::npos) {
+          return Status::InvalidArgument("bad column ref: " + pair);
+        }
+        columns.push_back(
+            ColumnRef{static_cast<TableId>(std::stoi(pair.substr(0, colon))),
+                      static_cast<ColumnId>(
+                          std::stoi(pair.substr(colon + 1)))});
+      }
+      if (columns.empty()) {
+        return Status::InvalidArgument("statistic without columns");
+      }
+    }
+    // rows_at_build
+    if (!std::getline(in, line)) return Status::InvalidArgument("truncated");
+    {
+      std::istringstream ss(line);
+      std::string tag;
+      ss >> tag >> rows_at_build;
+      if (tag != "rows_at_build") {
+        return Status::InvalidArgument("expected rows_at_build: " + line);
+      }
+    }
+    // prefix_distinct
+    if (!std::getline(in, line)) return Status::InvalidArgument("truncated");
+    {
+      std::istringstream ss(line);
+      std::string tag;
+      ss >> tag;
+      if (tag != "prefix_distinct") {
+        return Status::InvalidArgument("expected prefix_distinct: " + line);
+      }
+      double d = 0.0;
+      while (ss >> d) prefix_distinct.push_back(d);
+      if (prefix_distinct.size() != columns.size()) {
+        return Status::InvalidArgument("prefix_distinct arity mismatch");
+      }
+    }
+    // histogram header + buckets
+    if (!std::getline(in, line)) return Status::InvalidArgument("truncated");
+    {
+      std::istringstream ss(line);
+      std::string tag;
+      ss >> tag >> hist_rows >> hist_distinct >> num_buckets;
+      if (tag != "histogram") {
+        return Status::InvalidArgument("expected histogram: " + line);
+      }
+    }
+    for (size_t i = 0; i < num_buckets; ++i) {
+      if (!std::getline(in, line)) {
+        return Status::InvalidArgument("truncated bucket list");
+      }
+      std::istringstream ss(line);
+      std::string tag;
+      HistogramBucket b;
+      ss >> tag >> b.lo >> b.hi >> b.rows >> b.distinct;
+      if (tag != "bucket") {
+        return Status::InvalidArgument("expected bucket: " + line);
+      }
+      buckets.push_back(b);
+    }
+    // optional grid2d, then meta
+    if (!std::getline(in, line)) return Status::InvalidArgument("truncated");
+    Histogram2D grid;
+    if (line.rfind("grid2d", 0) == 0) {
+      std::istringstream ss(line);
+      std::string tag;
+      double grid_rows = 0.0;
+      size_t cells = 0;
+      ss >> tag >> grid_rows >> cells;
+      std::vector<GridBucket> grid_buckets;
+      for (size_t i = 0; i < cells; ++i) {
+        if (!std::getline(in, line)) {
+          return Status::InvalidArgument("truncated grid");
+        }
+        std::istringstream cs(line);
+        GridBucket b;
+        cs >> tag >> b.lo1 >> b.hi1 >> b.lo2 >> b.hi2 >> b.rows >>
+            b.distinct;
+        if (tag != "cell") {
+          return Status::InvalidArgument("expected cell: " + line);
+        }
+        grid_buckets.push_back(b);
+      }
+      grid = Histogram2D(std::move(grid_buckets), grid_rows);
+      if (!std::getline(in, line)) {
+        return Status::InvalidArgument("truncated");
+      }
+    }
+    {
+      std::istringstream ss(line);
+      std::string tag;
+      int in_drop_list = 0;
+      ss >> tag >> in_drop_list >> entry.update_count >>
+          entry.creation_cost >> entry.created_at >> entry.dropped_at;
+      if (tag != "meta") {
+        return Status::InvalidArgument("expected meta: " + line);
+      }
+      entry.in_drop_list = in_drop_list != 0;
+    }
+    if (!std::getline(in, line) || line != "end") {
+      return Status::InvalidArgument("expected end marker");
+    }
+
+    entry.stat =
+        Statistic(std::move(columns),
+                  Histogram(std::move(buckets), hist_rows, hist_distinct),
+                  std::move(prefix_distinct), rows_at_build);
+    if (!grid.empty()) entry.stat.set_grid2d(std::move(grid));
+    catalog->RestoreEntry(std::move(entry));
+  }
+  return Status::OK();
+}
+
+}  // namespace autostats

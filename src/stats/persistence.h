@@ -1,0 +1,26 @@
+// Catalog persistence: saves a statistics catalog (statistics, drop-list
+// membership, counters) to a human-readable text file and restores it,
+// so an offline tuning pass (examples/offline_tuning) can hand its result
+// to a serving process without rebuilding statistics from data.
+#ifndef AUTOSTATS_STATS_PERSISTENCE_H_
+#define AUTOSTATS_STATS_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+// Writes every entry (active and drop-listed) to `path`.
+Status SaveCatalog(const StatsCatalog& catalog, const std::string& path);
+
+// Restores entries from `path` into `catalog` (no build cost charged).
+// Entries already present with the same key are replaced. The file must
+// have been produced by SaveCatalog against a database with the same
+// schema.
+Status LoadCatalog(StatsCatalog* catalog, const std::string& path);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_STATS_PERSISTENCE_H_

@@ -1,0 +1,212 @@
+#include "stats/stats_catalog.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace autostats {
+
+StatsCatalog::StatsCatalog(const Database* db, StatsBuildConfig build_config,
+                           StatsCostModel cost_model)
+    : db_(db), build_config_(build_config), cost_model_(cost_model) {
+  AUTOSTATS_CHECK(db != nullptr);
+}
+
+double StatsCatalog::CreateStatistic(const std::vector<ColumnRef>& columns) {
+  const StatKey key = MakeStatKey(columns);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.in_drop_list) {
+      // Resurrection (§5): no rebuild needed, just make it visible again.
+      it->second.in_drop_list = false;
+      it->second.created_at = clock_;
+      return 0.0;
+    }
+    return 0.0;  // already active
+  }
+  StatEntry entry;
+  entry.stat = BuildStatistic(*db_, columns, build_config_);
+  // Sampled builds scan (and sort) only the sampled fraction.
+  const double effective_rows =
+      static_cast<double>(db_->table(columns.front().table).num_rows()) *
+      build_config_.sample_fraction;
+  entry.creation_cost = cost_model_.CreationCost(
+      static_cast<size_t>(effective_rows), static_cast<int>(columns.size()));
+  entry.created_at = clock_;
+  total_creation_cost_ += entry.creation_cost;
+  const double cost = entry.creation_cost;
+  entries_.emplace(key, std::move(entry));
+  return cost;
+}
+
+void StatsCatalog::RestoreEntry(StatEntry entry) {
+  const StatKey key = entry.stat.key();
+  entries_[key] = std::move(entry);
+}
+
+bool StatsCatalog::HasActive(const StatKey& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && !it->second.in_drop_list;
+}
+
+bool StatsCatalog::Exists(const StatKey& key) const {
+  return entries_.count(key) > 0;
+}
+
+const Statistic* StatsCatalog::Find(const StatKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.in_drop_list) return nullptr;
+  return &it->second.stat;
+}
+
+const StatEntry* StatsCatalog::FindEntry(const StatKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void StatsCatalog::MoveToDropList(const StatKey& key) {
+  auto it = entries_.find(key);
+  AUTOSTATS_CHECK_MSG(it != entries_.end(), key.c_str());
+  it->second.in_drop_list = true;
+  it->second.dropped_at = clock_;
+}
+
+void StatsCatalog::RemoveFromDropList(const StatKey& key) {
+  auto it = entries_.find(key);
+  AUTOSTATS_CHECK_MSG(it != entries_.end(), key.c_str());
+  it->second.in_drop_list = false;
+  it->second.created_at = clock_;
+}
+
+void StatsCatalog::PhysicallyDrop(const StatKey& key) {
+  entries_.erase(key);
+}
+
+std::vector<StatKey> StatsCatalog::ActiveKeys() const {
+  std::vector<StatKey> out;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.in_drop_list) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<StatKey> StatsCatalog::DropListKeys() const {
+  std::vector<StatKey> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.in_drop_list) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t StatsCatalog::num_active() const {
+  size_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.in_drop_list) ++n;
+  }
+  return n;
+}
+
+size_t StatsCatalog::num_drop_listed() const {
+  return entries_.size() - num_active();
+}
+
+void StatsCatalog::RecordModifications(TableId table, size_t rows) {
+  mod_counters_[table] += rows;
+}
+
+size_t StatsCatalog::modified_rows(TableId table) const {
+  auto it = mod_counters_.find(table);
+  return it == mod_counters_.end() ? 0 : it->second;
+}
+
+double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
+  double cost = 0.0;
+  for (auto& [table, modified] : mod_counters_) {
+    const size_t rows = db_->table(table).num_rows();
+    const double threshold =
+        policy.fraction * static_cast<double>(rows) +
+        static_cast<double>(policy.floor);
+    if (static_cast<double>(modified) <= threshold) continue;
+    for (auto& [key, entry] : entries_) {
+      if (entry.in_drop_list || entry.stat.table() != table) continue;
+      ++entry.update_count;
+      const bool scale_only =
+          policy.incremental &&
+          entry.update_count % std::max(policy.full_rebuild_every, 1) != 0;
+      if (scale_only) {
+        entry.stat = entry.stat.ScaledTo(static_cast<double>(rows));
+        cost += cost_model_.fixed_overhead;  // O(buckets) metadata touch
+      } else {
+        entry.stat =
+            BuildStatistic(*db_, entry.stat.columns(), build_config_);
+        cost += cost_model_.UpdateCost(rows, entry.stat.width());
+      }
+    }
+    modified = 0;
+  }
+  total_update_cost_ += cost;
+  return cost;
+}
+
+double StatsCatalog::PendingUpdateCost() const {
+  double cost = 0.0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.in_drop_list) continue;
+    cost += cost_model_.UpdateCost(db_->table(entry.stat.table()).num_rows(),
+                                   entry.stat.width());
+  }
+  return cost;
+}
+
+void StatsCatalog::ResetAccounting() {
+  total_creation_cost_ = 0.0;
+  total_update_cost_ = 0.0;
+  optimizer_calls_charged_ = 0;
+}
+
+bool StatsView::IsVisible(const StatKey& key) const {
+  return ignored_.count(key) == 0 && catalog_->HasActive(key);
+}
+
+const Statistic* StatsView::HistogramFor(ColumnRef column) const {
+  const Statistic* best = nullptr;
+  for (const StatKey& key : catalog_->ActiveKeys()) {
+    if (ignored_.count(key)) continue;
+    const Statistic* s = catalog_->Find(key);
+    if (s == nullptr || !(s->leading_column() == column)) continue;
+    if (best == nullptr || s->width() < best->width()) best = s;
+  }
+  return best;
+}
+
+const Statistic* StatsView::DensityFor(TableId table,
+                                       const std::vector<ColumnId>& columns,
+                                       int* prefix_len) const {
+  // Look for a visible statistic on `table` whose leading prefix of length
+  // |columns| equals `columns` as a set.
+  std::vector<ColumnId> want = columns;
+  std::sort(want.begin(), want.end());
+  for (const StatKey& key : catalog_->ActiveKeys()) {
+    if (ignored_.count(key)) continue;
+    const Statistic* s = catalog_->Find(key);
+    if (s == nullptr || s->table() != table) continue;
+    if (s->width() < static_cast<int>(columns.size())) continue;
+    std::vector<ColumnId> prefix;
+    prefix.reserve(columns.size());
+    for (size_t i = 0; i < columns.size(); ++i) {
+      prefix.push_back(s->columns()[i].column);
+    }
+    std::sort(prefix.begin(), prefix.end());
+    if (prefix == want) {
+      if (prefix_len != nullptr) {
+        *prefix_len = static_cast<int>(columns.size());
+      }
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace autostats

@@ -1,0 +1,166 @@
+// StatsCatalog: the server-side statistics manager. Owns every built
+// statistic, the drop-list (§5: non-essential statistics are marked, not
+// physically deleted, and can be resurrected at zero cost), per-table
+// row-modification counters with SQL Server 7.0-style update triggering
+// (§6), and creation/update cost accounting used by the benchmarks.
+//
+// StatsView implements the paper's server extension
+// Ignore_Statistics_Subset (§7.2): a read-only view of the catalog with a
+// subset of statistics hidden, passed to the optimizer per optimization.
+#ifndef AUTOSTATS_STATS_STATS_CATALOG_H_
+#define AUTOSTATS_STATS_STATS_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/database.h"
+#include "stats/builder.h"
+#include "stats/statistic.h"
+#include "stats/stats_cost.h"
+
+namespace autostats {
+
+struct StatEntry {
+  Statistic stat;
+  bool in_drop_list = false;
+  int update_count = 0;        // times refreshed since creation
+  double creation_cost = 0.0;  // cost units charged when built
+  int64_t created_at = 0;      // logical time of (re)creation
+  int64_t dropped_at = -1;     // logical time of last move to drop-list
+};
+
+// Controls when statistics on a table are refreshed: when the number of
+// modified rows exceeds `fraction * |T| + floor` (SQL Server 7.0 default
+// shape, §6). With `incremental` set, refreshes scale the existing
+// histograms to the new row count (cheap, approximate) and only every
+// `full_rebuild_every`-th refresh of a statistic rebuilds it from data.
+struct UpdateTriggerPolicy {
+  double fraction = 0.20;
+  size_t floor = 500;
+  bool incremental = false;
+  int full_rebuild_every = 4;
+};
+
+class StatsCatalog {
+ public:
+  StatsCatalog(const Database* db, StatsBuildConfig build_config = {},
+               StatsCostModel cost_model = {});
+
+  StatsCatalog(const StatsCatalog&) = delete;
+  StatsCatalog& operator=(const StatsCatalog&) = delete;
+
+  const Database& db() const { return *db_; }
+  const StatsBuildConfig& build_config() const { return build_config_; }
+  const StatsCostModel& cost_model() const { return cost_model_; }
+
+  // Creates the statistic (building it from data) or resurrects it from
+  // the drop-list at zero build cost. Returns the cost units charged.
+  // No-op (returns 0) if the statistic is already active.
+  double CreateStatistic(const std::vector<ColumnRef>& columns);
+
+  // Installs a previously built entry without touching data or charging
+  // cost (catalog persistence; see stats/persistence.h). Replaces any
+  // entry with the same key.
+  void RestoreEntry(StatEntry entry);
+
+  // True if an active (not drop-listed) statistic with this key exists.
+  bool HasActive(const StatKey& key) const;
+  // True if the statistic exists at all (active or drop-listed).
+  bool Exists(const StatKey& key) const;
+
+  // Active statistic lookup; nullptr if absent or drop-listed.
+  const Statistic* Find(const StatKey& key) const;
+  const StatEntry* FindEntry(const StatKey& key) const;
+
+  // §5: marks as non-essential. The statistic becomes invisible to the
+  // optimizer but is retained for possible resurrection.
+  void MoveToDropList(const StatKey& key);
+  // Resurrection: makes a drop-listed statistic active again.
+  void RemoveFromDropList(const StatKey& key);
+  // Physical deletion (policy decision, §6).
+  void PhysicallyDrop(const StatKey& key);
+
+  std::vector<StatKey> ActiveKeys() const;
+  std::vector<StatKey> DropListKeys() const;
+  size_t num_active() const;
+  size_t num_drop_listed() const;
+
+  // --- Update machinery (§6) ---
+
+  // Records `rows` modified rows against `table` (INSERT/UPDATE/DELETE).
+  void RecordModifications(TableId table, size_t rows);
+  size_t modified_rows(TableId table) const;
+
+  // Refreshes (rebuilds) the statistics of every table whose modification
+  // counter exceeds the trigger; resets those counters. Returns cost units
+  // charged. Drop-listed statistics are NOT refreshed — that is exactly
+  // the maintenance saving the paper's Table 1 measures.
+  double RefreshIfTriggered(const UpdateTriggerPolicy& policy);
+
+  // Update cost the active statistics WOULD incur if refreshed now; used
+  // by Table 1's "update cost of statistics" metric.
+  double PendingUpdateCost() const;
+
+  // --- Accounting ---
+  double total_creation_cost() const { return total_creation_cost_; }
+  double total_update_cost() const { return total_update_cost_; }
+  int64_t optimizer_calls_charged() const { return optimizer_calls_charged_; }
+  void ChargeOptimizerCall() { ++optimizer_calls_charged_; }
+  void ResetAccounting();
+
+  // Logical clock, advanced by the policy layer per processed statement.
+  int64_t now() const { return clock_; }
+  void Tick() { ++clock_; }
+
+ private:
+  const Database* db_;
+  StatsBuildConfig build_config_;
+  StatsCostModel cost_model_;
+  std::unordered_map<StatKey, StatEntry> entries_;
+  std::unordered_map<TableId, size_t> mod_counters_;
+  double total_creation_cost_ = 0.0;
+  double total_update_cost_ = 0.0;
+  int64_t optimizer_calls_charged_ = 0;
+  int64_t clock_ = 0;
+};
+
+// Read-only view of the active statistics with an optional ignored subset
+// (the Ignore_Statistics_Subset interface, §7.2).
+class StatsView {
+ public:
+  explicit StatsView(const StatsCatalog* catalog) : catalog_(catalog) {}
+
+  // Hides one statistic from the optimizer for lookups through this view.
+  void Ignore(const StatKey& key) { ignored_.insert(key); }
+  void IgnoreAll(const std::vector<StatKey>& keys) {
+    for (const StatKey& k : keys) ignored_.insert(k);
+  }
+
+  bool IsVisible(const StatKey& key) const;
+
+  // The statistic providing a histogram for `column`: an active, visible
+  // statistic whose leading column is `column` (narrowest width wins, so
+  // a dedicated single-column statistic is preferred over a multi-column
+  // one sharing the leading column).
+  const Statistic* HistogramFor(ColumnRef column) const;
+
+  // The statistic providing a density for the column *set* `columns` of
+  // `table`: an active, visible statistic some leading prefix of which
+  // equals the set. Returns the statistic and sets *prefix_len.
+  const Statistic* DensityFor(TableId table,
+                              const std::vector<ColumnId>& columns,
+                              int* prefix_len) const;
+
+  const StatsCatalog& catalog() const { return *catalog_; }
+
+ private:
+  const StatsCatalog* catalog_;
+  std::unordered_set<StatKey> ignored_;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_STATS_STATS_CATALOG_H_

@@ -1,0 +1,15 @@
+#include "stats/stats_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autostats {
+
+double StatsCostModel::CreationCost(size_t rows, int width) const {
+  const double n = static_cast<double>(std::max<size_t>(rows, 1));
+  const double scan = scan_per_row_per_column * n * width;
+  const double sort = sort_factor * n * std::log2(std::max(n, 2.0));
+  return fixed_overhead + scan + sort;
+}
+
+}  // namespace autostats

@@ -1,0 +1,246 @@
+#include "tpcd/dbgen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/zipfian.h"
+#include "tpcd/schema.h"
+#include "tpcd/text_pools.h"
+
+namespace autostats::tpcd {
+
+namespace {
+
+// Per-column skewed value generator: samples a Zipfian rank and maps it
+// through a shuffled permutation so that value order does not correlate
+// with frequency rank (except where ordered skew is wanted, e.g. dates).
+class ColGen {
+ public:
+  ColGen(uint64_t domain, double z, uint64_t seed, bool permute)
+      : zipf_(domain, z), rng_(seed) {
+    if (permute) {
+      perm_.resize(domain);
+      std::iota(perm_.begin(), perm_.end(), 0u);
+      Rng shuffle_rng(seed ^ 0x5157EDull);
+      for (size_t i = perm_.size(); i > 1; --i) {
+        std::swap(perm_[i - 1], perm_[shuffle_rng.NextU64(i)]);
+      }
+    }
+  }
+
+  int64_t Next() {
+    const uint64_t rank = zipf_.Sample(rng_);
+    if (perm_.empty()) return static_cast<int64_t>(rank);
+    return static_cast<int64_t>(perm_[rank]);
+  }
+
+ private:
+  Zipfian zipf_;
+  Rng rng_;
+  std::vector<uint32_t> perm_;
+};
+
+// Decides each column's Zipfian parameter per the skew mode.
+class SkewPicker {
+ public:
+  SkewPicker(SkewMode mode, double z, uint64_t seed)
+      : mode_(mode), z_(z), rng_(seed ^ 0x5EEDC01ull) {}
+
+  double NextColumnZ() {
+    switch (mode_) {
+      case SkewMode::kUniform:
+        return 0.0;
+      case SkewMode::kFixed:
+        return z_;
+      case SkewMode::kMixed:
+        return rng_.NextDouble() * 4.0;
+    }
+    return 0.0;
+  }
+
+ private:
+  SkewMode mode_;
+  double z_;
+  Rng rng_;
+};
+
+size_t Scaled(double base, double sf, size_t minimum) {
+  return std::max(minimum, static_cast<size_t>(base * sf));
+}
+
+}  // namespace
+
+Database BuildTpcd(const TpcdConfig& config) {
+  AUTOSTATS_CHECK(config.scale_factor > 0.0);
+  Database db;
+  AddTpcdSchema(&db);
+
+  const double sf = config.scale_factor;
+  const size_t num_supplier = Scaled(10000, sf, 20);
+  const size_t num_customer = Scaled(150000, sf, 50);
+  const size_t num_part = Scaled(200000, sf, 50);
+  const size_t num_orders = num_customer * 10;
+  constexpr int64_t kDateDomain = 2400;  // order dates span ~6.5 years
+
+  SkewPicker skew(config.skew_mode, config.z, config.seed);
+  Rng master(config.seed);
+  auto col = [&](uint64_t domain, bool permute = true) {
+    return ColGen(domain, skew.NextColumnZ(), master.Next(), permute);
+  };
+
+  // region
+  {
+    Table& t = db.mutable_table(db.FindTable("region"));
+    for (int i = 0; i < 5; ++i) {
+      t.AppendRow({Datum(int64_t{i}), Datum(RegionNames()[i])});
+    }
+  }
+  // nation
+  {
+    Table& t = db.mutable_table(db.FindTable("nation"));
+    for (int i = 0; i < 25; ++i) {
+      t.AppendRow({Datum(int64_t{i}), Datum(NationNames()[i]),
+                   Datum(int64_t{i % 5})});
+    }
+  }
+  // supplier
+  {
+    Table& t = db.mutable_table(db.FindTable("supplier"));
+    ColGen nation = col(25);
+    ColGen acctbal = col(100000);
+    for (size_t i = 0; i < num_supplier; ++i) {
+      t.AppendRow({Datum(static_cast<int64_t>(i)), Datum(nation.Next()),
+                   Datum(static_cast<double>(acctbal.Next()) / 100.0)});
+    }
+  }
+  // customer
+  {
+    Table& t = db.mutable_table(db.FindTable("customer"));
+    ColGen nation = col(25);
+    ColGen acctbal = col(110000);
+    ColGen segment = col(MarketSegments().size());
+    for (size_t i = 0; i < num_customer; ++i) {
+      t.AppendRow({Datum(static_cast<int64_t>(i)), Datum(nation.Next()),
+                   Datum(static_cast<double>(acctbal.Next()) / 100.0 - 999.0),
+                   Datum(MarketSegments()[static_cast<size_t>(
+                       segment.Next())])});
+    }
+  }
+  // part (retail price is correlated with size)
+  {
+    Table& t = db.mutable_table(db.FindTable("part"));
+    ColGen brand = col(Brands().size());
+    ColGen type = col(PartTypes().size());
+    ColGen size = col(50, /*permute=*/false);
+    ColGen container = col(Containers().size());
+    for (size_t i = 0; i < num_part; ++i) {
+      const int64_t sz = 1 + size.Next();
+      t.AppendRow({Datum(static_cast<int64_t>(i)),
+                   Datum(Brands()[static_cast<size_t>(brand.Next())]),
+                   Datum(PartTypes()[static_cast<size_t>(type.Next())]),
+                   Datum(sz),
+                   Datum(Containers()[static_cast<size_t>(container.Next())]),
+                   Datum(900.0 + 10.0 * static_cast<double>(sz) +
+                         static_cast<double>(i % 100))});
+    }
+  }
+  // partsupp: 4 suppliers per part
+  {
+    Table& t = db.mutable_table(db.FindTable("partsupp"));
+    ColGen supp = col(num_supplier);
+    ColGen qty = col(9999, /*permute=*/false);
+    ColGen cost = col(100000);
+    for (size_t p = 0; p < num_part; ++p) {
+      for (int s = 0; s < 4; ++s) {
+        t.AppendRow({Datum(static_cast<int64_t>(p)), Datum(supp.Next()),
+                     Datum(1 + qty.Next()),
+                     Datum(static_cast<double>(cost.Next()) / 100.0)});
+      }
+    }
+  }
+  // orders + lineitem (lineitem dates derive from the order date; extended
+  // price derives from quantity and part key)
+  {
+    Table& orders = db.mutable_table(db.FindTable("orders"));
+    Table& lineitem = db.mutable_table(db.FindTable("lineitem"));
+    ColGen cust = col(num_customer);
+    ColGen status = col(OrderStatuses().size());
+    ColGen totalprice = col(400000);
+    ColGen orderdate = col(kDateDomain, /*permute=*/false);
+    ColGen priority = col(OrderPriorities().size());
+    ColGen l_part = col(num_part);
+    ColGen l_supp = col(num_supplier);
+    ColGen quantity = col(50, /*permute=*/false);
+    ColGen discount = col(11, /*permute=*/false);
+    ColGen tax = col(9, /*permute=*/false);
+    ColGen returnflag = col(ReturnFlags().size());
+    ColGen linestatus = col(LineStatuses().size());
+    ColGen shipdelta = col(121, /*permute=*/false);
+    ColGen commitdelta = col(60, /*permute=*/false);
+    ColGen receiptdelta = col(30, /*permute=*/false);
+    ColGen shipmode = col(ShipModes().size());
+    ColGen shipinstruct = col(ShipInstructs().size());
+    Rng line_count_rng(master.Next());
+    for (size_t o = 0; o < num_orders; ++o) {
+      const int64_t odate = orderdate.Next();
+      orders.AppendRow(
+          {Datum(static_cast<int64_t>(o)), Datum(cust.Next()),
+           Datum(OrderStatuses()[static_cast<size_t>(status.Next())]),
+           Datum(static_cast<double>(totalprice.Next()) / 100.0),
+           Datum(odate),
+           Datum(OrderPriorities()[static_cast<size_t>(priority.Next())])});
+      const int num_lines = 1 + static_cast<int>(line_count_rng.NextU64(7));
+      for (int ln = 0; ln < num_lines; ++ln) {
+        const int64_t pk = l_part.Next();
+        const int64_t qty = 1 + quantity.Next();
+        const int64_t shipdate = odate + 1 + shipdelta.Next();
+        lineitem.AppendRow(
+            {Datum(static_cast<int64_t>(o)), Datum(pk), Datum(l_supp.Next()),
+             Datum(static_cast<int64_t>(ln + 1)), Datum(qty),
+             Datum(static_cast<double>(qty) *
+                   (900.0 + static_cast<double>(pk % 1000)) / 10.0),
+             Datum(static_cast<double>(discount.Next()) / 100.0),
+             Datum(static_cast<double>(tax.Next()) / 100.0),
+             Datum(ReturnFlags()[static_cast<size_t>(returnflag.Next())]),
+             Datum(LineStatuses()[static_cast<size_t>(linestatus.Next())]),
+             Datum(shipdate), Datum(shipdate - 15 + commitdelta.Next()),
+             Datum(shipdate + 1 + receiptdelta.Next()),
+             Datum(ShipModes()[static_cast<size_t>(shipmode.Next())]),
+             Datum(ShipInstructs()[static_cast<size_t>(
+                 shipinstruct.Next())])});
+      }
+    }
+  }
+  return db;
+}
+
+Database BuildTpcdVariant(const std::string& variant, double scale_factor,
+                          uint64_t seed) {
+  TpcdConfig config;
+  config.scale_factor = scale_factor;
+  config.seed = seed;
+  if (variant == "TPCD_0") {
+    config.skew_mode = SkewMode::kUniform;
+  } else if (variant == "TPCD_2") {
+    config.skew_mode = SkewMode::kFixed;
+    config.z = 2.0;
+  } else if (variant == "TPCD_4") {
+    config.skew_mode = SkewMode::kFixed;
+    config.z = 4.0;
+  } else if (variant == "TPCD_MIX") {
+    config.skew_mode = SkewMode::kMixed;
+  } else {
+    AUTOSTATS_CHECK_MSG(false, "unknown TPC-D variant");
+  }
+  return BuildTpcd(config);
+}
+
+const std::vector<std::string>& TpcdVariantNames() {
+  static const auto& v = *new std::vector<std::string>{
+      "TPCD_0", "TPCD_2", "TPCD_4", "TPCD_MIX"};
+  return v;
+}
+
+}  // namespace autostats::tpcd

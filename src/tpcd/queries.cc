@@ -1,0 +1,263 @@
+#include "tpcd/queries.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "tpcd/schema.h"
+
+namespace autostats::tpcd {
+
+namespace {
+
+// Small builder DSL so each query reads close to its SQL.
+class QB {
+ public:
+  QB(const Database& db, std::string name) : db_(db), q_(std::move(name)) {}
+
+  QB& From(const std::string& table) {
+    q_.AddTable(db_.FindTable(table));
+    return *this;
+  }
+  QB& Join(const std::string& lt, const std::string& lc,
+           const std::string& rt, const std::string& rc) {
+    q_.AddJoin(JoinPredicate{db_.Resolve(lt, lc), db_.Resolve(rt, rc)});
+    return *this;
+  }
+  QB& Where(const std::string& t, const std::string& c, CompareOp op,
+            Datum v, Datum v2 = Datum()) {
+    q_.AddFilter(FilterPredicate{db_.Resolve(t, c), op, std::move(v),
+                                 std::move(v2)});
+    return *this;
+  }
+  QB& GroupBy(const std::string& t, const std::string& c) {
+    q_.AddGroupBy(db_.Resolve(t, c));
+    return *this;
+  }
+  Query Build() { return std::move(q_); }
+
+ private:
+  const Database& db_;
+  Query q_;
+};
+
+Datum D(int64_t v) { return Datum(v); }
+Datum D(double v) { return Datum(v); }
+Datum D(const char* v) { return Datum(std::string(v)); }
+Datum Date(int y, int m, int d) { return Datum(EncodeDate(y, m, d)); }
+
+}  // namespace
+
+Query TpcdQuery(const Database& db, int number) {
+  switch (number) {
+    case 1:
+      // Q1 pricing summary report: single-table aggregation.
+      return QB(db, "Q1")
+          .From("lineitem")
+          .Where("lineitem", "l_shipdate", CompareOp::kLe, Date(1998, 9, 2))
+          .GroupBy("lineitem", "l_returnflag")
+          .GroupBy("lineitem", "l_linestatus")
+          .Build();
+    case 2:
+      // Q2 minimum cost supplier (subquery flattened to its SPJ block).
+      return QB(db, "Q2")
+          .From("part").From("supplier").From("partsupp").From("nation")
+          .From("region")
+          .Join("part", "p_partkey", "partsupp", "ps_partkey")
+          .Join("supplier", "s_suppkey", "partsupp", "ps_suppkey")
+          .Join("supplier", "s_nationkey", "nation", "n_nationkey")
+          .Join("nation", "n_regionkey", "region", "r_regionkey")
+          .Where("part", "p_size", CompareOp::kEq, D(int64_t{15}))
+          .Where("region", "r_name", CompareOp::kEq, D("EUROPE"))
+          .Build();
+    case 3:
+      // Q3 shipping priority (grouping approximated by order date).
+      return QB(db, "Q3")
+          .From("customer").From("orders").From("lineitem")
+          .Join("customer", "c_custkey", "orders", "o_custkey")
+          .Join("lineitem", "l_orderkey", "orders", "o_orderkey")
+          .Where("customer", "c_mktsegment", CompareOp::kEq, D("BUILDING"))
+          .Where("orders", "o_orderdate", CompareOp::kLt, Date(1995, 3, 15))
+          .Where("lineitem", "l_shipdate", CompareOp::kGt, Date(1995, 3, 15))
+          .GroupBy("orders", "o_orderdate")
+          .Build();
+    case 4:
+      // Q4 order priority checking (l_commitdate < l_receiptdate replaced
+      // by a receipt-date range; EXISTS flattened to a join).
+      return QB(db, "Q4")
+          .From("orders").From("lineitem")
+          .Join("lineitem", "l_orderkey", "orders", "o_orderkey")
+          .Where("orders", "o_orderdate", CompareOp::kBetween,
+                 Date(1993, 7, 1), Date(1993, 10, 1))
+          .Where("lineitem", "l_receiptdate", CompareOp::kGe,
+                 Date(1993, 8, 1))
+          .GroupBy("orders", "o_orderpriority")
+          .Build();
+    case 5:
+      // Q5 local supplier volume.
+      return QB(db, "Q5")
+          .From("customer").From("orders").From("lineitem").From("supplier")
+          .From("nation").From("region")
+          .Join("customer", "c_custkey", "orders", "o_custkey")
+          .Join("lineitem", "l_orderkey", "orders", "o_orderkey")
+          .Join("lineitem", "l_suppkey", "supplier", "s_suppkey")
+          .Join("customer", "c_nationkey", "supplier", "s_nationkey")
+          .Join("supplier", "s_nationkey", "nation", "n_nationkey")
+          .Join("nation", "n_regionkey", "region", "r_regionkey")
+          .Where("region", "r_name", CompareOp::kEq, D("ASIA"))
+          .Where("orders", "o_orderdate", CompareOp::kBetween,
+                 Date(1994, 1, 1), Date(1995, 1, 1))
+          .GroupBy("nation", "n_name")
+          .Build();
+    case 6:
+      // Q6 forecasting revenue change: three selections on one table.
+      return QB(db, "Q6")
+          .From("lineitem")
+          .Where("lineitem", "l_shipdate", CompareOp::kBetween,
+                 Date(1994, 1, 1), Date(1995, 1, 1))
+          .Where("lineitem", "l_discount", CompareOp::kBetween, D(0.05),
+                 D(0.07))
+          .Where("lineitem", "l_quantity", CompareOp::kLt, D(int64_t{24}))
+          .Build();
+    case 7:
+      // Q7 volume shipping (the nation self-join is collapsed to one
+      // nation reference; grouping by nation name).
+      return QB(db, "Q7")
+          .From("supplier").From("lineitem").From("orders").From("customer")
+          .From("nation")
+          .Join("supplier", "s_suppkey", "lineitem", "l_suppkey")
+          .Join("orders", "o_orderkey", "lineitem", "l_orderkey")
+          .Join("customer", "c_custkey", "orders", "o_custkey")
+          .Join("supplier", "s_nationkey", "nation", "n_nationkey")
+          .Where("nation", "n_name", CompareOp::kEq, D("FRANCE"))
+          .Where("lineitem", "l_shipdate", CompareOp::kBetween,
+                 Date(1995, 1, 1), Date(1996, 12, 31))
+          .GroupBy("nation", "n_name")
+          .Build();
+    case 8:
+      // Q8 national market share.
+      return QB(db, "Q8")
+          .From("part").From("supplier").From("lineitem").From("orders")
+          .From("customer").From("nation").From("region")
+          .Join("part", "p_partkey", "lineitem", "l_partkey")
+          .Join("supplier", "s_suppkey", "lineitem", "l_suppkey")
+          .Join("lineitem", "l_orderkey", "orders", "o_orderkey")
+          .Join("orders", "o_custkey", "customer", "c_custkey")
+          .Join("customer", "c_nationkey", "nation", "n_nationkey")
+          .Join("nation", "n_regionkey", "region", "r_regionkey")
+          .Where("region", "r_name", CompareOp::kEq, D("AMERICA"))
+          .Where("orders", "o_orderdate", CompareOp::kBetween,
+                 Date(1995, 1, 1), Date(1996, 12, 31))
+          .Where("part", "p_type", CompareOp::kEq,
+                 D("ECONOMY ANODIZED STEEL"))
+          .GroupBy("orders", "o_orderdate")
+          .Build();
+    case 9:
+      // Q9 product type profit (p_name LIKE replaced by a type equality;
+      // the partsupp-lineitem join keeps both key columns — a two-column
+      // join pair).
+      return QB(db, "Q9")
+          .From("part").From("supplier").From("lineitem").From("partsupp")
+          .From("orders").From("nation")
+          .Join("supplier", "s_suppkey", "lineitem", "l_suppkey")
+          .Join("partsupp", "ps_suppkey", "lineitem", "l_suppkey")
+          .Join("partsupp", "ps_partkey", "lineitem", "l_partkey")
+          .Join("part", "p_partkey", "lineitem", "l_partkey")
+          .Join("orders", "o_orderkey", "lineitem", "l_orderkey")
+          .Join("supplier", "s_nationkey", "nation", "n_nationkey")
+          .Where("part", "p_type", CompareOp::kEq,
+                 D("STANDARD BURNISHED NICKEL"))
+          .GroupBy("nation", "n_name")
+          .Build();
+    case 10:
+      // Q10 returned item reporting.
+      return QB(db, "Q10")
+          .From("customer").From("orders").From("lineitem").From("nation")
+          .Join("customer", "c_custkey", "orders", "o_custkey")
+          .Join("lineitem", "l_orderkey", "orders", "o_orderkey")
+          .Join("customer", "c_nationkey", "nation", "n_nationkey")
+          .Where("orders", "o_orderdate", CompareOp::kBetween,
+                 Date(1993, 10, 1), Date(1994, 1, 1))
+          .Where("lineitem", "l_returnflag", CompareOp::kEq, D("R"))
+          .GroupBy("customer", "c_custkey")
+          .Build();
+    case 11:
+      // Q11 important stock identification.
+      return QB(db, "Q11")
+          .From("partsupp").From("supplier").From("nation")
+          .Join("partsupp", "ps_suppkey", "supplier", "s_suppkey")
+          .Join("supplier", "s_nationkey", "nation", "n_nationkey")
+          .Where("nation", "n_name", CompareOp::kEq, D("GERMANY"))
+          .GroupBy("partsupp", "ps_partkey")
+          .Build();
+    case 12:
+      // Q12 shipping modes and order priority (IN list reduced to one
+      // mode; commit/receipt comparison replaced by a receipt range).
+      return QB(db, "Q12")
+          .From("orders").From("lineitem")
+          .Join("lineitem", "l_orderkey", "orders", "o_orderkey")
+          .Where("lineitem", "l_shipmode", CompareOp::kEq, D("MAIL"))
+          .Where("lineitem", "l_receiptdate", CompareOp::kBetween,
+                 Date(1994, 1, 1), Date(1995, 1, 1))
+          .GroupBy("lineitem", "l_shipmode")
+          .Build();
+    case 13:
+      // Q13 (customer distribution; outer join approximated by an inner
+      // join with a priority selection).
+      return QB(db, "Q13")
+          .From("customer").From("orders")
+          .Join("customer", "c_custkey", "orders", "o_custkey")
+          .Where("orders", "o_orderpriority", CompareOp::kEq, D("1-URGENT"))
+          .GroupBy("customer", "c_custkey")
+          .Build();
+    case 14:
+      // Q14 promotion effect.
+      return QB(db, "Q14")
+          .From("lineitem").From("part")
+          .Join("lineitem", "l_partkey", "part", "p_partkey")
+          .Where("lineitem", "l_shipdate", CompareOp::kBetween,
+                 Date(1995, 9, 1), Date(1995, 10, 1))
+          .Build();
+    case 15:
+      // Q15 top supplier (view flattened).
+      return QB(db, "Q15")
+          .From("lineitem").From("supplier")
+          .Join("lineitem", "l_suppkey", "supplier", "s_suppkey")
+          .Where("lineitem", "l_shipdate", CompareOp::kBetween,
+                 Date(1996, 1, 1), Date(1996, 4, 1))
+          .GroupBy("supplier", "s_suppkey")
+          .Build();
+    case 16:
+      // Q16 parts/supplier relationship (IN size list reduced to a range).
+      return QB(db, "Q16")
+          .From("partsupp").From("part")
+          .Join("partsupp", "ps_partkey", "part", "p_partkey")
+          .Where("part", "p_brand", CompareOp::kEq, D("Brand#45"))
+          .Where("part", "p_size", CompareOp::kBetween, D(int64_t{9}),
+                 D(int64_t{19}))
+          .GroupBy("part", "p_type")
+          .GroupBy("part", "p_size")
+          .Build();
+    case 17:
+      // Q17 small-quantity-order revenue (AVG subquery replaced by the
+      // constant threshold it evaluates to).
+      return QB(db, "Q17")
+          .From("lineitem").From("part")
+          .Join("lineitem", "l_partkey", "part", "p_partkey")
+          .Where("part", "p_brand", CompareOp::kEq, D("Brand#23"))
+          .Where("part", "p_container", CompareOp::kEq, D("MED BOX"))
+          .Where("lineitem", "l_quantity", CompareOp::kLt, D(int64_t{5}))
+          .Build();
+    default:
+      AUTOSTATS_CHECK_MSG(false, "TPC-D query number out of range");
+  }
+  return Query();
+}
+
+Workload TpcdQueries(const Database& db) {
+  Workload w("TPCD-ORIG");
+  for (int q = 1; q <= 17; ++q) {
+    w.AddQuery(TpcdQuery(db, q));
+  }
+  return w;
+}
+
+}  // namespace autostats::tpcd

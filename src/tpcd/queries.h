@@ -1,0 +1,23 @@
+// The 17 queries of the TPC-D benchmark (the TPCD-ORIG workload of §8),
+// rendered in this engine's SPJ + GROUP BY query class. Subquery blocks
+// are flattened to their main SPJ block and column-to-column comparisons
+// are replaced by constant ranges; each query keeps its original join
+// graph, selection columns and grouping columns — the inputs statistics
+// selection actually sees. Per-query notes are in queries.cc.
+#ifndef AUTOSTATS_TPCD_QUERIES_H_
+#define AUTOSTATS_TPCD_QUERIES_H_
+
+#include "catalog/database.h"
+#include "query/workload.h"
+
+namespace autostats::tpcd {
+
+// Builds Q1..Q17 against a database carrying the TPC-D schema.
+Workload TpcdQueries(const Database& db);
+
+// A single query by number (1-based), for focused tests.
+Query TpcdQuery(const Database& db, int number);
+
+}  // namespace autostats::tpcd
+
+#endif  // AUTOSTATS_TPCD_QUERIES_H_

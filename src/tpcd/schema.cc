@@ -1,0 +1,97 @@
+#include "tpcd/schema.h"
+
+namespace autostats::tpcd {
+
+int64_t EncodeDate(int year, int month, int day) {
+  static constexpr int kDaysBeforeMonth[12] = {0,   31,  59,  90,  120, 151,
+                                               181, 212, 243, 273, 304, 334};
+  return (year - 1992) * 365 + kDaysBeforeMonth[month - 1] + (day - 1);
+}
+
+void AddTpcdSchema(Database* db) {
+  using VT = ValueType;
+  db->AddTable(Schema("region", {
+    {"r_regionkey", VT::kInt64},
+    {"r_name", VT::kString},
+  }));
+  db->AddTable(Schema("nation", {
+    {"n_nationkey", VT::kInt64},
+    {"n_name", VT::kString},
+    {"n_regionkey", VT::kInt64},
+  }));
+  db->AddTable(Schema("supplier", {
+    {"s_suppkey", VT::kInt64},
+    {"s_nationkey", VT::kInt64},
+    {"s_acctbal", VT::kDouble},
+  }));
+  db->AddTable(Schema("customer", {
+    {"c_custkey", VT::kInt64},
+    {"c_nationkey", VT::kInt64},
+    {"c_acctbal", VT::kDouble},
+    {"c_mktsegment", VT::kString},
+  }));
+  db->AddTable(Schema("part", {
+    {"p_partkey", VT::kInt64},
+    {"p_brand", VT::kString},
+    {"p_type", VT::kString},
+    {"p_size", VT::kInt64},
+    {"p_container", VT::kString},
+    {"p_retailprice", VT::kDouble},
+  }));
+  db->AddTable(Schema("partsupp", {
+    {"ps_partkey", VT::kInt64},
+    {"ps_suppkey", VT::kInt64},
+    {"ps_availqty", VT::kInt64},
+    {"ps_supplycost", VT::kDouble},
+  }));
+  db->AddTable(Schema("orders", {
+    {"o_orderkey", VT::kInt64},
+    {"o_custkey", VT::kInt64},
+    {"o_orderstatus", VT::kString},
+    {"o_totalprice", VT::kDouble},
+    {"o_orderdate", VT::kInt64},
+    {"o_orderpriority", VT::kString},
+  }));
+  db->AddTable(Schema("lineitem", {
+    {"l_orderkey", VT::kInt64},
+    {"l_partkey", VT::kInt64},
+    {"l_suppkey", VT::kInt64},
+    {"l_linenumber", VT::kInt64},
+    {"l_quantity", VT::kInt64},
+    {"l_extendedprice", VT::kDouble},
+    {"l_discount", VT::kDouble},
+    {"l_tax", VT::kDouble},
+    {"l_returnflag", VT::kString},
+    {"l_linestatus", VT::kString},
+    {"l_shipdate", VT::kInt64},
+    {"l_commitdate", VT::kInt64},
+    {"l_receiptdate", VT::kInt64},
+    {"l_shipmode", VT::kString},
+    {"l_shipinstruct", VT::kString},
+  }));
+}
+
+std::vector<JoinPredicate> TpcdForeignKeys(const Database& db) {
+  struct Edge {
+    const char *t1, *c1, *t2, *c2;
+  };
+  static constexpr Edge kEdges[] = {
+      {"nation", "n_regionkey", "region", "r_regionkey"},
+      {"supplier", "s_nationkey", "nation", "n_nationkey"},
+      {"customer", "c_nationkey", "nation", "n_nationkey"},
+      {"partsupp", "ps_partkey", "part", "p_partkey"},
+      {"partsupp", "ps_suppkey", "supplier", "s_suppkey"},
+      {"orders", "o_custkey", "customer", "c_custkey"},
+      {"lineitem", "l_orderkey", "orders", "o_orderkey"},
+      {"lineitem", "l_partkey", "part", "p_partkey"},
+      {"lineitem", "l_suppkey", "supplier", "s_suppkey"},
+  };
+  std::vector<JoinPredicate> out;
+  for (const Edge& e : kEdges) {
+    out.push_back(
+        JoinPredicate{db.Resolve(e.t1, e.c1), db.Resolve(e.t2, e.c2)});
+  }
+  return out;
+}
+
+}  // namespace autostats::tpcd

@@ -1,0 +1,28 @@
+// The TPC-D benchmark schema (8 tables). Comment / address / free-text
+// columns are omitted: they never carry statistics-relevant predicates and
+// would only inflate memory. Dates are encoded as integer day offsets from
+// 1992-01-01 (day 0) through 1998-12-31 (day 2556).
+#ifndef AUTOSTATS_TPCD_SCHEMA_H_
+#define AUTOSTATS_TPCD_SCHEMA_H_
+
+#include "catalog/database.h"
+#include "query/predicate.h"
+
+namespace autostats::tpcd {
+
+// Day-offset encoding for TPC-D dates: "1995-03-15" -> days since
+// 1992-01-01. Months are treated as 30.44-day ticks (estimation only ever
+// compares encoded values with each other).
+int64_t EncodeDate(int year, int month, int day);
+
+// Adds the 8 empty TPC-D tables to `db` (region, nation, supplier,
+// customer, part, partsupp, orders, lineitem).
+void AddTpcdSchema(Database* db);
+
+// The foreign-key join edges of the TPC-D schema (the join graph random
+// workload generation walks over).
+std::vector<JoinPredicate> TpcdForeignKeys(const Database& db);
+
+}  // namespace autostats::tpcd
+
+#endif  // AUTOSTATS_TPCD_SCHEMA_H_

@@ -1,0 +1,28 @@
+// TPC-D .tbl file export/import — pipe-delimited rows, one file per table,
+// the dbgen interchange format. The paper's authors published their skewed
+// generator as a downloadable program [17]; examples/tpcd_skew_gen.cpp
+// plus this module reproduce that artifact: generate a skewed instance and
+// write it where any other system (or a later run of this library) can
+// load it.
+#ifndef AUTOSTATS_TPCD_TBL_IO_H_
+#define AUTOSTATS_TPCD_TBL_IO_H_
+
+#include <string>
+
+#include "catalog/database.h"
+#include "common/status.h"
+
+namespace autostats::tpcd {
+
+// Writes every table of `db` as <dir>/<table>.tbl (pipe-delimited, one
+// trailing pipe per line, dbgen-style). Creates `dir` if needed.
+Status WriteTblFiles(const Database& db, const std::string& dir);
+
+// Loads <dir>/<table>.tbl for every table of the (already-schematized,
+// empty) `db`. Fails if a file is missing or a row does not match the
+// schema arity.
+Status LoadTblFiles(Database* db, const std::string& dir);
+
+}  // namespace autostats::tpcd
+
+#endif  // AUTOSTATS_TPCD_TBL_IO_H_

@@ -1,0 +1,120 @@
+#include "tpcd/text_pools.h"
+
+namespace autostats::tpcd {
+
+namespace {
+
+std::vector<std::string> MakeBrands() {
+  std::vector<std::string> out;
+  for (int a = 1; a <= 5; ++a) {
+    for (int b = 1; b <= 5; ++b) {
+      out.push_back("Brand#" + std::to_string(a) + std::to_string(b));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> MakePartTypes() {
+  const char* syl1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                        "PROMO"};
+  const char* syl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                        "BRUSHED"};
+  const char* syl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+  std::vector<std::string> out;
+  for (const char* a : syl1) {
+    for (const char* b : syl2) {
+      for (const char* c : syl3) {
+        out.push_back(std::string(a) + " " + b + " " + c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> MakeContainers() {
+  const char* syl1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+  const char* syl2[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN",
+                        "DRUM"};
+  std::vector<std::string> out;
+  for (const char* a : syl1) {
+    for (const char* b : syl2) {
+      out.push_back(std::string(a) + " " + b);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RegionNames() {
+  static const auto& v = *new std::vector<std::string>{
+      "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+  return v;
+}
+
+const std::vector<std::string>& NationNames() {
+  static const auto& v = *new std::vector<std::string>{
+      "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",        "EGYPT",
+      "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",         "INDONESIA",
+      "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",        "KENYA",
+      "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",         "ROMANIA",
+      "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+      "UNITED STATES"};
+  return v;
+}
+
+const std::vector<std::string>& MarketSegments() {
+  static const auto& v = *new std::vector<std::string>{
+      "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"};
+  return v;
+}
+
+const std::vector<std::string>& OrderPriorities() {
+  static const auto& v = *new std::vector<std::string>{
+      "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+  return v;
+}
+
+const std::vector<std::string>& ShipModes() {
+  static const auto& v = *new std::vector<std::string>{
+      "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+  return v;
+}
+
+const std::vector<std::string>& ShipInstructs() {
+  static const auto& v = *new std::vector<std::string>{
+      "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+  return v;
+}
+
+const std::vector<std::string>& ReturnFlags() {
+  static const auto& v = *new std::vector<std::string>{"R", "A", "N"};
+  return v;
+}
+
+const std::vector<std::string>& LineStatuses() {
+  static const auto& v = *new std::vector<std::string>{"O", "F"};
+  return v;
+}
+
+const std::vector<std::string>& OrderStatuses() {
+  static const auto& v = *new std::vector<std::string>{"O", "F", "P"};
+  return v;
+}
+
+const std::vector<std::string>& Brands() {
+  static const auto& v = *new std::vector<std::string>(MakeBrands());
+  return v;
+}
+
+const std::vector<std::string>& PartTypes() {
+  static const auto& v = *new std::vector<std::string>(MakePartTypes());
+  return v;
+}
+
+const std::vector<std::string>& Containers() {
+  static const auto& v = *new std::vector<std::string>(MakeContainers());
+  return v;
+}
+
+}  // namespace autostats::tpcd

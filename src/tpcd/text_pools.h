@@ -1,0 +1,27 @@
+// Categorical value pools for the TPC-D generator (region/nation names,
+// market segments, priorities, ship modes, ...). Pool sizes follow the
+// TPC-D specification where practical.
+#ifndef AUTOSTATS_TPCD_TEXT_POOLS_H_
+#define AUTOSTATS_TPCD_TEXT_POOLS_H_
+
+#include <string>
+#include <vector>
+
+namespace autostats::tpcd {
+
+const std::vector<std::string>& RegionNames();    // 5
+const std::vector<std::string>& NationNames();    // 25
+const std::vector<std::string>& MarketSegments(); // 5
+const std::vector<std::string>& OrderPriorities(); // 5
+const std::vector<std::string>& ShipModes();      // 7
+const std::vector<std::string>& ShipInstructs();  // 4
+const std::vector<std::string>& ReturnFlags();    // 3 (R, A, N)
+const std::vector<std::string>& LineStatuses();   // 2 (O, F)
+const std::vector<std::string>& OrderStatuses();  // 3 (O, F, P)
+const std::vector<std::string>& Brands();         // 25 (Brand#11..Brand#55)
+const std::vector<std::string>& PartTypes();      // 150
+const std::vector<std::string>& Containers();     // 40
+
+}  // namespace autostats::tpcd
+
+#endif  // AUTOSTATS_TPCD_TEXT_POOLS_H_

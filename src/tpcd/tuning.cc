@@ -1,0 +1,41 @@
+#include "tpcd/tuning.h"
+
+namespace autostats::tpcd {
+
+void ApplyTunedIndexes(Database* db) {
+  struct Spec {
+    const char* name;
+    const char* table;
+    const char* column;
+  };
+  // The 13 indexes of a typically tuned TPC-D installation: primary keys
+  // plus the frequently joined / filtered columns of the two fact tables.
+  static constexpr Spec kSpecs[] = {
+      {"ix_orders_orderkey", "orders", "o_orderkey"},
+      {"ix_orders_custkey", "orders", "o_custkey"},
+      {"ix_orders_orderdate", "orders", "o_orderdate"},
+      {"ix_lineitem_orderkey", "lineitem", "l_orderkey"},
+      {"ix_lineitem_partkey", "lineitem", "l_partkey"},
+      {"ix_lineitem_suppkey", "lineitem", "l_suppkey"},
+      {"ix_lineitem_shipdate", "lineitem", "l_shipdate"},
+      {"ix_customer_custkey", "customer", "c_custkey"},
+      {"ix_customer_nationkey", "customer", "c_nationkey"},
+      {"ix_part_partkey", "part", "p_partkey"},
+      {"ix_supplier_suppkey", "supplier", "s_suppkey"},
+      {"ix_partsupp_partkey", "partsupp", "ps_partkey"},
+      {"ix_partsupp_suppkey", "partsupp", "ps_suppkey"},
+  };
+  for (const Spec& s : kSpecs) {
+    const ColumnRef ref = db->Resolve(s.table, s.column);
+    db->AddIndex(IndexDef{s.name, ref.table, {ref.column}});
+  }
+}
+
+void CreateIndexImpliedStatistics(StatsCatalog* catalog) {
+  for (const IndexDef& ix : catalog->db().indexes()) {
+    catalog->CreateStatistic({ix.LeadingColumn()});
+  }
+  catalog->ResetAccounting();
+}
+
+}  // namespace autostats::tpcd

@@ -1,0 +1,25 @@
+// Physical tuning for the intro experiment (§1): the "tuned TPC-D
+// database with 13 indexes". As in SQL Server, building an index implies a
+// statistic on its leading column; CreateIndexImpliedStatistics builds
+// those for free (their cost is part of index creation, not statistics
+// management).
+#ifndef AUTOSTATS_TPCD_TUNING_H_
+#define AUTOSTATS_TPCD_TUNING_H_
+
+#include "catalog/database.h"
+#include "stats/stats_catalog.h"
+
+namespace autostats::tpcd {
+
+// Adds the 13 canonical indexes (keys and the main foreign keys / date
+// columns of orders and lineitem).
+void ApplyTunedIndexes(Database* db);
+
+// Builds a single-column statistic on the leading column of every index
+// and zeroes the catalog's cost accounting (index-implied statistics are
+// free as far as statistics management is concerned).
+void CreateIndexImpliedStatistics(StatsCatalog* catalog);
+
+}  // namespace autostats::tpcd
+
+#endif  // AUTOSTATS_TPCD_TUNING_H_

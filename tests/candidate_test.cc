@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/candidate.h"
+#include "core/equivalence.h"
+#include "tests/test_util.h"
+
+namespace autostats {
+namespace {
+
+// Reconstructs Example 3 of the paper:
+//   Q2 = SELECT * FROM R1, R2 WHERE R1.a = R2.b AND R1.c = R2.d
+//        AND R1.e < 100 AND R1.f > 10 AND R1.g = 25
+struct Example3 {
+  Database db;
+  TableId r1 = kInvalidTableId, r2 = kInvalidTableId;
+  ColumnRef a, c, e, f, g, b, d;
+  Query q;
+};
+
+Example3 MakeExample3() {
+  Example3 x;
+  x.r1 = x.db.AddTable(Schema("R1", {{"a", ValueType::kInt64},
+                                     {"c", ValueType::kInt64},
+                                     {"e", ValueType::kInt64},
+                                     {"f", ValueType::kInt64},
+                                     {"g", ValueType::kInt64}}));
+  x.r2 = x.db.AddTable(Schema(
+      "R2", {{"b", ValueType::kInt64}, {"d", ValueType::kInt64}}));
+  x.a = {x.r1, 0};
+  x.c = {x.r1, 1};
+  x.e = {x.r1, 2};
+  x.f = {x.r1, 3};
+  x.g = {x.r1, 4};
+  x.b = {x.r2, 0};
+  x.d = {x.r2, 1};
+  x.q = Query("Q2");
+  x.q.AddTable(x.r1);
+  x.q.AddTable(x.r2);
+  x.q.AddJoin({x.a, x.b});
+  x.q.AddJoin({x.c, x.d});
+  x.q.AddFilter({x.e, CompareOp::kLt, Datum(int64_t{100}), Datum()});
+  x.q.AddFilter({x.f, CompareOp::kGt, Datum(int64_t{10}), Datum()});
+  x.q.AddFilter({x.g, CompareOp::kEq, Datum(int64_t{25}), Datum()});
+  return x;
+}
+
+std::set<StatKey> Keys(const std::vector<CandidateStat>& cands) {
+  std::set<StatKey> out;
+  for (const CandidateStat& c : cands) out.insert(c.key());
+  return out;
+}
+
+TEST(CandidateTest, Example3ExactCandidateSet) {
+  Example3 x = MakeExample3();
+  const std::vector<CandidateStat> cands = CandidateStatistics(x.q);
+  const std::set<StatKey> keys = Keys(cands);
+  // The paper: (a), (b), (c), (d), (e), (f), (g)?? — relevant singles are
+  // a, c, e, f, g, b, d; multis are (a,c), (b,d), (e,f,g).
+  EXPECT_TRUE(keys.count(MakeStatKey({x.a})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.b})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.c})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.d})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.e})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.f})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.g})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.a, x.c})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.b, x.d})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.e, x.f, x.g})));
+  // And crucially NOT the pairs (e,f), (f,g), (e,g).
+  EXPECT_FALSE(keys.count(MakeStatKey({x.e, x.f})));
+  EXPECT_FALSE(keys.count(MakeStatKey({x.f, x.g})));
+  EXPECT_FALSE(keys.count(MakeStatKey({x.e, x.g})));
+  EXPECT_EQ(cands.size(), 10u);
+}
+
+TEST(CandidateTest, ExhaustiveIncludesAllSubsets) {
+  Example3 x = MakeExample3();
+  const std::set<StatKey> keys = Keys(ExhaustiveStatistics(x.q));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.e, x.f})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.f, x.g})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.e, x.g})));
+  EXPECT_TRUE(keys.count(MakeStatKey({x.e, x.f, x.g})));
+  // Exhaustive is a strict superset of the heuristic candidates.
+  for (const StatKey& k : Keys(CandidateStatistics(x.q))) {
+    EXPECT_TRUE(keys.count(k)) << k;
+  }
+  EXPECT_GT(keys.size(), Keys(CandidateStatistics(x.q)).size());
+}
+
+TEST(CandidateTest, ExhaustiveMaxWidthRespected) {
+  Example3 x = MakeExample3();
+  for (const CandidateStat& c : ExhaustiveStatistics(x.q, 2)) {
+    EXPECT_LE(c.columns.size(), 2u);
+  }
+}
+
+TEST(CandidateTest, SingleTableNoJoin) {
+  testing::TwoTableDb t = testing::MakeTwoTableDb(10, 5);
+  Query q = testing::MakeFilterQuery(t, 50, /*group=*/true);
+  const std::vector<CandidateStat> cands = CandidateStatistics(q);
+  const std::set<StatKey> keys = Keys(cands);
+  EXPECT_TRUE(keys.count(MakeStatKey({t.fact_val})));
+  EXPECT_TRUE(keys.count(MakeStatKey({t.fact_grp})));
+  // One selection column and one group-by column: no multis.
+  EXPECT_EQ(cands.size(), 2u);
+}
+
+TEST(CandidateTest, GroupByMultiProposed) {
+  testing::TwoTableDb t = testing::MakeTwoTableDb(10, 5);
+  Query q("q");
+  q.AddTable(t.fact);
+  q.AddFilter({t.fact_val, CompareOp::kLt, Datum(int64_t{50}), Datum()});
+  q.AddGroupBy(t.fact_grp);
+  q.AddGroupBy(t.fact_flag);
+  const std::set<StatKey> keys = Keys(CandidateStatistics(q));
+  EXPECT_TRUE(keys.count(MakeStatKey({t.fact_grp, t.fact_flag})));
+}
+
+TEST(CandidateTest, WorkloadUnionDeduplicates) {
+  testing::TwoTableDb t = testing::MakeTwoTableDb(10, 5);
+  Workload w("w");
+  w.AddQuery(testing::MakeFilterQuery(t, 10));
+  w.AddQuery(testing::MakeFilterQuery(t, 90));       // same relevant column
+  w.AddQuery(testing::MakeJoinQuery(t));
+  const std::vector<CandidateStat> cands = CandidateStatisticsForWorkload(w);
+  const std::set<StatKey> keys = Keys(cands);
+  EXPECT_EQ(cands.size(), keys.size());  // no duplicates
+  EXPECT_TRUE(keys.count(MakeStatKey({t.fact_val})));
+  EXPECT_TRUE(keys.count(MakeStatKey({t.fact_fk})));
+  EXPECT_TRUE(keys.count(MakeStatKey({t.dim_pk})));
+  EXPECT_EQ(cands.size(), 3u);
+}
+
+TEST(CandidateTest, ExhaustiveForWorkload) {
+  Example3 x = MakeExample3();
+  Workload w("w");
+  w.AddQuery(x.q);
+  w.AddQuery(x.q);
+  const std::vector<CandidateStat> once = ExhaustiveStatistics(x.q);
+  const std::vector<CandidateStat> twice = ExhaustiveStatisticsForWorkload(w);
+  EXPECT_EQ(Keys(once), Keys(twice));
+}
+
+// --- equivalence ---
+
+TEST(EquivalenceTest, CostsWithinT) {
+  EXPECT_TRUE(CostsWithinT(100.0, 119.0, 20.0));
+  EXPECT_FALSE(CostsWithinT(100.0, 121.0, 20.0));
+  EXPECT_TRUE(CostsWithinT(119.0, 100.0, 20.0));  // symmetric
+  EXPECT_TRUE(CostsWithinT(100.0, 100.0, 0.0));
+  EXPECT_TRUE(CostsWithinT(0.0, 0.0, 10.0));
+  EXPECT_FALSE(CostsWithinT(0.0, 5.0, 10.0));
+}
+
+}  // namespace
+}  // namespace autostats

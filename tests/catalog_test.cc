@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "catalog/database.h"
+#include "tests/test_util.h"
+
+namespace autostats {
+namespace {
+
+// --- Datum ---
+
+TEST(DatumTest, TypesAndAccessors) {
+  EXPECT_EQ(Datum(int64_t{5}).type(), ValueType::kInt64);
+  EXPECT_EQ(Datum(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Datum(std::string("x")).type(), ValueType::kString);
+  EXPECT_EQ(Datum(int64_t{5}).AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(Datum(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Datum(std::string("x")).AsString(), "x");
+}
+
+TEST(DatumTest, Ordering) {
+  EXPECT_TRUE(Datum(int64_t{1}) < Datum(int64_t{2}));
+  EXPECT_FALSE(Datum(int64_t{2}) < Datum(int64_t{2}));
+  EXPECT_TRUE(Datum(int64_t{2}) <= Datum(int64_t{2}));
+  EXPECT_TRUE(Datum(std::string("ASIA")) < Datum(std::string("EUROPE")));
+}
+
+TEST(DatumTest, NumericKeyPreservesStringOrder) {
+  const std::vector<std::string> words = {"AFRICA", "AMERICA", "ASIA",
+                                          "EUROPE", "MIDDLE EAST"};
+  for (size_t i = 0; i + 1 < words.size(); ++i) {
+    EXPECT_LT(Datum(words[i]).NumericKey(), Datum(words[i + 1]).NumericKey())
+        << words[i] << " vs " << words[i + 1];
+  }
+}
+
+TEST(DatumTest, NumericKeyMatchesNumbers) {
+  EXPECT_DOUBLE_EQ(Datum(int64_t{42}).NumericKey(), 42.0);
+  EXPECT_DOUBLE_EQ(Datum(2.25).NumericKey(), 2.25);
+}
+
+TEST(DatumTest, ToStringRendering) {
+  EXPECT_EQ(Datum(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Datum(std::string("EUROPE")).ToString(), "'EUROPE'");
+}
+
+// --- Column ---
+
+TEST(ColumnTest, AppendGetSet) {
+  Column c(ValueType::kInt64);
+  c.AppendInt64(1);
+  c.Append(Datum(int64_t{2}));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Get(1).AsInt64(), 2);
+  c.Set(0, Datum(int64_t{9}));
+  EXPECT_EQ(c.Get(0).AsInt64(), 9);
+}
+
+TEST(ColumnTest, SwapRemove) {
+  Column c(ValueType::kString);
+  c.AppendString("a");
+  c.AppendString("b");
+  c.AppendString("c");
+  c.SwapRemove(0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Get(0).AsString(), "c");  // last element swapped in
+}
+
+TEST(ColumnTest, TypedAccessChecks) {
+  Column c(ValueType::kDouble);
+  c.AppendDouble(1.5);
+  EXPECT_EQ(c.double_data().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.NumericKey(0), 1.5);
+}
+
+// --- Table / Schema / Database ---
+
+TEST(SchemaTest, FindColumn) {
+  Schema s("t", {{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("b"), 1);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+  EXPECT_EQ(s.num_columns(), 2);
+}
+
+TEST(TableTest, AppendAndRemoveRows) {
+  Table t(Schema("t", {{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  t.AppendRow({Datum(int64_t{1}), Datum(int64_t{10})});
+  t.AppendRow({Datum(int64_t{2}), Datum(int64_t{20})});
+  t.AppendRow({Datum(int64_t{3}), Datum(int64_t{30})});
+  EXPECT_EQ(t.num_rows(), 3u);
+  t.RemoveRow(0);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetCell(0, 0).AsInt64(), 3);  // swap-remove semantics
+  t.SetCell(1, 1, Datum(int64_t{99}));
+  EXPECT_EQ(t.GetCell(1, 1).AsInt64(), 99);
+}
+
+TEST(DatabaseTest, ResolveAndNames) {
+  testing::TwoTableDb t = testing::MakeTwoTableDb(10, 5);
+  EXPECT_EQ(t.db.num_tables(), 2);
+  EXPECT_EQ(t.db.FindTable("fact"), t.fact);
+  EXPECT_EQ(t.db.FindTable("nope"), kInvalidTableId);
+  const ColumnRef ref = t.db.Resolve("fact", "val");
+  EXPECT_EQ(ref, t.fact_val);
+  EXPECT_EQ(t.db.ColumnName(ref), "fact.val");
+}
+
+TEST(DatabaseTest, Indexes) {
+  testing::TwoTableDb t = testing::MakeTwoTableDb(10, 5);
+  t.db.AddIndex(IndexDef{"ix_fk", t.fact, {t.fact_fk.column}});
+  t.db.AddIndex(IndexDef{"ix_pk", t.dim, {t.dim_pk.column}});
+  EXPECT_EQ(t.db.IndexesOn(t.fact).size(), 1u);
+  const IndexDef* ix = t.db.FindIndexWithLeadingColumn(t.fact_fk);
+  ASSERT_NE(ix, nullptr);
+  EXPECT_EQ(ix->name, "ix_fk");
+  EXPECT_EQ(t.db.FindIndexWithLeadingColumn(t.fact_val), nullptr);
+  EXPECT_EQ(ix->LeadingColumn(), t.fact_fk);
+}
+
+TEST(ColumnRefTest, OrderingAndHash) {
+  ColumnRef a{0, 1}, b{0, 2}, c{1, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_NE(ColumnRefHash()(a), ColumnRefHash()(b));
+}
+
+}  // namespace
+}  // namespace autostats

@@ -1,0 +1,188 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/zipfian.h"
+
+namespace autostats {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such statistic");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such statistic");
+  EXPECT_EQ(s.ToString(), "NotFound: no such statistic");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, BoundedValuesInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextU64(17), 17u);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntCoversFullRange) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(3);
+  Rng child = a.Fork();
+  // The child stream is not a suffix of the parent stream.
+  EXPECT_NE(child.Next(), a.Next());
+}
+
+// --- Zipfian ---
+
+TEST(ZipfianTest, UniformWhenZZero) {
+  Zipfian z(10, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfianTest, SkewConcentratesOnLowRanks) {
+  Rng rng(2);
+  Zipfian z2(100, 2.0);
+  int top = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (z2.Sample(rng) == 0) ++top;
+  }
+  // With z=2, rank 0 carries 1/H ~ 62% of the mass for n=100.
+  EXPECT_GT(static_cast<double>(top) / n, 0.5);
+}
+
+TEST(ZipfianTest, HigherZMoreSkewed) {
+  auto top_fraction = [](double zp) {
+    Rng rng(3);
+    Zipfian z(50, zp);
+    int top = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      if (z.Sample(rng) == 0) ++top;
+    }
+    return static_cast<double>(top) / n;
+  };
+  const double f0 = top_fraction(0.0);
+  const double f1 = top_fraction(1.0);
+  const double f3 = top_fraction(3.0);
+  EXPECT_LT(f0, f1);
+  EXPECT_LT(f1, f3);
+}
+
+TEST(ZipfianTest, SamplesAlwaysInDomain) {
+  Rng rng(4);
+  Zipfian z(7, 4.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Sample(rng), 7u);
+}
+
+TEST(ZipfianTest, SingletonDomain) {
+  Rng rng(5);
+  Zipfian z(1, 2.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.Sample(rng), 0u);
+}
+
+// --- string utilities ---
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " AND "), "a AND b AND c");
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StrUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(12.500, 3), "12.5");
+  EXPECT_EQ(FormatDouble(3.0, 3), "3");
+  EXPECT_EQ(FormatDouble(0.0, 3), "0");
+  EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
+}
+
+}  // namespace
+}  // namespace autostats

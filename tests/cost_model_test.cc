@@ -1,0 +1,135 @@
+// Direct unit tests of the operator cost model: the monotonicity and
+// dominance relations the enumerator's choices (and MNSA's sufficiency
+// argument) depend on.
+#include <gtest/gtest.h>
+
+#include "optimizer/cost_model.h"
+#include "stats/stats_cost.h"
+
+namespace autostats {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModel cost_;
+};
+
+TEST_F(CostModelTest, EveryFormulaMonotoneInRows) {
+  const double lo = 100.0, hi = 10000.0;
+  EXPECT_LT(cost_.ScanCost(lo, 1), cost_.ScanCost(hi, 1));
+  EXPECT_LT(cost_.IndexSeekCost(hi, lo, 0), cost_.IndexSeekCost(hi, hi, 0));
+  EXPECT_LT(cost_.HashJoinCost(lo, lo, lo), cost_.HashJoinCost(hi, lo, lo));
+  EXPECT_LT(cost_.HashJoinCost(lo, lo, lo), cost_.HashJoinCost(lo, hi, lo));
+  EXPECT_LT(cost_.HashJoinCost(lo, lo, lo), cost_.HashJoinCost(lo, lo, hi));
+  EXPECT_LT(cost_.MergeJoinCost(lo, lo, lo), cost_.MergeJoinCost(hi, lo, lo));
+  EXPECT_LT(cost_.NestedLoopCost(lo, lo, lo),
+            cost_.NestedLoopCost(hi, lo, lo));
+  EXPECT_LT(cost_.IndexNestedLoopCost(lo, hi, 1.0, lo),
+            cost_.IndexNestedLoopCost(hi, hi, 1.0, lo));
+  EXPECT_LT(cost_.SortCost(lo), cost_.SortCost(hi));
+  EXPECT_LT(cost_.HashAggregateCost(lo, 10), cost_.HashAggregateCost(hi, 10));
+  EXPECT_LT(cost_.StreamAggregateCost(lo, 10),
+            cost_.StreamAggregateCost(hi, 10));
+}
+
+TEST_F(CostModelTest, ScanChargesPredicates) {
+  EXPECT_LT(cost_.ScanCost(1000, 0), cost_.ScanCost(1000, 3));
+}
+
+TEST_F(CostModelTest, SeekBeatsScanOnlyWhenSelective) {
+  const double rows = 100000.0;
+  // Selective: few matches -> seek wins.
+  EXPECT_LT(cost_.IndexSeekCost(rows, 10.0, 0), cost_.ScanCost(rows, 1));
+  // Unselective: most rows matched -> scan wins (random I/O penalty).
+  EXPECT_GT(cost_.IndexSeekCost(rows, rows, 0), cost_.ScanCost(rows, 1));
+}
+
+TEST_F(CostModelTest, HashBeatsNestedLoopOnLargeInputs) {
+  const double n = 10000.0;
+  EXPECT_LT(cost_.HashJoinCost(n, n, n), cost_.NestedLoopCost(n, n, n));
+  // Tiny inputs: nested loop's lack of build cost can win.
+  EXPECT_LT(cost_.NestedLoopCost(2.0, 3.0, 1.0),
+            cost_.HashJoinCost(3.0, 2.0, 1.0));
+}
+
+TEST_F(CostModelTest, MergeJoinPaysForSorts) {
+  const double n = 5000.0;
+  EXPECT_GT(cost_.MergeJoinCost(n, n, n), cost_.HashJoinCost(n, n, n));
+}
+
+TEST_F(CostModelTest, StreamAggregatePaysForSort) {
+  EXPECT_GT(cost_.StreamAggregateCost(10000, 10),
+            cost_.HashAggregateCost(10000, 10));
+}
+
+TEST_F(CostModelTest, SortSuperlinear) {
+  const double c1 = cost_.SortCost(1000);
+  const double c2 = cost_.SortCost(2000);
+  EXPECT_GT(c2, 2.0 * c1);  // n log n
+}
+
+TEST_F(CostModelTest, ParamsArePlumbed) {
+  CostParams params;
+  params.cpu_tuple *= 10.0;
+  CostModel expensive(params);
+  EXPECT_GT(expensive.ScanCost(1000, 0), cost_.ScanCost(1000, 0));
+  EXPECT_DOUBLE_EQ(expensive.params().cpu_tuple, params.cpu_tuple);
+}
+
+TEST_F(CostModelTest, AllCostsNonNegativeAtZero) {
+  EXPECT_GE(cost_.ScanCost(0, 0), 0.0);
+  EXPECT_GE(cost_.HashJoinCost(0, 0, 0), 0.0);
+  EXPECT_GE(cost_.MergeJoinCost(0, 0, 0), 0.0);
+  EXPECT_GE(cost_.NestedLoopCost(0, 0, 0), 0.0);
+  EXPECT_GE(cost_.SortCost(0), 0.0);
+  EXPECT_GE(cost_.HashAggregateCost(0, 0), 0.0);
+}
+
+// Property sweep: every operator cost is non-decreasing along a chain of
+// growing inputs (no crossovers from the log terms).
+class CostMonotoneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostMonotoneSweep, NoDecreaseAlongChain) {
+  CostModel cost;
+  const int which = GetParam();
+  double prev = -1.0;
+  for (double n : {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0}) {
+    double c = 0.0;
+    switch (which) {
+      case 0: c = cost.ScanCost(n, 2); break;
+      case 1: c = cost.IndexSeekCost(1e6, n, 1); break;
+      case 2: c = cost.HashJoinCost(n, n, n); break;
+      case 3: c = cost.MergeJoinCost(n, n, n); break;
+      case 4: c = cost.NestedLoopCost(n, n, n); break;
+      case 5: c = cost.IndexNestedLoopCost(n, 1e6, 4.0, n); break;
+      case 6: c = cost.SortCost(n); break;
+      case 7: c = cost.HashAggregateCost(n, n / 10.0); break;
+      case 8: c = cost.StreamAggregateCost(n, n / 10.0); break;
+    }
+    EXPECT_GE(c, prev) << "operator " << which << " at n=" << n;
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperators, CostMonotoneSweep,
+                         ::testing::Range(0, 9));
+
+// --- statistics creation-cost model ---
+
+TEST(StatsCostModelTest, SortTermSuperlinear) {
+  StatsCostModel m;
+  EXPECT_GT(m.CreationCost(20000, 1), 2.0 * m.CreationCost(10000, 1) -
+                                          2.0 * m.fixed_overhead);
+}
+
+TEST(StatsCostModelTest, WidthScalesScanOnly) {
+  StatsCostModel m;
+  const double w1 = m.CreationCost(10000, 1);
+  const double w2 = m.CreationCost(10000, 2);
+  const double w3 = m.CreationCost(10000, 3);
+  // Each extra column adds the same scan increment.
+  EXPECT_NEAR(w3 - w2, w2 - w1, 1e-9);
+}
+
+}  // namespace
+}  // namespace autostats

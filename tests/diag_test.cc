@@ -1,0 +1,117 @@
+// Tests for EXPLAIN ANALYZE (per-node actuals) and q-error diagnostics.
+#include <gtest/gtest.h>
+
+#include "core/candidate.h"
+#include "diag/qerror.h"
+#include "tests/test_util.h"
+
+namespace autostats {
+namespace {
+
+class DiagTest : public ::testing::Test {
+ protected:
+  DiagTest()
+      : t_(testing::MakeTwoTableDb(2000, 40)),
+        catalog_(&t_.db),
+        optimizer_(&t_.db),
+        executor_(&t_.db, optimizer_.cost_model()) {}
+
+  testing::TwoTableDb t_;
+  StatsCatalog catalog_;
+  Optimizer optimizer_;
+  Executor executor_;
+};
+
+TEST_F(DiagTest, AnalyzedRecordsEveryNode) {
+  const Query q = testing::MakeJoinQuery(t_, 30);
+  const OptimizeResult r = optimizer_.Optimize(q, StatsView(&catalog_));
+  const AnalyzedResult analyzed = executor_.ExecuteAnalyzed(q, r.plan);
+  EXPECT_EQ(analyzed.nodes.size(), r.plan.Nodes().size());
+  // Every plan node has exactly one record.
+  for (const PlanNode* node : r.plan.Nodes()) {
+    int hits = 0;
+    for (const NodeActuals& a : analyzed.nodes) {
+      if (a.node == node) ++hits;
+    }
+    EXPECT_EQ(hits, 1);
+  }
+}
+
+TEST_F(DiagTest, AnalyzedMatchesPlainExecute) {
+  const Query q = testing::MakeJoinQuery(t_, 10);
+  const OptimizeResult r = optimizer_.Optimize(q, StatsView(&catalog_));
+  const ExecResult plain = executor_.Execute(q, r.plan);
+  const AnalyzedResult analyzed = executor_.ExecuteAnalyzed(q, r.plan);
+  EXPECT_DOUBLE_EQ(analyzed.result.work_units, plain.work_units);
+  EXPECT_DOUBLE_EQ(analyzed.result.output_rows, plain.output_rows);
+}
+
+TEST_F(DiagTest, RootActualsMatchResult) {
+  const Query q = testing::MakeFilterQuery(t_, 30);
+  const OptimizeResult r = optimizer_.Optimize(q, StatsView(&catalog_));
+  const AnalyzedResult analyzed = executor_.ExecuteAnalyzed(q, r.plan);
+  const NodeActuals* root = nullptr;
+  for (const NodeActuals& a : analyzed.nodes) {
+    if (a.node == r.plan.root.get()) root = &a;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_DOUBLE_EQ(root->actual_rows, analyzed.result.output_rows);
+  EXPECT_DOUBLE_EQ(root->actual_rows, 600.0);  // val < 30 of 2000
+}
+
+TEST_F(DiagTest, QErrorComputation) {
+  PlanNode node;
+  node.est_rows = 100.0;
+  NodeActuals a{&node, 25.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.QError(), 4.0);
+  NodeActuals b{&node, 400.0, 0.0};
+  EXPECT_DOUBLE_EQ(b.QError(), 4.0);
+  NodeActuals exact{&node, 100.0, 0.0};
+  EXPECT_DOUBLE_EQ(exact.QError(), 1.0);
+  // Zero actuals clamp to 1 row rather than dividing by zero.
+  NodeActuals zero{&node, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(zero.QError(), 100.0);
+}
+
+TEST_F(DiagTest, StatisticsImproveQErrors) {
+  Workload w("w");
+  w.AddQuery(testing::MakeJoinQuery(t_, 5));
+  w.AddQuery(testing::MakeFilterQuery(t_, 70, /*group=*/true));
+  const QErrorSummary magic =
+      MeasureQErrors(t_.db, optimizer_, catalog_, w);
+  for (const CandidateStat& c : CandidateStatisticsForWorkload(w)) {
+    catalog_.CreateStatistic(c.columns);
+  }
+  const QErrorSummary informed =
+      MeasureQErrors(t_.db, optimizer_, catalog_, w);
+  EXPECT_GT(magic.num_nodes, 0u);
+  EXPECT_LE(informed.geo_mean, magic.geo_mean);
+  EXPECT_LE(informed.max, magic.max);
+  EXPECT_LT(informed.geo_mean, 1.5);  // near-exact with full statistics
+}
+
+TEST_F(DiagTest, SummaryOrderingInvariants) {
+  Workload w("w");
+  w.AddQuery(testing::MakeJoinQuery(t_, 20));
+  const QErrorSummary s = MeasureQErrors(t_.db, optimizer_, catalog_, w);
+  EXPECT_GE(s.median, 1.0);
+  EXPECT_GE(s.p90, s.median);
+  EXPECT_GE(s.max, s.p90);
+  EXPECT_GE(s.geo_mean, 1.0);
+  const std::string text = FormatQErrorSummary(s);
+  EXPECT_NE(text.find("geo-mean"), std::string::npos);
+}
+
+TEST_F(DiagTest, RenderAnalyzedShowsEstAndActual) {
+  const Query q = testing::MakeJoinQuery(t_, 30);
+  const OptimizeResult r = optimizer_.Optimize(q, StatsView(&catalog_));
+  const AnalyzedResult analyzed = executor_.ExecuteAnalyzed(q, r.plan);
+  const std::string text = RenderAnalyzed(t_.db, q, r.plan, analyzed);
+  EXPECT_NE(text.find("est="), std::string::npos);
+  EXPECT_NE(text.find("act="), std::string::npos);
+  EXPECT_NE(text.find("q="), std::string::npos);
+  EXPECT_NE(text.find("Total:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autostats

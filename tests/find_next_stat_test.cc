@@ -1,0 +1,125 @@
+// Unit tests for FindNextStatToBuild (§4.2): candidate relevance, local-
+// cost ranking, the join dependency pair, and the single/multi ordering.
+#include <gtest/gtest.h>
+
+#include "core/find_next_stat.h"
+#include "optimizer/optimizer.h"
+#include "tests/test_util.h"
+
+namespace autostats {
+namespace {
+
+class FindNextStatTest : public ::testing::Test {
+ protected:
+  FindNextStatTest()
+      : t_(testing::MakeTwoTableDb(10000, 100)),
+        catalog_(&t_.db),
+        optimizer_(&t_.db) {}
+
+  std::vector<std::vector<ColumnRef>> Next(const Query& q) {
+    const OptimizeResult r = optimizer_.Optimize(q, StatsView(&catalog_));
+    return FindNextStatToBuild(q, r.plan, CandidateStatistics(q), catalog_);
+  }
+
+  testing::TwoTableDb t_;
+  StatsCatalog catalog_;
+  Optimizer optimizer_;
+};
+
+TEST_F(FindNextStatTest, EmptyWhenAllBuilt) {
+  const Query q = testing::MakeFilterQuery(t_);
+  catalog_.CreateStatistic({t_.fact_val});
+  EXPECT_TRUE(Next(q).empty());
+}
+
+TEST_F(FindNextStatTest, SingleFilterColumnProposedFirst) {
+  const Query q = testing::MakeFilterQuery(t_);
+  const auto next = Next(q);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], std::vector<ColumnRef>{t_.fact_val});
+}
+
+TEST_F(FindNextStatTest, JoinColumnsProposedAsPair) {
+  Query q("j");
+  q.AddTable(t_.fact);
+  q.AddTable(t_.dim);
+  q.AddJoin(JoinPredicate{t_.fact_fk, t_.dim_pk});
+  const auto next = Next(q);
+  ASSERT_EQ(next.size(), 2u);
+  EXPECT_EQ(next[0], std::vector<ColumnRef>{t_.fact_fk});
+  EXPECT_EQ(next[1], std::vector<ColumnRef>{t_.dim_pk});
+}
+
+TEST_F(FindNextStatTest, PartialPairCompletesOtherSide) {
+  Query q("j");
+  q.AddTable(t_.fact);
+  q.AddTable(t_.dim);
+  q.AddJoin(JoinPredicate{t_.fact_fk, t_.dim_pk});
+  catalog_.CreateStatistic({t_.fact_fk});
+  const auto next = Next(q);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], std::vector<ColumnRef>{t_.dim_pk});
+}
+
+TEST_F(FindNextStatTest, MostExpensiveNodeWins) {
+  // Filters on both tables; the scan of the big fact table dominates, so
+  // its statistic is proposed before the dim one.
+  Query q = testing::MakeJoinQuery(t_);
+  q.AddFilter({t_.dim_attr, CompareOp::kEq, Datum(int64_t{3}), Datum()});
+  // Build the join pair so only the two filter columns remain.
+  catalog_.CreateStatistic({t_.fact_fk});
+  catalog_.CreateStatistic({t_.dim_pk});
+  const auto next = Next(q);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], std::vector<ColumnRef>{t_.fact_val});
+}
+
+TEST_F(FindNextStatTest, GroupByColumnProposed) {
+  Query q("g");
+  q.AddTable(t_.fact);
+  q.AddGroupBy(t_.fact_grp);
+  const auto next = Next(q);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], std::vector<ColumnRef>{t_.fact_grp});
+}
+
+TEST_F(FindNextStatTest, MultiColumnProposedAfterSingles) {
+  Query q("m");
+  q.AddTable(t_.fact);
+  q.AddFilter({t_.fact_val, CompareOp::kLt, Datum(int64_t{50}), Datum()});
+  q.AddFilter({t_.fact_grp, CompareOp::kEq, Datum(int64_t{3}), Datum()});
+  // Build the singles; the remaining candidate is the selection multi.
+  catalog_.CreateStatistic({t_.fact_val});
+  catalog_.CreateStatistic({t_.fact_grp});
+  const auto next = Next(q);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].size(), 2u);
+  EXPECT_EQ(MakeStatKey(next[0]),
+            MakeStatKey({t_.fact_val, t_.fact_grp}));
+}
+
+TEST_F(FindNextStatTest, DropListedStatisticIsProposedAgain) {
+  // A drop-listed statistic is not active, so it can be proposed (and
+  // would be resurrected at zero cost).
+  const Query q = testing::MakeFilterQuery(t_);
+  catalog_.CreateStatistic({t_.fact_val});
+  catalog_.MoveToDropList(MakeStatKey({t_.fact_val}));
+  const auto next = Next(q);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], std::vector<ColumnRef>{t_.fact_val});
+}
+
+TEST_F(FindNextStatTest, RespectsCandidateList) {
+  // If the candidate generator only proposed grp, val is never suggested.
+  const Query q = testing::MakeFilterQuery(t_, 50, /*group=*/true);
+  std::vector<CandidateStat> only_grp = {
+      {{t_.fact_grp}, CandidateStat::Origin::kSingleColumn}};
+  const OptimizeResult r = optimizer_.Optimize(q, StatsView(&catalog_));
+  const auto next =
+      FindNextStatToBuild(q, r.plan, only_grp, catalog_);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], std::vector<ColumnRef>{t_.fact_grp});
+}
+
+}  // namespace
+}  // namespace autostats

@@ -1,0 +1,195 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/zipfian.h"
+#include "stats/equidepth.h"
+#include "stats/histogram.h"
+#include "stats/maxdiff.h"
+
+namespace autostats {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<ValueFreq> UniformDist(int n, double freq) {
+  std::vector<ValueFreq> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back({static_cast<double>(i), freq});
+  }
+  return out;
+}
+
+// Zipf-like distribution over values 0..n-1.
+std::vector<ValueFreq> SkewedDist(int n, double z, double total) {
+  std::vector<ValueFreq> out;
+  double norm = 0.0;
+  for (int i = 0; i < n; ++i) norm += 1.0 / std::pow(i + 1, z);
+  for (int i = 0; i < n; ++i) {
+    out.push_back({static_cast<double>(i),
+                   total / norm / std::pow(i + 1, z)});
+  }
+  return out;
+}
+
+// --- construction invariants, both builders, several distributions ---
+
+struct BuildCase {
+  const char* name;
+  bool maxdiff;
+  int num_values;
+  double z;
+  int buckets;
+};
+
+class HistogramBuildTest : public ::testing::TestWithParam<BuildCase> {};
+
+TEST_P(HistogramBuildTest, Invariants) {
+  const BuildCase& c = GetParam();
+  const std::vector<ValueFreq> dist =
+      c.z == 0.0 ? UniformDist(c.num_values, 10.0)
+                 : SkewedDist(c.num_values, c.z, 10000.0);
+  const Histogram h = c.maxdiff ? BuildMaxDiff(dist, c.buckets)
+                                : BuildEquiDepth(dist, c.buckets);
+  ASSERT_FALSE(h.empty());
+  EXPECT_LE(h.buckets().size(), static_cast<size_t>(c.buckets));
+
+  // Rows and distincts in buckets sum to the totals.
+  double rows = 0.0, distinct = 0.0;
+  for (const HistogramBucket& b : h.buckets()) {
+    rows += b.rows;
+    distinct += b.distinct;
+    EXPECT_GE(b.hi, b.lo);
+    EXPECT_GT(b.rows, 0.0);
+    EXPECT_GE(b.distinct, 1.0);
+  }
+  EXPECT_NEAR(rows, h.total_rows(), h.total_rows() * 1e-9);
+  EXPECT_NEAR(distinct, h.total_distinct(), 1e-6);
+
+  // Buckets tile the domain without overlap.
+  for (size_t i = 1; i < h.buckets().size(); ++i) {
+    EXPECT_DOUBLE_EQ(h.buckets()[i].lo, h.buckets()[i - 1].hi);
+  }
+  EXPECT_DOUBLE_EQ(h.min_value(), dist.front().value);
+  EXPECT_DOUBLE_EQ(h.max_value(), dist.back().value);
+
+  // The full-domain range selects everything.
+  EXPECT_NEAR(h.SelectivityRange(-kInf, false, kInf, true), 1.0, 1e-9);
+  EXPECT_NEAR(h.DistinctInRange(h.min_value() - 1, h.max_value()),
+              h.total_distinct(), h.total_distinct() * 0.02 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, HistogramBuildTest,
+    ::testing::Values(
+        BuildCase{"md_uniform_small", true, 50, 0.0, 16},
+        BuildCase{"md_uniform_large", true, 1000, 0.0, 64},
+        BuildCase{"md_skew1", true, 500, 1.0, 32},
+        BuildCase{"md_skew3", true, 500, 3.0, 32},
+        BuildCase{"md_more_buckets_than_values", true, 5, 0.0, 64},
+        BuildCase{"ed_uniform_small", false, 50, 0.0, 16},
+        BuildCase{"ed_uniform_large", false, 1000, 0.0, 64},
+        BuildCase{"ed_skew1", false, 500, 1.0, 32},
+        BuildCase{"ed_skew3", false, 500, 3.0, 32},
+        BuildCase{"ed_more_buckets_than_values", false, 5, 0.0, 64}),
+    [](const ::testing::TestParamInfo<BuildCase>& info) {
+      return info.param.name;
+    });
+
+// --- estimation accuracy ---
+
+TEST(HistogramTest, UniformEqualitySelectivity) {
+  const Histogram h = BuildMaxDiff(UniformDist(100, 10.0), 32);
+  // Every value has frequency 10 out of 1000 rows.
+  EXPECT_NEAR(h.SelectivityEq(50.0), 0.01, 0.005);
+  EXPECT_NEAR(h.SelectivityEq(0.0), 0.01, 0.005);
+}
+
+TEST(HistogramTest, EqOutsideDomainIsZero) {
+  const Histogram h = BuildMaxDiff(UniformDist(100, 10.0), 32);
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(1000.0), 0.0);
+}
+
+TEST(HistogramTest, RangeSelectivityUniform) {
+  const Histogram h = BuildMaxDiff(UniformDist(100, 10.0), 32);
+  // val < 50 -> ~50%.
+  EXPECT_NEAR(h.SelectivityRange(-kInf, false, 50.0, false), 0.5, 0.05);
+  // 25 <= val <= 74 -> ~50%.
+  EXPECT_NEAR(h.SelectivityRange(25.0, true, 74.0, true), 0.5, 0.05);
+  // Empty range.
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(10.0, false, 5.0, true), 0.0);
+}
+
+TEST(HistogramTest, RangeMonotoneInUpperBound) {
+  const Histogram h = BuildMaxDiff(SkewedDist(200, 1.5, 5000.0), 32);
+  double prev = 0.0;
+  for (double hi = 0.0; hi <= 200.0; hi += 5.0) {
+    const double sel = h.SelectivityRange(-kInf, false, hi, true);
+    EXPECT_GE(sel, prev - 1e-12);
+    prev = sel;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, MaxDiffIsolatesHeavyHitter) {
+  // One value carries 90% of the mass; MaxDiff should put a boundary
+  // around it so its equality estimate is accurate.
+  std::vector<ValueFreq> dist = UniformDist(100, 1.0);
+  dist[37].freq = 900.0;
+  const Histogram h = BuildMaxDiff(dist, 16);
+  const double total = 99.0 + 900.0;
+  EXPECT_NEAR(h.SelectivityEq(37.0), 900.0 / total, 0.15);
+}
+
+TEST(HistogramTest, MaxDiffBeatsEquiDepthOnOutlier) {
+  std::vector<ValueFreq> dist = UniformDist(512, 1.0);
+  dist[100].freq = 2000.0;
+  const double total = 511.0 + 2000.0;
+  const double truth = 2000.0 / total;
+  const Histogram md = BuildMaxDiff(dist, 8);
+  const Histogram ed = BuildEquiDepth(dist, 8);
+  const double md_err = std::fabs(md.SelectivityEq(100.0) - truth);
+  const double ed_err = std::fabs(ed.SelectivityEq(100.0) - truth);
+  EXPECT_LE(md_err, ed_err + 1e-12);
+}
+
+TEST(HistogramTest, EquiDepthBucketsBalanced) {
+  const Histogram h = BuildEquiDepth(UniformDist(1000, 5.0), 10);
+  const double target = h.total_rows() / 10.0;
+  for (const HistogramBucket& b : h.buckets()) {
+    EXPECT_NEAR(b.rows, target, target * 0.2);
+  }
+}
+
+TEST(HistogramTest, EmptyInput) {
+  const Histogram h = BuildMaxDiff({}, 16);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(-kInf, false, kInf, true), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  const Histogram h = BuildMaxDiff({{5.0, 100.0}}, 16);
+  EXPECT_NEAR(h.SelectivityEq(5.0), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(6.0), 0.0);
+  EXPECT_NEAR(h.SelectivityRange(0.0, false, 10.0, true), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, DistinctInRangeProportional) {
+  const Histogram h = BuildMaxDiff(UniformDist(100, 10.0), 16);
+  const double half = h.DistinctInRange(-1.0, 49.5);
+  EXPECT_NEAR(half, 50.0, 8.0);
+}
+
+TEST(HistogramTest, ToStringMentionsBuckets) {
+  const Histogram h = BuildMaxDiff(UniformDist(10, 1.0), 4);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("Histogram"), std::string::npos);
+  EXPECT_NE(s.find("rows="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autostats

@@ -1,0 +1,210 @@
+// End-to-end integration tests: miniature versions of the paper's
+// experiments (§8) on small TPC-D instances, asserting the *direction and
+// rough magnitude* of each exhibit rather than exact numbers.
+#include <gtest/gtest.h>
+
+#include "core/candidate.h"
+#include "core/mnsa.h"
+#include "core/mnsa_d.h"
+#include "core/shrinking_set.h"
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "rags/rags.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+#include "tpcd/schema.h"
+#include "tpcd/tuning.h"
+
+namespace autostats {
+namespace {
+
+Database SmallTpcd(const std::string& variant) {
+  return tpcd::BuildTpcdVariant(variant, 0.001, 42);
+}
+
+double WorkloadExecCost(const Database& db, const StatsCatalog& catalog,
+                        const Optimizer& optimizer, const Workload& w) {
+  Executor executor(&db, optimizer.cost_model());
+  double total = 0.0;
+  for (const Query* q : w.Queries()) {
+    const OptimizeResult r = optimizer.Optimize(*q, StatsView(&catalog));
+    total += executor.Execute(*q, r.plan).work_units;
+  }
+  return total;
+}
+
+double CreateAll(StatsCatalog* catalog,
+                 const std::vector<CandidateStat>& candidates) {
+  double cost = 0.0;
+  for (const CandidateStat& c : candidates) {
+    cost += catalog->CreateStatistic(c.columns);
+  }
+  return cost;
+}
+
+// --- intro experiment shape (§1) ---
+
+TEST(IntegrationTest, StatisticsChangePlansOnTunedTpcd) {
+  Database db = SmallTpcd("TPCD_2");
+  tpcd::ApplyTunedIndexes(&db);
+  const Workload w = tpcd::TpcdQueries(db);
+  Optimizer optimizer(&db);
+
+  StatsCatalog indexed_only(&db);
+  tpcd::CreateIndexImpliedStatistics(&indexed_only);
+  std::vector<std::string> before;
+  for (const Query* q : w.Queries()) {
+    before.push_back(
+        optimizer.Optimize(*q, StatsView(&indexed_only)).plan.Signature());
+  }
+
+  StatsCatalog with_stats(&db);
+  tpcd::CreateIndexImpliedStatistics(&with_stats);
+  MnsaConfig mnsa;
+  mnsa.t_percent = 20.0;
+  RunMnsaWorkload(optimizer, &with_stats, w, mnsa);
+  Executor executor(&db, optimizer.cost_model());
+  int changed = 0;
+  double exec_before = 0.0, exec_after = 0.0;
+  size_t i = 0;
+  for (const Query* q : w.Queries()) {
+    const OptimizeResult r = optimizer.Optimize(*q, StatsView(&with_stats));
+    if (r.plan.Signature() != before[i]) ++changed;
+    exec_after += executor.Execute(*q, r.plan).work_units;
+    StatsCatalog only(&db);
+    tpcd::CreateIndexImpliedStatistics(&only);
+    exec_before +=
+        executor
+            .Execute(*q, optimizer.Optimize(*q, StatsView(&only)).plan)
+            .work_units;
+    ++i;
+  }
+  // The paper saw 15/17 plans change on SQL Server's much richer plan
+  // space; in this engine (with index-implied statistics already covering
+  // the join and date columns) several plans must still change, and total
+  // execution cost must improve, never regress.
+  EXPECT_GE(changed, 3) << "only " << changed << "/17 plans changed";
+  EXPECT_LE(exec_after, exec_before * 1.02);
+}
+
+// --- Figure 3 shape: candidate algorithm vs exhaustive ---
+
+TEST(IntegrationTest, CandidateAlgorithmCheaperThanExhaustive) {
+  Database db = SmallTpcd("TPCD_MIX");
+  const Workload w = tpcd::TpcdQueries(db);
+  Optimizer optimizer(&db);
+
+  StatsCatalog exhaustive(&db);
+  const double exhaustive_cost =
+      CreateAll(&exhaustive, ExhaustiveStatisticsForWorkload(w));
+  const double exhaustive_exec =
+      WorkloadExecCost(db, exhaustive, optimizer, w);
+
+  StatsCatalog candidate(&db);
+  const double candidate_cost =
+      CreateAll(&candidate, CandidateStatisticsForWorkload(w));
+  const double candidate_exec = WorkloadExecCost(db, candidate, optimizer, w);
+
+  // Creation-time reduction (paper: 50-80%) — require at least 20% here.
+  EXPECT_LT(candidate_cost, exhaustive_cost * 0.8);
+  // Execution cost must not regress materially (paper: <= 3%).
+  EXPECT_LE(candidate_exec, exhaustive_exec * 1.10);
+}
+
+// --- Figure 4 shape: MNSA vs create-all-candidates ---
+
+class MnsaVariantTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MnsaVariantTest, MnsaCheaperWithSimilarExecutionCost) {
+  Database db = SmallTpcd(GetParam());
+  const Workload w = tpcd::TpcdQueries(db);
+  Optimizer optimizer(&db);
+
+  StatsCatalog all(&db);
+  const double all_cost = CreateAll(&all, CandidateStatisticsForWorkload(w));
+  const double all_exec = WorkloadExecCost(db, all, optimizer, w);
+
+  StatsCatalog mnsa_catalog(&db);
+  MnsaConfig mnsa;
+  mnsa.t_percent = 20.0;
+  const MnsaResult r = RunMnsaWorkload(optimizer, &mnsa_catalog, w, mnsa);
+  const double mnsa_exec = WorkloadExecCost(db, mnsa_catalog, optimizer, w);
+
+  EXPECT_LT(r.creation_cost, all_cost);
+  EXPECT_LT(mnsa_catalog.num_active(), all.num_active());
+  // Execution cost within 10% of the full-statistics run.
+  EXPECT_LE(mnsa_exec, all_exec * 1.10)
+      << GetParam() << ": exec regressed "
+      << (mnsa_exec / all_exec - 1.0) * 100.0 << "%";
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, MnsaVariantTest,
+                         ::testing::Values("TPCD_0", "TPCD_2", "TPCD_4",
+                                           "TPCD_MIX"));
+
+// --- Table 1 shape: MNSA/D reduces update cost ---
+
+TEST(IntegrationTest, MnsaDReducesUpdateCost) {
+  Database db = SmallTpcd("TPCD_2");
+  rags::RagsConfig config;
+  config.num_statements = 40;
+  config.update_fraction = 0.0;
+  config.complexity = rags::Complexity::kComplex;
+  config.join_edges = tpcd::TpcdForeignKeys(db);
+  const Workload w = rags::Generate(db, config);
+  Optimizer optimizer(&db);
+
+  StatsCatalog mnsa_catalog(&db);
+  MnsaConfig mnsa;
+  RunMnsaWorkload(optimizer, &mnsa_catalog, w, mnsa);
+  const double mnsa_update = mnsa_catalog.PendingUpdateCost();
+  const double mnsa_exec = WorkloadExecCost(db, mnsa_catalog, optimizer, w);
+
+  StatsCatalog mnsad_catalog(&db);
+  RunMnsaDWorkload(optimizer, &mnsad_catalog, w, mnsa);
+  const double mnsad_update = mnsad_catalog.PendingUpdateCost();
+  const double mnsad_exec = WorkloadExecCost(db, mnsad_catalog, optimizer, w);
+
+  // Update cost strictly reduced (paper: ~30%), execution cost close
+  // (paper: <= 6%).
+  EXPECT_LE(mnsad_update, mnsa_update);
+  EXPECT_LE(mnsad_exec, mnsa_exec * 1.15);
+}
+
+// --- offline pipeline: MNSA + Shrinking Set stays equivalent ---
+
+TEST(IntegrationTest, OfflinePipelinePreservesPlans) {
+  Database db = SmallTpcd("TPCD_0");
+  const Workload w = tpcd::TpcdQueries(db);
+  Optimizer optimizer(&db);
+  StatsCatalog catalog(&db);
+  RunMnsaWorkload(optimizer, &catalog, w, {});
+  std::vector<std::string> before;
+  for (const Query* q : w.Queries()) {
+    before.push_back(
+        optimizer.Optimize(*q, StatsView(&catalog)).plan.Signature());
+  }
+  const ShrinkingSetResult r = RunShrinkingSet(optimizer, &catalog, w, {});
+  size_t i = 0;
+  for (const Query* q : w.Queries()) {
+    EXPECT_EQ(optimizer.Optimize(*q, StatsView(&catalog)).plan.Signature(),
+              before[i++]);
+  }
+  EXPECT_EQ(catalog.num_active(), r.essential.size());
+}
+
+// --- MNSA on every TPC-D query terminates quickly ---
+
+TEST(IntegrationTest, MnsaHandlesEveryTpcdQuery) {
+  Database db = SmallTpcd("TPCD_4");
+  Optimizer optimizer(&db);
+  StatsCatalog catalog(&db);
+  for (int n = 1; n <= 17; ++n) {
+    const Query q = tpcd::TpcdQuery(db, n);
+    const MnsaResult r = RunMnsa(optimizer, &catalog, q, {});
+    EXPECT_LE(r.iterations, 64) << "Q" << n;
+  }
+}
+
+}  // namespace
+}  // namespace autostats

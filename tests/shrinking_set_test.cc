@@ -1,0 +1,151 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/candidate.h"
+#include "core/mnsa.h"
+#include "core/shrinking_set.h"
+#include "tests/test_util.h"
+
+namespace autostats {
+namespace {
+
+class ShrinkingSetTest : public ::testing::Test {
+ protected:
+  ShrinkingSetTest()
+      : t_(testing::MakeTwoTableDb(10000, 100)),
+        catalog_(&t_.db),
+        optimizer_(&t_.db) {
+    workload_.set_name("w");
+    Query grouped = testing::MakeJoinQuery(t_, 20);
+    grouped.AddGroupBy(t_.fact_grp);
+    workload_.AddQuery(grouped);
+    workload_.AddQuery(testing::MakeFilterQuery(t_, 70));
+  }
+
+  // Creates every candidate statistic for the workload.
+  void CreateAllCandidates() {
+    for (const CandidateStat& c :
+         CandidateStatisticsForWorkload(workload_)) {
+      catalog_.CreateStatistic(c.columns);
+    }
+  }
+
+  // Optimizes `q` with exactly `visible` statistics.
+  std::string PlanWith(const Query& q, const std::set<StatKey>& visible) {
+    StatsView view(&catalog_);
+    for (const StatKey& k : catalog_.ActiveKeys()) {
+      if (!visible.count(k)) view.Ignore(k);
+    }
+    // Also un-hide drop-listed members of `visible` is impossible; the
+    // tests only pass active keys.
+    return optimizer_.Optimize(q, view).plan.Signature();
+  }
+
+  testing::TwoTableDb t_;
+  StatsCatalog catalog_;
+  Optimizer optimizer_;
+  Workload workload_;
+};
+
+TEST_F(ShrinkingSetTest, RemovesNonEssentialStatistics) {
+  CreateAllCandidates();
+  const size_t before = catalog_.num_active();
+  ShrinkingSetConfig config;
+  const ShrinkingSetResult r =
+      RunShrinkingSet(optimizer_, &catalog_, workload_, config);
+  EXPECT_EQ(r.essential.size() + r.removed.size(), before);
+  EXPECT_LT(r.essential.size(), before);  // something was non-essential
+  EXPECT_EQ(catalog_.num_active(), r.essential.size());
+  EXPECT_EQ(catalog_.num_drop_listed(), r.removed.size());
+}
+
+TEST_F(ShrinkingSetTest, ResultIsEquivalentToFullSet) {
+  CreateAllCandidates();
+  // Baseline plans with every statistic.
+  std::vector<std::string> baseline;
+  for (const Query* q : workload_.Queries()) {
+    baseline.push_back(
+        optimizer_.Optimize(*q, StatsView(&catalog_)).plan.Signature());
+  }
+  RunShrinkingSet(optimizer_, &catalog_, workload_, {});
+  // After shrinking (drop-listed statistics invisible), plans must match.
+  size_t i = 0;
+  for (const Query* q : workload_.Queries()) {
+    EXPECT_EQ(optimizer_.Optimize(*q, StatsView(&catalog_)).plan.Signature(),
+              baseline[i++]);
+  }
+}
+
+TEST_F(ShrinkingSetTest, ResultIsMinimal) {
+  CreateAllCandidates();
+  const ShrinkingSetResult r =
+      RunShrinkingSet(optimizer_, &catalog_, workload_, {});
+  // Definition 1: removing any statistic from the essential set changes at
+  // least one query's plan relative to the essential-set plans.
+  const std::set<StatKey> essential(r.essential.begin(), r.essential.end());
+  for (const StatKey& s : r.essential) {
+    std::set<StatKey> without = essential;
+    without.erase(s);
+    bool plan_changed = false;
+    for (const Query* q : workload_.Queries()) {
+      if (PlanWith(*q, without) != PlanWith(*q, essential)) {
+        plan_changed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(plan_changed) << "removing " << s << " changed no plan";
+  }
+}
+
+TEST_F(ShrinkingSetTest, OptimizerCallBoundHolds) {
+  CreateAllCandidates();
+  const size_t s = catalog_.num_active();
+  const size_t w = workload_.num_queries();
+  const ShrinkingSetResult r =
+      RunShrinkingSet(optimizer_, &catalog_, workload_, {});
+  EXPECT_LE(r.optimizer_calls, static_cast<int>(s * w + w));
+}
+
+TEST_F(ShrinkingSetTest, ExplicitInitialSetRespected) {
+  CreateAllCandidates();
+  const std::vector<StatKey> subset = {MakeStatKey({t_.fact_val}),
+                                       MakeStatKey({t_.fact_grp})};
+  const ShrinkingSetResult r =
+      RunShrinkingSet(optimizer_, &catalog_, workload_, {}, subset);
+  EXPECT_EQ(r.essential.size() + r.removed.size(), subset.size());
+}
+
+TEST_F(ShrinkingSetTest, CatalogUntouchedWhenNotApplying) {
+  CreateAllCandidates();
+  const size_t before = catalog_.num_active();
+  ShrinkingSetConfig config;
+  config.apply_to_catalog = false;
+  RunShrinkingSet(optimizer_, &catalog_, workload_, config);
+  EXPECT_EQ(catalog_.num_active(), before);
+  EXPECT_EQ(catalog_.num_drop_listed(), 0u);
+}
+
+TEST_F(ShrinkingSetTest, TCostVariantRuns) {
+  CreateAllCandidates();
+  ShrinkingSetConfig config;
+  config.equivalence = {EquivalenceKind::kTOptimizerCost, 20.0};
+  const ShrinkingSetResult r =
+      RunShrinkingSet(optimizer_, &catalog_, workload_, config);
+  EXPECT_FALSE(r.essential.empty() && r.removed.empty());
+}
+
+TEST_F(ShrinkingSetTest, AfterMnsaYieldsEssentialSet) {
+  // The paper's recommended offline pipeline: MNSA to build a superset,
+  // then Shrinking Set to reach a guaranteed essential set.
+  MnsaConfig mnsa;
+  mnsa.t_percent = 1.0;
+  RunMnsaWorkload(optimizer_, &catalog_, workload_, mnsa);
+  const size_t after_mnsa = catalog_.num_active();
+  const ShrinkingSetResult r =
+      RunShrinkingSet(optimizer_, &catalog_, workload_, {});
+  EXPECT_LE(r.essential.size(), after_mnsa);
+}
+
+}  // namespace
+}  // namespace autostats

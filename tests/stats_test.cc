@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "stats/builder.h"
+#include "stats/distinct.h"
+#include "stats/stats_catalog.h"
+#include "stats/stats_cost.h"
+#include "tests/test_util.h"
+
+namespace autostats {
+namespace {
+
+using testing::MakeCorrelatedDb;
+using testing::MakeTwoTableDb;
+
+// --- distinct counting ---
+
+TEST(DistinctTest, SingleColumn) {
+  testing::TwoTableDb t = MakeTwoTableDb(1000, 50);
+  EXPECT_EQ(CountDistinct(t.db.table(t.fact), {t.fact_val.column}), 100u);
+  EXPECT_EQ(CountDistinct(t.db.table(t.fact), {t.fact_grp.column}), 10u);
+  EXPECT_EQ(CountDistinct(t.db.table(t.fact), {t.fact_flag.column}), 2u);
+}
+
+TEST(DistinctTest, MultiColumnFunctionalDependency) {
+  testing::CorrelatedDb c = MakeCorrelatedDb(5000);
+  // b = a/10, so distinct(a, b) == distinct(a).
+  const uint64_t da = CountDistinct(c.db.table(c.t), {c.a.column});
+  const uint64_t dab =
+      CountDistinct(c.db.table(c.t), {c.a.column, c.b.column});
+  EXPECT_EQ(da, dab);
+  // c is independent: distinct(a, c) >> distinct(a).
+  const uint64_t dac =
+      CountDistinct(c.db.table(c.t), {c.a.column, c.c.column});
+  EXPECT_GT(dac, da * 10);
+}
+
+TEST(DistinctTest, PrefixesAreMonotone) {
+  testing::CorrelatedDb c = MakeCorrelatedDb(5000);
+  const std::vector<uint64_t> prefixes = CountDistinctPrefixes(
+      c.db.table(c.t), {c.a.column, c.b.column, c.c.column});
+  ASSERT_EQ(prefixes.size(), 3u);
+  EXPECT_LE(prefixes[0], prefixes[1]);
+  EXPECT_LE(prefixes[1], prefixes[2]);
+}
+
+// --- builder ---
+
+TEST(BuilderTest, ColumnDistributionSumsToRows) {
+  testing::TwoTableDb t = MakeTwoTableDb(1000, 50);
+  const std::vector<ValueFreq> dist =
+      ColumnDistribution(t.db.table(t.fact), t.fact_val.column, 1.0);
+  EXPECT_EQ(dist.size(), 100u);
+  double total = 0.0;
+  for (const ValueFreq& vf : dist) total += vf.freq;
+  EXPECT_DOUBLE_EQ(total, 1000.0);
+}
+
+TEST(BuilderTest, SampledDistributionScalesBack) {
+  testing::TwoTableDb t = MakeTwoTableDb(10000, 50);
+  const std::vector<ValueFreq> dist =
+      ColumnDistribution(t.db.table(t.fact), t.fact_val.column, 0.1);
+  double total = 0.0;
+  for (const ValueFreq& vf : dist) total += vf.freq;
+  EXPECT_NEAR(total, 10000.0, 500.0);
+}
+
+TEST(BuilderTest, BuildStatisticSingleColumn) {
+  testing::TwoTableDb t = MakeTwoTableDb(1000, 50);
+  const Statistic s = BuildStatistic(t.db, {t.fact_val}, {});
+  EXPECT_EQ(s.width(), 1);
+  EXPECT_EQ(s.table(), t.fact);
+  EXPECT_DOUBLE_EQ(s.rows_at_build(), 1000.0);
+  EXPECT_DOUBLE_EQ(s.PrefixDistinct(1), 100.0);
+  EXPECT_NEAR(s.histogram().SelectivityEq(5.0), 0.01, 0.005);
+}
+
+TEST(BuilderTest, BuildStatisticMultiColumnDensities) {
+  testing::CorrelatedDb c = MakeCorrelatedDb(5000);
+  const Statistic s = BuildStatistic(c.db, {c.a, c.b}, {});
+  EXPECT_EQ(s.width(), 2);
+  // Functional dependency: density of (a,b) equals density of (a).
+  EXPECT_DOUBLE_EQ(s.PrefixDistinct(1), s.PrefixDistinct(2));
+  EXPECT_NEAR(s.PrefixDensity(1), 1.0 / 100.0, 1e-6);
+}
+
+TEST(BuilderTest, EquiDepthConfigHonored) {
+  testing::TwoTableDb t = MakeTwoTableDb(1000, 50);
+  StatsBuildConfig config;
+  config.histogram_kind = HistogramKind::kEquiDepth;
+  config.num_buckets = 7;
+  const Statistic s = BuildStatistic(t.db, {t.fact_val}, config);
+  EXPECT_LE(s.histogram().buckets().size(), 7u);
+}
+
+TEST(StatisticTest, KeyAndName) {
+  testing::TwoTableDb t = MakeTwoTableDb(100, 10);
+  const Statistic s = BuildStatistic(t.db, {t.fact_val, t.fact_grp}, {});
+  EXPECT_EQ(s.key(), MakeStatKey({t.fact_val, t.fact_grp}));
+  EXPECT_EQ(s.Name(t.db), "fact(val, grp)");
+}
+
+// --- cost model ---
+
+TEST(StatsCostTest, MonotoneInRowsAndWidth) {
+  StatsCostModel m;
+  EXPECT_LT(m.CreationCost(1000, 1), m.CreationCost(10000, 1));
+  EXPECT_LT(m.CreationCost(1000, 1), m.CreationCost(1000, 3));
+  EXPECT_GT(m.CreationCost(0, 1), 0.0);  // fixed overhead
+  EXPECT_DOUBLE_EQ(m.UpdateCost(500, 2), m.CreationCost(500, 2));
+}
+
+// --- StatsCatalog ---
+
+class StatsCatalogTest : public ::testing::Test {
+ protected:
+  StatsCatalogTest() : t_(MakeTwoTableDb(1000, 50)), catalog_(&t_.db) {}
+  testing::TwoTableDb t_;
+  StatsCatalog catalog_;
+};
+
+TEST_F(StatsCatalogTest, CreateChargesOnceAndIsIdempotent) {
+  const double cost = catalog_.CreateStatistic({t_.fact_val});
+  EXPECT_GT(cost, 0.0);
+  EXPECT_TRUE(catalog_.HasActive(MakeStatKey({t_.fact_val})));
+  EXPECT_DOUBLE_EQ(catalog_.CreateStatistic({t_.fact_val}), 0.0);
+  EXPECT_DOUBLE_EQ(catalog_.total_creation_cost(), cost);
+  EXPECT_EQ(catalog_.num_active(), 1u);
+}
+
+TEST_F(StatsCatalogTest, DropListAndResurrection) {
+  catalog_.CreateStatistic({t_.fact_val});
+  const StatKey key = MakeStatKey({t_.fact_val});
+  catalog_.MoveToDropList(key);
+  EXPECT_FALSE(catalog_.HasActive(key));
+  EXPECT_TRUE(catalog_.Exists(key));
+  EXPECT_EQ(catalog_.num_drop_listed(), 1u);
+  EXPECT_EQ(catalog_.Find(key), nullptr);
+  // Re-creating resurrects at zero cost (§5).
+  const double before = catalog_.total_creation_cost();
+  EXPECT_DOUBLE_EQ(catalog_.CreateStatistic({t_.fact_val}), 0.0);
+  EXPECT_DOUBLE_EQ(catalog_.total_creation_cost(), before);
+  EXPECT_TRUE(catalog_.HasActive(key));
+}
+
+TEST_F(StatsCatalogTest, PhysicalDrop) {
+  catalog_.CreateStatistic({t_.fact_val});
+  const StatKey key = MakeStatKey({t_.fact_val});
+  catalog_.PhysicallyDrop(key);
+  EXPECT_FALSE(catalog_.Exists(key));
+  // Re-creation pays again.
+  EXPECT_GT(catalog_.CreateStatistic({t_.fact_val}), 0.0);
+}
+
+TEST_F(StatsCatalogTest, UpdateTriggering) {
+  catalog_.CreateStatistic({t_.fact_val});
+  UpdateTriggerPolicy policy;
+  policy.fraction = 0.2;
+  policy.floor = 10;
+  // Below threshold: no refresh.
+  catalog_.RecordModifications(t_.fact, 100);
+  EXPECT_DOUBLE_EQ(catalog_.RefreshIfTriggered(policy), 0.0);
+  // Above threshold (200 + 10): refresh happens and resets the counter.
+  catalog_.RecordModifications(t_.fact, 200);
+  EXPECT_GT(catalog_.RefreshIfTriggered(policy), 0.0);
+  EXPECT_EQ(catalog_.modified_rows(t_.fact), 0u);
+  EXPECT_EQ(catalog_.FindEntry(MakeStatKey({t_.fact_val}))->update_count, 1);
+}
+
+TEST_F(StatsCatalogTest, DropListedStatsNotRefreshed) {
+  catalog_.CreateStatistic({t_.fact_val});
+  catalog_.CreateStatistic({t_.fact_grp});
+  catalog_.MoveToDropList(MakeStatKey({t_.fact_grp}));
+  UpdateTriggerPolicy policy;
+  policy.fraction = 0.0;
+  policy.floor = 0;
+  catalog_.RecordModifications(t_.fact, 10);
+  catalog_.RefreshIfTriggered(policy);
+  EXPECT_EQ(catalog_.FindEntry(MakeStatKey({t_.fact_val}))->update_count, 1);
+  EXPECT_EQ(catalog_.FindEntry(MakeStatKey({t_.fact_grp}))->update_count, 0);
+}
+
+TEST_F(StatsCatalogTest, PendingUpdateCostCountsActiveOnly) {
+  catalog_.CreateStatistic({t_.fact_val});
+  catalog_.CreateStatistic({t_.fact_grp});
+  const double both = catalog_.PendingUpdateCost();
+  catalog_.MoveToDropList(MakeStatKey({t_.fact_grp}));
+  const double one = catalog_.PendingUpdateCost();
+  EXPECT_LT(one, both);
+  EXPECT_GT(one, 0.0);
+}
+
+TEST_F(StatsCatalogTest, ActiveKeysSortedAndComplete) {
+  catalog_.CreateStatistic({t_.fact_val});
+  catalog_.CreateStatistic({t_.dim_pk});
+  const std::vector<StatKey> keys = catalog_.ActiveKeys();
+  EXPECT_EQ(keys.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+// --- StatsView ---
+
+TEST_F(StatsCatalogTest, ViewIgnoreHidesStatistic) {
+  catalog_.CreateStatistic({t_.fact_val});
+  StatsView view(&catalog_);
+  EXPECT_NE(view.HistogramFor(t_.fact_val), nullptr);
+  view.Ignore(MakeStatKey({t_.fact_val}));
+  EXPECT_EQ(view.HistogramFor(t_.fact_val), nullptr);
+  EXPECT_FALSE(view.IsVisible(MakeStatKey({t_.fact_val})));
+}
+
+TEST_F(StatsCatalogTest, ViewPrefersNarrowestStat) {
+  catalog_.CreateStatistic({t_.fact_val, t_.fact_grp});
+  StatsView view(&catalog_);
+  const Statistic* wide = view.HistogramFor(t_.fact_val);
+  ASSERT_NE(wide, nullptr);
+  EXPECT_EQ(wide->width(), 2);
+  catalog_.CreateStatistic({t_.fact_val});
+  const Statistic* narrow = view.HistogramFor(t_.fact_val);
+  ASSERT_NE(narrow, nullptr);
+  EXPECT_EQ(narrow->width(), 1);
+}
+
+TEST_F(StatsCatalogTest, DensityForMatchesSetAnyOrder) {
+  catalog_.CreateStatistic({t_.fact_val, t_.fact_grp});
+  StatsView view(&catalog_);
+  int len = 0;
+  // Set match is order-insensitive.
+  EXPECT_NE(view.DensityFor(t_.fact, {t_.fact_grp.column, t_.fact_val.column},
+                            &len),
+            nullptr);
+  EXPECT_EQ(len, 2);
+  // A set not covered by any prefix has no density.
+  EXPECT_EQ(view.DensityFor(t_.fact, {t_.fact_grp.column, t_.fact_flag.column},
+                            &len),
+            nullptr);
+}
+
+TEST_F(StatsCatalogTest, DensityForUsesPrefixOfWiderStat) {
+  catalog_.CreateStatistic({t_.fact_val, t_.fact_grp, t_.fact_flag});
+  StatsView view(&catalog_);
+  int len = 0;
+  const Statistic* s =
+      view.DensityFor(t_.fact, {t_.fact_val.column, t_.fact_grp.column}, &len);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(len, 2);
+  // But a *suffix* (grp, flag) does not match (SQL Server asymmetry).
+  EXPECT_EQ(view.DensityFor(t_.fact, {t_.fact_grp.column, t_.fact_flag.column},
+                            &len),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace autostats

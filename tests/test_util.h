@@ -1,0 +1,110 @@
+// Shared test fixtures: small synthetic databases with known value
+// distributions so expected selectivities / cardinalities can be computed
+// by hand, plus query-building shorthand.
+#ifndef AUTOSTATS_TESTS_TEST_UTIL_H_
+#define AUTOSTATS_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "common/rng.h"
+#include "query/query.h"
+
+namespace autostats::testing {
+
+// Two tables with controlled distributions:
+//   fact(fk, val, grp, flag):  n rows;
+//     fk   = i % dim_rows           (uniform foreign key)
+//     val  = i % 100                (uniform 0..99)
+//     grp  = i % 10                 (10 groups)
+//     flag = i < n/20 ? 1 : 0       (5% ones — a skewed flag)
+//   dim(pk, attr): dim_rows rows; pk = i, attr = i % 7.
+struct TwoTableDb {
+  Database db;
+  TableId fact = kInvalidTableId;
+  TableId dim = kInvalidTableId;
+  ColumnRef fact_fk, fact_val, fact_grp, fact_flag, dim_pk, dim_attr;
+};
+
+inline TwoTableDb MakeTwoTableDb(size_t fact_rows = 10000,
+                                 size_t dim_rows = 100) {
+  TwoTableDb out;
+  out.fact = out.db.AddTable(Schema("fact", {{"fk", ValueType::kInt64},
+                                             {"val", ValueType::kInt64},
+                                             {"grp", ValueType::kInt64},
+                                             {"flag", ValueType::kInt64}}));
+  out.dim = out.db.AddTable(Schema(
+      "dim", {{"pk", ValueType::kInt64}, {"attr", ValueType::kInt64}}));
+  Table& fact = out.db.mutable_table(out.fact);
+  for (size_t i = 0; i < fact_rows; ++i) {
+    fact.AppendRow({Datum(static_cast<int64_t>(i % dim_rows)),
+                    Datum(static_cast<int64_t>(i % 100)),
+                    Datum(static_cast<int64_t>(i % 10)),
+                    Datum(static_cast<int64_t>(i < fact_rows / 20 ? 1 : 0))});
+  }
+  Table& dim = out.db.mutable_table(out.dim);
+  for (size_t i = 0; i < dim_rows; ++i) {
+    dim.AppendRow({Datum(static_cast<int64_t>(i)),
+                   Datum(static_cast<int64_t>(i % 7))});
+  }
+  out.fact_fk = {out.fact, 0};
+  out.fact_val = {out.fact, 1};
+  out.fact_grp = {out.fact, 2};
+  out.fact_flag = {out.fact, 3};
+  out.dim_pk = {out.dim, 0};
+  out.dim_attr = {out.dim, 1};
+  return out;
+}
+
+// fact JOIN dim ON fk = pk WHERE val < `val_bound`.
+inline Query MakeJoinQuery(const TwoTableDb& t, int64_t val_bound = 50) {
+  Query q("join_query");
+  q.AddTable(t.fact);
+  q.AddTable(t.dim);
+  q.AddJoin(JoinPredicate{t.fact_fk, t.dim_pk});
+  q.AddFilter(
+      FilterPredicate{t.fact_val, CompareOp::kLt, Datum(val_bound), Datum()});
+  return q;
+}
+
+// Single-table query: SELECT * FROM fact WHERE val < bound [GROUP BY grp].
+inline Query MakeFilterQuery(const TwoTableDb& t, int64_t val_bound = 50,
+                             bool group = false) {
+  Query q("filter_query");
+  q.AddTable(t.fact);
+  q.AddFilter(
+      FilterPredicate{t.fact_val, CompareOp::kLt, Datum(val_bound), Datum()});
+  if (group) q.AddGroupBy(t.fact_grp);
+  return q;
+}
+
+// A correlated-columns table: b is a function of a (b = a / 10), c is
+// independent. Exercises multi-column statistics.
+struct CorrelatedDb {
+  Database db;
+  TableId t = kInvalidTableId;
+  ColumnRef a, b, c;
+};
+
+inline CorrelatedDb MakeCorrelatedDb(size_t rows = 10000) {
+  CorrelatedDb out;
+  out.t = out.db.AddTable(Schema("corr", {{"a", ValueType::kInt64},
+                                          {"b", ValueType::kInt64},
+                                          {"c", ValueType::kInt64}}));
+  Table& table = out.db.mutable_table(out.t);
+  Rng rng(123);
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.NextU64(100));
+    table.AppendRow({Datum(a), Datum(a / 10),
+                     Datum(static_cast<int64_t>(rng.NextU64(100)))});
+  }
+  out.a = {out.t, 0};
+  out.b = {out.t, 1};
+  out.c = {out.t, 2};
+  return out;
+}
+
+}  // namespace autostats::testing
+
+#endif  // AUTOSTATS_TESTS_TEST_UTIL_H_

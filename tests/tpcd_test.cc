@@ -1,0 +1,182 @@
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+#include "tpcd/schema.h"
+#include "tpcd/tuning.h"
+
+namespace autostats {
+namespace {
+
+using tpcd::BuildTpcd;
+using tpcd::TpcdConfig;
+
+TpcdConfig SmallConfig(tpcd::SkewMode mode = tpcd::SkewMode::kUniform,
+                       double z = 0.0) {
+  TpcdConfig c;
+  c.scale_factor = 0.001;
+  c.skew_mode = mode;
+  c.z = z;
+  c.seed = 42;
+  return c;
+}
+
+TEST(TpcdSchemaTest, AllTablesPresent) {
+  Database db;
+  tpcd::AddTpcdSchema(&db);
+  for (const char* name : {"region", "nation", "supplier", "customer",
+                           "part", "partsupp", "orders", "lineitem"}) {
+    EXPECT_NE(db.FindTable(name), kInvalidTableId) << name;
+  }
+}
+
+TEST(TpcdSchemaTest, DateEncodingMonotone) {
+  EXPECT_LT(tpcd::EncodeDate(1992, 1, 1), tpcd::EncodeDate(1992, 6, 1));
+  EXPECT_LT(tpcd::EncodeDate(1994, 12, 31), tpcd::EncodeDate(1995, 1, 1));
+  EXPECT_EQ(tpcd::EncodeDate(1992, 1, 1), 0);
+}
+
+TEST(TpcdDbgenTest, RowCountsScale) {
+  const Database db = BuildTpcd(SmallConfig());
+  EXPECT_EQ(db.table(db.FindTable("region")).num_rows(), 5u);
+  EXPECT_EQ(db.table(db.FindTable("nation")).num_rows(), 25u);
+  const size_t customers = db.table(db.FindTable("customer")).num_rows();
+  const size_t orders = db.table(db.FindTable("orders")).num_rows();
+  EXPECT_EQ(orders, customers * 10);
+  const size_t lineitems = db.table(db.FindTable("lineitem")).num_rows();
+  EXPECT_GT(lineitems, orders * 2);  // 1..7 lines per order, mean 4
+  EXPECT_LT(lineitems, orders * 7);
+  EXPECT_EQ(db.table(db.FindTable("partsupp")).num_rows(),
+            db.table(db.FindTable("part")).num_rows() * 4);
+}
+
+TEST(TpcdDbgenTest, DeterministicBySeed) {
+  const Database a = BuildTpcd(SmallConfig());
+  const Database b = BuildTpcd(SmallConfig());
+  const Table& la = a.table(a.FindTable("lineitem"));
+  const Table& lb = b.table(b.FindTable("lineitem"));
+  ASSERT_EQ(la.num_rows(), lb.num_rows());
+  for (size_t r = 0; r < la.num_rows(); r += 97) {
+    for (int c = 0; c < la.schema().num_columns(); ++c) {
+      EXPECT_TRUE(la.GetCell(r, c) == lb.GetCell(r, c));
+    }
+  }
+}
+
+TEST(TpcdDbgenTest, ForeignKeyIntegrity) {
+  const Database db = BuildTpcd(SmallConfig());
+  const Table& lineitem = db.table(db.FindTable("lineitem"));
+  const Table& orders = db.table(db.FindTable("orders"));
+  const size_t num_orders = orders.num_rows();
+  const ColumnId l_orderkey = lineitem.schema().FindColumn("l_orderkey");
+  for (size_t r = 0; r < lineitem.num_rows(); r += 13) {
+    const int64_t key = lineitem.GetCell(r, l_orderkey).AsInt64();
+    EXPECT_GE(key, 0);
+    EXPECT_LT(key, static_cast<int64_t>(num_orders));
+  }
+}
+
+TEST(TpcdDbgenTest, DateCorrelationsHold) {
+  const Database db = BuildTpcd(SmallConfig());
+  const Table& l = db.table(db.FindTable("lineitem"));
+  const ColumnId ship = l.schema().FindColumn("l_shipdate");
+  const ColumnId receipt = l.schema().FindColumn("l_receiptdate");
+  for (size_t r = 0; r < l.num_rows(); r += 7) {
+    EXPECT_GT(l.GetCell(r, receipt).AsInt64(), l.GetCell(r, ship).AsInt64());
+  }
+}
+
+// Skew property across all variants, parameterized.
+class TpcdSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TpcdSkewTest, HigherZConcentratesForeignKeys) {
+  const double z = GetParam();
+  const Database db = BuildTpcd(SmallConfig(tpcd::SkewMode::kFixed, z));
+  const Table& orders = db.table(db.FindTable("orders"));
+  const ColumnId custkey = orders.schema().FindColumn("o_custkey");
+  std::unordered_map<int64_t, int> counts;
+  for (size_t r = 0; r < orders.num_rows(); ++r) {
+    ++counts[orders.GetCell(r, custkey).AsInt64()];
+  }
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  const double top_share =
+      static_cast<double>(max_count) / static_cast<double>(orders.num_rows());
+  if (z == 0.0) {
+    EXPECT_LT(top_share, 0.05);
+  } else if (z >= 2.0) {
+    EXPECT_GT(top_share, 0.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZValues, TpcdSkewTest,
+                         ::testing::Values(0.0, 2.0, 4.0));
+
+TEST(TpcdDbgenTest, VariantNamesBuild) {
+  for (const std::string& name : tpcd::TpcdVariantNames()) {
+    const Database db = tpcd::BuildTpcdVariant(name, 0.001);
+    EXPECT_GT(db.table(db.FindTable("lineitem")).num_rows(), 0u) << name;
+  }
+}
+
+TEST(TpcdTuningTest, ThirteenIndexes) {
+  Database db = BuildTpcd(SmallConfig());
+  tpcd::ApplyTunedIndexes(&db);
+  EXPECT_EQ(db.indexes().size(), 13u);
+  // Index-implied statistics are free.
+  StatsCatalog catalog(&db);
+  tpcd::CreateIndexImpliedStatistics(&catalog);
+  EXPECT_EQ(catalog.num_active(), 13u);
+  EXPECT_DOUBLE_EQ(catalog.total_creation_cost(), 0.0);
+}
+
+// All 17 queries must optimize and execute on every variant shape.
+class TpcdQueryTest : public ::testing::TestWithParam<int> {
+ protected:
+  static const Database& Db() {
+    static const Database& db = *new Database(BuildTpcd(SmallConfig()));
+    return db;
+  }
+};
+
+TEST_P(TpcdQueryTest, OptimizesAndExecutes) {
+  const Database& db = Db();
+  const Query q = tpcd::TpcdQuery(db, GetParam());
+  EXPECT_FALSE(q.name().empty());
+  EXPECT_GE(q.num_tables(), 1);
+  StatsCatalog catalog(&db);
+  Optimizer optimizer(&db);
+  const OptimizeResult r = optimizer.Optimize(q, StatsView(&catalog));
+  ASSERT_TRUE(r.plan.valid());
+  EXPECT_GT(r.cost, 0.0);
+  Executor executor(&db, optimizer.cost_model());
+  const ExecResult e = executor.Execute(q, r.plan);
+  EXPECT_GT(e.work_units, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSeventeen, TpcdQueryTest,
+                         ::testing::Range(1, 18));
+
+TEST(TpcdQueryTest2, WorkloadHasSeventeen) {
+  const Database db = BuildTpcd(SmallConfig());
+  const Workload w = tpcd::TpcdQueries(db);
+  EXPECT_EQ(w.num_queries(), 17u);
+  EXPECT_EQ(w.name(), "TPCD-ORIG");
+}
+
+TEST(TpcdQueryTest2, ForeignKeyEdgesResolve) {
+  const Database db = BuildTpcd(SmallConfig());
+  const std::vector<JoinPredicate> edges = tpcd::TpcdForeignKeys(db);
+  EXPECT_EQ(edges.size(), 9u);
+  for (const JoinPredicate& e : edges) {
+    EXPECT_NE(e.left.table, e.right.table);
+  }
+}
+
+}  // namespace
+}  // namespace autostats
