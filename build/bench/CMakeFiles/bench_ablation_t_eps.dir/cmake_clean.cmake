@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_t_eps.dir/bench_ablation_t_eps.cpp.o"
+  "CMakeFiles/bench_ablation_t_eps.dir/bench_ablation_t_eps.cpp.o.d"
+  "bench_ablation_t_eps"
+  "bench_ablation_t_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_t_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_candidate.dir/bench_fig3_candidate.cpp.o"
+  "CMakeFiles/bench_fig3_candidate.dir/bench_fig3_candidate.cpp.o.d"
+  "bench_fig3_candidate"
+  "bench_fig3_candidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_candidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mnsa.dir/bench_fig4_mnsa.cpp.o"
+  "CMakeFiles/bench_fig4_mnsa.dir/bench_fig4_mnsa.cpp.o.d"
+  "bench_fig4_mnsa"
+  "bench_fig4_mnsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mnsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

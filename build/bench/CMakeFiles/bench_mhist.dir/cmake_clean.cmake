@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mhist.dir/bench_mhist.cpp.o"
+  "CMakeFiles/bench_mhist.dir/bench_mhist.cpp.o.d"
+  "bench_mhist"
+  "bench_mhist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mhist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

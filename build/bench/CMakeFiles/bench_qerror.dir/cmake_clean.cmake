@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qerror.dir/bench_qerror.cpp.o"
+  "CMakeFiles/bench_qerror.dir/bench_qerror.cpp.o.d"
+  "bench_qerror"
+  "bench_qerror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qerror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shrinking_vs_mnsad.dir/bench_shrinking_vs_mnsad.cpp.o"
+  "CMakeFiles/bench_shrinking_vs_mnsad.dir/bench_shrinking_vs_mnsad.cpp.o.d"
+  "bench_shrinking_vs_mnsad"
+  "bench_shrinking_vs_mnsad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shrinking_vs_mnsad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

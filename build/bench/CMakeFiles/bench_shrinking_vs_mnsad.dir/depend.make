@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_shrinking_vs_mnsad.
+# This may be replaced when dependencies are built.

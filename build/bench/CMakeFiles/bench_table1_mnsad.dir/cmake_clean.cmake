@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mnsad.dir/bench_table1_mnsad.cpp.o"
+  "CMakeFiles/bench_table1_mnsad.dir/bench_table1_mnsad.cpp.o.d"
+  "bench_table1_mnsad"
+  "bench_table1_mnsad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mnsad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

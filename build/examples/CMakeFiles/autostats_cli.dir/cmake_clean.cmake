@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autostats_cli.dir/autostats_cli.cpp.o"
+  "CMakeFiles/autostats_cli.dir/autostats_cli.cpp.o.d"
+  "autostats_cli"
+  "autostats_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autostats_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_tuning.dir/offline_tuning.cpp.o"
+  "CMakeFiles/offline_tuning.dir/offline_tuning.cpp.o.d"
+  "offline_tuning"
+  "offline_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

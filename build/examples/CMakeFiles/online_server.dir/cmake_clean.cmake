@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_server.dir/online_server.cpp.o"
+  "CMakeFiles/online_server.dir/online_server.cpp.o.d"
+  "online_server"
+  "online_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_explorer.dir/skew_explorer.cpp.o"
+  "CMakeFiles/skew_explorer.dir/skew_explorer.cpp.o.d"
+  "skew_explorer"
+  "skew_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

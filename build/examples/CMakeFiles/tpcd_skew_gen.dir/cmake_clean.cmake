@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcd_skew_gen.dir/tpcd_skew_gen.cpp.o"
+  "CMakeFiles/tpcd_skew_gen.dir/tpcd_skew_gen.cpp.o.d"
+  "tpcd_skew_gen"
+  "tpcd_skew_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_skew_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/index_advisor.cc" "src/CMakeFiles/autostats.dir/advisor/index_advisor.cc.o" "gcc" "src/CMakeFiles/autostats.dir/advisor/index_advisor.cc.o.d"
+  "/root/repo/src/catalog/column.cc" "src/CMakeFiles/autostats.dir/catalog/column.cc.o" "gcc" "src/CMakeFiles/autostats.dir/catalog/column.cc.o.d"
+  "/root/repo/src/catalog/database.cc" "src/CMakeFiles/autostats.dir/catalog/database.cc.o" "gcc" "src/CMakeFiles/autostats.dir/catalog/database.cc.o.d"
+  "/root/repo/src/catalog/index.cc" "src/CMakeFiles/autostats.dir/catalog/index.cc.o" "gcc" "src/CMakeFiles/autostats.dir/catalog/index.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/autostats.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/autostats.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/table.cc" "src/CMakeFiles/autostats.dir/catalog/table.cc.o" "gcc" "src/CMakeFiles/autostats.dir/catalog/table.cc.o.d"
+  "/root/repo/src/catalog/value.cc" "src/CMakeFiles/autostats.dir/catalog/value.cc.o" "gcc" "src/CMakeFiles/autostats.dir/catalog/value.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/autostats.dir/common/status.cc.o" "gcc" "src/CMakeFiles/autostats.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/autostats.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/autostats.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/zipfian.cc" "src/CMakeFiles/autostats.dir/common/zipfian.cc.o" "gcc" "src/CMakeFiles/autostats.dir/common/zipfian.cc.o.d"
+  "/root/repo/src/core/aging.cc" "src/CMakeFiles/autostats.dir/core/aging.cc.o" "gcc" "src/CMakeFiles/autostats.dir/core/aging.cc.o.d"
+  "/root/repo/src/core/auto_manager.cc" "src/CMakeFiles/autostats.dir/core/auto_manager.cc.o" "gcc" "src/CMakeFiles/autostats.dir/core/auto_manager.cc.o.d"
+  "/root/repo/src/core/candidate.cc" "src/CMakeFiles/autostats.dir/core/candidate.cc.o" "gcc" "src/CMakeFiles/autostats.dir/core/candidate.cc.o.d"
+  "/root/repo/src/core/drop_list.cc" "src/CMakeFiles/autostats.dir/core/drop_list.cc.o" "gcc" "src/CMakeFiles/autostats.dir/core/drop_list.cc.o.d"
+  "/root/repo/src/core/equivalence.cc" "src/CMakeFiles/autostats.dir/core/equivalence.cc.o" "gcc" "src/CMakeFiles/autostats.dir/core/equivalence.cc.o.d"
+  "/root/repo/src/core/find_next_stat.cc" "src/CMakeFiles/autostats.dir/core/find_next_stat.cc.o" "gcc" "src/CMakeFiles/autostats.dir/core/find_next_stat.cc.o.d"
+  "/root/repo/src/core/mnsa.cc" "src/CMakeFiles/autostats.dir/core/mnsa.cc.o" "gcc" "src/CMakeFiles/autostats.dir/core/mnsa.cc.o.d"
+  "/root/repo/src/core/mnsa_d.cc" "src/CMakeFiles/autostats.dir/core/mnsa_d.cc.o" "gcc" "src/CMakeFiles/autostats.dir/core/mnsa_d.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/autostats.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/autostats.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/autostats.dir/core/report.cc.o" "gcc" "src/CMakeFiles/autostats.dir/core/report.cc.o.d"
+  "/root/repo/src/core/shrinking_set.cc" "src/CMakeFiles/autostats.dir/core/shrinking_set.cc.o" "gcc" "src/CMakeFiles/autostats.dir/core/shrinking_set.cc.o.d"
+  "/root/repo/src/diag/qerror.cc" "src/CMakeFiles/autostats.dir/diag/qerror.cc.o" "gcc" "src/CMakeFiles/autostats.dir/diag/qerror.cc.o.d"
+  "/root/repo/src/executor/dml_exec.cc" "src/CMakeFiles/autostats.dir/executor/dml_exec.cc.o" "gcc" "src/CMakeFiles/autostats.dir/executor/dml_exec.cc.o.d"
+  "/root/repo/src/executor/exec_node.cc" "src/CMakeFiles/autostats.dir/executor/exec_node.cc.o" "gcc" "src/CMakeFiles/autostats.dir/executor/exec_node.cc.o.d"
+  "/root/repo/src/executor/executor.cc" "src/CMakeFiles/autostats.dir/executor/executor.cc.o" "gcc" "src/CMakeFiles/autostats.dir/executor/executor.cc.o.d"
+  "/root/repo/src/optimizer/cardinality.cc" "src/CMakeFiles/autostats.dir/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/autostats.dir/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/autostats.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/autostats.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/enumerator.cc" "src/CMakeFiles/autostats.dir/optimizer/enumerator.cc.o" "gcc" "src/CMakeFiles/autostats.dir/optimizer/enumerator.cc.o.d"
+  "/root/repo/src/optimizer/join_graph.cc" "src/CMakeFiles/autostats.dir/optimizer/join_graph.cc.o" "gcc" "src/CMakeFiles/autostats.dir/optimizer/join_graph.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/autostats.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/autostats.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/autostats.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/autostats.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/selectivity.cc" "src/CMakeFiles/autostats.dir/optimizer/selectivity.cc.o" "gcc" "src/CMakeFiles/autostats.dir/optimizer/selectivity.cc.o.d"
+  "/root/repo/src/query/dml.cc" "src/CMakeFiles/autostats.dir/query/dml.cc.o" "gcc" "src/CMakeFiles/autostats.dir/query/dml.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/autostats.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/autostats.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/autostats.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/autostats.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/printer.cc" "src/CMakeFiles/autostats.dir/query/printer.cc.o" "gcc" "src/CMakeFiles/autostats.dir/query/printer.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/autostats.dir/query/query.cc.o" "gcc" "src/CMakeFiles/autostats.dir/query/query.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/CMakeFiles/autostats.dir/query/workload.cc.o" "gcc" "src/CMakeFiles/autostats.dir/query/workload.cc.o.d"
+  "/root/repo/src/query/workload_io.cc" "src/CMakeFiles/autostats.dir/query/workload_io.cc.o" "gcc" "src/CMakeFiles/autostats.dir/query/workload_io.cc.o.d"
+  "/root/repo/src/rags/rags.cc" "src/CMakeFiles/autostats.dir/rags/rags.cc.o" "gcc" "src/CMakeFiles/autostats.dir/rags/rags.cc.o.d"
+  "/root/repo/src/stats/builder.cc" "src/CMakeFiles/autostats.dir/stats/builder.cc.o" "gcc" "src/CMakeFiles/autostats.dir/stats/builder.cc.o.d"
+  "/root/repo/src/stats/distinct.cc" "src/CMakeFiles/autostats.dir/stats/distinct.cc.o" "gcc" "src/CMakeFiles/autostats.dir/stats/distinct.cc.o.d"
+  "/root/repo/src/stats/endbiased.cc" "src/CMakeFiles/autostats.dir/stats/endbiased.cc.o" "gcc" "src/CMakeFiles/autostats.dir/stats/endbiased.cc.o.d"
+  "/root/repo/src/stats/equidepth.cc" "src/CMakeFiles/autostats.dir/stats/equidepth.cc.o" "gcc" "src/CMakeFiles/autostats.dir/stats/equidepth.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/autostats.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/autostats.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/maxdiff.cc" "src/CMakeFiles/autostats.dir/stats/maxdiff.cc.o" "gcc" "src/CMakeFiles/autostats.dir/stats/maxdiff.cc.o.d"
+  "/root/repo/src/stats/mhist.cc" "src/CMakeFiles/autostats.dir/stats/mhist.cc.o" "gcc" "src/CMakeFiles/autostats.dir/stats/mhist.cc.o.d"
+  "/root/repo/src/stats/persistence.cc" "src/CMakeFiles/autostats.dir/stats/persistence.cc.o" "gcc" "src/CMakeFiles/autostats.dir/stats/persistence.cc.o.d"
+  "/root/repo/src/stats/statistic.cc" "src/CMakeFiles/autostats.dir/stats/statistic.cc.o" "gcc" "src/CMakeFiles/autostats.dir/stats/statistic.cc.o.d"
+  "/root/repo/src/stats/stats_catalog.cc" "src/CMakeFiles/autostats.dir/stats/stats_catalog.cc.o" "gcc" "src/CMakeFiles/autostats.dir/stats/stats_catalog.cc.o.d"
+  "/root/repo/src/stats/stats_cost.cc" "src/CMakeFiles/autostats.dir/stats/stats_cost.cc.o" "gcc" "src/CMakeFiles/autostats.dir/stats/stats_cost.cc.o.d"
+  "/root/repo/src/tpcd/dbgen.cc" "src/CMakeFiles/autostats.dir/tpcd/dbgen.cc.o" "gcc" "src/CMakeFiles/autostats.dir/tpcd/dbgen.cc.o.d"
+  "/root/repo/src/tpcd/queries.cc" "src/CMakeFiles/autostats.dir/tpcd/queries.cc.o" "gcc" "src/CMakeFiles/autostats.dir/tpcd/queries.cc.o.d"
+  "/root/repo/src/tpcd/schema.cc" "src/CMakeFiles/autostats.dir/tpcd/schema.cc.o" "gcc" "src/CMakeFiles/autostats.dir/tpcd/schema.cc.o.d"
+  "/root/repo/src/tpcd/tbl_io.cc" "src/CMakeFiles/autostats.dir/tpcd/tbl_io.cc.o" "gcc" "src/CMakeFiles/autostats.dir/tpcd/tbl_io.cc.o.d"
+  "/root/repo/src/tpcd/text_pools.cc" "src/CMakeFiles/autostats.dir/tpcd/text_pools.cc.o" "gcc" "src/CMakeFiles/autostats.dir/tpcd/text_pools.cc.o.d"
+  "/root/repo/src/tpcd/tuning.cc" "src/CMakeFiles/autostats.dir/tpcd/tuning.cc.o" "gcc" "src/CMakeFiles/autostats.dir/tpcd/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

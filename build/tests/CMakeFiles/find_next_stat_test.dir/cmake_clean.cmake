@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_next_stat_test.dir/find_next_stat_test.cc.o"
+  "CMakeFiles/find_next_stat_test.dir/find_next_stat_test.cc.o.d"
+  "find_next_stat_test"
+  "find_next_stat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_next_stat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnsa_test.dir/mnsa_test.cc.o"
+  "CMakeFiles/mnsa_test.dir/mnsa_test.cc.o.d"
+  "mnsa_test"
+  "mnsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

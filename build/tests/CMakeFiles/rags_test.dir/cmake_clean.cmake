@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rags_test.dir/rags_test.cc.o"
+  "CMakeFiles/rags_test.dir/rags_test.cc.o.d"
+  "rags_test"
+  "rags_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

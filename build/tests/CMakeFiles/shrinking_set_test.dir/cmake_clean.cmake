@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrinking_set_test.dir/shrinking_set_test.cc.o"
+  "CMakeFiles/shrinking_set_test.dir/shrinking_set_test.cc.o.d"
+  "shrinking_set_test"
+  "shrinking_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrinking_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

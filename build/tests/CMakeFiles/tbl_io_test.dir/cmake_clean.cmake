@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_io_test.dir/tbl_io_test.cc.o"
+  "CMakeFiles/tbl_io_test.dir/tbl_io_test.cc.o.d"
+  "tbl_io_test"
+  "tbl_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcd_queries_test.dir/tpcd_queries_test.cc.o"
+  "CMakeFiles/tpcd_queries_test.dir/tpcd_queries_test.cc.o.d"
+  "tpcd_queries_test"
+  "tpcd_queries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
