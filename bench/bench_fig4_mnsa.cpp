@@ -18,12 +18,21 @@ std::vector<CandidateStat> SingleColumnOnly(const Query& q) {
   return out;
 }
 
-void RunExhibit(bool single_column_only) {
+struct ExhibitTotals {
+  double create_all_cost = 0.0;
+  double mnsa_cost = 0.0;
+  int64_t optimizer_calls = 0;
+  int64_t cache_hits = 0;
+  int64_t real_calls = 0;
+};
+
+ExhibitTotals RunExhibit(bool single_column_only) {
   const std::vector<bench::WorkloadSpec> workloads = {
       bench::TpcdOrigSpec(),
       bench::RagsSpec(0.0, rags::Complexity::kSimple, 100),
       bench::RagsSpec(0.0, rags::Complexity::kComplex, 100),
   };
+  ExhibitTotals totals;
   std::printf("%-10s %-12s %14s %14s %12s %10s %7s\n", "database",
               "workload", "create-all", "mnsa(+ovh)", "reduction",
               "exec_incr", "#stats");
@@ -59,8 +68,14 @@ void RunExhibit(bool single_column_only) {
                   (all_cost - mnsa_cost) / all_cost * 100.0,
                   (mnsa_exec - all_exec) / all_exec * 100.0,
                   pruned.num_active(), all.num_active());
+      totals.create_all_cost += all_cost;
+      totals.mnsa_cost += mnsa_cost;
+      totals.optimizer_calls += r.optimizer_calls;
     }
+    totals.cache_hits += optimizer.num_cache_hits();
+    totals.real_calls += optimizer.num_real_calls();
   }
+  return totals;
 }
 
 }  // namespace
@@ -71,10 +86,37 @@ int main() {
       "epsilon = 0.0005)",
       "creation time reduced 30-45% (MNSA overhead included); execution "
       "cost increase <= 2%");
-  RunExhibit(/*single_column_only=*/false);
+  bench::WallTimer timer;
+  const ExhibitTotals multi = RunExhibit(/*single_column_only=*/false);
+  const double multi_wall_ms = timer.ElapsedMs();
 
   std::printf("\n--- Single-column-only candidate variant (Section 8.2) — "
               "paper: > 30%% reduction in all cases ---\n");
-  RunExhibit(/*single_column_only=*/true);
+  bench::WallTimer single_timer;
+  const ExhibitTotals single = RunExhibit(/*single_column_only=*/true);
+  const double single_wall_ms = single_timer.ElapsedMs();
+
+  bench::BenchJson json("fig4_mnsa");
+  json.Add("wall_ms", multi_wall_ms + single_wall_ms);
+  json.Add("multi_wall_ms", multi_wall_ms);
+  json.Add("single_column_wall_ms", single_wall_ms);
+  json.Add("optimizer_calls",
+           static_cast<double>(multi.optimizer_calls + single.optimizer_calls));
+  const double calls =
+      static_cast<double>(multi.cache_hits + single.cache_hits +
+                          multi.real_calls + single.real_calls);
+  json.Add("cache_hits",
+           static_cast<double>(multi.cache_hits + single.cache_hits));
+  json.Add("real_calls",
+           static_cast<double>(multi.real_calls + single.real_calls));
+  json.Add("cache_hit_ratio",
+           calls > 0 ? static_cast<double>(multi.cache_hits +
+                                           single.cache_hits) /
+                           calls
+                     : 0.0);
+  json.Add("creation_reduction_pct",
+           (multi.create_all_cost - multi.mnsa_cost) / multi.create_all_cost *
+               100.0);
+  json.Write();
   return 0;
 }

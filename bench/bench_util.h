@@ -5,15 +5,19 @@
 #ifndef AUTOSTATS_BENCH_BENCH_UTIL_H_
 #define AUTOSTATS_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/candidate.h"
 #include "core/mnsa.h"
 #include "executor/executor.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/plan_cache.h"
 #include "rags/rags.h"
 #include "stats/stats_catalog.h"
 #include "tpcd/dbgen.h"
@@ -82,19 +86,97 @@ inline Workload MakeWorkload(const Database& db, const WorkloadSpec& spec,
 
 // Executed cost of the workload's queries under the catalog's current
 // statistics (DML statements are ignored — execution-cost comparisons are
-// over identical query sets).
+// over identical query sets). Each query's optimize+execute is independent,
+// so the sweep fans out across the probe engine; per-query costs land in
+// per-index slots and are summed in index order, keeping the total
+// bit-identical at any thread count.
 inline double WorkloadExecCost(const Database& db,
                                const StatsCatalog& catalog,
                                const Optimizer& optimizer,
                                const Workload& w) {
-  Executor executor(&db, optimizer.cost_model());
+  const Executor executor(&db, optimizer.cost_model());
+  const std::vector<const Query*> queries = w.Queries();
+  std::vector<double> costs(queries.size(), 0.0);
+  ParallelFor(queries.size(), [&](size_t i) {
+    const OptimizeResult r = optimizer.Optimize(*queries[i], StatsView(&catalog));
+    costs[i] = executor.Execute(*queries[i], r.plan).work_units;
+  });
   double total = 0.0;
-  for (const Query* q : w.Queries()) {
-    const OptimizeResult r = optimizer.Optimize(*q, StatsView(&catalog));
-    total += executor.Execute(*q, r.plan).work_units;
-  }
+  for (double c : costs) total += c;
   return total;
 }
+
+// Wall-clock stopwatch for the perf trajectory the BENCH_*.json files
+// record.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Machine-readable benchmark emission: collects flat metrics and writes
+// BENCH_<name>.json next to the binary (or under AUTOSTATS_BENCH_JSON_DIR),
+// so the perf trajectory across PRs can be scraped without parsing tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    Add("scale_factor", ScaleFactor());
+    Add("threads", static_cast<double>(NumThreads()));
+  }
+
+  void Add(const std::string& key, double value) {
+    numbers_.emplace_back(key, value);
+  }
+  void Add(const std::string& key, const std::string& value) {
+    strings_.emplace_back(key, value);
+  }
+
+  // Records the optimizer's probe accounting under `prefix`: logical
+  // calls, cache hits, real (pipeline) calls, and the hit ratio.
+  void AddOptimizerCounters(const std::string& prefix,
+                            const Optimizer& optimizer) {
+    const double calls = static_cast<double>(optimizer.num_calls());
+    const double hits = static_cast<double>(optimizer.num_cache_hits());
+    Add(prefix + "_optimizer_calls", calls);
+    Add(prefix + "_cache_hits", hits);
+    Add(prefix + "_real_calls", calls - hits);
+    Add(prefix + "_cache_hit_ratio", calls > 0 ? hits / calls : 0.0);
+  }
+
+  void Write() const {
+    const char* dir = std::getenv("AUTOSTATS_BENCH_JSON_DIR");
+    const std::string path =
+        (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
+        name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : strings_) {
+      std::fprintf(f, ",\n  \"%s\": \"%s\"", key.c_str(), value.c_str());
+    }
+    for (const auto& [key, value] : numbers_) {
+      std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("[wrote %s]\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> numbers_;
+  std::vector<std::pair<std::string, std::string>> strings_;
+};
 
 // Builds every statistic in `candidates`; returns the creation cost.
 inline double CreateAll(StatsCatalog* catalog,

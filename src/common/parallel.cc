@@ -1,0 +1,161 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace autostats {
+
+namespace {
+
+// True while the current thread is executing job lambdas — on pool workers
+// always, and on the submitting thread while it drains its own job. Nested
+// ParallelFor calls detect this and run inline instead of re-entering the
+// pool (which would deadlock on job_mutex_ for the submitter).
+thread_local bool t_in_parallel_region = false;
+
+// Per-job state, heap-allocated and shared with the workers so a worker
+// that wakes late drains a saturated counter instead of touching a dead
+// stack frame. The submitting thread keeps `fn` alive until done == n.
+struct Job {
+  Job(size_t size, const std::function<void(size_t)>* f) : n(size), fn(f) {}
+  const size_t n;
+  const std::function<void(size_t)>* const fn;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  void Drain() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      (*fn)(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  int num_threads() {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    return num_threads_;
+  }
+
+  void set_num_threads(int n) {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    num_threads_ = n < 1 ? 1 : n;
+  }
+
+  void Run(size_t n, const std::function<void(size_t)>& fn) {
+    if (n == 0) return;
+    const int threads = num_threads();
+    if (threads <= 1 || n == 1 || t_in_parallel_region) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    // One job at a time; concurrent top-level ParallelFor calls queue here.
+    std::lock_guard<std::mutex> job_lock(job_mutex_);
+    EnsureWorkers(threads - 1);
+
+    auto job = std::make_shared<Job>(n, &fn);
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      current_job_ = job;
+      ++job_epoch_;
+    }
+    wake_cv_.notify_all();
+
+    t_in_parallel_region = true;
+    job->Drain();  // the submitting thread works too
+    t_in_parallel_region = false;
+
+    // Workers may still be inside fn after the index counter saturates.
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == n;
+    });
+  }
+
+ private:
+  ThreadPool() = default;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void EnsureWorkers(int wanted) {
+    while (static_cast<int>(workers_.size()) < wanted) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    t_in_parallel_region = true;
+    uint64_t seen_epoch = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        wake_cv_.wait(lock,
+                      [&] { return stop_ || job_epoch_ != seen_epoch; });
+        if (stop_) return;
+        seen_epoch = job_epoch_;
+        job = current_job_;
+      }
+      if (job != nullptr) job->Drain();
+    }
+  }
+
+  std::mutex config_mutex_;
+  int num_threads_ = [] {
+    if (const char* env = std::getenv("AUTOSTATS_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+
+  std::mutex job_mutex_;  // serializes top-level jobs
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mutex_;  // guards job_epoch_ / current_job_ / stop_
+  std::condition_variable wake_cv_;
+  uint64_t job_epoch_ = 0;
+  bool stop_ = false;
+  std::shared_ptr<Job> current_job_;
+};
+
+}  // namespace
+
+int NumThreads() { return ThreadPool::Instance().num_threads(); }
+
+void SetNumThreads(int n) { ThreadPool::Instance().set_num_threads(n); }
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ThreadPool::Instance().Run(n, fn);
+}
+
+void ParallelInvoke(const std::vector<std::function<void()>>& fns) {
+  ParallelFor(fns.size(), [&](size_t i) { fns[i](); });
+}
+
+}  // namespace autostats

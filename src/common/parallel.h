@@ -1,0 +1,43 @@
+// A small shared thread pool and ParallelFor/ParallelInvoke helpers for
+// fanning out independent optimizer probes (Shrinking Set's per-(statistic,
+// query) re-optimizations, MNSA's epsilon / 1-epsilon twin probes, workload
+// sweeps, per-column statistic scans).
+//
+// Determinism contract: ParallelFor(n, fn) invokes fn(i) exactly once for
+// every i in [0, n), in an unspecified order and possibly concurrently.
+// Callers that aggregate results MUST write into per-index slots and reduce
+// serially in index order afterwards; every algorithm in this repo follows
+// that pattern, so a run at N threads is bit-identical to a run at 1 thread.
+//
+// Nested calls are safe: a ParallelFor issued from inside a pool worker runs
+// inline on that worker (no deadlock, no oversubscription).
+#ifndef AUTOSTATS_COMMON_PARALLEL_H_
+#define AUTOSTATS_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace autostats {
+
+// The configured degree of parallelism (>= 1). Initialized from the
+// AUTOSTATS_THREADS environment variable when set, otherwise from
+// std::thread::hardware_concurrency().
+int NumThreads();
+
+// Overrides the degree of parallelism; n <= 1 makes every ParallelFor run
+// serially inline (the reference behavior the determinism tests compare
+// against). Not safe to call concurrently with an in-flight ParallelFor.
+void SetNumThreads(int n);
+
+// Invokes fn(i) exactly once for each i in [0, n). The calling thread
+// participates in the work and returns only after every index completed.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+// Runs every thunk exactly once, possibly concurrently; returns when all
+// completed.
+void ParallelInvoke(const std::vector<std::function<void()>>& fns);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_COMMON_PARALLEL_H_

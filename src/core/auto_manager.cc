@@ -132,6 +132,7 @@ void AutoStatsManager::RunOfflinePass(Outcome* outcome) {
 }
 
 RunReport AutoStatsManager::Run(const Workload& workload) {
+  ApplyPolicyParallelism(policy_);
   RunReport report;
   report.label = workload.name() + "/" + CreationModeName(policy_.mode);
   for (const Statement& s : workload.statements()) {

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "core/find_next_stat.h"
 
 namespace autostats {
@@ -75,11 +76,20 @@ MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
     ++result.iterations;
 
     // Steps 4-7: sensitivity test over the uncertain selectivity variables.
+    // The epsilon / 1-epsilon twin probes are independent of each other and
+    // run concurrently.
     if (current.uncertain.empty()) return result;  // nothing left to sweep
-    const OptimizeResult p_low =
-        optimizer.Optimize(query, view, AtBound(current.uncertain, false));
-    const OptimizeResult p_high =
-        optimizer.Optimize(query, view, AtBound(current.uncertain, true));
+    OptimizeResult p_low, p_high;
+    ParallelInvoke({
+        [&] {
+          p_low =
+              optimizer.Optimize(query, view, AtBound(current.uncertain, false));
+        },
+        [&] {
+          p_high =
+              optimizer.Optimize(query, view, AtBound(current.uncertain, true));
+        },
+    });
     result.optimizer_calls += 2;
     AUTOSTATS_DCHECK(p_high.cost >= p_low.cost - 1e-6);
     const EquivalenceSpec spec{config.equivalence, config.t_percent};
@@ -137,6 +147,11 @@ MnsaResult RunMnsaWorkload(const Optimizer& optimizer, StatsCatalog* catalog,
                            const MnsaConfig& config) {
   MnsaResult merged;
   merged.converged = true;
+  // The per-query loop is inherently serial (each run may create
+  // statistics the next run must see); the parallelism lives inside
+  // RunMnsa's twin probes. No speculative pre-warm: any probe issued
+  // before the loop would be invalidated by the first statistic created,
+  // and it would make Optimizer::num_calls() thread-count-dependent.
   for (const Query* q : workload.Queries()) {
     merged.Merge(RunMnsa(optimizer, catalog, *q, config));
   }
@@ -152,19 +167,27 @@ MnsaResult RunMnsaWorkloadWeighted(const Optimizer& optimizer,
   MnsaResult merged;
   merged.converged = true;
 
-  // Rank queries by estimated cost under the current statistics.
+  // Rank queries by estimated cost under the current statistics. The
+  // ranking sweep mutates nothing, so the per-query probes fan out; costs
+  // land in per-index slots and are summed in index order afterwards, so
+  // the ranking (and FP total) is bit-identical to a serial sweep.
   struct Ranked {
     const Query* query;
     double cost;
   };
-  std::vector<Ranked> ranked;
+  const std::vector<const Query*> queries = workload.Queries();
   const StatsView view(catalog);
+  std::vector<double> costs(queries.size(), 0.0);
+  ParallelFor(queries.size(), [&](size_t i) {
+    costs[i] = optimizer.Optimize(*queries[i], view).cost;
+  });
+  merged.optimizer_calls += static_cast<int>(queries.size());
+  std::vector<Ranked> ranked;
+  ranked.reserve(queries.size());
   double total_cost = 0.0;
-  for (const Query* q : workload.Queries()) {
-    const double cost = optimizer.Optimize(*q, view).cost;
-    ++merged.optimizer_calls;
-    ranked.push_back({q, cost});
-    total_cost += cost;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ranked.push_back({queries[i], costs[i]});
+    total_cost += costs[i];
   }
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const Ranked& a, const Ranked& b) {

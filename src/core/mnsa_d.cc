@@ -1,5 +1,10 @@
 #include "core/mnsa_d.h"
 
+// MNSA/D delegates to RunMnsa/RunMnsaWorkload and therefore inherits the
+// parallel probe engine: concurrent epsilon / 1-epsilon twin probes, the
+// workload cache pre-warm, and plan-cost memoization. Drop detection adds
+// no optimizer calls, so the concurrency story is identical to MNSA's.
+
 namespace autostats {
 
 MnsaResult RunMnsaD(const Optimizer& optimizer, StatsCatalog* catalog,

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace autostats {
 
@@ -48,17 +49,25 @@ ShrinkingSetResult RunShrinkingSet(const Optimizer& optimizer,
 
   const std::vector<const Query*> queries = workload.Queries();
 
-  // Baseline plans: Plan(Q, S) for every query.
-  std::vector<OptimizeResult> baselines;
-  baselines.reserve(queries.size());
+  // Baseline plans: Plan(Q, S) for every query. The probes are independent
+  // (catalog untouched), so they fan out across the pool; slots are
+  // per-index, keeping results identical at any thread count.
+  std::vector<OptimizeResult> baselines(queries.size());
   {
     const StatsView base_view = RestrictedView(*catalog, s_set);
-    for (const Query* q : queries) {
-      baselines.push_back(optimizer.Optimize(*q, base_view));
-      ++result.optimizer_calls;
-    }
+    ParallelFor(queries.size(), [&](size_t qi) {
+      baselines[qi] = optimizer.Optimize(*queries[qi], base_view);
+    });
+    result.optimizer_calls += static_cast<int>(queries.size());
   }
 
+  // The outer loop is inherently serial — removing s changes the view every
+  // later statistic is tested under — but each statistic's per-query probes
+  // are independent and run in parallel. All potentially relevant queries
+  // are probed (no early exit): "needed" is an OR-reduction, so the
+  // verdict, the removal order, and the final sets are bit-identical to a
+  // serial run, and the probe count no longer depends on query order or
+  // thread count.
   std::set<StatKey> r_set = s_set;
   for (const StatKey& s : s_keys) {
     const StatEntry* entry = catalog->FindEntry(s);
@@ -68,16 +77,24 @@ ShrinkingSetResult RunShrinkingSet(const Optimizer& optimizer,
     without.erase(s);
     const StatsView view = RestrictedView(*catalog, without);
 
-    bool needed = false;
+    std::vector<size_t> relevant;
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      if (!PotentiallyRelevant(entry->stat, *queries[qi])) continue;
-      const OptimizeResult alt = optimizer.Optimize(*queries[qi], view);
-      ++result.optimizer_calls;
-      if (!PlansEquivalent(config.equivalence, alt, baselines[qi])) {
-        needed = true;
-        break;
+      if (PotentiallyRelevant(entry->stat, *queries[qi])) {
+        relevant.push_back(qi);
       }
     }
+
+    std::vector<char> differs(relevant.size(), 0);
+    ParallelFor(relevant.size(), [&](size_t i) {
+      const size_t qi = relevant[i];
+      const OptimizeResult alt = optimizer.Optimize(*queries[qi], view);
+      differs[i] =
+          PlansEquivalent(config.equivalence, alt, baselines[qi]) ? 0 : 1;
+    });
+    result.optimizer_calls += static_cast<int>(relevant.size());
+
+    const bool needed =
+        std::find(differs.begin(), differs.end(), 1) != differs.end();
     if (!needed) {
       r_set.erase(s);
       result.removed.push_back(s);

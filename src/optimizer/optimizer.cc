@@ -4,18 +4,34 @@
 
 #include "common/check.h"
 #include "optimizer/cardinality.h"
+#include "optimizer/plan_cache.h"
 
 namespace autostats {
 
 Optimizer::Optimizer(const Database* db, OptimizerConfig config)
     : db_(db), config_(config), cost_model_(config.cost) {
   AUTOSTATS_CHECK(db != nullptr);
+  if (config_.enable_plan_cache) {
+    plan_cache_ = std::make_unique<PlanCache>(config_.plan_cache_capacity);
+  }
 }
+
+Optimizer::~Optimizer() = default;
 
 OptimizeResult Optimizer::Optimize(const Query& query, const StatsView& stats,
                                    const SelectivityOverrides& overrides) const {
-  ++num_calls_;
+  num_calls_.fetch_add(1, std::memory_order_relaxed);
   AUTOSTATS_CHECK_MSG(query.num_tables() >= 1, "query has no tables");
+
+  PlanCacheKey cache_key;
+  if (plan_cache_ != nullptr) {
+    cache_key = PlanCache::MakeKey(query, stats, overrides);
+    OptimizeResult cached;
+    if (plan_cache_->Lookup(cache_key, &cached)) {
+      num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+  }
 
   SelectivityAnalysis sel = AnalyzeSelectivities(
       *db_, query, stats, config_.magic, overrides, config_.epsilon);
@@ -54,6 +70,7 @@ OptimizeResult Optimizer::Optimize(const Query& query, const StatsView& stats,
   result.plan = std::move(plan);
   result.bindings = sel.bindings();
   result.uncertain = sel.UncertainBindings();
+  if (plan_cache_ != nullptr) plan_cache_->Insert(cache_key, result);
   return result;
 }
 

@@ -6,6 +6,8 @@
 #ifndef AUTOSTATS_OPTIMIZER_OPTIMIZER_H_
 #define AUTOSTATS_OPTIMIZER_OPTIMIZER_H_
 
+#include <atomic>
+#include <memory>
 #include <vector>
 
 #include "catalog/database.h"
@@ -23,6 +25,11 @@ struct OptimizerConfig {
   CostParams cost;
   EnumeratorConfig enumerator;
   double epsilon = kDefaultEpsilon;  // the epsilon of §4.1
+  // Memoize OptimizeResults by (query, stats view, overrides) so repeated
+  // MNSA rounds and Shrinking Set passes stop re-optimizing identical
+  // configurations. Hits are deep copies — bit-identical to a fresh call.
+  bool enable_plan_cache = true;
+  size_t plan_cache_capacity = 4096;
 };
 
 struct OptimizeResult {
@@ -34,9 +41,17 @@ struct OptimizeResult {
   std::vector<SelVarBinding> uncertain;
 };
 
+class PlanCache;
+
+// Thread-safety: Optimize() is safe to call concurrently from many threads
+// against the same Optimizer as long as nothing mutates the Database, the
+// StatsCatalog behind the view, or the overrides during the calls — the
+// contract under which the parallel probe engine (common/parallel.h) fans
+// out Shrinking Set / MNSA probes.
 class Optimizer {
  public:
   explicit Optimizer(const Database* db, OptimizerConfig config = {});
+  ~Optimizer();
 
   const Database& db() const { return *db_; }
   const OptimizerConfig& config() const { return config_; }
@@ -46,14 +61,29 @@ class Optimizer {
                           const SelectivityOverrides& overrides = {}) const;
 
   // Number of Optimize() calls since construction (the bookkeeping the
-  // paper uses to report MNSA's overhead of 3 calls per statistic).
-  int64_t num_calls() const { return num_calls_; }
+  // paper uses to report MNSA's overhead of 3 calls per statistic). Cache
+  // hits count: this is the paper's logical call count, exact under
+  // concurrency.
+  int64_t num_calls() const {
+    return num_calls_.load(std::memory_order_relaxed);
+  }
+  // Of those, how many were answered from the plan-cost cache...
+  int64_t num_cache_hits() const {
+    return num_cache_hits_.load(std::memory_order_relaxed);
+  }
+  // ...and how many ran the full pipeline.
+  int64_t num_real_calls() const { return num_calls() - num_cache_hits(); }
+
+  // The memoizing cache; nullptr when disabled by config.
+  PlanCache* plan_cache() const { return plan_cache_.get(); }
 
  private:
   const Database* db_;
   OptimizerConfig config_;
   CostModel cost_model_;
-  mutable int64_t num_calls_ = 0;
+  mutable std::atomic<int64_t> num_calls_{0};
+  mutable std::atomic<int64_t> num_cache_hits_{0};
+  std::unique_ptr<PlanCache> plan_cache_;
 };
 
 }  // namespace autostats

@@ -1,0 +1,151 @@
+#include "optimizer/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace autostats {
+
+namespace {
+
+OptimizeResult CloneResult(const OptimizeResult& r) {
+  OptimizeResult out;
+  out.plan.root = r.plan.root ? r.plan.root->Clone() : nullptr;
+  out.cost = r.cost;
+  out.bindings = r.bindings;
+  out.uncertain = r.uncertain;
+  return out;
+}
+
+}  // namespace
+
+size_t PlanCacheKeyHash::operator()(const PlanCacheKey& k) const {
+  const std::hash<std::string> h;
+  size_t seed = std::hash<uint64_t>{}(k.catalog_uid * 0x9e3779b97f4a7c15ULL ^
+                                      k.stats_version ^
+                                      (k.schema_version << 32));
+  const auto mix = [&seed](size_t v) {
+    seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  };
+  mix(h(k.query_fingerprint));
+  mix(h(k.view_signature));
+  mix(h(k.overrides_signature));
+  return seed;
+}
+
+PlanCache::PlanCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+PlanCacheKey PlanCache::MakeKey(const Query& query, const StatsView& view,
+                                const SelectivityOverrides& overrides) {
+  PlanCacheKey key;
+  key.catalog_uid = view.catalog().uid();
+  key.stats_version = view.catalog().stats_version();
+  key.schema_version = view.catalog().db().schema_version();
+  key.query_fingerprint = query.Fingerprint();
+  key.view_signature = view.Signature();
+
+  // Overrides in canonical (kind, index) order; exact value rendering.
+  std::vector<std::pair<SelVar, double>> sorted(overrides.begin(),
+                                                overrides.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.kind != b.first.kind) {
+                return a.first.kind < b.first.kind;
+              }
+              return a.first.index < b.first.index;
+            });
+  for (const auto& [var, value] : sorted) {
+    key.overrides_signature += StrFormat(
+        "%d:%d=%.17g;", static_cast<int>(var.kind), var.index, value);
+  }
+  return key;
+}
+
+bool PlanCache::Lookup(const PlanCacheKey& key, OptimizeResult* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PurgeStaleLocked(key.catalog_uid, key.stats_version, key.schema_version);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  ++stats_.hits;
+  *out = CloneResult(it->second->result);
+  return true;
+}
+
+void PlanCache::Insert(const PlanCacheKey& key, const OptimizeResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PurgeStaleLocked(key.catalog_uid, key.stats_version, key.schema_version);
+  if (map_.count(key) > 0) return;  // concurrent probes of the same config
+  lru_.push_front(Entry{key, CloneResult(result)});
+  map_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.capacity_evictions;
+  }
+}
+
+void PlanCache::InvalidateCatalog(uint64_t catalog_uid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.catalog_uid == catalog_uid) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.stale_evictions;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::PurgeStale(uint64_t catalog_uid, uint64_t stats_version,
+                           uint64_t schema_version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PurgeStaleLocked(catalog_uid, stats_version, schema_version);
+}
+
+void PlanCache::PurgeStaleLocked(uint64_t catalog_uid, uint64_t stats_version,
+                                 uint64_t schema_version) {
+  auto& latest = latest_version_[catalog_uid];
+  if (stats_version <= latest.first && schema_version <= latest.second) {
+    return;  // nothing new to purge
+  }
+  latest.first = std::max(latest.first, stats_version);
+  latest.second = std::max(latest.second, schema_version);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.catalog_uid == catalog_uid &&
+        (it->key.stats_version < latest.first ||
+         it->key.schema_version < latest.second)) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.stale_evictions;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  map_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace autostats

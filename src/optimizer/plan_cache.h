@@ -1,0 +1,113 @@
+// PlanCache: a memoizing plan-cost cache for optimizer probes. MNSA
+// re-optimizes a query after every statistic it builds (3 calls per
+// statistic, §4) and Shrinking Set re-optimizes every (statistic, query)
+// pair (|S| x |W| calls, §5.2); across rounds and pipelines most of those
+// probes see a configuration the optimizer has already solved. The cache
+// keys an OptimizeResult by everything the result depends on:
+//
+//   (catalog uid, catalog stats-version, database schema-version,
+//    query fingerprint, stats-view signature, selectivity-override signature)
+//
+// The catalog's stats-version advances on every statistic create / drop /
+// resurrect / refresh and on recorded data modifications; the database's
+// schema-version advances on every table/index change (what-if index
+// probing relies on this). So a catalog or schema mutation implicitly
+// invalidates every dependent entry; stale entries are explicitly purged
+// as soon as a probe observes a newer version (see PurgeStale). Hits return a deep copy of the memoized result and are
+// therefore bit-identical to a fresh optimization.
+//
+// Thread-safety: all methods are safe to call concurrently (one mutex; the
+// critical sections only copy plans, never optimize).
+#ifndef AUTOSTATS_OPTIMIZER_PLAN_CACHE_H_
+#define AUTOSTATS_OPTIMIZER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "optimizer/optimizer.h"
+
+namespace autostats {
+
+struct PlanCacheKey {
+  uint64_t catalog_uid = 0;
+  uint64_t stats_version = 0;
+  uint64_t schema_version = 0;
+  std::string query_fingerprint;
+  std::string view_signature;
+  std::string overrides_signature;
+
+  bool operator==(const PlanCacheKey&) const = default;
+};
+
+struct PlanCacheKeyHash {
+  size_t operator()(const PlanCacheKey& k) const;
+};
+
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t capacity_evictions = 0;  // LRU pressure
+  int64_t stale_evictions = 0;     // catalog create/drop/refresh
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 4096);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Builds the full key for one probe configuration.
+  static PlanCacheKey MakeKey(const Query& query, const StatsView& view,
+                              const SelectivityOverrides& overrides);
+
+  // On hit, deep-copies the memoized result into *out and returns true.
+  bool Lookup(const PlanCacheKey& key, OptimizeResult* out);
+
+  // Memoizes a deep copy of `result`; evicts the least recently used entry
+  // past capacity. Also purges entries of `key.catalog_uid` whose version
+  // predates key.stats_version (they can never hit again).
+  void Insert(const PlanCacheKey& key, const OptimizeResult& result);
+
+  // Explicit invalidation: drops every entry cached for the catalog.
+  void InvalidateCatalog(uint64_t catalog_uid);
+
+  // Drops entries of the catalog whose stats- or schema-version predates
+  // the given ones.
+  void PurgeStale(uint64_t catalog_uid, uint64_t stats_version,
+                  uint64_t schema_version);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  PlanCacheStats stats() const;
+
+ private:
+  struct Entry {
+    PlanCacheKey key;
+    OptimizeResult result;
+  };
+  using LruList = std::list<Entry>;
+
+  void PurgeStaleLocked(uint64_t catalog_uid, uint64_t stats_version,
+                        uint64_t schema_version);
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<PlanCacheKey, LruList::iterator, PlanCacheKeyHash> map_;
+  // Highest (stats, schema) versions observed per catalog uid; the stale
+  // walk runs only when a probe brings a newer version.
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> latest_version_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_OPTIMIZER_PLAN_CACHE_H_

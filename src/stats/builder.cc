@@ -6,12 +6,23 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "stats/distinct.h"
 #include "stats/endbiased.h"
 #include "stats/equidepth.h"
 #include "stats/maxdiff.h"
 
 namespace autostats {
+
+namespace {
+
+// Sampled positions per scan chunk. Chunking is a function of the row
+// count only — never of the thread count — and per-value counts are exact
+// integer sums, so the merged distribution is bit-identical at any degree
+// of parallelism.
+constexpr size_t kScanGrain = size_t{1} << 14;
+
+}  // namespace
 
 std::vector<ValueFreq> ColumnDistribution(const Table& table, ColumnId col,
                                           double sample_fraction) {
@@ -22,11 +33,22 @@ std::vector<ValueFreq> ColumnDistribution(const Table& table, ColumnId col,
                             ? 1
                             : std::max<size_t>(
                                   1, static_cast<size_t>(1.0 / sample_fraction));
+  const size_t sampled = n == 0 ? 0 : (n + stride - 1) / stride;
   std::map<double, double> freqs;
-  size_t sampled = 0;
-  for (size_t r = 0; r < n; r += stride) {
-    freqs[c.NumericKey(r)] += 1.0;
-    ++sampled;
+  if (sampled >= 2 * kScanGrain && NumThreads() > 1) {
+    const size_t chunks = (sampled + kScanGrain - 1) / kScanGrain;
+    std::vector<std::map<double, double>> partial(chunks);
+    ParallelFor(chunks, [&](size_t ci) {
+      const size_t lo = ci * kScanGrain;
+      const size_t hi = std::min(sampled, lo + kScanGrain);
+      std::map<double, double>& f = partial[ci];
+      for (size_t k = lo; k < hi; ++k) f[c.NumericKey(k * stride)] += 1.0;
+    });
+    for (const auto& p : partial) {
+      for (const auto& [value, freq] : p) freqs[value] += freq;
+    }
+  } else {
+    for (size_t r = 0; r < n; r += stride) freqs[c.NumericKey(r)] += 1.0;
   }
   // Scale sampled frequencies back to table size.
   const double scale =
@@ -46,25 +68,33 @@ Statistic BuildStatistic(const Database& db,
   AUTOSTATS_CHECK(!columns.empty());
   const Table& table = db.table(columns.front().table);
 
-  std::vector<ValueFreq> dist =
-      ColumnDistribution(table, columns.front().column, config.sample_fraction);
+  // The histogram scan and the prefix-distinct scan read disjoint results
+  // off the same immutable table; run them concurrently.
   Histogram hist;
-  switch (config.histogram_kind) {
-    case HistogramKind::kMaxDiff:
-      hist = BuildMaxDiff(dist, config.num_buckets);
-      break;
-    case HistogramKind::kEquiDepth:
-      hist = BuildEquiDepth(dist, config.num_buckets);
-      break;
-    case HistogramKind::kEndBiased:
-      hist = BuildEndBiased(dist, config.num_buckets);
-      break;
-  }
-
-  std::vector<ColumnId> cols;
-  cols.reserve(columns.size());
-  for (const ColumnRef& c : columns) cols.push_back(c.column);
-  std::vector<uint64_t> prefix_counts = CountDistinctPrefixes(table, cols);
+  std::vector<uint64_t> prefix_counts;
+  ParallelInvoke({
+      [&] {
+        std::vector<ValueFreq> dist = ColumnDistribution(
+            table, columns.front().column, config.sample_fraction);
+        switch (config.histogram_kind) {
+          case HistogramKind::kMaxDiff:
+            hist = BuildMaxDiff(dist, config.num_buckets);
+            break;
+          case HistogramKind::kEquiDepth:
+            hist = BuildEquiDepth(dist, config.num_buckets);
+            break;
+          case HistogramKind::kEndBiased:
+            hist = BuildEndBiased(dist, config.num_buckets);
+            break;
+        }
+      },
+      [&] {
+        std::vector<ColumnId> cols;
+        cols.reserve(columns.size());
+        for (const ColumnRef& c : columns) cols.push_back(c.column);
+        prefix_counts = CountDistinctPrefixes(table, cols);
+      },
+  });
   std::vector<double> prefix_distinct(prefix_counts.begin(),
                                       prefix_counts.end());
 

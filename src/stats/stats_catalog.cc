@@ -1,14 +1,27 @@
 #include "stats/stats_catalog.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 
 namespace autostats {
 
+namespace {
+
+uint64_t NextCatalogUid() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 StatsCatalog::StatsCatalog(const Database* db, StatsBuildConfig build_config,
                            StatsCostModel cost_model)
-    : db_(db), build_config_(build_config), cost_model_(cost_model) {
+    : db_(db),
+      build_config_(build_config),
+      cost_model_(cost_model),
+      uid_(NextCatalogUid()) {
   AUTOSTATS_CHECK(db != nullptr);
 }
 
@@ -20,6 +33,7 @@ double StatsCatalog::CreateStatistic(const std::vector<ColumnRef>& columns) {
       // Resurrection (§5): no rebuild needed, just make it visible again.
       it->second.in_drop_list = false;
       it->second.created_at = clock_;
+      BumpStatsVersion();
       return 0.0;
     }
     return 0.0;  // already active
@@ -36,12 +50,14 @@ double StatsCatalog::CreateStatistic(const std::vector<ColumnRef>& columns) {
   total_creation_cost_ += entry.creation_cost;
   const double cost = entry.creation_cost;
   entries_.emplace(key, std::move(entry));
+  BumpStatsVersion();
   return cost;
 }
 
 void StatsCatalog::RestoreEntry(StatEntry entry) {
   const StatKey key = entry.stat.key();
   entries_[key] = std::move(entry);
+  BumpStatsVersion();
 }
 
 bool StatsCatalog::HasActive(const StatKey& key) const {
@@ -69,6 +85,7 @@ void StatsCatalog::MoveToDropList(const StatKey& key) {
   AUTOSTATS_CHECK_MSG(it != entries_.end(), key.c_str());
   it->second.in_drop_list = true;
   it->second.dropped_at = clock_;
+  BumpStatsVersion();
 }
 
 void StatsCatalog::RemoveFromDropList(const StatKey& key) {
@@ -76,10 +93,12 @@ void StatsCatalog::RemoveFromDropList(const StatKey& key) {
   AUTOSTATS_CHECK_MSG(it != entries_.end(), key.c_str());
   it->second.in_drop_list = false;
   it->second.created_at = clock_;
+  BumpStatsVersion();
 }
 
 void StatsCatalog::PhysicallyDrop(const StatKey& key) {
   entries_.erase(key);
+  BumpStatsVersion();
 }
 
 std::vector<StatKey> StatsCatalog::ActiveKeys() const {
@@ -114,6 +133,9 @@ size_t StatsCatalog::num_drop_listed() const {
 
 void StatsCatalog::RecordModifications(TableId table, size_t rows) {
   mod_counters_[table] += rows;
+  // The underlying data changed, so cardinality estimates (which read live
+  // row counts) may change even before any statistic is refreshed.
+  if (rows > 0) BumpStatsVersion();
 }
 
 size_t StatsCatalog::modified_rows(TableId table) const {
@@ -145,6 +167,7 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
       }
     }
     modified = 0;
+    BumpStatsVersion();  // histogram contents changed
   }
   total_update_cost_ += cost;
   return cost;
@@ -168,6 +191,17 @@ void StatsCatalog::ResetAccounting() {
 
 bool StatsView::IsVisible(const StatKey& key) const {
   return ignored_.count(key) == 0 && catalog_->HasActive(key);
+}
+
+std::string StatsView::Signature() const {
+  std::vector<StatKey> keys(ignored_.begin(), ignored_.end());
+  std::sort(keys.begin(), keys.end());
+  std::string sig;
+  for (const StatKey& k : keys) {
+    sig += k;
+    sig += ';';
+  }
+  return sig;
 }
 
 const Statistic* StatsView::HistogramFor(ColumnRef column) const {

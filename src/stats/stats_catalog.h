@@ -115,7 +115,21 @@ class StatsCatalog {
   int64_t now() const { return clock_; }
   void Tick() { ++clock_; }
 
+  // --- Plan-cost cache support (optimizer/plan_cache.h) ---
+  //
+  // `uid` identifies this catalog instance for the lifetime of the process
+  // (pointers can be reused; uids never are). `stats_version` advances on
+  // every mutation that can change an optimization result: statistic
+  // create / resurrect / drop / restore / refresh, and recorded data
+  // modifications. A cached plan is valid iff its (uid, version) pair
+  // still matches — creating or dropping a statistic therefore invalidates
+  // every dependent cache entry.
+  uint64_t uid() const { return uid_; }
+  uint64_t stats_version() const { return stats_version_; }
+
  private:
+  void BumpStatsVersion() { ++stats_version_; }
+
   const Database* db_;
   StatsBuildConfig build_config_;
   StatsCostModel cost_model_;
@@ -125,6 +139,8 @@ class StatsCatalog {
   double total_update_cost_ = 0.0;
   int64_t optimizer_calls_charged_ = 0;
   int64_t clock_ = 0;
+  uint64_t uid_ = 0;
+  uint64_t stats_version_ = 0;
 };
 
 // Read-only view of the active statistics with an optional ignored subset
@@ -140,6 +156,12 @@ class StatsView {
   }
 
   bool IsVisible(const StatKey& key) const;
+
+  // Canonical rendering of the ignored subset (sorted keys). Together with
+  // the catalog's (uid, stats_version) this pins down exactly which
+  // statistics the optimizer can see through this view — the view part of
+  // the plan-cost cache key.
+  std::string Signature() const;
 
   // The statistic providing a histogram for `column`: an active, visible
   // statistic whose leading column is `column` (narrowest width wins, so

@@ -1,0 +1,252 @@
+// The parallel probe engine: ParallelFor/ParallelInvoke semantics, the
+// thread-safe Optimize() counter, and the headline determinism contract —
+// Shrinking Set and MNSA produce bit-identical plans, costs, and drop-lists
+// at 1 thread and at N threads.
+#include "common/parallel.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mnsa.h"
+#include "core/mnsa_d.h"
+#include "core/shrinking_set.h"
+#include "optimizer/optimizer.h"
+#include "query/workload.h"
+#include "stats/stats_catalog.h"
+#include "tests/test_util.h"
+
+namespace autostats {
+namespace {
+
+using testing::MakeFilterQuery;
+using testing::MakeJoinQuery;
+using testing::MakeTwoTableDb;
+using testing::TwoTableDb;
+
+// Tests mutate the process-wide thread count; restore it on scope exit so
+// test order doesn't matter.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(NumThreads()) {}
+  ~ThreadCountGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    constexpr size_t kN = 10000;
+    std::vector<std::atomic<int>> counts(kN);
+    ParallelFor(kN, [&](size_t i) {
+      counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(counts[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, ZeroAndSingleElementRanges) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  int calls = 0;
+  ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 32;
+  std::atomic<size_t> total{0};
+  ParallelFor(kOuter, [&](size_t) {
+    ParallelFor(kInner, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ParallelInvokeTest, RunsEveryThunk) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::atomic<int> a{0}, b{0}, c{0};
+  ParallelInvoke({[&] { a = 1; }, [&] { b = 2; }, [&] { c = 3; }});
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+  EXPECT_EQ(c.load(), 3);
+}
+
+TEST(OptimizerConcurrencyTest, CallCountersAreExactUnderContention) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  TwoTableDb t = MakeTwoTableDb();
+  OptimizerConfig config;
+  config.enable_plan_cache = false;  // every call runs the real pipeline
+  Optimizer optimizer(&t.db, config);
+  StatsCatalog catalog(&t.db);
+  const StatsView view(&catalog);
+
+  constexpr size_t kProbes = 200;
+  ParallelFor(kProbes, [&](size_t i) {
+    optimizer.Optimize(MakeFilterQuery(t, static_cast<int64_t>(i % 100)),
+                       view);
+  });
+  EXPECT_EQ(optimizer.num_calls(), static_cast<int64_t>(kProbes));
+  EXPECT_EQ(optimizer.num_real_calls(), static_cast<int64_t>(kProbes));
+}
+
+TEST(OptimizerConcurrencyTest, ConcurrentCacheHitsAreBitIdentical) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  TwoTableDb t = MakeTwoTableDb();
+  Optimizer optimizer(&t.db);
+  StatsCatalog catalog(&t.db);
+  const StatsView view(&catalog);
+  const Query q = MakeJoinQuery(t);
+
+  const OptimizeResult reference = optimizer.Optimize(q, view);
+  constexpr size_t kProbes = 64;
+  std::vector<OptimizeResult> results(kProbes);
+  ParallelFor(kProbes,
+              [&](size_t i) { results[i] = optimizer.Optimize(q, view); });
+  for (const OptimizeResult& r : results) {
+    ASSERT_EQ(r.plan.Signature(), reference.plan.Signature());
+    ASSERT_EQ(r.cost, reference.cost);
+  }
+  EXPECT_EQ(optimizer.num_calls(), static_cast<int64_t>(kProbes) + 1);
+  EXPECT_EQ(optimizer.num_cache_hits(), static_cast<int64_t>(kProbes));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the headline acceptance criterion. A full pipeline run at N
+// threads must be bit-identical to the run at 1 thread.
+// ---------------------------------------------------------------------------
+
+Workload MakeMixedWorkload(const TwoTableDb& t) {
+  Workload w;
+  w.AddQuery(MakeJoinQuery(t, 30));
+  w.AddQuery(MakeJoinQuery(t, 70));
+  w.AddQuery(MakeFilterQuery(t, 20));
+  w.AddQuery(MakeFilterQuery(t, 80, /*group=*/true));
+  w.AddQuery(MakeFilterQuery(t, 50));
+  return w;
+}
+
+// Everything observable about a pipeline run, for exact comparison.
+struct RunSnapshot {
+  std::vector<StatKey> mnsa_created;
+  std::vector<StatKey> mnsa_dropped;
+  double mnsa_creation_cost = 0.0;
+  int mnsa_optimizer_calls = 0;
+  bool mnsa_converged = false;
+  std::vector<StatKey> essential;
+  std::vector<StatKey> removed;
+  int shrink_optimizer_calls = 0;
+  std::vector<StatKey> active_keys;
+  std::vector<std::string> plan_signatures;
+  std::vector<double> plan_costs;
+};
+
+RunSnapshot RunPipelineAt(int threads) {
+  SetNumThreads(threads);
+  TwoTableDb t = MakeTwoTableDb();
+  Optimizer optimizer(&t.db);
+  StatsCatalog catalog(&t.db);
+  const Workload w = MakeMixedWorkload(t);
+
+  RunSnapshot snap;
+  MnsaConfig mnsa_config;
+  mnsa_config.drop_detection = true;
+  const MnsaResult mnsa = RunMnsaWorkload(optimizer, &catalog, w, mnsa_config);
+  snap.mnsa_created = mnsa.created;
+  snap.mnsa_dropped = mnsa.dropped;
+  snap.mnsa_creation_cost = mnsa.creation_cost;
+  snap.mnsa_optimizer_calls = mnsa.optimizer_calls;
+  snap.mnsa_converged = mnsa.converged;
+
+  const ShrinkingSetResult shrink =
+      RunShrinkingSet(optimizer, &catalog, w, ShrinkingSetConfig{});
+  snap.essential = shrink.essential;
+  snap.removed = shrink.removed;
+  snap.shrink_optimizer_calls = shrink.optimizer_calls;
+
+  snap.active_keys = catalog.ActiveKeys();
+  const StatsView view(&catalog);
+  for (const Query* q : w.Queries()) {
+    const OptimizeResult r = optimizer.Optimize(*q, view);
+    snap.plan_signatures.push_back(r.plan.Signature());
+    snap.plan_costs.push_back(r.cost);
+  }
+  return snap;
+}
+
+void ExpectIdentical(const RunSnapshot& serial, const RunSnapshot& parallel) {
+  EXPECT_EQ(serial.mnsa_created, parallel.mnsa_created);
+  EXPECT_EQ(serial.mnsa_dropped, parallel.mnsa_dropped);
+  EXPECT_EQ(serial.mnsa_creation_cost, parallel.mnsa_creation_cost);
+  EXPECT_EQ(serial.mnsa_optimizer_calls, parallel.mnsa_optimizer_calls);
+  EXPECT_EQ(serial.mnsa_converged, parallel.mnsa_converged);
+  EXPECT_EQ(serial.essential, parallel.essential);
+  EXPECT_EQ(serial.removed, parallel.removed);
+  EXPECT_EQ(serial.shrink_optimizer_calls, parallel.shrink_optimizer_calls);
+  EXPECT_EQ(serial.active_keys, parallel.active_keys);
+  EXPECT_EQ(serial.plan_signatures, parallel.plan_signatures);
+  EXPECT_EQ(serial.plan_costs, parallel.plan_costs);  // bit-exact doubles
+}
+
+TEST(DeterminismTest, MnsaAndShrinkingSetIdenticalAtOneAndFourThreads) {
+  ThreadCountGuard guard;
+  const RunSnapshot serial = RunPipelineAt(1);
+  const RunSnapshot parallel = RunPipelineAt(4);
+  ExpectIdentical(serial, parallel);
+  // The workload must actually exercise both phases for the comparison to
+  // mean anything.
+  EXPECT_FALSE(serial.mnsa_created.empty());
+  EXPECT_GT(serial.shrink_optimizer_calls, 0);
+}
+
+TEST(DeterminismTest, RepeatedParallelRunsAreStable) {
+  ThreadCountGuard guard;
+  const RunSnapshot first = RunPipelineAt(4);
+  const RunSnapshot second = RunPipelineAt(4);
+  ExpectIdentical(first, second);
+}
+
+TEST(DeterminismTest, ShrinkingSetIdenticalFromSeededCatalog) {
+  // Shrinking Set alone, from a deliberately over-provisioned statistics
+  // set: every single-column candidate of the workload's tables.
+  ThreadCountGuard guard;
+  auto run = [](int threads) {
+    SetNumThreads(threads);
+    TwoTableDb t = MakeTwoTableDb();
+    Optimizer optimizer(&t.db);
+    StatsCatalog catalog(&t.db);
+    for (const ColumnRef& col : {t.fact_fk, t.fact_val, t.fact_grp,
+                                 t.fact_flag, t.dim_pk, t.dim_attr}) {
+      catalog.CreateStatistic({col});
+    }
+    const Workload w = MakeMixedWorkload(t);
+    const ShrinkingSetResult r =
+        RunShrinkingSet(optimizer, &catalog, w, ShrinkingSetConfig{});
+    return std::make_tuple(r.essential, r.removed, r.optimizer_calls,
+                           catalog.ActiveKeys());
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+}  // namespace
+}  // namespace autostats

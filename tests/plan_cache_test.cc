@@ -1,0 +1,206 @@
+// PlanCache: hit/miss behavior, bit-identical hits, catalog-version
+// invalidation (create/drop/refresh must evict dependent entries), key
+// separation by view and overrides, and LRU capacity eviction.
+#include "optimizer/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "stats/stats_catalog.h"
+#include "tests/test_util.h"
+
+namespace autostats {
+namespace {
+
+using testing::MakeFilterQuery;
+using testing::MakeJoinQuery;
+using testing::MakeTwoTableDb;
+using testing::TwoTableDb;
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  PlanCacheTest()
+      : t_(MakeTwoTableDb()), optimizer_(&t_.db), catalog_(&t_.db) {}
+
+  TwoTableDb t_;
+  Optimizer optimizer_;
+  StatsCatalog catalog_;
+};
+
+TEST_F(PlanCacheTest, RepeatedProbeHitsAndIsBitIdentical) {
+  const Query q = MakeJoinQuery(t_);
+  const StatsView view(&catalog_);
+
+  const OptimizeResult first = optimizer_.Optimize(q, view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 0);
+
+  const OptimizeResult second = optimizer_.Optimize(q, view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 1);
+  EXPECT_EQ(optimizer_.num_calls(), 2);
+  EXPECT_EQ(optimizer_.num_real_calls(), 1);
+
+  // A hit is a deep copy of the memoized result: same tree, same costs,
+  // same bindings, down to the bit.
+  EXPECT_EQ(first.plan.Signature(), second.plan.Signature());
+  EXPECT_EQ(first.cost, second.cost);
+  EXPECT_EQ(first.plan.rows(), second.plan.rows());
+  ASSERT_EQ(first.bindings.size(), second.bindings.size());
+  for (size_t i = 0; i < first.bindings.size(); ++i) {
+    EXPECT_EQ(first.bindings[i].value, second.bindings[i].value);
+    EXPECT_EQ(first.bindings[i].low, second.bindings[i].low);
+    EXPECT_EQ(first.bindings[i].high, second.bindings[i].high);
+  }
+  // Distinct plan trees (the hit must not alias the cached entry).
+  EXPECT_NE(first.plan.root.get(), second.plan.root.get());
+}
+
+TEST_F(PlanCacheTest, CreateStatisticEvictsDependentEntries) {
+  const Query q = MakeJoinQuery(t_);
+  const StatsView view(&catalog_);
+
+  optimizer_.Optimize(q, view);
+  ASSERT_NE(optimizer_.plan_cache(), nullptr);
+  EXPECT_EQ(optimizer_.plan_cache()->size(), 1u);
+
+  catalog_.CreateStatistic({t_.fact_val});
+
+  // The catalog version advanced: the old entry can never hit again and is
+  // purged as soon as the next probe observes the new version.
+  optimizer_.Optimize(q, view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 0);
+  EXPECT_EQ(optimizer_.plan_cache()->size(), 1u);
+  EXPECT_GT(optimizer_.plan_cache()->stats().stale_evictions, 0);
+
+  // And the refreshed entry hits again until the next mutation.
+  optimizer_.Optimize(q, view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 1);
+}
+
+TEST_F(PlanCacheTest, DropStatisticEvictsDependentEntries) {
+  catalog_.CreateStatistic({t_.fact_val});
+  const Query q = MakeFilterQuery(t_);
+  const StatsView view(&catalog_);
+
+  optimizer_.Optimize(q, view);
+  optimizer_.Optimize(q, view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 1);
+
+  catalog_.MoveToDropList(MakeStatKey({t_.fact_val}));
+  const OptimizeResult after = optimizer_.Optimize(q, view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 1);  // miss: version advanced
+
+  // Sanity: dropping the histogram actually changes the binding source, so
+  // serving the stale entry would have been wrong.
+  bool any_magic = false;
+  for (const SelVarBinding& b : after.bindings) any_magic |= b.from_magic;
+  EXPECT_TRUE(any_magic);
+}
+
+TEST_F(PlanCacheTest, ViewAndOverridesArePartOfTheKey) {
+  catalog_.CreateStatistic({t_.fact_val});
+  const Query q = MakeFilterQuery(t_);
+
+  const StatsView full(&catalog_);
+  StatsView restricted(&catalog_);
+  restricted.Ignore(MakeStatKey({t_.fact_val}));
+
+  optimizer_.Optimize(q, full);
+  optimizer_.Optimize(q, restricted);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 0);  // different view signature
+
+  const OptimizeResult base = optimizer_.Optimize(q, full);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 1);
+
+  // Distinct overrides must not alias the unoverridden entry.
+  ASSERT_FALSE(base.bindings.empty());
+  SelectivityOverrides overrides;
+  overrides[base.bindings.front().var] = 0.5;
+  optimizer_.Optimize(q, full, overrides);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 1);
+  optimizer_.Optimize(q, full, overrides);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 2);
+}
+
+TEST_F(PlanCacheTest, SameStructureDifferentConstantsMiss) {
+  const StatsView view(&catalog_);
+  optimizer_.Optimize(MakeFilterQuery(t_, 10), view);
+  optimizer_.Optimize(MakeFilterQuery(t_, 90), view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 0);
+  // Query names are not part of the fingerprint; structure + constants are.
+  Query renamed = MakeFilterQuery(t_, 10);
+  renamed.set_name("other_name");
+  optimizer_.Optimize(renamed, view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 1);
+}
+
+TEST(PlanCacheCapacityTest, LruEvictionBoundsTheCache) {
+  TwoTableDb t = MakeTwoTableDb();
+  OptimizerConfig config;
+  config.plan_cache_capacity = 4;
+  Optimizer optimizer(&t.db, config);
+  StatsCatalog catalog(&t.db);
+  const StatsView view(&catalog);
+
+  for (int bound = 0; bound < 10; ++bound) {
+    optimizer.Optimize(MakeFilterQuery(t, bound), view);
+  }
+  ASSERT_NE(optimizer.plan_cache(), nullptr);
+  EXPECT_EQ(optimizer.plan_cache()->size(), 4u);
+  EXPECT_GT(optimizer.plan_cache()->stats().capacity_evictions, 0);
+
+  // Most recent queries survived; the oldest were evicted.
+  optimizer.Optimize(MakeFilterQuery(t, 9), view);
+  EXPECT_EQ(optimizer.num_cache_hits(), 1);
+  optimizer.Optimize(MakeFilterQuery(t, 0), view);
+  EXPECT_EQ(optimizer.num_cache_hits(), 1);
+}
+
+TEST(PlanCacheDisabledTest, NoCacheWhenDisabled) {
+  TwoTableDb t = MakeTwoTableDb();
+  OptimizerConfig config;
+  config.enable_plan_cache = false;
+  Optimizer optimizer(&t.db, config);
+  StatsCatalog catalog(&t.db);
+  const StatsView view(&catalog);
+
+  EXPECT_EQ(optimizer.plan_cache(), nullptr);
+  const Query q = MakeJoinQuery(t);
+  optimizer.Optimize(q, view);
+  optimizer.Optimize(q, view);
+  EXPECT_EQ(optimizer.num_cache_hits(), 0);
+  EXPECT_EQ(optimizer.num_real_calls(), 2);
+}
+
+TEST(PlanCacheUnitTest, DistinctCatalogsNeverAlias) {
+  TwoTableDb t = MakeTwoTableDb();
+  StatsCatalog a(&t.db);
+  StatsCatalog b(&t.db);
+  EXPECT_NE(a.uid(), b.uid());
+
+  const Query q = MakeFilterQuery(t);
+  const PlanCacheKey ka =
+      PlanCache::MakeKey(q, StatsView(&a), SelectivityOverrides{});
+  const PlanCacheKey kb =
+      PlanCache::MakeKey(q, StatsView(&b), SelectivityOverrides{});
+  EXPECT_FALSE(ka == kb);
+}
+
+TEST(PlanCacheUnitTest, InvalidateCatalogDropsOnlyThatCatalog) {
+  TwoTableDb t = MakeTwoTableDb();
+  Optimizer optimizer(&t.db);
+  StatsCatalog a(&t.db);
+  StatsCatalog b(&t.db);
+  const Query q = MakeFilterQuery(t);
+
+  optimizer.Optimize(q, StatsView(&a));
+  optimizer.Optimize(q, StatsView(&b));
+  ASSERT_EQ(optimizer.plan_cache()->size(), 2u);
+
+  optimizer.plan_cache()->InvalidateCatalog(a.uid());
+  EXPECT_EQ(optimizer.plan_cache()->size(), 1u);
+  optimizer.Optimize(q, StatsView(&b));
+  EXPECT_EQ(optimizer.num_cache_hits(), 1);
+}
+
+}  // namespace
+}  // namespace autostats
