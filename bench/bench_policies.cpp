@@ -64,14 +64,20 @@ int main() {
       {"mnsa-d", CreationMode::kMnsaDOnTheFly, false},
       {"periodic-offline", CreationMode::kPeriodicOffline, false},
   };
-  for (const Row& row : rows) {
+  bench::BenchJson json("policies");
+  const char* json_keys[] = {"none",   "sqlserver7", "mnsa_1col",
+                             "mnsa",   "mnsa_d",     "periodic"};
+  for (size_t i = 0; i < std::size(rows); ++i) {
+    const Row& row = rows[i];
     const RunReport r = RunPolicy(row.mode, row.single_column);
     std::printf("%-22s %12.0f %14.0f %14.0f %10lld %10lld %10lld\n",
                 row.label, r.exec_cost, r.creation_cost, r.update_cost,
                 static_cast<long long>(r.optimizer_calls),
                 static_cast<long long>(r.stats_created),
                 static_cast<long long>(r.stats_dropped));
+    json.AddRunReport(json_keys[i], r);
   }
+  json.Write();
   std::printf("\n(update_burden includes the steady-state refresh cost of "
               "the statistics left behind.)\n");
   return 0;

@@ -15,6 +15,7 @@
 #include "common/parallel.h"
 #include "core/candidate.h"
 #include "core/mnsa.h"
+#include "core/report.h"
 #include "executor/executor.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan_cache.h"
@@ -148,6 +149,27 @@ class BenchJson {
     Add(prefix + "_cache_hits", hits);
     Add(prefix + "_real_calls", calls - hits);
     Add(prefix + "_cache_hit_ratio", calls > 0 ? hits / calls : 0.0);
+  }
+
+  // Records a manager run's accounting under `prefix`, including the
+  // failure/degradation counters — all zero in a fault-free run, which the
+  // trajectory scraper uses as a sanity check that no bench regression
+  // masks a silently degraded loop.
+  void AddRunReport(const std::string& prefix, const RunReport& report) {
+    Add(prefix + "_exec_cost", report.exec_cost);
+    Add(prefix + "_creation_cost", report.creation_cost);
+    Add(prefix + "_update_cost", report.update_cost);
+    Add(prefix + "_optimizer_calls",
+        static_cast<double>(report.optimizer_calls));
+    Add(prefix + "_stats_created", static_cast<double>(report.stats_created));
+    Add(prefix + "_stats_dropped", static_cast<double>(report.stats_dropped));
+    Add(prefix + "_builds_failed", static_cast<double>(report.builds_failed));
+    Add(prefix + "_build_retries", static_cast<double>(report.build_retries));
+    Add(prefix + "_probes_aborted",
+        static_cast<double>(report.probes_aborted));
+    Add(prefix + "_degraded_queries",
+        static_cast<double>(report.degraded_queries));
+    Add(prefix + "_degraded_dml", static_cast<double>(report.degraded_dml));
   }
 
   void Write() const {

@@ -1,0 +1,146 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace autostats {
+
+namespace fault_internal {
+std::atomic<bool> g_armed{false};
+}  // namespace fault_internal
+
+const std::vector<std::string>& AllFaultPoints() {
+  static const std::vector<std::string> kPoints = {
+      faults::kStatsCreate,      faults::kStatsRefresh,
+      faults::kPersistenceSave,  faults::kPersistenceLoad,
+      faults::kOptimizerProbe,   faults::kDmlApply,
+  };
+  return kPoints;
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSchedule schedule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PointState& state = points_[point];
+  state.schedule = std::move(schedule);
+  state.armed = true;
+  state.rng = Rng(state.schedule.seed);
+  state.stats = FaultPointStats{};
+  fault_internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.armed = false;
+  bool any = false;
+  for (const auto& [name, state] : points_) any |= state.armed;
+  fault_internal::g_armed.store(any, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  fault_internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Poke(const char* point, const char* detail) {
+  int latency_micros = 0;
+  Status injected = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = points_.find(point);
+    if (it == points_.end() || !it->second.armed) {
+      // Another point is armed; record the hit for observability only.
+      if (it != points_.end()) ++it->second.stats.hits;
+      return Status::OK();
+    }
+    PointState& state = it->second;
+    const FaultSchedule& s = state.schedule;
+    ++state.stats.hits;
+    if (!s.match.empty() &&
+        (detail == nullptr || std::strstr(detail, s.match.c_str()) ==
+                                  nullptr)) {
+      return Status::OK();
+    }
+    const int64_t n = ++state.stats.eligible;  // 1-based eligible hit index
+    bool fire = false;
+    switch (s.kind) {
+      case FaultKind::kFailNth:
+      case FaultKind::kLatencySpike:
+        fire = n >= s.nth && (s.count == INT64_MAX || n < s.nth + s.count);
+        break;
+      case FaultKind::kFailProbability:
+        fire = state.rng.NextBool(s.probability);
+        break;
+    }
+    if (!fire) return Status::OK();
+    ++state.stats.fires;
+    if (s.kind == FaultKind::kLatencySpike) {
+      latency_micros = s.latency_micros;
+    } else {
+      injected = Status(
+          s.code, std::string("injected fault at ") + point +
+                      (detail != nullptr && detail[0] != '\0'
+                           ? std::string(" (") + detail + ")"
+                           : std::string()));
+    }
+  }
+  if (latency_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_micros));
+  }
+  return injected;
+}
+
+FaultPointStats FaultInjector::PointStats(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? FaultPointStats{} : it->second.stats;
+}
+
+int64_t FaultInjector::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [name, state] : points_) total += state.stats.fires;
+  return total;
+}
+
+int64_t BackoffDelayMicros(const RetryPolicy& policy, int attempt) {
+  if (policy.initial_backoff_micros <= 0 || attempt < 1) return 0;
+  double delay = policy.initial_backoff_micros;
+  for (int i = 1; i < attempt; ++i) {
+    delay *= std::max(policy.backoff_multiplier, 1.0);
+  }
+  return static_cast<int64_t>(delay);
+}
+
+void BackoffSleep(const RetryPolicy& policy, int attempt) {
+  const int64_t micros = BackoffDelayMicros(policy, attempt);
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status()>& attempt,
+                        int64_t* retries) {
+  const int attempts = std::max(policy.max_attempts, 1);
+  Status last;
+  for (int i = 0; i < attempts; ++i) {
+    if (i > 0) {
+      BackoffSleep(policy, i);
+      if (retries != nullptr) ++(*retries);
+    }
+    last = attempt();
+    if (last.ok()) return last;
+  }
+  return last;
+}
+
+}  // namespace autostats

@@ -1,0 +1,161 @@
+// Deterministic fault injection for the online statistics loop. Fallible
+// operations gate themselves on a named *injection point* (PokeFault); a
+// test or bench arms a point with a seeded schedule — fail the Nth hit,
+// fail with probability p, or spike latency — and the operation observes
+// an injected non-OK Status exactly as it would a real I/O or build
+// failure. Disarmed (the production state) a poke is a single relaxed
+// atomic load; no point state is touched and behavior is bit-identical to
+// a binary without the layer.
+//
+// Determinism contract: schedules are driven by per-point hit counters and
+// a per-point seeded Rng, and the parallel probe engine (common/parallel.*)
+// degrades to serial execution while any point is armed, so the set of
+// operations that fail under a given schedule is a pure function of the
+// workload — independent of thread count and timing.
+//
+// The registered injection points (see AllFaultPoints() and the table in
+// docs/ARCHITECTURE.md §9):
+//
+//   stats.create      building a new statistic from data
+//   stats.refresh     full rebuild of a statistic during update triggering
+//   persistence.save  writing the statistics catalog to disk
+//   persistence.load  restoring the statistics catalog from disk
+//   optimizer.probe   an MNSA / Shrinking Set optimizer probe
+//   dml.apply         applying a DML statement to the live database
+#ifndef AUTOSTATS_COMMON_FAULT_H_
+#define AUTOSTATS_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace autostats {
+
+namespace faults {
+inline constexpr char kStatsCreate[] = "stats.create";
+inline constexpr char kStatsRefresh[] = "stats.refresh";
+inline constexpr char kPersistenceSave[] = "persistence.save";
+inline constexpr char kPersistenceLoad[] = "persistence.load";
+inline constexpr char kOptimizerProbe[] = "optimizer.probe";
+inline constexpr char kDmlApply[] = "dml.apply";
+}  // namespace faults
+
+// Every registered injection point, for schedule sweeps in tests.
+const std::vector<std::string>& AllFaultPoints();
+
+enum class FaultKind {
+  kFailNth,          // fail eligible hits n with nth <= n < nth + count
+  kFailProbability,  // fail each eligible hit with `probability` (seeded)
+  kLatencySpike,     // sleep `latency_micros` on the kFailNth window; no error
+};
+
+struct FaultSchedule {
+  FaultKind kind = FaultKind::kFailNth;
+  // kFailNth / kLatencySpike: 1-based index of the first eligible hit that
+  // fires, and how many consecutive eligible hits fire from there
+  // (INT64_MAX = forever).
+  int64_t nth = 1;
+  int64_t count = 1;
+  // kFailProbability: per-eligible-hit failure probability and the seed of
+  // the point's private Bernoulli stream.
+  double probability = 0.0;
+  uint64_t seed = 0;
+  // kLatencySpike: injected delay per firing hit.
+  int latency_micros = 0;
+  // Fire only on hits whose detail string contains this substring (empty
+  // matches every hit). Lets a test make a specific statistic key
+  // permanently unbuildable.
+  std::string match;
+  // The code of the injected error.
+  StatusCode code = StatusCode::kInternal;
+};
+
+struct FaultPointStats {
+  int64_t hits = 0;      // pokes observed while any point was armed
+  int64_t eligible = 0;  // hits passing the schedule's match filter
+  int64_t fires = 0;     // injected failures (or latency spikes)
+};
+
+namespace fault_internal {
+extern std::atomic<bool> g_armed;
+}  // namespace fault_internal
+
+// True while at least one injection point is armed.
+inline bool FaultsArmed() {
+  return fault_internal::g_armed.load(std::memory_order_relaxed);
+}
+
+// The process-wide injection registry. All methods are thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Arms `point` with `schedule` (replacing any previous schedule and
+  // resetting the point's counters and Bernoulli stream).
+  void Arm(const std::string& point, FaultSchedule schedule);
+  void Disarm(const std::string& point);
+  // Disarms every point and clears all counters — the state tests must
+  // restore before returning.
+  void Reset();
+
+  // Slow path of PokeFault; call only when FaultsArmed().
+  Status Poke(const char* point, const char* detail);
+
+  FaultPointStats PointStats(const std::string& point) const;
+  int64_t TotalFires() const;
+
+ private:
+  FaultInjector() = default;
+
+  struct PointState {
+    FaultSchedule schedule;
+    bool armed = false;
+    Rng rng{0};
+    FaultPointStats stats;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, PointState> points_;
+};
+
+// The gate fallible operations call. `detail` is free-form context (e.g. a
+// statistic key) matched against the schedule's `match` filter; nullptr
+// means "no detail". Returns OK unless an armed schedule fires.
+inline Status PokeFault(const char* point, const char* detail = nullptr) {
+  if (!FaultsArmed()) return Status::OK();
+  return FaultInjector::Instance().Poke(point, detail);
+}
+
+// Bounded retry with exponential backoff — the first rung of the
+// degradation ladder (retry -> stale statistic -> magic numbers).
+struct RetryPolicy {
+  int max_attempts = 3;  // total attempts, including the first
+  int initial_backoff_micros = 100;
+  double backoff_multiplier = 2.0;
+};
+
+// Delay before re-attempt number `attempt` (1-based re-attempts).
+int64_t BackoffDelayMicros(const RetryPolicy& policy, int attempt);
+// Sleeps that delay (no-op for non-positive delays).
+void BackoffSleep(const RetryPolicy& policy, int attempt);
+
+// Invokes `attempt` until it returns OK or `policy.max_attempts` attempts
+// are spent, sleeping the backoff between attempts. Adds the number of
+// re-attempts to *retries (may be null). Returns the final status.
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status()>& attempt,
+                        int64_t* retries = nullptr);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_COMMON_FAULT_H_

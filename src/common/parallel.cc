@@ -1,5 +1,7 @@
 #include "common/parallel.h"
 
+#include "common/fault.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -62,7 +64,10 @@ class ThreadPool {
   void Run(size_t n, const std::function<void(size_t)>& fn) {
     if (n == 0) return;
     const int threads = num_threads();
-    if (threads <= 1 || n == 1 || t_in_parallel_region) {
+    // While any fault-injection point is armed the pool runs jobs serially
+    // inline: failure schedules are hit-count driven, so the set of
+    // operations that fail must not depend on thread interleaving.
+    if (threads <= 1 || n == 1 || t_in_parallel_region || FaultsArmed()) {
       for (size_t i = 0; i < n; ++i) fn(i);
       return;
     }

@@ -11,6 +11,10 @@
 //
 // Nested calls are safe: a ParallelFor issued from inside a pool worker runs
 // inline on that worker (no deadlock, no oversubscription).
+//
+// While fault injection is armed (common/fault.h) every ParallelFor runs
+// serially inline regardless of the configured thread count, so seeded
+// failure schedules fire deterministically; the disabled path is untouched.
 #ifndef AUTOSTATS_COMMON_PARALLEL_H_
 #define AUTOSTATS_COMMON_PARALLEL_H_
 

@@ -1,6 +1,7 @@
 #include "core/auto_manager.h"
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "core/mnsa_d.h"
 #include "core/shrinking_set.h"
 #include "executor/dml_exec.h"
@@ -32,6 +33,10 @@ AutoStatsManager::Outcome AutoStatsManager::Process(
 AutoStatsManager::Outcome AutoStatsManager::ProcessQuery(const Query& query) {
   Outcome outcome;
   outcome.was_query = true;
+  // Catalog-level failure counters accumulate across statements; deltas
+  // around this statement catch builds_failed from every creation path,
+  // including the swallowing CreateStatistic used by kSqlServer7.
+  const StatsFailureCounters before = catalog_->failure_counters();
 
   switch (policy_.mode) {
     case CreationMode::kNone:
@@ -53,20 +58,32 @@ AutoStatsManager::Outcome AutoStatsManager::ProcessQuery(const Query& query) {
       if (policy_.enable_aging) {
         // Estimate the query's cost once so expensive queries bypass the
         // damper, then veto re-creation of freshly dropped statistics.
-        const double query_cost =
-            optimizer_->Optimize(query, StatsView(catalog_)).cost;
-        ++outcome.optimizer_calls;
-        config.creation_filter = [this, query_cost](
-                                     const std::vector<ColumnRef>& columns) {
-          return !IsDampened(*catalog_, MakeStatKey(columns), policy_.aging,
-                             query_cost);
-        };
+        const Result<OptimizeResult> cost_probe =
+            optimizer_->TryOptimizeWithRetry(query, StatsView(catalog_), {},
+                                             policy_.retry,
+                                             &outcome.probes_aborted);
+        if (cost_probe.ok()) {
+          ++outcome.optimizer_calls;
+          const double query_cost = cost_probe->cost;
+          config.creation_filter =
+              [this, query_cost](const std::vector<ColumnRef>& columns) {
+                return !IsDampened(*catalog_, MakeStatKey(columns),
+                                   policy_.aging, query_cost);
+              };
+        } else {
+          // Fail OPEN: without a cost estimate the damper is skipped
+          // entirely, so an expensive query is never starved of statistics
+          // by a fault in its own cost probe.
+          outcome.degraded = true;
+        }
       }
       const MnsaResult r = RunMnsa(*optimizer_, catalog_, query, config);
       outcome.creation_cost += r.creation_cost;
       outcome.optimizer_calls += r.optimizer_calls;
       outcome.stats_created += static_cast<int64_t>(r.created.size());
       outcome.stats_dropped += static_cast<int64_t>(r.dropped.size());
+      outcome.probes_aborted += r.probes_aborted;
+      outcome.degraded = outcome.degraded || r.degraded;
       break;
     }
     case CreationMode::kPeriodicOffline: {
@@ -78,20 +95,57 @@ AutoStatsManager::Outcome AutoStatsManager::ProcessQuery(const Query& query) {
     }
   }
 
+  // Serving is unconditional and infallible: whatever happened above, the
+  // query is optimized against the statistics that exist right now —
+  // possibly magic numbers or stale histograms, never an error. This is
+  // the bottom rung of the degradation ladder.
   const OptimizeResult plan = optimizer_->Optimize(query, StatsView(catalog_));
   ++outcome.optimizer_calls;
   outcome.exec_cost = executor_.Execute(query, plan.plan).work_units;
+
+  const StatsFailureCounters& after = catalog_->failure_counters();
+  outcome.builds_failed += after.builds_failed - before.builds_failed;
+  outcome.build_retries += after.build_retries - before.build_retries;
+  if (after.builds_failed != before.builds_failed ||
+      after.stale_fallbacks != before.stale_fallbacks) {
+    outcome.degraded = true;
+  }
   return outcome;
 }
 
 AutoStatsManager::Outcome AutoStatsManager::ProcessDml(
     const DmlStatement& dml) {
   Outcome outcome;
-  const size_t modified = ApplyDml(db_, dml);
+  const StatsFailureCounters before = catalog_->failure_counters();
+  // The `dml.apply` gate fires before any row is touched, so re-attempting
+  // the statement is safe (same seed, same effect). A persistent failure
+  // skips the statement — the data, and so the counters, are unchanged.
+  size_t modified = 0;
+  const Status applied = RetryWithBackoff(
+      policy_.retry,
+      [&]() -> Status {
+        Result<size_t> r = TryApplyDml(db_, dml);
+        if (!r.ok()) return r.status();
+        modified = *r;
+        return Status::OK();
+      },
+      &outcome.dml_retries);
+  if (!applied.ok()) {
+    outcome.degraded = true;
+    return outcome;
+  }
   catalog_->RecordModifications(dml.table, modified);
   outcome.update_cost += catalog_->RefreshIfTriggered(policy_.update_trigger);
   ApplyUpdateDropRule(&outcome);
   EnforceDropListPolicy(catalog_, policy_.drop_list);
+
+  const StatsFailureCounters& after = catalog_->failure_counters();
+  outcome.builds_failed += after.builds_failed - before.builds_failed;
+  outcome.build_retries += after.build_retries - before.build_retries;
+  if (after.builds_failed != before.builds_failed ||
+      after.stale_fallbacks != before.stale_fallbacks) {
+    outcome.degraded = true;
+  }
   return outcome;
 }
 
@@ -121,11 +175,17 @@ void AutoStatsManager::RunOfflinePass(Outcome* outcome) {
   outcome->creation_cost += r.creation_cost;
   outcome->optimizer_calls += r.optimizer_calls;
   outcome->stats_created += static_cast<int64_t>(r.created.size());
+  outcome->probes_aborted += r.probes_aborted;
+  outcome->degraded = outcome->degraded || r.degraded;
   if (policy_.periodic_shrink) {
+    ShrinkingSetConfig shrink;
+    shrink.probe_retry = policy_.retry;
     const ShrinkingSetResult s =
-        RunShrinkingSet(*optimizer_, catalog_, pending_window_, {});
+        RunShrinkingSet(*optimizer_, catalog_, pending_window_, shrink);
     outcome->optimizer_calls += s.optimizer_calls;
     outcome->stats_dropped += static_cast<int64_t>(s.removed.size());
+    outcome->probes_aborted += s.probes_aborted;
+    outcome->degraded = outcome->degraded || s.degraded;
   }
   pending_window_ = Workload();
   statements_since_pass_ = 0;
@@ -143,10 +203,16 @@ RunReport AutoStatsManager::Run(const Workload& workload) {
     report.optimizer_calls += o.optimizer_calls;
     report.stats_created += o.stats_created;
     report.stats_dropped += o.stats_dropped;
+    report.builds_failed += o.builds_failed;
+    report.build_retries += o.build_retries;
+    report.probes_aborted += o.probes_aborted;
+    report.dml_retries += o.dml_retries;
     if (o.was_query) {
       ++report.num_queries;
+      if (o.degraded) ++report.degraded_queries;
     } else {
       ++report.num_dml;
+      if (o.degraded) ++report.degraded_dml;
     }
   }
   return report;

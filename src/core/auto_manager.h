@@ -30,6 +30,15 @@ class AutoStatsManager {
     int64_t optimizer_calls = 0;
     int64_t stats_created = 0;
     int64_t stats_dropped = 0;
+    // --- Failure accounting (graceful degradation) ---
+    int64_t builds_failed = 0;
+    int64_t build_retries = 0;
+    int64_t probes_aborted = 0;
+    int64_t dml_retries = 0;
+    // The statement completed, but on the degradation ladder: a build or
+    // probe failed after retries (query ran on magic/stale statistics), a
+    // refresh kept a stale statistic, or a DML apply was skipped.
+    bool degraded = false;
   };
 
   Outcome Process(const Statement& statement);

@@ -29,6 +29,10 @@ void MnsaResult::Merge(const MnsaResult& other) {
   optimizer_calls += other.optimizer_calls;
   iterations += other.iterations;
   converged = converged && other.converged;
+  builds_failed += other.builds_failed;
+  build_retries += other.build_retries;
+  probes_aborted += other.probes_aborted;
+  degraded = degraded || other.degraded;
 }
 
 MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
@@ -52,7 +56,20 @@ MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
     const StatKey key = MakeStatKey(columns);
     if (catalog->HasActive(key)) return false;
     if (!may_create(columns)) return false;
-    result.creation_cost += catalog->CreateStatistic(columns);
+    const int64_t retries_before = catalog->failure_counters().build_retries;
+    const Result<double> cost = catalog->TryCreateStatistic(columns);
+    result.build_retries +=
+        catalog->failure_counters().build_retries - retries_before;
+    if (!cost.ok()) {
+      // Persistent build failure: veto the key so FindNextStatToBuild
+      // moves on (guaranteeing termination) and degrade — the dependent
+      // predicates stay on magic numbers, which §4.1 covers.
+      vetoed.insert(key);
+      ++result.builds_failed;
+      result.degraded = true;
+      return false;
+    }
+    result.creation_cost += *cost;
     result.created.push_back(key);
     return true;
   };
@@ -69,8 +86,26 @@ MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
   }
 
   StatsView view(catalog);
-  OptimizeResult current = optimizer.Optimize(query, view);
-  ++result.optimizer_calls;
+
+  // Serial fallible probe: retries transient faults, then degrades by
+  // stopping the analysis (remaining predicates keep their magic numbers —
+  // a state the §4.1 monotonicity argument already covers).
+  auto probe = [&](const SelectivityOverrides& overrides,
+                   OptimizeResult* out) {
+    Result<OptimizeResult> r = optimizer.TryOptimizeWithRetry(
+        query, view, overrides, config.probe_retry, &result.probes_aborted);
+    if (!r.ok()) {
+      result.converged = false;
+      result.degraded = true;
+      return false;
+    }
+    ++result.optimizer_calls;
+    *out = std::move(*r);
+    return true;
+  };
+
+  OptimizeResult current;
+  if (!probe({}, &current)) return result;
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     ++result.iterations;
@@ -79,18 +114,46 @@ MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
     // The epsilon / 1-epsilon twin probes are independent of each other and
     // run concurrently.
     if (current.uncertain.empty()) return result;  // nothing left to sweep
-    OptimizeResult p_low, p_high;
+    // Each twin writes only its own slot; abort/success counters are
+    // aggregated after the join so the disabled-faults path stays race-free
+    // and bit-identical at any thread count.
+    struct ProbeOutcome {
+      OptimizeResult result;
+      int64_t aborted = 0;
+      bool ok = false;
+    };
+    ProbeOutcome lo, hi;
     ParallelInvoke({
         [&] {
-          p_low =
-              optimizer.Optimize(query, view, AtBound(current.uncertain, false));
+          Result<OptimizeResult> r = optimizer.TryOptimizeWithRetry(
+              query, view, AtBound(current.uncertain, false),
+              config.probe_retry, &lo.aborted);
+          if (r.ok()) {
+            lo.result = std::move(*r);
+            lo.ok = true;
+          }
         },
         [&] {
-          p_high =
-              optimizer.Optimize(query, view, AtBound(current.uncertain, true));
+          Result<OptimizeResult> r = optimizer.TryOptimizeWithRetry(
+              query, view, AtBound(current.uncertain, true),
+              config.probe_retry, &hi.aborted);
+          if (r.ok()) {
+            hi.result = std::move(*r);
+            hi.ok = true;
+          }
         },
     });
-    result.optimizer_calls += 2;
+    result.probes_aborted += lo.aborted + hi.aborted;
+    result.optimizer_calls += (lo.ok ? 1 : 0) + (hi.ok ? 1 : 0);
+    if (!lo.ok || !hi.ok) {
+      // A twin probe failed even after retries: stop the sweep rather than
+      // decide equivalence from half a comparison.
+      result.converged = false;
+      result.degraded = true;
+      return result;
+    }
+    OptimizeResult& p_low = lo.result;
+    OptimizeResult& p_high = hi.result;
     AUTOSTATS_DCHECK(p_high.cost >= p_low.cost - 1e-6);
     const EquivalenceSpec spec{config.equivalence, config.t_percent};
     if (PlansEquivalent(spec, p_low, p_high)) {
@@ -123,8 +186,8 @@ MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
     }
 
     // Steps 11-12: re-optimize with default magic numbers.
-    OptimizeResult next_plan = optimizer.Optimize(query, view);
-    ++result.optimizer_calls;
+    OptimizeResult next_plan;
+    if (!probe({}, &next_plan)) return result;
 
     // MNSA/D (§5.1): if the plan did not change, the statistics created
     // this iteration are heuristically non-essential.
@@ -170,7 +233,10 @@ MnsaResult RunMnsaWorkloadWeighted(const Optimizer& optimizer,
   // Rank queries by estimated cost under the current statistics. The
   // ranking sweep mutates nothing, so the per-query probes fan out; costs
   // land in per-index slots and are summed in index order afterwards, so
-  // the ranking (and FP total) is bit-identical to a serial sweep.
+  // the ranking (and FP total) is bit-identical to a serial sweep. It uses
+  // the infallible Optimize on purpose: ranking is serving-path work (a
+  // per-query cost estimate), and only sensitivity probes and statistic
+  // builds are injectable fault points.
   struct Ranked {
     const Query* query;
     double cost;

@@ -50,6 +50,9 @@ struct MnsaConfig {
   std::function<bool(const std::vector<ColumnRef>&)> creation_filter;
   // Safety bound on iterations per query.
   int max_iterations = 256;
+  // Bounded retry for sensitivity probes aborted by transient faults
+  // (fault point `optimizer.probe`). Builds use the catalog's own policy.
+  RetryPolicy probe_retry;
 };
 
 struct MnsaResult {
@@ -61,6 +64,16 @@ struct MnsaResult {
   // True when the t-test concluded the statistics suffice; false when the
   // loop ran out of candidates instead.
   bool converged = false;
+  // --- Failure accounting (graceful degradation) ---
+  int64_t builds_failed = 0;   // creations that exhausted their retries;
+                               // the key is vetoed and the analysis moves on
+  int64_t build_retries = 0;   // build re-attempts consumed
+  int64_t probes_aborted = 0;  // probe attempts killed by injected faults
+  // True when any failure degraded this analysis: a vetoed build restricts
+  // the reachable configuration, and a persistently failing probe stops the
+  // sweep early. Both leave predicates on magic numbers / existing stats —
+  // states MNSA is already correct under (§4.1 monotonicity).
+  bool degraded = false;
 
   void Merge(const MnsaResult& other);
 };

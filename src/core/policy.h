@@ -68,6 +68,11 @@ struct ManagerPolicy {
   bool enable_aging = false;
   AgingPolicy aging;
 
+  // Bounded retry + backoff for transient faults in the manager's own
+  // fallible steps (the aging cost probe and DML application). Builds use
+  // the catalog's retry policy; MNSA probes use mnsa.probe_retry.
+  RetryPolicy retry;
+
   // Physical deletion of drop-listed statistics.
   DropListPolicy drop_list;
 };

@@ -13,6 +13,12 @@ RunReport& RunReport::operator+=(const RunReport& other) {
   stats_dropped += other.stats_dropped;
   num_queries += other.num_queries;
   num_dml += other.num_dml;
+  builds_failed += other.builds_failed;
+  build_retries += other.build_retries;
+  probes_aborted += other.probes_aborted;
+  dml_retries += other.dml_retries;
+  degraded_queries += other.degraded_queries;
+  degraded_dml += other.degraded_dml;
   return *this;
 }
 
@@ -27,7 +33,7 @@ double PercentIncrease(double base, double ours) {
 }
 
 std::string FormatReport(const RunReport& r) {
-  return StrFormat(
+  std::string out = StrFormat(
       "%-24s exec=%-12s create=%-12s update=%-12s stats=%lld dropped=%lld "
       "opt_calls=%lld",
       r.label.c_str(), FormatDouble(r.exec_cost, 0).c_str(),
@@ -36,6 +42,21 @@ std::string FormatReport(const RunReport& r) {
       static_cast<long long>(r.stats_created),
       static_cast<long long>(r.stats_dropped),
       static_cast<long long>(r.optimizer_calls));
+  // Failure accounting is appended only when something actually failed, so
+  // the common no-fault rendering stays unchanged.
+  if (r.builds_failed != 0 || r.build_retries != 0 || r.probes_aborted != 0 ||
+      r.dml_retries != 0 || r.degraded_queries != 0 || r.degraded_dml != 0) {
+    out += StrFormat(
+        " failed=%lld retries=%lld aborted_probes=%lld dml_retries=%lld "
+        "degraded=%lld+%lld",
+        static_cast<long long>(r.builds_failed),
+        static_cast<long long>(r.build_retries),
+        static_cast<long long>(r.probes_aborted),
+        static_cast<long long>(r.dml_retries),
+        static_cast<long long>(r.degraded_queries),
+        static_cast<long long>(r.degraded_dml));
+  }
+  return out;
 }
 
 }  // namespace autostats

@@ -20,6 +20,15 @@ struct RunReport {
   int64_t num_queries = 0;
   int64_t num_dml = 0;
 
+  // --- Failure accounting (fault injection / graceful degradation) ---
+  int64_t builds_failed = 0;     // statistic builds that exhausted retries
+  int64_t build_retries = 0;     // build re-attempts consumed
+  int64_t probes_aborted = 0;    // optimizer probes killed by faults
+  int64_t dml_retries = 0;       // DML application re-attempts consumed
+  int64_t degraded_queries = 0;  // queries served on magic/stale statistics
+  int64_t degraded_dml = 0;      // DML statements degraded (skipped apply
+                                 // or stale refresh)
+
   RunReport& operator+=(const RunReport& other);
 };
 

@@ -51,14 +51,29 @@ ShrinkingSetResult RunShrinkingSet(const Optimizer& optimizer,
 
   // Baseline plans: Plan(Q, S) for every query. The probes are independent
   // (catalog untouched), so they fan out across the pool; slots are
-  // per-index, keeping results identical at any thread count.
+  // per-index — results, abort counts, and ok flags — and are aggregated
+  // after the join, keeping results identical at any thread count.
   std::vector<OptimizeResult> baselines(queries.size());
+  std::vector<char> baseline_ok(queries.size(), 0);
   {
     const StatsView base_view = RestrictedView(*catalog, s_set);
+    std::vector<int64_t> aborted(queries.size(), 0);
     ParallelFor(queries.size(), [&](size_t qi) {
-      baselines[qi] = optimizer.Optimize(*queries[qi], base_view);
+      Result<OptimizeResult> r = optimizer.TryOptimizeWithRetry(
+          *queries[qi], base_view, {}, config.probe_retry, &aborted[qi]);
+      if (r.ok()) {
+        baselines[qi] = std::move(*r);
+        baseline_ok[qi] = 1;
+      }
     });
-    result.optimizer_calls += static_cast<int>(queries.size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      result.probes_aborted += aborted[qi];
+      if (baseline_ok[qi]) {
+        ++result.optimizer_calls;
+      } else {
+        result.degraded = true;
+      }
+    }
   }
 
   // The outer loop is inherently serial — removing s changes the view every
@@ -84,14 +99,37 @@ ShrinkingSetResult RunShrinkingSet(const Optimizer& optimizer,
       }
     }
 
+    // Degradation is conservative: a query whose baseline or alternate
+    // probe failed (after retries) counts as "plan differs", so s is kept.
+    // Keeping a non-essential statistic costs only maintenance; dropping an
+    // essential one would cost plan quality.
     std::vector<char> differs(relevant.size(), 0);
+    std::vector<char> probe_ok(relevant.size(), 0);
+    std::vector<int64_t> aborted(relevant.size(), 0);
     ParallelFor(relevant.size(), [&](size_t i) {
       const size_t qi = relevant[i];
-      const OptimizeResult alt = optimizer.Optimize(*queries[qi], view);
+      if (!baseline_ok[qi]) {
+        differs[i] = 1;
+        return;
+      }
+      Result<OptimizeResult> alt = optimizer.TryOptimizeWithRetry(
+          *queries[qi], view, {}, config.probe_retry, &aborted[i]);
+      if (!alt.ok()) {
+        differs[i] = 1;
+        return;
+      }
+      probe_ok[i] = 1;
       differs[i] =
-          PlansEquivalent(config.equivalence, alt, baselines[qi]) ? 0 : 1;
+          PlansEquivalent(config.equivalence, *alt, baselines[qi]) ? 0 : 1;
     });
-    result.optimizer_calls += static_cast<int>(relevant.size());
+    for (size_t i = 0; i < relevant.size(); ++i) {
+      result.probes_aborted += aborted[i];
+      if (probe_ok[i]) {
+        ++result.optimizer_calls;
+      } else if (baseline_ok[relevant[i]]) {
+        result.degraded = true;  // the alternate probe itself failed
+      }
+    }
 
     const bool needed =
         std::find(differs.begin(), differs.end(), 1) != differs.end();

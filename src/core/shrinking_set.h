@@ -25,12 +25,22 @@ struct ShrinkingSetConfig {
   // drop-list (the §5 semantics); when false the catalog is untouched and
   // only the result reports the essential set.
   bool apply_to_catalog = true;
+  // Bounded retry for probes aborted by transient faults (fault point
+  // `optimizer.probe`).
+  RetryPolicy probe_retry;
 };
 
 struct ShrinkingSetResult {
   std::vector<StatKey> essential;  // R of Figure 2
   std::vector<StatKey> removed;
-  int optimizer_calls = 0;
+  int optimizer_calls = 0;  // successful probes only
+  // --- Failure accounting (graceful degradation) ---
+  int64_t probes_aborted = 0;  // probe attempts killed by injected faults
+  // True when any probe failed after retries. The degraded verdict is
+  // conservative: an unprobeable query counts as "plan differs", so the
+  // statistic is KEPT. A wrongly kept non-essential statistic costs only
+  // maintenance; a wrongly dropped essential one costs plan quality.
+  bool degraded = false;
 };
 
 // Shrinks the catalog's active statistics (or `initial`, when non-empty)

@@ -55,4 +55,11 @@ size_t ApplyDml(Database* db, const DmlStatement& dml) {
   return 0;
 }
 
+Result<size_t> TryApplyDml(Database* db, const DmlStatement& dml) {
+  AUTOSTATS_CHECK(db != nullptr);
+  const Status gate = PokeFault(faults::kDmlApply);
+  if (!gate.ok()) return gate;
+  return ApplyDml(db, dml);
+}
+
 }  // namespace autostats

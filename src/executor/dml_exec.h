@@ -5,6 +5,8 @@
 #define AUTOSTATS_EXECUTOR_DML_EXEC_H_
 
 #include "catalog/database.h"
+#include "common/fault.h"
+#include "common/status.h"
 #include "query/dml.h"
 
 namespace autostats {
@@ -14,6 +16,11 @@ namespace autostats {
 // with values sampled from the same column (preserving its domain);
 // deletes remove random rows.
 size_t ApplyDml(Database* db, const DmlStatement& dml);
+
+// Fallible form: the `dml.apply` fault gate fires BEFORE any row is
+// touched, so a failed attempt leaves the database unchanged and the
+// statement can be retried safely (same seed, same effect).
+Result<size_t> TryApplyDml(Database* db, const DmlStatement& dml);
 
 }  // namespace autostats
 

@@ -74,4 +74,32 @@ OptimizeResult Optimizer::Optimize(const Query& query, const StatsView& stats,
   return result;
 }
 
+Result<OptimizeResult> Optimizer::TryOptimize(
+    const Query& query, const StatsView& stats,
+    const SelectivityOverrides& overrides) const {
+  // Gate first: an aborted probe must not reach num_calls_ (nor the plan
+  // cache), so the 3-calls-per-statistic accounting stays honest.
+  const Status gate = PokeFault(faults::kOptimizerProbe, query.name().c_str());
+  if (!gate.ok()) {
+    num_aborted_probes_.fetch_add(1, std::memory_order_relaxed);
+    return gate;
+  }
+  return Optimize(query, stats, overrides);
+}
+
+Result<OptimizeResult> Optimizer::TryOptimizeWithRetry(
+    const Query& query, const StatsView& stats,
+    const SelectivityOverrides& overrides, const RetryPolicy& retry,
+    int64_t* aborted_probes) const {
+  const int attempts = std::max(retry.max_attempts, 1);
+  Result<OptimizeResult> out = Status::Internal("no probe attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) BackoffSleep(retry, attempt);
+    out = TryOptimize(query, stats, overrides);
+    if (out.ok()) return out;
+    if (aborted_probes != nullptr) ++*aborted_probes;
+  }
+  return out;
+}
+
 }  // namespace autostats

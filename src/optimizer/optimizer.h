@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "common/fault.h"
+#include "common/status.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/enumerator.h"
 #include "optimizer/plan.h"
@@ -60,6 +62,25 @@ class Optimizer {
   OptimizeResult Optimize(const Query& query, const StatsView& stats,
                           const SelectivityOverrides& overrides = {}) const;
 
+  // Fallible probe entry used by the statistics-management algorithms
+  // (MNSA's sensitivity probes, Shrinking Set's per-statistic tests). The
+  // `optimizer.probe` fault gate runs BEFORE the call counter: a probe
+  // aborted by an injected fault never ran the pipeline and must not count
+  // as an optimizer call, keeping the paper's 3-calls-per-statistic
+  // accounting honest. The serving path (`Optimize`) is not a fault point —
+  // a query is never aborted.
+  Result<OptimizeResult> TryOptimize(
+      const Query& query, const StatsView& stats,
+      const SelectivityOverrides& overrides = {}) const;
+
+  // TryOptimize with bounded retry + backoff for transient probe faults.
+  // Adds the number of aborted attempts to *aborted_probes (may be null);
+  // returns the last abort status once the budget is exhausted.
+  Result<OptimizeResult> TryOptimizeWithRetry(
+      const Query& query, const StatsView& stats,
+      const SelectivityOverrides& overrides, const RetryPolicy& retry,
+      int64_t* aborted_probes = nullptr) const;
+
   // Number of Optimize() calls since construction (the bookkeeping the
   // paper uses to report MNSA's overhead of 3 calls per statistic). Cache
   // hits count: this is the paper's logical call count, exact under
@@ -74,6 +95,12 @@ class Optimizer {
   // ...and how many ran the full pipeline.
   int64_t num_real_calls() const { return num_calls() - num_cache_hits(); }
 
+  // Probes killed by an injected fault before reaching the pipeline; these
+  // are NOT included in num_calls().
+  int64_t num_aborted_probes() const {
+    return num_aborted_probes_.load(std::memory_order_relaxed);
+  }
+
   // The memoizing cache; nullptr when disabled by config.
   PlanCache* plan_cache() const { return plan_cache_.get(); }
 
@@ -83,6 +110,7 @@ class Optimizer {
   CostModel cost_model_;
   mutable std::atomic<int64_t> num_calls_{0};
   mutable std::atomic<int64_t> num_cache_hits_{0};
+  mutable std::atomic<int64_t> num_aborted_probes_{0};
   std::unique_ptr<PlanCache> plan_cache_;
 };
 

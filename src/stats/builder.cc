@@ -118,4 +118,14 @@ Statistic BuildStatistic(const Database& db,
   return stat;
 }
 
+Result<Statistic> TryBuildStatistic(const Database& db,
+                                    const std::vector<ColumnRef>& columns,
+                                    const StatsBuildConfig& config,
+                                    const char* fault_point) {
+  AUTOSTATS_CHECK(!columns.empty());
+  const Status gate = PokeFault(fault_point, MakeStatKey(columns).c_str());
+  if (!gate.ok()) return gate;
+  return BuildStatistic(db, columns, config);
+}
+
 }  // namespace autostats

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "common/fault.h"
+#include "common/status.h"
 #include "stats/statistic.h"
 
 namespace autostats {
@@ -27,6 +29,15 @@ struct StatsBuildConfig {
 Statistic BuildStatistic(const Database& db,
                          const std::vector<ColumnRef>& columns,
                          const StatsBuildConfig& config);
+
+// Fallible build: gates the scan on the `fault_point` injection point (the
+// stand-in for the I/O, memory, and lock failures a real server's scans
+// hit), then builds. This is the entry the online loop uses; a non-OK
+// result leaves no partial state anywhere.
+Result<Statistic> TryBuildStatistic(
+    const Database& db, const std::vector<ColumnRef>& columns,
+    const StatsBuildConfig& config,
+    const char* fault_point = faults::kStatsCreate);
 
 // Compresses one column into its sorted (value, frequency) distribution
 // over numeric keys; exposed for tests and for histogram experiments.

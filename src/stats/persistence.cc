@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
 #include "common/str_util.h"
 
 namespace autostats {
@@ -13,6 +14,9 @@ constexpr char kMagicLine[] = "autostats-catalog v1";
 }  // namespace
 
 Status SaveCatalog(const StatsCatalog& catalog, const std::string& path) {
+  // Gate before the file is opened: an injected save failure leaves any
+  // previous catalog file on disk untouched.
+  AUTOSTATS_RETURN_IF_ERROR(PokeFault(faults::kPersistenceSave, path.c_str()));
   std::ofstream out(path);
   if (!out) return Status::InvalidArgument("cannot open " + path);
   out.precision(17);
@@ -60,6 +64,9 @@ Status SaveCatalog(const StatsCatalog& catalog, const std::string& path) {
 }
 
 Status LoadCatalog(StatsCatalog* catalog, const std::string& path) {
+  // Gate before any entry is restored: an injected load failure leaves the
+  // in-memory catalog exactly as it was.
+  AUTOSTATS_RETURN_IF_ERROR(PokeFault(faults::kPersistenceLoad, path.c_str()));
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
   std::string line;

@@ -26,6 +26,15 @@ StatsCatalog::StatsCatalog(const Database* db, StatsBuildConfig build_config,
 }
 
 double StatsCatalog::CreateStatistic(const std::vector<ColumnRef>& columns) {
+  // Degraded form: a persistent build failure leaves the predicates on
+  // magic numbers (charging nothing); the error is visible through
+  // failure_counters() and TryCreateStatistic.
+  const Result<double> cost = TryCreateStatistic(columns);
+  return cost.ok() ? *cost : 0.0;
+}
+
+Result<double> StatsCatalog::TryCreateStatistic(
+    const std::vector<ColumnRef>& columns) {
   const StatKey key = MakeStatKey(columns);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -39,7 +48,23 @@ double StatsCatalog::CreateStatistic(const std::vector<ColumnRef>& columns) {
     return 0.0;  // already active
   }
   StatEntry entry;
-  entry.stat = BuildStatistic(*db_, columns, build_config_);
+  const Status built = RetryWithBackoff(
+      retry_policy_,
+      [&]() -> Status {
+        Result<Statistic> stat =
+            TryBuildStatistic(*db_, columns, build_config_,
+                              faults::kStatsCreate);
+        if (!stat.ok()) return stat.status();
+        entry.stat = std::move(*stat);
+        return Status::OK();
+      },
+      &failure_counters_.build_retries);
+  if (!built.ok()) {
+    // Retry budget exhausted: no entry, no cost, and no version bump — a
+    // failed build must not invalidate cached plans it did not change.
+    ++failure_counters_.builds_failed;
+    return built;
+  }
   // Sampled builds scan (and sort) only the sampled fraction.
   const double effective_rows =
       static_cast<double>(db_->table(columns.front().table).num_rows()) *
@@ -151,23 +176,46 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
         policy.fraction * static_cast<double>(rows) +
         static_cast<double>(policy.floor);
     if (static_cast<double>(modified) <= threshold) continue;
+    bool any_changed = false;
+    bool any_failed = false;
     for (auto& [key, entry] : entries_) {
       if (entry.in_drop_list || entry.stat.table() != table) continue;
-      ++entry.update_count;
+      const int next_count = entry.update_count + 1;
       const bool scale_only =
           policy.incremental &&
-          entry.update_count % std::max(policy.full_rebuild_every, 1) != 0;
+          next_count % std::max(policy.full_rebuild_every, 1) != 0;
       if (scale_only) {
         entry.stat = entry.stat.ScaledTo(static_cast<double>(rows));
         cost += cost_model_.fixed_overhead;  // O(buckets) metadata touch
       } else {
-        entry.stat =
-            BuildStatistic(*db_, entry.stat.columns(), build_config_);
+        Statistic rebuilt;
+        const Status built = RetryWithBackoff(
+            retry_policy_,
+            [&]() -> Status {
+              Result<Statistic> stat =
+                  TryBuildStatistic(*db_, entry.stat.columns(),
+                                    build_config_, faults::kStatsRefresh);
+              if (!stat.ok()) return stat.status();
+              rebuilt = std::move(*stat);
+              return Status::OK();
+            },
+            &failure_counters_.build_retries);
+        if (!built.ok()) {
+          // Keep the last-good statistic (stale but monotone-safe) and
+          // leave the modification counter so the next trigger retries.
+          ++failure_counters_.builds_failed;
+          ++failure_counters_.stale_fallbacks;
+          any_failed = true;
+          continue;
+        }
+        entry.stat = std::move(rebuilt);
         cost += cost_model_.UpdateCost(rows, entry.stat.width());
       }
+      entry.update_count = next_count;
+      any_changed = true;
     }
-    modified = 0;
-    BumpStatsVersion();  // histogram contents changed
+    if (!any_failed) modified = 0;
+    if (any_changed) BumpStatsVersion();  // histogram contents changed
   }
   total_update_cost_ += cost;
   return cost;
@@ -187,6 +235,7 @@ void StatsCatalog::ResetAccounting() {
   total_creation_cost_ = 0.0;
   total_update_cost_ = 0.0;
   optimizer_calls_charged_ = 0;
+  failure_counters_ = StatsFailureCounters{};
 }
 
 bool StatsView::IsVisible(const StatKey& key) const {

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "common/fault.h"
+#include "common/status.h"
 #include "stats/builder.h"
 #include "stats/statistic.h"
 #include "stats/stats_cost.h"
@@ -44,6 +46,15 @@ struct UpdateTriggerPolicy {
   int full_rebuild_every = 4;
 };
 
+// Failure accounting for the build path (the paper's loop is unattended,
+// so failures must be measurable, not fatal).
+struct StatsFailureCounters {
+  int64_t builds_failed = 0;    // builds that exhausted their retry budget
+  int64_t build_retries = 0;    // re-attempts consumed by transient faults
+  int64_t stale_fallbacks = 0;  // failed refreshes that kept the last-good
+                                // statistic (degradation ladder rung 2)
+};
+
 class StatsCatalog {
  public:
   StatsCatalog(const Database* db, StatsBuildConfig build_config = {},
@@ -58,8 +69,27 @@ class StatsCatalog {
 
   // Creates the statistic (building it from data) or resurrects it from
   // the drop-list at zero build cost. Returns the cost units charged.
-  // No-op (returns 0) if the statistic is already active.
+  // No-op (returns 0) if the statistic is already active. A failed build
+  // (after retries) charges nothing, installs nothing, and returns 0 — the
+  // dependent predicates simply stay on magic numbers, a state MNSA is
+  // already correct under (§4.1 monotonicity).
   double CreateStatistic(const std::vector<ColumnRef>& columns);
+
+  // The fallible form: same semantics, but a build that exhausts its retry
+  // budget surfaces the error. The catalog is untouched on failure — no
+  // entry, no cost charged, and crucially no stats_version bump, so cached
+  // plans stay valid.
+  Result<double> TryCreateStatistic(const std::vector<ColumnRef>& columns);
+
+  // Bounded-retry policy for builds (create and refresh).
+  void set_retry_policy(const RetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  const StatsFailureCounters& failure_counters() const {
+    return failure_counters_;
+  }
 
   // Installs a previously built entry without touching data or charging
   // cost (catalog persistence; see stats/persistence.h). Replaces any
@@ -97,7 +127,10 @@ class StatsCatalog {
   // Refreshes (rebuilds) the statistics of every table whose modification
   // counter exceeds the trigger; resets those counters. Returns cost units
   // charged. Drop-listed statistics are NOT refreshed — that is exactly
-  // the maintenance saving the paper's Table 1 measures.
+  // the maintenance saving the paper's Table 1 measures. A rebuild that
+  // fails after retries keeps the last-good (stale) statistic, counts a
+  // stale fallback, and leaves the table's modification counter intact so
+  // the next trigger retries the refresh.
   double RefreshIfTriggered(const UpdateTriggerPolicy& policy);
 
   // Update cost the active statistics WOULD incur if refreshed now; used
@@ -133,6 +166,8 @@ class StatsCatalog {
   const Database* db_;
   StatsBuildConfig build_config_;
   StatsCostModel cost_model_;
+  RetryPolicy retry_policy_;
+  StatsFailureCounters failure_counters_;
   std::unordered_map<StatKey, StatEntry> entries_;
   std::unordered_map<TableId, size_t> mod_counters_;
   double total_creation_cost_ = 0.0;

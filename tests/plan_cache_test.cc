@@ -1,10 +1,15 @@
 // PlanCache: hit/miss behavior, bit-identical hits, catalog-version
 // invalidation (create/drop/refresh must evict dependent entries), key
-// separation by view and overrides, and LRU capacity eviction.
+// separation by view and overrides, LRU capacity eviction, and the failure
+// path: a failed statistic build must leave stats_version — and therefore
+// every cached entry — untouched.
 #include "optimizer/plan_cache.h"
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "common/fault.h"
 #include "optimizer/optimizer.h"
 #include "stats/stats_catalog.h"
 #include "tests/test_util.h"
@@ -169,6 +174,105 @@ TEST(PlanCacheDisabledTest, NoCacheWhenDisabled) {
   optimizer.Optimize(q, view);
   EXPECT_EQ(optimizer.num_cache_hits(), 0);
   EXPECT_EQ(optimizer.num_real_calls(), 2);
+}
+
+class PlanCacheFaultTest : public ::testing::Test {
+ protected:
+  PlanCacheFaultTest()
+      : t_(MakeTwoTableDb()), optimizer_(&t_.db), catalog_(&t_.db) {}
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  TwoTableDb t_;
+  Optimizer optimizer_;
+  StatsCatalog catalog_;
+};
+
+TEST_F(PlanCacheFaultTest, FailedCreateLeavesVersionAndCacheIntact) {
+  const Query q = MakeFilterQuery(t_);
+  const StatsView view(&catalog_);
+  optimizer_.Optimize(q, view);
+  const uint64_t version = catalog_.stats_version();
+
+  FaultSchedule schedule;
+  schedule.count = std::numeric_limits<int64_t>::max();
+  FaultInjector::Instance().Arm(faults::kStatsCreate, schedule);
+  EXPECT_FALSE(catalog_.TryCreateStatistic({t_.fact_val}).ok());
+
+  // The failed build changed nothing the optimizer can see: the version is
+  // unchanged and the cached entry is still served.
+  EXPECT_EQ(catalog_.stats_version(), version);
+  EXPECT_FALSE(catalog_.Exists(MakeStatKey({t_.fact_val})));
+  EXPECT_DOUBLE_EQ(catalog_.total_creation_cost(), 0.0);
+  optimizer_.Optimize(q, view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 1);
+  EXPECT_EQ(optimizer_.plan_cache()->stats().stale_evictions, 0);
+
+  // A subsequent successful build invalidates the dependent entry.
+  FaultInjector::Instance().Reset();
+  ASSERT_TRUE(catalog_.TryCreateStatistic({t_.fact_val}).ok());
+  EXPECT_GT(catalog_.stats_version(), version);
+  optimizer_.Optimize(q, view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), 1);  // miss: version advanced
+  EXPECT_GT(optimizer_.plan_cache()->stats().stale_evictions, 0);
+}
+
+TEST_F(PlanCacheFaultTest, FailedRefreshLeavesVersionAndCacheIntact) {
+  ASSERT_TRUE(catalog_.TryCreateStatistic({t_.fact_val}).ok());
+  const Query q = MakeFilterQuery(t_);
+  const StatsView view(&catalog_);
+  optimizer_.Optimize(q, view);
+  // RecordModifications bumps the version on its own (live row counts feed
+  // estimates); take the version after it so the refresh is isolated.
+  catalog_.RecordModifications(t_.fact, 10000);
+  const uint64_t version = catalog_.stats_version();
+  optimizer_.Optimize(q, view);  // re-prime the cache at this version
+
+  FaultSchedule schedule;
+  schedule.count = std::numeric_limits<int64_t>::max();
+  FaultInjector::Instance().Arm(faults::kStatsRefresh, schedule);
+  UpdateTriggerPolicy trigger;
+  trigger.fraction = 0.01;
+  trigger.floor = 1;
+  EXPECT_DOUBLE_EQ(catalog_.RefreshIfTriggered(trigger), 0.0);
+
+  // The failed refresh kept the stale statistic and did not bump the
+  // version, so the cached plan (computed against exactly that statistic)
+  // is still valid and still hits.
+  EXPECT_EQ(catalog_.stats_version(), version);
+  const int64_t hits_before = optimizer_.num_cache_hits();
+  optimizer_.Optimize(q, view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), hits_before + 1);
+
+  // Once the refresh succeeds, exactly the dependent entry is invalidated.
+  FaultInjector::Instance().Reset();
+  EXPECT_GT(catalog_.RefreshIfTriggered(trigger), 0.0);
+  EXPECT_GT(catalog_.stats_version(), version);
+  optimizer_.Optimize(q, view);
+  EXPECT_EQ(optimizer_.num_cache_hits(), hits_before + 1);  // miss
+}
+
+TEST_F(PlanCacheFaultTest, FailedCreateDoesNotTouchOtherCatalogEntries) {
+  // Entries keyed to a different catalog are independent of this
+  // catalog's failures and successes alike.
+  StatsCatalog other(&t_.db);
+  const Query q = MakeFilterQuery(t_);
+  optimizer_.Optimize(q, StatsView(&catalog_));
+  optimizer_.Optimize(q, StatsView(&other));
+  ASSERT_EQ(optimizer_.plan_cache()->size(), 2u);
+
+  FaultSchedule schedule;
+  schedule.count = std::numeric_limits<int64_t>::max();
+  FaultInjector::Instance().Arm(faults::kStatsCreate, schedule);
+  EXPECT_FALSE(catalog_.TryCreateStatistic({t_.fact_val}).ok());
+  FaultInjector::Instance().Reset();
+  ASSERT_TRUE(catalog_.TryCreateStatistic({t_.fact_val}).ok());
+
+  // The other catalog's entry still hits; only this catalog's entry went
+  // stale.
+  optimizer_.Optimize(q, StatsView(&other));
+  EXPECT_EQ(optimizer_.num_cache_hits(), 1);
+  optimizer_.Optimize(q, StatsView(&catalog_));
+  EXPECT_EQ(optimizer_.num_cache_hits(), 1);  // miss: version advanced
 }
 
 TEST(PlanCacheUnitTest, DistinctCatalogsNeverAlias) {

@@ -6,8 +6,15 @@
 //     threshold t, the optimizer-estimated cost with MNSA's statistics is
 //     t-equivalent to the cost with ALL candidate statistics built.
 //  3. Plan-choice sanity: more statistics never increase estimated cost.
+//  4. Degradation guarantee: under any injected build-failure pattern MNSA
+//     still converges (or runs out of candidates) and its converged cost is
+//     t-equivalent to the all-candidates configuration restricted to the
+//     buildable subset.
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "common/fault.h"
 #include "common/rng.h"
 #include "core/mnsa.h"
 #include "executor/executor.h"
@@ -179,6 +186,65 @@ TEST_P(MnsaGuaranteeTest, ConvergedCostIsTEquivalentToFullCandidates) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MnsaGuaranteeTest, ::testing::Range(0, 5));
+
+class MnsaFaultDegradationTest : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_P(MnsaFaultDegradationTest, ConvergedCostMatchesBuildableSubset) {
+  // Make one specific statistic permanently unbuildable via the schedule's
+  // match filter, so "the buildable subset" is well-defined: everything
+  // except fact.val. MNSA must degrade by vetoing that key and still
+  // deliver the §4.1 guarantee restricted to what it could build.
+  testing::TwoTableDb t = testing::MakeTwoTableDb(5000, 100);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  Optimizer optimizer(&t.db);
+  constexpr double kT = 20.0;
+  const StatKey unbuildable = MakeStatKey({t.fact_val});
+  FaultSchedule block;
+  block.count = std::numeric_limits<int64_t>::max();
+  block.match = unbuildable;
+  FaultInjector::Instance().Arm(faults::kStatsCreate, block);
+
+  int checked = 0, violations = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Query q = RandomQuery(t, rng);
+    StatsCatalog mnsa_catalog(&t.db);
+    MnsaConfig config;
+    config.t_percent = kT;
+    const MnsaResult r = RunMnsa(optimizer, &mnsa_catalog, q, config);
+    // The blocked key never lands in the catalog, and a failed build is
+    // always surfaced as degradation.
+    EXPECT_FALSE(mnsa_catalog.HasActive(unbuildable));
+    if (r.builds_failed > 0) EXPECT_TRUE(r.degraded);
+    if (!r.converged) continue;  // exhausted the buildable candidates
+    const double with_mnsa =
+        optimizer.Optimize(q, StatsView(&mnsa_catalog)).cost;
+
+    // All candidates, restricted to the same buildable subset (the armed
+    // rule applies identically; blocked builds just fail and are skipped).
+    StatsCatalog buildable(&t.db);
+    for (const CandidateStat& c : CandidateStatistics(q)) {
+      buildable.CreateStatistic(c.columns);
+    }
+    EXPECT_FALSE(buildable.HasActive(unbuildable));
+    const double with_all =
+        optimizer.Optimize(q, StatsView(&buildable)).cost;
+
+    ++checked;
+    const double lo = std::min(with_mnsa, with_all);
+    const double hi = std::max(with_mnsa, with_all);
+    // Same slack as the fault-free guarantee test above.
+    if ((hi - lo) / std::max(lo, 1e-9) > kT / 100.0 + 0.15) ++violations;
+  }
+  ASSERT_GT(checked, 0);
+  EXPECT_LE(violations, checked / 5)
+      << violations << " of " << checked << " queries violated the bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MnsaFaultDegradationTest,
+                         ::testing::Range(0, 5));
 
 TEST(MonotoneInformationTest, MoreStatisticsNeverRaiseEstimatedCost) {
   // The paper's §3.3 assumption, validated over the TPC-D workload: the
