@@ -3,6 +3,8 @@
 // full optimization, MNSA per query, and hash-join execution.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "core/mnsa.h"
 #include "executor/exec_node.h"
 #include "executor/executor.h"
@@ -54,6 +56,62 @@ void BM_BuildStatistic(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_BuildStatistic)->Range(1024, 65536);
+
+// A single-column table with ~632k distinct values in 1M rows — the
+// high-cardinality shape that stresses a node-per-key container hardest.
+const Database& HighCardinalityDb() {
+  static const Database* db = [] {
+    Database* out = new Database();
+    const TableId t = out->AddTable(Schema("wide", {{"v", ValueType::kInt64}}));
+    Table& table = out->mutable_table(t);
+    for (size_t i = 0; i < (size_t{1} << 20); ++i) {
+      table.AppendRow(
+          {Datum(static_cast<int64_t>((i * 2654435761ull) % 1000000))});
+    }
+    return out;
+  }();
+  return *db;
+}
+
+// The pre-flat-kernel ColumnDistribution: one ordered-map node per
+// distinct value. Kept here as the microbenchmark baseline the sort +
+// run-length-encode kernel is measured against.
+std::vector<ValueFreq> ColumnDistributionMapBaseline(const Table& table,
+                                                     ColumnId col) {
+  const Column& c = table.column(col);
+  std::map<double, double> freq;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    freq[c.NumericKey(r)] += 1.0;
+  }
+  std::vector<ValueFreq> out;
+  out.reserve(freq.size());
+  for (const auto& [value, count] : freq) {
+    out.push_back({value, count});
+  }
+  return out;
+}
+
+void BM_ColumnDistFlat(benchmark::State& state) {
+  const Database& db = HighCardinalityDb();
+  const Table& table = db.table(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ColumnDistribution(table, 0, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_ColumnDistFlat);
+
+void BM_ColumnDistMapBaseline(benchmark::State& state) {
+  const Database& db = HighCardinalityDb();
+  const Table& table = db.table(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ColumnDistributionMapBaseline(table, 0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_ColumnDistMapBaseline);
 
 void BM_OptimizeTpcdQuery(benchmark::State& state) {
   static const Database& db =

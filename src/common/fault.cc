@@ -16,6 +16,7 @@ const std::vector<std::string>& AllFaultPoints() {
       faults::kStatsCreate,      faults::kStatsRefresh,
       faults::kPersistenceSave,  faults::kPersistenceLoad,
       faults::kOptimizerProbe,   faults::kDmlApply,
+      faults::kStatsDelta,
   };
   return kPoints;
 }

@@ -22,6 +22,8 @@
 //   persistence.load  restoring the statistics catalog from disk
 //   optimizer.probe   an MNSA / Shrinking Set optimizer probe
 //   dml.apply         applying a DML statement to the live database
+//   stats.delta       recording a DML statement's delta sketch (a firing
+//                     poisons the table's delta; the DML itself proceeds)
 #ifndef AUTOSTATS_COMMON_FAULT_H_
 #define AUTOSTATS_COMMON_FAULT_H_
 
@@ -45,6 +47,7 @@ inline constexpr char kPersistenceSave[] = "persistence.save";
 inline constexpr char kPersistenceLoad[] = "persistence.load";
 inline constexpr char kOptimizerProbe[] = "optimizer.probe";
 inline constexpr char kDmlApply[] = "dml.apply";
+inline constexpr char kStatsDelta[] = "stats.delta";
 }  // namespace faults
 
 // Every registered injection point, for schedule sweeps in tests.

@@ -124,7 +124,10 @@ AutoStatsManager::Outcome AutoStatsManager::ProcessDml(
   const Status applied = RetryWithBackoff(
       policy_.retry,
       [&]() -> Status {
-        Result<size_t> r = TryApplyDml(db_, dml);
+        Result<size_t> r = TryApplyDml(db_, dml,
+                                       policy_.update_trigger.incremental
+                                           ? catalog_->mutable_deltas()
+                                           : nullptr);
         if (!r.ok()) return r.status();
         modified = *r;
         return Status::OK();

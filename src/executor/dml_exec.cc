@@ -7,7 +7,21 @@
 
 namespace autostats {
 
-size_t ApplyDml(Database* db, const DmlStatement& dml) {
+namespace {
+
+// Records a whole row's (dis)appearance: +1 / -1 on every column's value.
+void RecordRow(DeltaStore* deltas, TableId table, const Table& t, size_t row,
+               int64_t count) {
+  if (deltas == nullptr) return;
+  const int ncols = t.schema().num_columns();
+  for (int c = 0; c < ncols; ++c) {
+    deltas->Record(table, c, t.column(c).NumericKey(row), count);
+  }
+}
+
+}  // namespace
+
+size_t ApplyDml(Database* db, const DmlStatement& dml, DeltaStore* deltas) {
   AUTOSTATS_CHECK(db != nullptr);
   Table& t = db->mutable_table(dml.table);
   Rng rng(dml.seed ^ 0xD1CEB00Cull);
@@ -32,6 +46,7 @@ size_t ApplyDml(Database* db, const DmlStatement& dml) {
           row.push_back(std::move(v));
         }
         t.AppendRow(row);
+        RecordRow(deltas, dml.table, t, t.num_rows() - 1, +1);
       }
       return dml.row_count;
     }
@@ -41,13 +56,23 @@ size_t ApplyDml(Database* db, const DmlStatement& dml) {
       for (size_t i = 0; i < count; ++i) {
         const size_t target = rng.NextU64(t.num_rows());
         const size_t src = rng.NextU64(t.num_rows());
+        if (deltas != nullptr) {
+          deltas->Record(dml.table, col, t.column(col).NumericKey(target),
+                         -1);
+        }
         t.SetCell(target, col, t.GetCell(src, col));
+        if (deltas != nullptr) {
+          deltas->Record(dml.table, col, t.column(col).NumericKey(target),
+                         +1);
+        }
       }
       return count;
     }
     case DmlKind::kDelete: {
       for (size_t i = 0; i < count && t.num_rows() > 0; ++i) {
-        t.RemoveRow(rng.NextU64(t.num_rows()));
+        const size_t victim = rng.NextU64(t.num_rows());
+        RecordRow(deltas, dml.table, t, victim, -1);
+        t.RemoveRow(victim);
       }
       return count;
     }
@@ -55,11 +80,22 @@ size_t ApplyDml(Database* db, const DmlStatement& dml) {
   return 0;
 }
 
-Result<size_t> TryApplyDml(Database* db, const DmlStatement& dml) {
+Result<size_t> TryApplyDml(Database* db, const DmlStatement& dml,
+                           DeltaStore* deltas) {
   AUTOSTATS_CHECK(db != nullptr);
   const Status gate = PokeFault(faults::kDmlApply);
   if (!gate.ok()) return gate;
-  return ApplyDml(db, dml);
+  if (deltas != nullptr) {
+    const Status delta_gate = PokeFault(faults::kStatsDelta);
+    if (!delta_gate.ok()) {
+      // Losing the statistics delta must not lose the data change: poison
+      // the table's delta stream (next refresh rescans) and apply the DML
+      // without recording.
+      deltas->Invalidate(dml.table);
+      return ApplyDml(db, dml, nullptr);
+    }
+  }
+  return ApplyDml(db, dml, deltas);
 }
 
 }  // namespace autostats

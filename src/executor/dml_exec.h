@@ -8,6 +8,7 @@
 #include "common/fault.h"
 #include "common/status.h"
 #include "query/dml.h"
+#include "stats/delta_sketch.h"
 
 namespace autostats {
 
@@ -15,12 +16,23 @@ namespace autostats {
 // from existing rows (keys perturbed); updates rewrite the target column
 // with values sampled from the same column (preserving its domain);
 // deletes remove random rows.
-size_t ApplyDml(Database* db, const DmlStatement& dml);
+//
+// With `deltas` non-null the statement's exact effect on every column's
+// value distribution is recorded as signed (value, count) deltas —
+// inserts +1 / deletes -1 per column, updates -old/+new on the target
+// column — feeding the incremental statistics refresh
+// (StatsCatalog::RefreshIfTriggered).
+size_t ApplyDml(Database* db, const DmlStatement& dml,
+                DeltaStore* deltas = nullptr);
 
 // Fallible form: the `dml.apply` fault gate fires BEFORE any row is
 // touched, so a failed attempt leaves the database unchanged and the
-// statement can be retried safely (same seed, same effect).
-Result<size_t> TryApplyDml(Database* db, const DmlStatement& dml);
+// statement can be retried safely (same seed, same effect). The
+// `stats.delta` gate fires after it: a firing poisons the table's delta
+// stream (forcing the next triggered refresh to rescan) but the DML
+// itself still proceeds — losing a statistics delta must never lose data.
+Result<size_t> TryApplyDml(Database* db, const DmlStatement& dml,
+                           DeltaStore* deltas = nullptr);
 
 }  // namespace autostats
 

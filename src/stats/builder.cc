@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <map>
+#include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -16,77 +16,141 @@ namespace autostats {
 
 namespace {
 
-// Sampled positions per scan chunk. Chunking is a function of the row
-// count only — never of the thread count — and per-value counts are exact
-// integer sums, so the merged distribution is bit-identical at any degree
-// of parallelism.
-constexpr size_t kScanGrain = size_t{1} << 14;
-
-}  // namespace
-
-std::vector<ValueFreq> ColumnDistribution(const Table& table, ColumnId col,
-                                          double sample_fraction) {
-  AUTOSTATS_CHECK(sample_fraction > 0.0 && sample_fraction <= 1.0);
-  const Column& c = table.column(col);
-  const size_t n = table.num_rows();
-  const size_t stride = sample_fraction >= 1.0
-                            ? 1
-                            : std::max<size_t>(
-                                  1, static_cast<size_t>(1.0 / sample_fraction));
-  const size_t sampled = n == 0 ? 0 : (n + stride - 1) / stride;
-  std::map<double, double> freqs;
-  if (sampled >= 2 * kScanGrain && NumThreads() > 1) {
-    const size_t chunks = (sampled + kScanGrain - 1) / kScanGrain;
-    std::vector<std::map<double, double>> partial(chunks);
-    ParallelFor(chunks, [&](size_t ci) {
-      const size_t lo = ci * kScanGrain;
-      const size_t hi = std::min(sampled, lo + kScanGrain);
-      std::map<double, double>& f = partial[ci];
-      for (size_t k = lo; k < hi; ++k) f[c.NumericKey(k * stride)] += 1.0;
-    });
-    for (const auto& p : partial) {
-      for (const auto& [value, freq] : p) freqs[value] += freq;
+// Sorts one chunk's keys and run-length encodes them into exact
+// (value, count) runs. Counts are integers held in doubles, so sums over
+// any merge order are exact and the merged distribution is bit-identical
+// to a serial scan's.
+std::vector<ValueFreq> SortAndEncode(std::vector<double> keys) {
+  std::sort(keys.begin(), keys.end());
+  std::vector<ValueFreq> runs;
+  for (double key : keys) {
+    if (!runs.empty() && runs.back().value == key) {
+      runs.back().freq += 1.0;
+    } else {
+      runs.push_back(ValueFreq{key, 1.0});
     }
-  } else {
-    for (size_t r = 0; r < n; r += stride) freqs[c.NumericKey(r)] += 1.0;
   }
-  // Scale sampled frequencies back to table size.
-  const double scale =
-      sampled > 0 ? static_cast<double>(n) / static_cast<double>(sampled)
-                  : 1.0;
+  return runs;
+}
+
+std::vector<ValueFreq> MergeRuns(const std::vector<ValueFreq>& a,
+                                 const std::vector<ValueFreq>& b) {
   std::vector<ValueFreq> out;
-  out.reserve(freqs.size());
-  for (const auto& [value, freq] : freqs) {
-    out.push_back(ValueFreq{value, freq * scale});
+  out.reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].value < b[j].value)) {
+      out.push_back(a[i++]);
+    } else if (i >= a.size() || b[j].value < a[i].value) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(ValueFreq{a[i].value, a[i].freq + b[j].freq});
+      ++i;
+      ++j;
+    }
   }
   return out;
 }
 
-Statistic BuildStatistic(const Database& db,
-                         const std::vector<ColumnRef>& columns,
-                         const StatsBuildConfig& config) {
+// K-way merge of per-chunk runs, reduced pairwise in index order: round r
+// merges parts (2i, 2i+1), each pair into its own slot, so the reduction
+// tree — and therefore the result — is independent of thread count.
+std::vector<ValueFreq> ReduceRuns(std::vector<std::vector<ValueFreq>> parts) {
+  if (parts.empty()) return {};
+  while (parts.size() > 1) {
+    const size_t pairs = parts.size() / 2;
+    std::vector<std::vector<ValueFreq>> next((parts.size() + 1) / 2);
+    ParallelFor(pairs, [&](size_t i) {
+      next[i] = MergeRuns(parts[2 * i], parts[2 * i + 1]);
+    });
+    if (parts.size() % 2 != 0) next.back() = std::move(parts.back());
+    parts = std::move(next);
+  }
+  return std::move(parts.front());
+}
+
+}  // namespace
+
+size_t SampleStride(double sample_fraction) {
+  AUTOSTATS_CHECK(sample_fraction > 0.0 && sample_fraction <= 1.0);
+  return sample_fraction >= 1.0
+             ? 1
+             : std::max<size_t>(1,
+                                static_cast<size_t>(1.0 / sample_fraction));
+}
+
+size_t SampledRowCount(size_t rows, size_t stride) {
+  AUTOSTATS_CHECK(stride >= 1);
+  return rows == 0 ? 0 : (rows + stride - 1) / stride;
+}
+
+std::vector<ValueFreq> ColumnDistribution(const Table& table, ColumnId col,
+                                          double sample_fraction) {
+  const Column& c = table.column(col);
+  const size_t n = table.num_rows();
+  const size_t stride = SampleStride(sample_fraction);
+  const size_t sampled = SampledRowCount(n, stride);
+
+  std::vector<ValueFreq> runs;
+  if (sampled >= 2 * kScanGrain && NumThreads() > 1) {
+    const size_t chunks = (sampled + kScanGrain - 1) / kScanGrain;
+    std::vector<std::vector<ValueFreq>> partial(chunks);
+    ParallelFor(chunks, [&](size_t ci) {
+      const size_t lo = ci * kScanGrain;
+      const size_t hi = std::min(sampled, lo + kScanGrain);
+      std::vector<double> keys;
+      keys.reserve(hi - lo);
+      for (size_t k = lo; k < hi; ++k) keys.push_back(c.NumericKey(k * stride));
+      partial[ci] = SortAndEncode(std::move(keys));
+    });
+    runs = ReduceRuns(std::move(partial));
+  } else {
+    std::vector<double> keys;
+    keys.reserve(sampled);
+    for (size_t r = 0; r < n; r += stride) keys.push_back(c.NumericKey(r));
+    runs = SortAndEncode(std::move(keys));
+  }
+
+  // Scale sampled frequencies back to table size (scale 1 leaves the exact
+  // integer counts untouched).
+  const double scale =
+      sampled > 0 ? static_cast<double>(n) / static_cast<double>(sampled)
+                  : 1.0;
+  if (scale != 1.0) {
+    for (ValueFreq& vf : runs) vf.freq *= scale;
+  }
+  return runs;
+}
+
+Histogram BucketizeDistribution(const std::vector<ValueFreq>& dist,
+                                const StatsBuildConfig& config) {
+  switch (config.histogram_kind) {
+    case HistogramKind::kMaxDiff:
+      return BuildMaxDiff(dist, config.num_buckets);
+    case HistogramKind::kEquiDepth:
+      return BuildEquiDepth(dist, config.num_buckets);
+    case HistogramKind::kEndBiased:
+      return BuildEndBiased(dist, config.num_buckets);
+  }
+  return Histogram();
+}
+
+BuiltStatistic BuildStatisticWithDist(const Database& db,
+                                      const std::vector<ColumnRef>& columns,
+                                      const StatsBuildConfig& config) {
   AUTOSTATS_CHECK(!columns.empty());
   const Table& table = db.table(columns.front().table);
 
   // The histogram scan and the prefix-distinct scan read disjoint results
   // off the same immutable table; run them concurrently.
   Histogram hist;
+  std::vector<ValueFreq> dist;
   std::vector<uint64_t> prefix_counts;
   ParallelInvoke({
       [&] {
-        std::vector<ValueFreq> dist = ColumnDistribution(
-            table, columns.front().column, config.sample_fraction);
-        switch (config.histogram_kind) {
-          case HistogramKind::kMaxDiff:
-            hist = BuildMaxDiff(dist, config.num_buckets);
-            break;
-          case HistogramKind::kEquiDepth:
-            hist = BuildEquiDepth(dist, config.num_buckets);
-            break;
-          case HistogramKind::kEndBiased:
-            hist = BuildEndBiased(dist, config.num_buckets);
-            break;
-        }
+        dist = ColumnDistribution(table, columns.front().column,
+                                  config.sample_fraction);
+        hist = BucketizeDistribution(dist, config);
       },
       [&] {
         std::vector<ColumnId> cols;
@@ -102,30 +166,49 @@ Statistic BuildStatistic(const Database& db,
                  static_cast<double>(table.num_rows()));
 
   if (config.build_2d_grids && columns.size() == 2) {
-    const size_t stride =
-        config.sample_fraction >= 1.0
-            ? 1
-            : std::max<size_t>(
-                  1, static_cast<size_t>(1.0 / config.sample_fraction));
-    std::vector<std::array<double, 2>> points;
+    const size_t stride = SampleStride(config.sample_fraction);
+    const size_t sampled = SampledRowCount(table.num_rows(), stride);
+    std::vector<std::array<double, 2>> points(sampled);
     const Column& c1 = table.column(columns[0].column);
     const Column& c2 = table.column(columns[1].column);
-    for (size_t r = 0; r < table.num_rows(); r += stride) {
-      points.push_back({c1.NumericKey(r), c2.NumericKey(r)});
-    }
+    // Each sampled position has a fixed slot, so the chunked fill is
+    // trivially bit-identical to a serial sweep.
+    const size_t chunks = (sampled + kScanGrain - 1) / kScanGrain;
+    ParallelFor(chunks, [&](size_t ci) {
+      const size_t lo = ci * kScanGrain;
+      const size_t hi = std::min(sampled, lo + kScanGrain);
+      for (size_t k = lo; k < hi; ++k) {
+        points[k] = {c1.NumericKey(k * stride), c2.NumericKey(k * stride)};
+      }
+    });
     stat.set_grid2d(BuildMhist2D(std::move(points), config.num_buckets));
   }
-  return stat;
+  return BuiltStatistic{std::move(stat), std::move(dist)};
+}
+
+Statistic BuildStatistic(const Database& db,
+                         const std::vector<ColumnRef>& columns,
+                         const StatsBuildConfig& config) {
+  return BuildStatisticWithDist(db, columns, config).stat;
+}
+
+Result<BuiltStatistic> TryBuildStatisticWithDist(
+    const Database& db, const std::vector<ColumnRef>& columns,
+    const StatsBuildConfig& config, const char* fault_point) {
+  AUTOSTATS_CHECK(!columns.empty());
+  const Status gate = PokeFault(fault_point, MakeStatKey(columns).c_str());
+  if (!gate.ok()) return gate;
+  return BuildStatisticWithDist(db, columns, config);
 }
 
 Result<Statistic> TryBuildStatistic(const Database& db,
                                     const std::vector<ColumnRef>& columns,
                                     const StatsBuildConfig& config,
                                     const char* fault_point) {
-  AUTOSTATS_CHECK(!columns.empty());
-  const Status gate = PokeFault(fault_point, MakeStatKey(columns).c_str());
-  if (!gate.ok()) return gate;
-  return BuildStatistic(db, columns, config);
+  Result<BuiltStatistic> built =
+      TryBuildStatisticWithDist(db, columns, config, fault_point);
+  if (!built.ok()) return built.status();
+  return std::move(built->stat);
 }
 
 }  // namespace autostats

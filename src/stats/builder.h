@@ -25,10 +25,37 @@ struct StatsBuildConfig {
   bool build_2d_grids = false;
 };
 
+// Sampled positions per scan chunk of the flat kernels (ColumnDistribution,
+// CountDistinctPrefixes, the MHIST-2 point sweep). Chunking is a function
+// of the scan length only — never of the thread count — and chunk results
+// are reduced in index order, so merged outputs are bit-identical at any
+// degree of parallelism.
+inline constexpr size_t kScanGrain = size_t{1} << 14;
+
+// Deterministic sampling stride for `sample_fraction` (1 = every row).
+// The single definition shared by the scan kernels and the creation-cost
+// formula, so "rows a build touches" means the same thing everywhere.
+size_t SampleStride(double sample_fraction);
+
+// Rows a strided scan over `rows` rows visits.
+size_t SampledRowCount(size_t rows, size_t stride);
+
 // Builds a statistic over `columns` (all in one table of `db`).
 Statistic BuildStatistic(const Database& db,
                          const std::vector<ColumnRef>& columns,
                          const StatsBuildConfig& config);
+
+// Build result carrying, besides the statistic, the compressed leading-
+// column distribution the histogram was bucketed from — the base an
+// incremental refresh merges delta sketches into (stats/delta_sketch.h).
+struct BuiltStatistic {
+  Statistic stat;
+  std::vector<ValueFreq> leading_dist;
+};
+
+BuiltStatistic BuildStatisticWithDist(const Database& db,
+                                      const std::vector<ColumnRef>& columns,
+                                      const StatsBuildConfig& config);
 
 // Fallible build: gates the scan on the `fault_point` injection point (the
 // stand-in for the I/O, memory, and lock failures a real server's scans
@@ -39,10 +66,22 @@ Result<Statistic> TryBuildStatistic(
     const StatsBuildConfig& config,
     const char* fault_point = faults::kStatsCreate);
 
+Result<BuiltStatistic> TryBuildStatisticWithDist(
+    const Database& db, const std::vector<ColumnRef>& columns,
+    const StatsBuildConfig& config,
+    const char* fault_point = faults::kStatsCreate);
+
 // Compresses one column into its sorted (value, frequency) distribution
 // over numeric keys; exposed for tests and for histogram experiments.
 std::vector<ValueFreq> ColumnDistribution(const Table& table, ColumnId col,
                                           double sample_fraction);
+
+// Buckets a sorted (value, frequency) distribution with the configured
+// histogram kind — the one re-bucketing step full builds and incremental
+// refreshes share, so both produce bit-identical histograms from equal
+// distributions.
+Histogram BucketizeDistribution(const std::vector<ValueFreq>& dist,
+                                const StatsBuildConfig& config);
 
 }  // namespace autostats
 

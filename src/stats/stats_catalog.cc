@@ -14,6 +14,53 @@ uint64_t NextCatalogUid() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Exact (bitwise on doubles) statistic comparison, used to detect no-op
+// refreshes that must not invalidate cached plans.
+bool SameHistogram(const Histogram& a, const Histogram& b) {
+  if (a.total_rows() != b.total_rows() ||
+      a.total_distinct() != b.total_distinct() ||
+      a.buckets().size() != b.buckets().size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.buckets().size(); ++i) {
+    const HistogramBucket& x = a.buckets()[i];
+    const HistogramBucket& y = b.buckets()[i];
+    if (x.lo != y.lo || x.hi != y.hi || x.rows != y.rows ||
+        x.distinct != y.distinct) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameGrid(const Histogram2D& a, const Histogram2D& b) {
+  if (a.total_rows() != b.total_rows() ||
+      a.buckets().size() != b.buckets().size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.buckets().size(); ++i) {
+    const GridBucket& x = a.buckets()[i];
+    const GridBucket& y = b.buckets()[i];
+    if (x.lo1 != y.lo1 || x.hi1 != y.hi1 || x.lo2 != y.lo2 ||
+        x.hi2 != y.hi2 || x.rows != y.rows || x.distinct != y.distinct) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameStatistic(const Statistic& a, const Statistic& b) {
+  if (a.width() != b.width() || a.rows_at_build() != b.rows_at_build() ||
+      a.has_grid2d() != b.has_grid2d()) {
+    return false;
+  }
+  for (int k = 1; k <= a.width(); ++k) {
+    if (a.PrefixDistinct(k) != b.PrefixDistinct(k)) return false;
+  }
+  if (!SameHistogram(a.histogram(), b.histogram())) return false;
+  return !a.has_grid2d() || SameGrid(a.grid2d(), b.grid2d());
+}
+
 }  // namespace
 
 StatsCatalog::StatsCatalog(const Database* db, StatsBuildConfig build_config,
@@ -51,11 +98,11 @@ Result<double> StatsCatalog::TryCreateStatistic(
   const Status built = RetryWithBackoff(
       retry_policy_,
       [&]() -> Status {
-        Result<Statistic> stat =
-            TryBuildStatistic(*db_, columns, build_config_,
-                              faults::kStatsCreate);
+        Result<BuiltStatistic> stat = TryBuildStatisticWithDist(
+            *db_, columns, build_config_, faults::kStatsCreate);
         if (!stat.ok()) return stat.status();
-        entry.stat = std::move(*stat);
+        entry.stat = std::move(stat->stat);
+        entry.base_dist = std::move(stat->leading_dist);
         return Status::OK();
       },
       &failure_counters_.build_retries);
@@ -66,11 +113,11 @@ Result<double> StatsCatalog::TryCreateStatistic(
     return built;
   }
   // Sampled builds scan (and sort) only the sampled fraction.
-  const double effective_rows =
-      static_cast<double>(db_->table(columns.front().table).num_rows()) *
-      build_config_.sample_fraction;
+  const size_t effective_rows =
+      SampledRowCount(db_->table(columns.front().table).num_rows(),
+                      SampleStride(build_config_.sample_fraction));
   entry.creation_cost = cost_model_.CreationCost(
-      static_cast<size_t>(effective_rows), static_cast<int>(columns.size()));
+      effective_rows, static_cast<int>(columns.size()));
   entry.created_at = clock_;
   total_creation_cost_ += entry.creation_cost;
   const double cost = entry.creation_cost;
@@ -168,6 +215,43 @@ size_t StatsCatalog::modified_rows(TableId table) const {
   return it == mod_counters_.end() ? 0 : it->second;
 }
 
+Status StatsCatalog::TryMergeRefresh(StatEntry* entry, DeltaSketch* sketch,
+                                     size_t rows, bool* changed) {
+  const StatKey key = entry->stat.key();
+  const Status gate = PokeFault(faults::kStatsRefresh, key.c_str());
+  if (!gate.ok()) return gate;
+
+  std::vector<ValueFreq> merged =
+      sketch != nullptr ? ApplyDelta(entry->base_dist, sketch->runs())
+                        : entry->base_dist;
+  Histogram hist = BucketizeDistribution(merged, build_config_);
+
+  // The leading distinct count is exact from the merged runs (full-scan
+  // builds only — sampled bases keep the full-table count from the last
+  // rescan). Deeper prefix densities cannot be recovered from a
+  // single-column delta; they are carried over, clamped monotone, until
+  // the next full rebuild. The 2-D grid is likewise carried over stale.
+  std::vector<double> prefix;
+  prefix.reserve(entry->stat.width());
+  if (build_config_.sample_fraction >= 1.0) {
+    prefix.push_back(static_cast<double>(merged.size()));
+  } else {
+    prefix.push_back(entry->stat.PrefixDistinct(1));
+  }
+  for (int k = 2; k <= entry->stat.width(); ++k) {
+    prefix.push_back(std::max(entry->stat.PrefixDistinct(k), prefix.back()));
+  }
+
+  Statistic next(entry->stat.columns(), std::move(hist), std::move(prefix),
+                 static_cast<double>(rows));
+  if (entry->stat.has_grid2d()) next.set_grid2d(entry->stat.grid2d());
+
+  *changed = !SameStatistic(entry->stat, next);
+  entry->stat = std::move(next);
+  entry->base_dist = std::move(merged);
+  return Status::OK();
+}
+
 double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
   double cost = 0.0;
   for (auto& [table, modified] : mod_counters_) {
@@ -176,25 +260,67 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
         policy.fraction * static_cast<double>(rows) +
         static_cast<double>(policy.floor);
     if (static_cast<double>(modified) <= threshold) continue;
+    // A fault on stats.delta poisons the table's delta stream: every
+    // statistic on the table rescans this round, restoring exactness.
+    const bool delta_poisoned = deltas_.Tracked(table) && !deltas_.Valid(table);
     bool any_changed = false;
     bool any_failed = false;
     for (auto& [key, entry] : entries_) {
       if (entry.in_drop_list || entry.stat.table() != table) continue;
       const int next_count = entry.update_count + 1;
-      const bool scale_only =
-          policy.incremental &&
-          next_count % std::max(policy.full_rebuild_every, 1) != 0;
-      if (scale_only) {
-        entry.stat = entry.stat.ScaledTo(static_cast<double>(rows));
-        cost += cost_model_.fixed_overhead;  // O(buckets) metadata touch
+      const bool cadence_rescan =
+          !policy.incremental ||
+          next_count % std::max(policy.full_rebuild_every, 1) == 0;
+      if (!cadence_rescan && !entry.pending_full_rebuild && !delta_poisoned) {
+        if (deltas_.Tracked(table) && !entry.base_dist.empty()) {
+          // Incremental path: merge the recorded delta into the base
+          // distribution and re-bucket — O(|delta|), not O(|table|). A
+          // missing per-column sketch on a tracked table means no DML
+          // touched that column's values: an empty delta.
+          DeltaSketch* sketch =
+              deltas_.Find(table, entry.stat.leading_column().column);
+          bool changed = false;
+          const Status merged = RetryWithBackoff(
+              retry_policy_,
+              [&]() -> Status {
+                return TryMergeRefresh(&entry, sketch, rows, &changed);
+              },
+              &failure_counters_.build_retries);
+          if (!merged.ok()) {
+            // Stale fallback; the delta below is consumed regardless, so
+            // the retry on the next trigger must rescan.
+            ++failure_counters_.builds_failed;
+            ++failure_counters_.stale_fallbacks;
+            entry.pending_full_rebuild = true;
+            any_failed = true;
+            continue;
+          }
+          cost += cost_model_.IncrementalRefreshCost(
+              sketch != nullptr
+                  ? static_cast<size_t>(sketch->rows_touched())
+                  : 0,
+              entry.stat.width());
+          any_changed = any_changed || changed;
+        } else {
+          // Legacy row-count scaling: no delta stream recorded (or the
+          // entry was restored from persistence without its base
+          // distribution). The scaled statistic no longer matches any
+          // base, so drop the base until the next full rebuild.
+          Statistic scaled = entry.stat.ScaledTo(static_cast<double>(rows));
+          const bool changed = !SameStatistic(entry.stat, scaled);
+          entry.stat = std::move(scaled);
+          entry.base_dist.clear();
+          cost += cost_model_.fixed_overhead;  // O(buckets) metadata touch
+          any_changed = any_changed || changed;
+        }
       } else {
-        Statistic rebuilt;
+        BuiltStatistic rebuilt;
         const Status built = RetryWithBackoff(
             retry_policy_,
             [&]() -> Status {
-              Result<Statistic> stat =
-                  TryBuildStatistic(*db_, entry.stat.columns(),
-                                    build_config_, faults::kStatsRefresh);
+              Result<BuiltStatistic> stat = TryBuildStatisticWithDist(
+                  *db_, entry.stat.columns(), build_config_,
+                  faults::kStatsRefresh);
               if (!stat.ok()) return stat.status();
               rebuilt = std::move(*stat);
               return Status::OK();
@@ -205,16 +331,24 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
           // leave the modification counter so the next trigger retries.
           ++failure_counters_.builds_failed;
           ++failure_counters_.stale_fallbacks;
+          entry.pending_full_rebuild = true;
           any_failed = true;
           continue;
         }
-        entry.stat = std::move(rebuilt);
+        entry.stat = std::move(rebuilt.stat);
+        entry.base_dist = std::move(rebuilt.leading_dist);
+        entry.pending_full_rebuild = false;
         cost += cost_model_.UpdateCost(rows, entry.stat.width());
+        any_changed = true;  // rescans always invalidate cached plans
       }
       entry.update_count = next_count;
-      any_changed = true;
     }
     if (!any_failed) modified = 0;
+    // The delta was consumed by every entry this round (merged, rescanned,
+    // or flagged pending_full_rebuild), so it is dropped even when the
+    // modification counter is kept for a retry. Clearing also re-validates
+    // a poisoned table.
+    deltas_.ClearTable(table);
     if (any_changed) BumpStatsVersion();  // histogram contents changed
   }
   total_update_cost_ += cost;

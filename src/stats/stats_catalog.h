@@ -20,6 +20,7 @@
 #include "common/fault.h"
 #include "common/status.h"
 #include "stats/builder.h"
+#include "stats/delta_sketch.h"
 #include "stats/statistic.h"
 #include "stats/stats_cost.h"
 
@@ -32,13 +33,25 @@ struct StatEntry {
   double creation_cost = 0.0;  // cost units charged when built
   int64_t created_at = 0;      // logical time of (re)creation
   int64_t dropped_at = -1;     // logical time of last move to drop-list
+  // Compressed leading-column distribution captured at the last full
+  // build — the base incremental refreshes merge delta sketches into.
+  // Empty for entries restored from persistence or refreshed by pure
+  // row-count scaling: those keep scaling until their next full rebuild.
+  std::vector<ValueFreq> base_dist;
+  // Set when an incremental merge failed or the delta stream was poisoned:
+  // the next triggered refresh rescans regardless of the
+  // full_rebuild_every cadence, restoring the exact catalog.
+  bool pending_full_rebuild = false;
 };
 
 // Controls when statistics on a table are refreshed: when the number of
 // modified rows exceeds `fraction * |T| + floor` (SQL Server 7.0 default
-// shape, §6). With `incremental` set, refreshes scale the existing
-// histograms to the new row count (cheap, approximate) and only every
-// `full_rebuild_every`-th refresh of a statistic rebuilds it from data.
+// shape, §6). With `incremental` set, a refresh merges the table's delta
+// sketch (stats/delta_sketch.h) into the statistic's base distribution
+// and re-buckets — O(|delta|) — falling back to scaling the existing
+// histogram to the new row count when no delta stream was recorded; every
+// `full_rebuild_every`-th refresh of a statistic still rescans the data
+// to bound drift.
 struct UpdateTriggerPolicy {
   double fraction = 0.20;
   size_t floor = 500;
@@ -124,13 +137,26 @@ class StatsCatalog {
   void RecordModifications(TableId table, size_t rows);
   size_t modified_rows(TableId table) const;
 
-  // Refreshes (rebuilds) the statistics of every table whose modification
-  // counter exceeds the trigger; resets those counters. Returns cost units
+  // The per-(table, column) delta sketches DML execution records into
+  // (executor/dml_exec.h) and incremental refreshes consume. Sketches are
+  // cleared — and a poisoned table re-validated — when the table's
+  // triggered refresh consumes or supersedes them.
+  DeltaStore* mutable_deltas() { return &deltas_; }
+  const DeltaStore& deltas() const { return deltas_; }
+
+  // Refreshes the statistics of every table whose modification counter
+  // exceeds the trigger; resets those counters. Returns cost units
   // charged. Drop-listed statistics are NOT refreshed — that is exactly
-  // the maintenance saving the paper's Table 1 measures. A rebuild that
-  // fails after retries keeps the last-good (stale) statistic, counts a
-  // stale fallback, and leaves the table's modification counter intact so
-  // the next trigger retries the refresh.
+  // the maintenance saving the paper's Table 1 measures. With
+  // `policy.incremental`, refreshes merge the table's delta sketch into
+  // each statistic's base distribution (O(|delta|)); a refresh whose
+  // resulting statistic is bit-identical to the old one does not bump
+  // stats_version, so PlanCache entries survive no-op refreshes. Full
+  // rebuilds (the cadence rescans, poisoned-delta recoveries, and the
+  // non-incremental mode) always bump. A refresh that fails after retries
+  // keeps the last-good (stale) statistic, counts a stale fallback, and
+  // leaves the table's modification counter intact so the next trigger
+  // retries — as a full rescan, since the consumed delta is gone.
   double RefreshIfTriggered(const UpdateTriggerPolicy& policy);
 
   // Update cost the active statistics WOULD incur if refreshed now; used
@@ -163,6 +189,14 @@ class StatsCatalog {
  private:
   void BumpStatsVersion() { ++stats_version_; }
 
+  // O(|delta|) refresh of one entry: merges `sketch` (may be null — an
+  // empty delta) into the entry's base distribution, re-buckets, and
+  // refreshes the leading distinct count. Sets *changed when the
+  // resulting statistic differs from the current one. Gated on the
+  // stats.refresh fault point.
+  Status TryMergeRefresh(StatEntry* entry, DeltaSketch* sketch, size_t rows,
+                         bool* changed);
+
   const Database* db_;
   StatsBuildConfig build_config_;
   StatsCostModel cost_model_;
@@ -170,6 +204,7 @@ class StatsCatalog {
   StatsFailureCounters failure_counters_;
   std::unordered_map<StatKey, StatEntry> entries_;
   std::unordered_map<TableId, size_t> mod_counters_;
+  DeltaStore deltas_;
   double total_creation_cost_ = 0.0;
   double total_update_cost_ = 0.0;
   int64_t optimizer_calls_charged_ = 0;

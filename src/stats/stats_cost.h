@@ -27,6 +27,14 @@ struct StatsCostModel {
   double UpdateCost(size_t rows, int width) const {
     return CreationCost(rows, width);
   }
+
+  // Cost units to incrementally refresh a statistic from a delta sketch of
+  // `delta_rows` modified rows: scanning and sorting only the delta plus
+  // the fixed re-bucketing overhead — O(|delta|), not O(|table|). This is
+  // the saving the delta-sketch pipeline (stats/delta_sketch.h) buys.
+  double IncrementalRefreshCost(size_t delta_rows, int width) const {
+    return CreationCost(delta_rows, width);
+  }
 };
 
 }  // namespace autostats
