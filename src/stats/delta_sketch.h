@@ -16,6 +16,13 @@
 // rebuild's. Under sampled builds the base carries sampling error and the
 // merge inherits it — the same approximation ScaledTo already accepts.
 //
+// Ordering precondition: sketch values are Datum::NumericKey encodings,
+// which are totally ordered doubles — int64 and string keys can never be
+// NaN, and the data generators never store NaN in double columns. A NaN
+// key would make the compaction sort order unspecified; the catalog's
+// no-op-refresh comparison is NaN-safe regardless (bit-pattern equality,
+// see stats_catalog.cc).
+//
 // The DeltaStore is the process-side registry DmlExec records into
 // (behind the `stats.delta` fault point): per-table sketch maps plus a
 // validity bit. A lost or faulted delta stream poisons the table

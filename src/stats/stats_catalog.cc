@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <cstring>
 
 #include "common/check.h"
 
@@ -14,19 +16,31 @@ uint64_t NextCatalogUid() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Bit-pattern double equality. Unlike operator==, a NaN field (e.g. a NaN
+// NumericKey propagating into bucket bounds) compares equal to itself, so
+// it cannot make every refresh register as changed and defeat the
+// no-op-refresh plan-cache preservation.
+bool BitEq(double a, double b) {
+  uint64_t x;
+  uint64_t y;
+  std::memcpy(&x, &a, sizeof(x));
+  std::memcpy(&y, &b, sizeof(y));
+  return x == y;
+}
+
 // Exact (bitwise on doubles) statistic comparison, used to detect no-op
 // refreshes that must not invalidate cached plans.
 bool SameHistogram(const Histogram& a, const Histogram& b) {
-  if (a.total_rows() != b.total_rows() ||
-      a.total_distinct() != b.total_distinct() ||
+  if (!BitEq(a.total_rows(), b.total_rows()) ||
+      !BitEq(a.total_distinct(), b.total_distinct()) ||
       a.buckets().size() != b.buckets().size()) {
     return false;
   }
   for (size_t i = 0; i < a.buckets().size(); ++i) {
     const HistogramBucket& x = a.buckets()[i];
     const HistogramBucket& y = b.buckets()[i];
-    if (x.lo != y.lo || x.hi != y.hi || x.rows != y.rows ||
-        x.distinct != y.distinct) {
+    if (!BitEq(x.lo, y.lo) || !BitEq(x.hi, y.hi) || !BitEq(x.rows, y.rows) ||
+        !BitEq(x.distinct, y.distinct)) {
       return false;
     }
   }
@@ -34,15 +48,16 @@ bool SameHistogram(const Histogram& a, const Histogram& b) {
 }
 
 bool SameGrid(const Histogram2D& a, const Histogram2D& b) {
-  if (a.total_rows() != b.total_rows() ||
+  if (!BitEq(a.total_rows(), b.total_rows()) ||
       a.buckets().size() != b.buckets().size()) {
     return false;
   }
   for (size_t i = 0; i < a.buckets().size(); ++i) {
     const GridBucket& x = a.buckets()[i];
     const GridBucket& y = b.buckets()[i];
-    if (x.lo1 != y.lo1 || x.hi1 != y.hi1 || x.lo2 != y.lo2 ||
-        x.hi2 != y.hi2 || x.rows != y.rows || x.distinct != y.distinct) {
+    if (!BitEq(x.lo1, y.lo1) || !BitEq(x.hi1, y.hi1) ||
+        !BitEq(x.lo2, y.lo2) || !BitEq(x.hi2, y.hi2) ||
+        !BitEq(x.rows, y.rows) || !BitEq(x.distinct, y.distinct)) {
       return false;
     }
   }
@@ -50,12 +65,13 @@ bool SameGrid(const Histogram2D& a, const Histogram2D& b) {
 }
 
 bool SameStatistic(const Statistic& a, const Statistic& b) {
-  if (a.width() != b.width() || a.rows_at_build() != b.rows_at_build() ||
+  if (a.width() != b.width() ||
+      !BitEq(a.rows_at_build(), b.rows_at_build()) ||
       a.has_grid2d() != b.has_grid2d()) {
     return false;
   }
   for (int k = 1; k <= a.width(); ++k) {
-    if (a.PrefixDistinct(k) != b.PrefixDistinct(k)) return false;
+    if (!BitEq(a.PrefixDistinct(k), b.PrefixDistinct(k))) return false;
   }
   if (!SameHistogram(a.histogram(), b.histogram())) return false;
   return !a.has_grid2d() || SameGrid(a.grid2d(), b.grid2d());
@@ -112,6 +128,13 @@ Result<double> StatsCatalog::TryCreateStatistic(
     ++failure_counters_.builds_failed;
     return built;
   }
+  // Fence against unconsumed deltas: the base just captured already
+  // reflects every modification the table's pending sketch records, so
+  // letting this entry's first triggered refresh merge that sketch would
+  // apply those modifications twice. The sketch itself must survive —
+  // other statistics on the table still need it — so flag this entry to
+  // rescan once instead.
+  entry.pending_full_rebuild = deltas_.Tracked(columns.front().table);
   // Sampled builds scan (and sort) only the sampled fraction.
   const size_t effective_rows =
       SampledRowCount(db_->table(columns.front().table).num_rows(),
@@ -266,17 +289,30 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
     bool any_changed = false;
     bool any_failed = false;
     for (auto& [key, entry] : entries_) {
-      if (entry.in_drop_list || entry.stat.table() != table) continue;
+      if (entry.stat.table() != table) continue;
+      if (entry.in_drop_list) {
+        // Drop-listed statistics are not refreshed (that is the
+        // maintenance saving), but the table's delta is consumed below
+        // without them: their bases now miss this round's DML, so the
+        // first triggered refresh after a resurrection must rescan
+        // rather than merge onto the stale base.
+        entry.pending_full_rebuild = true;
+        continue;
+      }
       const int next_count = entry.update_count + 1;
       const bool cadence_rescan =
           !policy.incremental ||
           next_count % std::max(policy.full_rebuild_every, 1) == 0;
       if (!cadence_rescan && !entry.pending_full_rebuild && !delta_poisoned) {
-        if (deltas_.Tracked(table) && !entry.base_dist.empty()) {
+        if (!entry.base_dist.empty()) {
           // Incremental path: merge the recorded delta into the base
           // distribution and re-bucket — O(|delta|), not O(|table|). A
           // missing per-column sketch on a tracked table means no DML
-          // touched that column's values: an empty delta.
+          // touched that column's values: an empty delta. An untracked
+          // table (its sketches were cleared by a previous partially-
+          // failed round after this entry merged them) is a whole-table
+          // empty delta: the base is still exact, and scaling would
+          // destroy it.
           DeltaSketch* sketch =
               deltas_.Find(table, entry.stat.leading_column().column);
           bool changed = false;
@@ -302,14 +338,13 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
               entry.stat.width());
           any_changed = any_changed || changed;
         } else {
-          // Legacy row-count scaling: no delta stream recorded (or the
-          // entry was restored from persistence without its base
-          // distribution). The scaled statistic no longer matches any
-          // base, so drop the base until the next full rebuild.
+          // Legacy row-count scaling: the entry has no base distribution
+          // to merge into (restored from persistence, or already scaled
+          // once), so scale the existing histogram to the new row count
+          // until its next full rebuild.
           Statistic scaled = entry.stat.ScaledTo(static_cast<double>(rows));
           const bool changed = !SameStatistic(entry.stat, scaled);
           entry.stat = std::move(scaled);
-          entry.base_dist.clear();
           cost += cost_model_.fixed_overhead;  // O(buckets) metadata touch
           any_changed = any_changed || changed;
         }

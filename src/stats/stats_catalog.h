@@ -38,8 +38,12 @@ struct StatEntry {
   // Empty for entries restored from persistence or refreshed by pure
   // row-count scaling: those keep scaling until their next full rebuild.
   std::vector<ValueFreq> base_dist;
-  // Set when an incremental merge failed or the delta stream was poisoned:
-  // the next triggered refresh rescans regardless of the
+  // Set when the base distribution cannot be trusted to merge deltas
+  // exactly: an incremental merge failed, the delta stream was poisoned,
+  // the entry was built while its table had unconsumed deltas (the base
+  // already reflects them — merging the sketch would double-count), or a
+  // refresh round consumed the table's delta while the entry sat in the
+  // drop-list. The next triggered refresh rescans regardless of the
   // full_rebuild_every cadence, restoring the exact catalog.
   bool pending_full_rebuild = false;
 };
@@ -85,7 +89,10 @@ class StatsCatalog {
   // No-op (returns 0) if the statistic is already active. A failed build
   // (after retries) charges nothing, installs nothing, and returns 0 — the
   // dependent predicates simply stay on magic numbers, a state MNSA is
-  // already correct under (§4.1 monotonicity).
+  // already correct under (§4.1 monotonicity). A statistic built while its
+  // table holds unconsumed delta sketches is flagged to rescan on its
+  // first triggered refresh: the freshly-captured base already reflects
+  // those deltas, so merging them again would double-count.
   double CreateStatistic(const std::vector<ColumnRef>& columns);
 
   // The fallible form: same semantics, but a build that exhausts its retry
@@ -157,6 +164,14 @@ class StatsCatalog {
   // keeps the last-good (stale) statistic, counts a stale fallback, and
   // leaves the table's modification counter intact so the next trigger
   // retries — as a full rescan, since the consumed delta is gone.
+  // Entries that did merge successfully in such a partially-failed round
+  // keep their (still exact) bases: when the retry re-triggers the table
+  // with its delta already consumed, they see an empty delta and no-op
+  // instead of degrading to row-count scaling. Drop-listed entries skip
+  // refreshes but are flagged pending_full_rebuild whenever their
+  // table's delta is consumed without them, so a resurrected statistic's
+  // first refresh rescans rather than merging onto a base that missed
+  // the drop-period DML.
   double RefreshIfTriggered(const UpdateTriggerPolicy& policy);
 
   // Update cost the active statistics WOULD incur if refreshed now; used

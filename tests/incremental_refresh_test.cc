@@ -14,6 +14,11 @@
 //     catalog.
 //  5. Plan-cache friendliness: a refresh that does not change the
 //     statistic leaves stats_version untouched.
+//  6. Delta-consumption fencing: a statistic created while its table has
+//     unconsumed deltas, or resurrected after a refresh round consumed
+//     the delta without it, rescans once instead of merging modifications
+//     its base already includes (or misses); bases that stayed exact
+//     through a partially-failed round keep merging.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -439,8 +444,25 @@ TEST_F(IncrementalRefreshTest, NoOpMergeDoesNotBumpStatsVersion) {
 }
 
 TEST_F(IncrementalRefreshTest, NoOpScaleDoesNotBumpStatsVersion) {
-  // No delta stream at all (modifications recorded directly): the legacy
-  // scaling path — with an unchanged row count it is also a no-op.
+  // An entry without a base distribution (as restored from persistence)
+  // takes the legacy scaling path — with an unchanged row count it is
+  // also a no-op.
+  TwoTableDb t = MakeTwoTableDb(4000, 100);
+  StatsCatalog catalog(&t.db);
+  ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_val}).ok());
+  StatEntry restored = *catalog.FindEntry(MakeStatKey({t.fact_val}));
+  restored.base_dist.clear();
+  catalog.RestoreEntry(std::move(restored));
+  catalog.RecordModifications(t.fact, 100);
+  const uint64_t version = catalog.stats_version();
+  EXPECT_GT(catalog.RefreshIfTriggered(MergeAlways()), 0.0);
+  EXPECT_EQ(catalog.stats_version(), version);
+}
+
+TEST_F(IncrementalRefreshTest, NoOpEmptyMergeDoesNotBumpStatsVersion) {
+  // Modifications recorded with no delta stream at all: an entry with an
+  // exact base treats the untracked table as an empty delta (keeping the
+  // base) and the unchanged statistic leaves stats_version alone.
   TwoTableDb t = MakeTwoTableDb(4000, 100);
   StatsCatalog catalog(&t.db);
   ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_val}).ok());
@@ -448,6 +470,168 @@ TEST_F(IncrementalRefreshTest, NoOpScaleDoesNotBumpStatsVersion) {
   const uint64_t version = catalog.stats_version();
   EXPECT_GT(catalog.RefreshIfTriggered(MergeAlways()), 0.0);
   EXPECT_EQ(catalog.stats_version(), version);
+  EXPECT_FALSE(
+      catalog.FindEntry(MakeStatKey({t.fact_val}))->base_dist.empty());
+}
+
+// --- 6. Delta-consumption fencing ---
+
+TEST_F(IncrementalRefreshTest, CreateAfterUnconsumedDmlDoesNotDoubleCount) {
+  TwoTableDb t = MakeTwoTableDb(4000, 100);
+  StatsCatalog catalog(&t.db);
+  ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_fk}).ok());
+
+  // DML below the trigger threshold accumulates a delta; then a second
+  // statistic on the same table is auto-created. Its freshly-scanned base
+  // already includes that delta.
+  Result<size_t> applied =
+      TryApplyDml(&t.db, Insert(t.fact, 200, 61), catalog.mutable_deltas());
+  ASSERT_TRUE(applied.ok());
+  catalog.RecordModifications(t.fact, *applied);
+  ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_val}).ok());
+
+  // The new entry is fenced to rescan once; the sketch survives because
+  // the pre-existing statistic still needs it.
+  EXPECT_TRUE(
+      catalog.FindEntry(MakeStatKey({t.fact_val}))->pending_full_rebuild);
+  EXPECT_TRUE(catalog.deltas().Tracked(t.fact));
+
+  // More DML trips the trigger: the old statistic merges the whole
+  // sketch, the fenced one rescans — both must equal a full rebuild (a
+  // merge of the fenced entry would apply the first delta twice).
+  applied =
+      TryApplyDml(&t.db, Insert(t.fact, 150, 67), catalog.mutable_deltas());
+  ASSERT_TRUE(applied.ok());
+  catalog.RecordModifications(t.fact, *applied);
+  const double cost = catalog.RefreshIfTriggered(MergeAlways());
+  const double rescan =
+      catalog.cost_model().UpdateCost(t.db.table(t.fact).num_rows(), 1);
+  EXPECT_GE(cost, rescan);        // the fenced entry paid a full rescan
+  EXPECT_LT(cost, 2.0 * rescan);  // ...but the other entry merged
+  EXPECT_EQ(DumpStat(*catalog.Find(MakeStatKey({t.fact_val}))),
+            FullRebuildDump(t.db, {t.fact_val}));
+  EXPECT_EQ(DumpStat(*catalog.Find(MakeStatKey({t.fact_fk}))),
+            FullRebuildDump(t.db, {t.fact_fk}));
+  EXPECT_FALSE(
+      catalog.FindEntry(MakeStatKey({t.fact_val}))->pending_full_rebuild);
+
+  // With the fence consumed, the next refresh merges incrementally.
+  applied =
+      TryApplyDml(&t.db, Insert(t.fact, 150, 71), catalog.mutable_deltas());
+  ASSERT_TRUE(applied.ok());
+  catalog.RecordModifications(t.fact, *applied);
+  EXPECT_LT(catalog.RefreshIfTriggered(MergeAlways()), rescan);
+  EXPECT_EQ(DumpStat(*catalog.Find(MakeStatKey({t.fact_val}))),
+            FullRebuildDump(t.db, {t.fact_val}));
+}
+
+TEST_F(IncrementalRefreshTest, PartialFailureKeepsMergedBasesExact) {
+  TwoTableDb t = MakeTwoTableDb(4000, 100);
+  StatsCatalog catalog(&t.db);
+  ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_val}).ok());
+  ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_fk}).ok());
+
+  Result<size_t> applied =
+      TryApplyDml(&t.db, Insert(t.fact, 300, 83), catalog.mutable_deltas());
+  ASSERT_TRUE(applied.ok());
+  catalog.RecordModifications(t.fact, *applied);
+
+  // Fail only the fk statistic's merge (the schedule's match filter keys
+  // on its stat key): the round ends with one merged entry, one stale
+  // fallback, the modification counter kept — and the delta consumed.
+  FaultSchedule schedule;
+  schedule.count = kForever;
+  schedule.match = MakeStatKey({t.fact_fk});
+  FaultInjector::Instance().Arm(faults::kStatsRefresh, schedule);
+  catalog.RefreshIfTriggered(MergeAlways());
+  FaultInjector::Instance().Reset();
+
+  EXPECT_EQ(DumpStat(*catalog.Find(MakeStatKey({t.fact_val}))),
+            FullRebuildDump(t.db, {t.fact_val}));
+  EXPECT_TRUE(
+      catalog.FindEntry(MakeStatKey({t.fact_fk}))->pending_full_rebuild);
+  EXPECT_GT(catalog.modified_rows(t.fact), 0u);
+  EXPECT_FALSE(catalog.deltas().Tracked(t.fact));
+
+  // The kept counter re-triggers the table with its delta already
+  // consumed. The merged entry's base is still exact: it must see an
+  // empty delta and keep the base, not degrade to row-count scaling.
+  catalog.RefreshIfTriggered(MergeAlways());
+  EXPECT_FALSE(
+      catalog.FindEntry(MakeStatKey({t.fact_val}))->base_dist.empty());
+  EXPECT_EQ(catalog.modified_rows(t.fact), 0u);
+
+  // ...so the next real delta still merges exactly, for both entries.
+  applied =
+      TryApplyDml(&t.db, Insert(t.fact, 250, 89), catalog.mutable_deltas());
+  ASSERT_TRUE(applied.ok());
+  catalog.RecordModifications(t.fact, *applied);
+  catalog.RefreshIfTriggered(MergeAlways());
+  EXPECT_EQ(DumpStat(*catalog.Find(MakeStatKey({t.fact_val}))),
+            FullRebuildDump(t.db, {t.fact_val}));
+  EXPECT_EQ(DumpStat(*catalog.Find(MakeStatKey({t.fact_fk}))),
+            FullRebuildDump(t.db, {t.fact_fk}));
+}
+
+TEST_F(IncrementalRefreshTest, ResurrectionAfterConsumedDeltaRescans) {
+  TwoTableDb t = MakeTwoTableDb(4000, 100);
+  StatsCatalog catalog(&t.db);
+  ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_val}).ok());
+  ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_fk}).ok());
+  catalog.MoveToDropList(MakeStatKey({t.fact_val}));
+
+  // A refresh round runs while the statistic sits in the drop-list: the
+  // other statistic consumes the table's delta, which the dropped one
+  // never sees.
+  Result<size_t> applied =
+      TryApplyDml(&t.db, Insert(t.fact, 300, 91), catalog.mutable_deltas());
+  ASSERT_TRUE(applied.ok());
+  catalog.RecordModifications(t.fact, *applied);
+  catalog.RefreshIfTriggered(MergeAlways());
+  EXPECT_FALSE(catalog.deltas().Tracked(t.fact));
+  EXPECT_TRUE(
+      catalog.FindEntry(MakeStatKey({t.fact_val}))->pending_full_rebuild);
+
+  // Resurrect and trigger again: the first refresh must rescan — a merge
+  // would bolt the new delta onto a base missing the drop-period DML.
+  ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_val}).ok());
+  EXPECT_TRUE(catalog.HasActive(MakeStatKey({t.fact_val})));
+  applied =
+      TryApplyDml(&t.db, Insert(t.fact, 250, 97), catalog.mutable_deltas());
+  ASSERT_TRUE(applied.ok());
+  catalog.RecordModifications(t.fact, *applied);
+  catalog.RefreshIfTriggered(MergeAlways());
+  EXPECT_EQ(DumpStat(*catalog.Find(MakeStatKey({t.fact_val}))),
+            FullRebuildDump(t.db, {t.fact_val}));
+  EXPECT_FALSE(
+      catalog.FindEntry(MakeStatKey({t.fact_val}))->pending_full_rebuild);
+}
+
+TEST_F(IncrementalRefreshTest, ResurrectionWithUnconsumedDeltaStillMerges) {
+  TwoTableDb t = MakeTwoTableDb(4000, 100);
+  StatsCatalog catalog(&t.db);
+  ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_val}).ok());
+
+  // Accumulate a delta, drop, resurrect with no refresh round in between:
+  // the base missed nothing (the sketch still holds every modification
+  // since the build), so the cheap merge stays available and stays exact.
+  Result<size_t> applied =
+      TryApplyDml(&t.db, Insert(t.fact, 200, 101), catalog.mutable_deltas());
+  ASSERT_TRUE(applied.ok());
+  catalog.RecordModifications(t.fact, *applied);
+  catalog.MoveToDropList(MakeStatKey({t.fact_val}));
+  ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_val}).ok());
+
+  applied =
+      TryApplyDml(&t.db, Insert(t.fact, 150, 103), catalog.mutable_deltas());
+  ASSERT_TRUE(applied.ok());
+  catalog.RecordModifications(t.fact, *applied);
+  const double cost = catalog.RefreshIfTriggered(MergeAlways());
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LT(cost, catalog.cost_model().UpdateCost(
+                      t.db.table(t.fact).num_rows(), 1));
+  EXPECT_EQ(DumpStat(*catalog.Find(MakeStatKey({t.fact_val}))),
+            FullRebuildDump(t.db, {t.fact_val}));
 }
 
 }  // namespace
