@@ -13,10 +13,11 @@ std::atomic<bool> g_armed{false};
 
 const std::vector<std::string>& AllFaultPoints() {
   static const std::vector<std::string> kPoints = {
-      faults::kStatsCreate,      faults::kStatsRefresh,
-      faults::kPersistenceSave,  faults::kPersistenceLoad,
-      faults::kOptimizerProbe,   faults::kDmlApply,
-      faults::kStatsDelta,
+      faults::kStatsCreate,       faults::kStatsRefresh,
+      faults::kPersistenceSave,   faults::kPersistenceLoad,
+      faults::kOptimizerProbe,    faults::kDmlApply,
+      faults::kStatsDelta,        faults::kPersistenceAppend,
+      faults::kPersistenceFsync,  faults::kPersistenceRename,
   };
   return kPoints;
 }
@@ -51,7 +52,8 @@ void FaultInjector::Reset() {
   fault_internal::g_armed.store(false, std::memory_order_relaxed);
 }
 
-Status FaultInjector::Poke(const char* point, const char* detail) {
+Status FaultInjector::Poke(const char* point, const char* detail,
+                           int64_t* torn_write_bytes) {
   int latency_micros = 0;
   Status injected = Status::OK();
   {
@@ -86,6 +88,9 @@ Status FaultInjector::Poke(const char* point, const char* detail) {
     if (s.kind == FaultKind::kLatencySpike) {
       latency_micros = s.latency_micros;
     } else {
+      if (torn_write_bytes != nullptr && s.torn_write_bytes >= 0) {
+        *torn_write_bytes = s.torn_write_bytes;
+      }
       injected = Status(
           s.code, std::string("injected fault at ") + point +
                       (detail != nullptr && detail[0] != '\0'

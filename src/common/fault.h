@@ -24,6 +24,17 @@
 //   dml.apply         applying a DML statement to the live database
 //   stats.delta       recording a DML statement's delta sketch (a firing
 //                     poisons the table's delta; the DML itself proceeds)
+//   persistence.append   appending a record to the catalog write-ahead
+//                        journal (stats/durability.*)
+//   persistence.fsync    flushing a journal record or snapshot to stable
+//                        storage
+//   persistence.rename   atomically publishing a snapshot or fresh journal
+//
+// The three persistence.* points additionally understand *simulated kill*
+// schedules (FaultSchedule::torn_write_bytes >= 0, read through
+// PokeFaultCrash): the writer persists exactly that many bytes of the
+// in-flight frame and then behaves as if the process died — modeling a
+// torn write followed by crash recovery.
 #ifndef AUTOSTATS_COMMON_FAULT_H_
 #define AUTOSTATS_COMMON_FAULT_H_
 
@@ -48,6 +59,9 @@ inline constexpr char kPersistenceLoad[] = "persistence.load";
 inline constexpr char kOptimizerProbe[] = "optimizer.probe";
 inline constexpr char kDmlApply[] = "dml.apply";
 inline constexpr char kStatsDelta[] = "stats.delta";
+inline constexpr char kPersistenceAppend[] = "persistence.append";
+inline constexpr char kPersistenceFsync[] = "persistence.fsync";
+inline constexpr char kPersistenceRename[] = "persistence.rename";
 }  // namespace faults
 
 // Every registered injection point, for schedule sweeps in tests.
@@ -78,6 +92,13 @@ struct FaultSchedule {
   std::string match;
   // The code of the injected error.
   StatusCode code = StatusCode::kInternal;
+  // Simulated process kill for durability writers polling through
+  // PokeFaultCrash: when >= 0 and the schedule fires, the writer persists
+  // exactly this many bytes of the in-flight frame (clamped to its size)
+  // before "dying" — it seals itself and every later write fails without
+  // touching disk, until the state is reopened through crash recovery.
+  // -1 (the default) injects a plain recoverable I/O failure instead.
+  int64_t torn_write_bytes = -1;
 };
 
 struct FaultPointStats {
@@ -111,8 +132,12 @@ class FaultInjector {
   // restore before returning.
   void Reset();
 
-  // Slow path of PokeFault; call only when FaultsArmed().
-  Status Poke(const char* point, const char* detail);
+  // Slow path of PokeFault; call only when FaultsArmed(). When the firing
+  // schedule carries torn_write_bytes >= 0 and `torn_write_bytes` is
+  // non-null, the budget is written through it (it is left untouched
+  // otherwise — callers initialize it to -1).
+  Status Poke(const char* point, const char* detail,
+              int64_t* torn_write_bytes = nullptr);
 
   FaultPointStats PointStats(const std::string& point) const;
   int64_t TotalFires() const;
@@ -137,6 +162,19 @@ class FaultInjector {
 inline Status PokeFault(const char* point, const char* detail = nullptr) {
   if (!FaultsArmed()) return Status::OK();
   return FaultInjector::Instance().Poke(point, detail);
+}
+
+// Crash-aware gate for the durability write path. Identical to PokeFault
+// except that a firing schedule with torn_write_bytes >= 0 reports its
+// byte budget through *torn_write_bytes: the caller must persist exactly
+// that many bytes of the in-flight frame, then stop acting like a live
+// process (see CatalogDurability in stats/durability.h). On OK and on
+// plain failures *torn_write_bytes is -1.
+inline Status PokeFaultCrash(const char* point, const char* detail,
+                             int64_t* torn_write_bytes) {
+  *torn_write_bytes = -1;
+  if (!FaultsArmed()) return Status::OK();
+  return FaultInjector::Instance().Poke(point, detail, torn_write_bytes);
 }
 
 // Bounded retry with exponential backoff — the first rung of the

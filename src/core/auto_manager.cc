@@ -5,6 +5,7 @@
 #include "core/mnsa_d.h"
 #include "core/shrinking_set.h"
 #include "executor/dml_exec.h"
+#include "stats/durability.h"
 
 namespace autostats {
 
@@ -24,10 +25,29 @@ AutoStatsManager::Outcome AutoStatsManager::Process(
     const Statement& statement) {
   catalog_->Tick();
   trace_.Add(statement);
-  if (statement.kind == Statement::Kind::kQuery) {
-    return ProcessQuery(statement.query);
+  Outcome outcome = statement.kind == Statement::Kind::kQuery
+                        ? ProcessQuery(statement.query)
+                        : ProcessDml(statement.dml);
+  if (durability_ != nullptr && !durability_->crashed()) {
+    // One journal record per processed statement: the LSN sequence
+    // numbers statements one-for-one, which is what makes post-crash
+    // resume exactly-once (resume at statement index last_lsn). A failed
+    // write degrades the statement; it never aborts serving.
+    if (!durability_->CommitStatement().ok()) {
+      ++outcome.durability_failures;
+      outcome.degraded = true;
+    } else if (policy_.durability_checkpoint_every > 0 &&
+               ++statements_since_checkpoint_ >=
+                   policy_.durability_checkpoint_every) {
+      if (durability_->Checkpoint().ok()) {
+        statements_since_checkpoint_ = 0;
+      } else {
+        ++outcome.durability_failures;
+        outcome.degraded = true;
+      }
+    }
   }
-  return ProcessDml(statement.dml);
+  return outcome;
 }
 
 AutoStatsManager::Outcome AutoStatsManager::ProcessQuery(const Query& query) {
@@ -210,6 +230,7 @@ RunReport AutoStatsManager::Run(const Workload& workload) {
     report.build_retries += o.build_retries;
     report.probes_aborted += o.probes_aborted;
     report.dml_retries += o.dml_retries;
+    report.durability_failures += o.durability_failures;
     if (o.was_query) {
       ++report.num_queries;
       if (o.degraded) ++report.degraded_queries;

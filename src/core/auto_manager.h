@@ -16,6 +16,8 @@
 
 namespace autostats {
 
+class CatalogDurability;  // stats/durability.h
+
 class AutoStatsManager {
  public:
   // `db` is mutated by DML statements; `catalog` accumulates statistics.
@@ -35,13 +37,29 @@ class AutoStatsManager {
     int64_t build_retries = 0;
     int64_t probes_aborted = 0;
     int64_t dml_retries = 0;
+    // Journal commits / checkpoints that failed for this statement (the
+    // statement itself still completed — durability is fail-open).
+    int64_t durability_failures = 0;
     // The statement completed, but on the degradation ladder: a build or
     // probe failed after retries (query ran on magic/stale statistics), a
-    // refresh kept a stale statistic, or a DML apply was skipped.
+    // refresh kept a stale statistic, a DML apply was skipped, or a
+    // durability write failed.
     bool degraded = false;
   };
 
   Outcome Process(const Statement& statement);
+
+  // Attaches (or detaches, with nullptr) the crash-safety layer: after
+  // every processed statement the manager commits one journal record, and
+  // every policy().durability_checkpoint_every statements it publishes an
+  // atomic snapshot. Durability failures degrade the statement's outcome
+  // but never abort serving. The durability object must outlive the
+  // manager (or be detached first) and must already be attached to the
+  // same catalog.
+  void AttachDurability(CatalogDurability* durability) {
+    durability_ = durability;
+    statements_since_checkpoint_ = 0;
+  }
 
   // Processes the whole workload and returns aggregate accounting.
   RunReport Run(const Workload& workload);
@@ -68,6 +86,9 @@ class AutoStatsManager {
   // Query window recorded since the last off-line pass.
   Workload pending_window_;
   int statements_since_pass_ = 0;
+  // Crash-safety layer (optional; not owned).
+  CatalogDurability* durability_ = nullptr;
+  int statements_since_checkpoint_ = 0;
   // Full statement trace since construction (or the last ClearTrace).
   Workload trace_{"trace"};
 };

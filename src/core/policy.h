@@ -68,6 +68,13 @@ struct ManagerPolicy {
   bool enable_aging = false;
   AgingPolicy aging;
 
+  // With a CatalogDurability attached (AutoStatsManager::AttachDurability),
+  // publish a full snapshot + fresh journal every this many processed
+  // statements. 0 journals every statement but never snapshots (recovery
+  // then replays the whole journal). Ignored when no durability is
+  // attached.
+  int durability_checkpoint_every = 0;
+
   // Bounded retry + backoff for transient faults in the manager's own
   // fallible steps (the aging cost probe and DML application). Builds use
   // the catalog's retry policy; MNSA probes use mnsa.probe_retry.

@@ -19,6 +19,7 @@ RunReport& RunReport::operator+=(const RunReport& other) {
   dml_retries += other.dml_retries;
   degraded_queries += other.degraded_queries;
   degraded_dml += other.degraded_dml;
+  durability_failures += other.durability_failures;
   return *this;
 }
 
@@ -55,6 +56,10 @@ std::string FormatReport(const RunReport& r) {
         static_cast<long long>(r.dml_retries),
         static_cast<long long>(r.degraded_queries),
         static_cast<long long>(r.degraded_dml));
+  }
+  if (r.durability_failures != 0) {
+    out += StrFormat(" durability_failures=%lld",
+                     static_cast<long long>(r.durability_failures));
   }
   return out;
 }

@@ -28,6 +28,8 @@ struct RunReport {
   int64_t degraded_queries = 0;  // queries served on magic/stale statistics
   int64_t degraded_dml = 0;      // DML statements degraded (skipped apply
                                  // or stale refresh)
+  int64_t durability_failures = 0;  // journal commits / checkpoints that
+                                    // failed (serving continued)
 
   RunReport& operator+=(const RunReport& other);
 };

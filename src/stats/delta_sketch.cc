@@ -103,6 +103,14 @@ bool DeltaStore::Tracked(TableId table) const {
   return tables_.count(table) > 0;
 }
 
+std::vector<TableId> DeltaStore::TrackedTables() const {
+  std::vector<TableId> out;
+  out.reserve(tables_.size());
+  for (const auto& [table, deltas] : tables_) out.push_back(table);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 bool DeltaStore::Valid(TableId table) const {
   auto it = tables_.find(table);
   return it == tables_.end() || it->second.valid;

@@ -95,6 +95,10 @@ class DeltaStore {
   // last ClearTable — i.e. this store, not just the modification counter,
   // observed the table's DML stream.
   bool Tracked(TableId table) const;
+  // Every tracked table, sorted — what a durability commit records so
+  // crash recovery knows which bases may miss in-flight (process-local)
+  // deltas and must be fenced to a full rescan.
+  std::vector<TableId> TrackedTables() const;
   // False once Invalidate() was called for `table`.
   bool Valid(TableId table) const;
 

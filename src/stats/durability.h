@@ -1,0 +1,189 @@
+// Crash-safe durability for the statistics catalog. The paper's premise
+// (§6) is statistics management as a long-lived background activity beside
+// the server, so the catalog it maintains must survive process death
+// without losing or double-applying state. This module provides:
+//
+//  - A write-ahead journal of catalog mutations: one CRC32-checksummed,
+//    length-prefixed record per processed statement, carrying the full
+//    current state of every entry the statement touched (value logging,
+//    so replay is exact and idempotent), the tombstones of physically
+//    dropped entries, the touched modification counters with their
+//    delta-tracking bits, and the catalog header (logical clock,
+//    stats_version, LSN).
+//  - Periodic atomic snapshots: the complete catalog state written to a
+//    temporary file, fsynced, and published with an atomic rename
+//    (snapshot-<lsn>.ckpt); the journal is then swapped for a fresh one
+//    the same way and old snapshots pruned to the newest few.
+//  - Recovery: load the newest snapshot that validates, replay journal
+//    records with higher LSNs, truncate the journal at the first torn or
+//    corrupt record (a torn tail is expected after a crash — everything
+//    before it is a consistent statement-boundary prefix), and fence
+//    exactness: every entry of a table whose modification counter is
+//    nonzero or whose delta stream was live at the last commit is flagged
+//    pending_full_rebuild, because the in-process DeltaStore died with
+//    the process and merging onto its base could miss deltas. A replay
+//    gap (journal starting past snapshot LSN + 1, possible only when a
+//    newer snapshot was lost to corruption) conservatively flags every
+//    entry. The MNSA / MNSA-D loop then converges back to the exact
+//    catalog through ordinary triggered rescans.
+//
+// Crash injection: writes gate on the persistence.append /
+// persistence.fsync / persistence.rename fault points through
+// PokeFaultCrash (common/fault.h). A simulated-kill schedule
+// (torn_write_bytes >= 0) makes the writer persist exactly that many
+// bytes of the in-flight frame and then *seal* itself: crashed() turns
+// true and every later commit or checkpoint fails without touching disk,
+// exactly as if the process had died mid-write. Tests recover with a
+// fresh Open() on the same directory. Plain injected failures (-1) are
+// recoverable: a failed append keeps the dirty sets so the next commit
+// retries with the same LSN (fail-open — a sick journal degrades the
+// run, it never aborts serving).
+#ifndef AUTOSTATS_STATS_DURABILITY_H_
+#define AUTOSTATS_STATS_DURABILITY_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) over `len` bytes.
+uint32_t Crc32(const void* data, size_t len);
+
+struct DurabilityOptions {
+  std::string dir;
+  // Snapshots retained after a successful checkpoint (newest N). Keeping
+  // more than one lets recovery fall back across a corrupted newest
+  // snapshot at the price of a replay gap (see file comment).
+  int keep_snapshots = 2;
+};
+
+// What Open() found and did; purely informational.
+struct RecoveryInfo {
+  bool recovered = false;     // any durable state was found and loaded
+  uint64_t snapshot_lsn = 0;  // LSN of the snapshot loaded (0 = none)
+  uint64_t last_lsn = 0;      // LSN of the last journal record applied
+  size_t records_replayed = 0;
+  int snapshots_skipped = 0;       // corrupt snapshots fallen past
+  bool journal_truncated = false;  // a torn/corrupt tail was cut off
+  uint64_t truncated_at = 0;       // byte offset of the first bad record
+  bool replay_gap = false;         // journal resumed past snapshot_lsn + 1
+  size_t entries_flagged = 0;      // entries fenced pending_full_rebuild
+  std::string detail;              // human-readable summary
+};
+
+// Offline verifier (examples/stats_fsck.cpp). Validates every snapshot
+// (magic, frame, checksum, decodability) and the journal (magic, frame
+// checksums, payload decodability, contiguous LSNs, monotone
+// stats_version, and that the records connect to the newest snapshot).
+struct FsckOptions {
+  // Accept an incomplete final frame (the expected torn tail of a crash
+  // that recovery would truncate). Checksum failures on *complete*
+  // frames are corruption and always fail.
+  bool allow_torn_tail = false;
+};
+
+struct FsckReport {
+  bool ok = true;
+  int snapshots_checked = 0;
+  int snapshots_bad = 0;
+  size_t journal_records = 0;
+  bool journal_torn_tail = false;
+  std::vector<std::string> findings;  // one line per problem
+};
+
+FsckReport FsckDurabilityDir(const std::string& dir,
+                             const FsckOptions& options = {});
+
+// The durability manager for one StatsCatalog. Attaches itself as the
+// catalog's mutation listener; AutoStatsManager drives CommitStatement()
+// once per processed statement and Checkpoint() on the policy cadence.
+class CatalogDurability : public CatalogMutationListener {
+ public:
+  // Opens (creating if absent) the durability directory, recovers any
+  // existing snapshot + journal into *catalog (which must be freshly
+  // constructed and empty), truncates a torn journal tail, applies the
+  // recovery fences, and attaches as the catalog's mutation listener.
+  // `info` (may be null) receives what recovery found.
+  static Result<std::unique_ptr<CatalogDurability>> Open(
+      StatsCatalog* catalog, const DurabilityOptions& options,
+      RecoveryInfo* info = nullptr);
+
+  ~CatalogDurability() override;
+
+  CatalogDurability(const CatalogDurability&) = delete;
+  CatalogDurability& operator=(const CatalogDurability&) = delete;
+
+  // Appends one journal record covering every mutation since the previous
+  // successful commit, then flushes it to stable storage. Always appends —
+  // even a statement that changed nothing commits a record, because the
+  // LSN sequence numbers processed statements one-for-one and that is
+  // what makes post-crash resume exactly-once (resume at statement index
+  // last_lsn). On a plain append failure the dirty sets are kept and the
+  // next commit retries under the same LSN; after a simulated kill every
+  // call fails with kFailedPrecondition.
+  Status CommitStatement();
+
+  // Publishes a full-catalog snapshot at the last committed LSN (tmp file
+  // + fsync + atomic rename), swaps in a fresh journal the same way, and
+  // prunes snapshots beyond options.keep_snapshots. Commits pending
+  // mutations first so the snapshot sits on a statement boundary.
+  Status Checkpoint();
+
+  // LSN of the last successfully committed record (0 before the first).
+  uint64_t last_committed_lsn() const { return next_lsn_ - 1; }
+  // True once a simulated (or real, unrecoverable) kill sealed the
+  // writer; only a fresh Open() on the directory resumes durability.
+  bool crashed() const { return sealed_; }
+  size_t pending_mutations() const {
+    return dirty_entries_.size() + erased_entries_.size() +
+           dirty_counters_.size();
+  }
+
+  // CatalogMutationListener:
+  void OnEntryMutated(const StatKey& key) override;
+  void OnEntryErased(const StatKey& key) override;
+  void OnCounterMutated(TableId table) override;
+
+ private:
+  CatalogDurability(StatsCatalog* catalog, DurabilityOptions options);
+
+  Status Recover(RecoveryInfo* info);
+  // Serializes the dirty sets (or, for a snapshot, the whole catalog)
+  // into one frame payload stamped with `lsn`.
+  std::string EncodeRecord(uint64_t lsn, bool full_snapshot) const;
+  // Appends one frame to the open journal, honoring the append/fsync
+  // crash gates. `gate_detail` feeds the schedules' match filter. Sets
+  // *record_persisted once the full frame reached the file — a later
+  // fsync failure then means committed-but-unacked, not lost.
+  Status AppendFrame(const std::string& payload, const char* gate_detail,
+                     bool* record_persisted);
+  // Writes a single-frame file and atomically renames it over `final`.
+  Status PublishFile(const std::string& tmp, const std::string& final_path,
+                     const std::string& payload, const char* gate_detail);
+  void Seal() { sealed_ = true; }
+  void ClearDirty();
+
+  std::string JournalPath() const;
+  std::string SnapshotPath(uint64_t lsn) const;
+
+  StatsCatalog* catalog_;
+  DurabilityOptions options_;
+  std::FILE* journal_ = nullptr;
+  uint64_t next_lsn_ = 1;
+  bool sealed_ = false;
+  // Sorted so record layout is deterministic for a given catalog history.
+  std::set<StatKey> dirty_entries_;
+  std::set<StatKey> erased_entries_;
+  std::set<TableId> dirty_counters_;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_STATS_DURABILITY_H_

@@ -10,7 +10,223 @@
 namespace autostats {
 
 namespace {
-constexpr char kMagicLine[] = "autostats-catalog v1";
+
+// v2 adds `pending_full_rebuild had_base` to the meta line. v1 files are
+// still accepted; lacking the fields, every v1 entry is conservatively
+// flagged pending_full_rebuild (see LoadCatalog).
+constexpr char kMagicLineV1[] = "autostats-catalog v1";
+constexpr char kMagicLineV2[] = "autostats-catalog v2";
+
+// Line-counting reader so parse errors can point at the offending line.
+class LineReader {
+ public:
+  explicit LineReader(std::istream* in) : in_(in) {}
+  bool Next(std::string* line) {
+    if (!std::getline(*in_, *line)) return false;
+    ++line_no_;
+    return true;
+  }
+  int line_no() const { return line_no_; }
+
+ private:
+  std::istream* in_;
+  int line_no_ = 0;
+};
+
+Status ParseError(const std::string& path, int line_no,
+                  const std::string& what) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                 ": " + what);
+}
+
+Status Truncated(const std::string& path, int line_no,
+                 const std::string& expected) {
+  return ParseError(path, line_no + 1,
+                    "file truncated, expected " + expected);
+}
+
+// One fully parsed entry plus the load-time flagging inputs.
+struct StagedEntry {
+  StatEntry entry;
+  bool had_base = false;
+};
+
+// Parses one `stat` section (the "stat" line itself already consumed).
+// On success *staged holds the entry; on failure the error names the
+// file, line, and field.
+Status ParseStatSection(LineReader* reader, const std::string& path,
+                        StagedEntry* staged) {
+  std::string line;
+  std::vector<ColumnRef> columns;
+  double rows_at_build = 0.0;
+  std::vector<double> prefix_distinct;
+  double hist_rows = 0.0, hist_distinct = 0.0;
+  size_t num_buckets = 0;
+  std::vector<HistogramBucket> buckets;
+  StatEntry& entry = staged->entry;
+
+  // columns
+  if (!reader->Next(&line)) {
+    return Truncated(path, reader->line_no(), "'columns'");
+  }
+  {
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag != "columns") {
+      return ParseError(path, reader->line_no(),
+                        "expected 'columns', got: " + line);
+    }
+    std::string pair;
+    while (ss >> pair) {
+      const size_t colon = pair.find(':');
+      int table = 0, column = 0;
+      if (colon == std::string::npos ||
+          std::sscanf(pair.c_str(), "%d:%d", &table, &column) != 2) {
+        return ParseError(path, reader->line_no(),
+                          "bad column ref '" + pair +
+                              "' (want <table>:<column>)");
+      }
+      columns.push_back(ColumnRef{static_cast<TableId>(table),
+                                  static_cast<ColumnId>(column)});
+    }
+    if (columns.empty()) {
+      return ParseError(path, reader->line_no(), "statistic without columns");
+    }
+  }
+  // rows_at_build
+  if (!reader->Next(&line)) {
+    return Truncated(path, reader->line_no(), "'rows_at_build'");
+  }
+  {
+    std::istringstream ss(line);
+    std::string tag;
+    if (!(ss >> tag >> rows_at_build) || tag != "rows_at_build") {
+      return ParseError(path, reader->line_no(),
+                        "expected 'rows_at_build <value>', got: " + line);
+    }
+  }
+  // prefix_distinct
+  if (!reader->Next(&line)) {
+    return Truncated(path, reader->line_no(), "'prefix_distinct'");
+  }
+  {
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag != "prefix_distinct") {
+      return ParseError(path, reader->line_no(),
+                        "expected 'prefix_distinct', got: " + line);
+    }
+    double d = 0.0;
+    while (ss >> d) prefix_distinct.push_back(d);
+    if (prefix_distinct.size() != columns.size()) {
+      return ParseError(
+          path, reader->line_no(),
+          "prefix_distinct arity " + std::to_string(prefix_distinct.size()) +
+              " != column count " + std::to_string(columns.size()));
+    }
+  }
+  // histogram header + buckets
+  if (!reader->Next(&line)) {
+    return Truncated(path, reader->line_no(), "'histogram'");
+  }
+  {
+    std::istringstream ss(line);
+    std::string tag;
+    if (!(ss >> tag >> hist_rows >> hist_distinct >> num_buckets) ||
+        tag != "histogram") {
+      return ParseError(
+          path, reader->line_no(),
+          "expected 'histogram <rows> <distinct> <buckets>', got: " + line);
+    }
+  }
+  for (size_t i = 0; i < num_buckets; ++i) {
+    if (!reader->Next(&line)) {
+      return Truncated(path, reader->line_no(),
+                       "bucket " + std::to_string(i + 1) + " of " +
+                           std::to_string(num_buckets));
+    }
+    std::istringstream ss(line);
+    std::string tag;
+    HistogramBucket b;
+    if (!(ss >> tag >> b.lo >> b.hi >> b.rows >> b.distinct) ||
+        tag != "bucket") {
+      return ParseError(path, reader->line_no(),
+                        "expected 'bucket <lo> <hi> <rows> <distinct>', "
+                        "got: " + line);
+    }
+    buckets.push_back(b);
+  }
+  // optional grid2d, then meta
+  if (!reader->Next(&line)) {
+    return Truncated(path, reader->line_no(), "'meta'");
+  }
+  Histogram2D grid;
+  if (line.rfind("grid2d", 0) == 0) {
+    std::istringstream ss(line);
+    std::string tag;
+    double grid_rows = 0.0;
+    size_t cells = 0;
+    if (!(ss >> tag >> grid_rows >> cells)) {
+      return ParseError(path, reader->line_no(),
+                        "expected 'grid2d <rows> <cells>', got: " + line);
+    }
+    std::vector<GridBucket> grid_buckets;
+    for (size_t i = 0; i < cells; ++i) {
+      if (!reader->Next(&line)) {
+        return Truncated(path, reader->line_no(),
+                         "cell " + std::to_string(i + 1) + " of " +
+                             std::to_string(cells));
+      }
+      std::istringstream cs(line);
+      GridBucket b;
+      if (!(cs >> tag >> b.lo1 >> b.hi1 >> b.lo2 >> b.hi2 >> b.rows >>
+            b.distinct) ||
+          tag != "cell") {
+        return ParseError(path, reader->line_no(),
+                          "expected 'cell <lo1> <hi1> <lo2> <hi2> <rows> "
+                          "<distinct>', got: " + line);
+      }
+      grid_buckets.push_back(b);
+    }
+    grid = Histogram2D(std::move(grid_buckets), grid_rows);
+    if (!reader->Next(&line)) {
+      return Truncated(path, reader->line_no(), "'meta'");
+    }
+  }
+  {
+    std::istringstream ss(line);
+    std::string tag;
+    int in_drop_list = 0;
+    if (!(ss >> tag >> in_drop_list >> entry.update_count >>
+          entry.creation_cost >> entry.created_at >> entry.dropped_at) ||
+        tag != "meta") {
+      return ParseError(path, reader->line_no(),
+                        "expected 'meta <drop> <updates> <cost> <created> "
+                        "<dropped> [<pending> <had_base>]', got: " + line);
+    }
+    entry.in_drop_list = in_drop_list != 0;
+    // v2 fields; absent in v1 (the caller then flags conservatively).
+    int pending = 0, had_base = 0;
+    if (ss >> pending >> had_base) {
+      entry.pending_full_rebuild = pending != 0;
+      staged->had_base = had_base != 0;
+    }
+  }
+  if (!reader->Next(&line) || line != "end") {
+    return ParseError(path, reader->line_no(),
+                      "expected 'end' marker, got: " + line);
+  }
+
+  entry.stat =
+      Statistic(std::move(columns),
+                Histogram(std::move(buckets), hist_rows, hist_distinct),
+                std::move(prefix_distinct), rows_at_build);
+  if (!grid.empty()) entry.stat.set_grid2d(std::move(grid));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveCatalog(const StatsCatalog& catalog, const std::string& path) {
@@ -20,7 +236,7 @@ Status SaveCatalog(const StatsCatalog& catalog, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::InvalidArgument("cannot open " + path);
   out.precision(17);
-  out << kMagicLine << "\n";
+  out << kMagicLineV2 << "\n";
 
   std::vector<StatKey> keys = catalog.ActiveKeys();
   const std::vector<StatKey> dropped = catalog.DropListKeys();
@@ -54,9 +270,14 @@ Status SaveCatalog(const StatsCatalog& catalog, const std::string& path) {
             << b.hi2 << " " << b.rows << " " << b.distinct << "\n";
       }
     }
+    // The base distribution itself is not persisted (it can be as large
+    // as the compressed column); its *presence* is, so a loader knows the
+    // entry could merge before the save but cannot after.
     out << "meta " << (entry->in_drop_list ? 1 : 0) << " "
         << entry->update_count << " " << entry->creation_cost << " "
-        << entry->created_at << " " << entry->dropped_at << "\n";
+        << entry->created_at << " " << entry->dropped_at << " "
+        << (entry->pending_full_rebuild ? 1 : 0) << " "
+        << (entry->base_dist.empty() ? 0 : 1) << "\n";
     out << "end\n";
   }
   if (!out) return Status::Internal("write failed for " + path);
@@ -69,145 +290,37 @@ Status LoadCatalog(StatsCatalog* catalog, const std::string& path) {
   AUTOSTATS_RETURN_IF_ERROR(PokeFault(faults::kPersistenceLoad, path.c_str()));
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
+  LineReader reader(&in);
   std::string line;
-  if (!std::getline(in, line) || line != kMagicLine) {
-    return Status::InvalidArgument(path + ": not an autostats catalog file");
+  if (!reader.Next(&line) ||
+      (line != kMagicLineV1 && line != kMagicLineV2)) {
+    return ParseError(path, 1, "not an autostats catalog file");
   }
+  const bool v1 = line == kMagicLineV1;
 
-  while (std::getline(in, line)) {
+  // Stage every entry first: a parse failure anywhere leaves *catalog
+  // exactly as it was (all-or-nothing).
+  std::vector<StagedEntry> staged;
+  while (reader.Next(&line)) {
     if (line.empty()) continue;
     if (line != "stat") {
-      return Status::InvalidArgument("expected 'stat', got: " + line);
+      return ParseError(path, reader.line_no(),
+                        "expected 'stat', got: " + line);
     }
-    std::vector<ColumnRef> columns;
-    double rows_at_build = 0.0;
-    std::vector<double> prefix_distinct;
-    double hist_rows = 0.0, hist_distinct = 0.0;
-    size_t num_buckets = 0;
-    std::vector<HistogramBucket> buckets;
-    StatEntry entry;
+    StagedEntry s;
+    AUTOSTATS_RETURN_IF_ERROR(ParseStatSection(&reader, path, &s));
+    staged.push_back(std::move(s));
+  }
 
-    // columns
-    if (!std::getline(in, line)) return Status::InvalidArgument("truncated");
-    {
-      std::istringstream ss(line);
-      std::string tag;
-      ss >> tag;
-      if (tag != "columns") {
-        return Status::InvalidArgument("expected columns: " + line);
-      }
-      std::string pair;
-      while (ss >> pair) {
-        const size_t colon = pair.find(':');
-        if (colon == std::string::npos) {
-          return Status::InvalidArgument("bad column ref: " + pair);
-        }
-        columns.push_back(
-            ColumnRef{static_cast<TableId>(std::stoi(pair.substr(0, colon))),
-                      static_cast<ColumnId>(
-                          std::stoi(pair.substr(colon + 1)))});
-      }
-      if (columns.empty()) {
-        return Status::InvalidArgument("statistic without columns");
-      }
-    }
-    // rows_at_build
-    if (!std::getline(in, line)) return Status::InvalidArgument("truncated");
-    {
-      std::istringstream ss(line);
-      std::string tag;
-      ss >> tag >> rows_at_build;
-      if (tag != "rows_at_build") {
-        return Status::InvalidArgument("expected rows_at_build: " + line);
-      }
-    }
-    // prefix_distinct
-    if (!std::getline(in, line)) return Status::InvalidArgument("truncated");
-    {
-      std::istringstream ss(line);
-      std::string tag;
-      ss >> tag;
-      if (tag != "prefix_distinct") {
-        return Status::InvalidArgument("expected prefix_distinct: " + line);
-      }
-      double d = 0.0;
-      while (ss >> d) prefix_distinct.push_back(d);
-      if (prefix_distinct.size() != columns.size()) {
-        return Status::InvalidArgument("prefix_distinct arity mismatch");
-      }
-    }
-    // histogram header + buckets
-    if (!std::getline(in, line)) return Status::InvalidArgument("truncated");
-    {
-      std::istringstream ss(line);
-      std::string tag;
-      ss >> tag >> hist_rows >> hist_distinct >> num_buckets;
-      if (tag != "histogram") {
-        return Status::InvalidArgument("expected histogram: " + line);
-      }
-    }
-    for (size_t i = 0; i < num_buckets; ++i) {
-      if (!std::getline(in, line)) {
-        return Status::InvalidArgument("truncated bucket list");
-      }
-      std::istringstream ss(line);
-      std::string tag;
-      HistogramBucket b;
-      ss >> tag >> b.lo >> b.hi >> b.rows >> b.distinct;
-      if (tag != "bucket") {
-        return Status::InvalidArgument("expected bucket: " + line);
-      }
-      buckets.push_back(b);
-    }
-    // optional grid2d, then meta
-    if (!std::getline(in, line)) return Status::InvalidArgument("truncated");
-    Histogram2D grid;
-    if (line.rfind("grid2d", 0) == 0) {
-      std::istringstream ss(line);
-      std::string tag;
-      double grid_rows = 0.0;
-      size_t cells = 0;
-      ss >> tag >> grid_rows >> cells;
-      std::vector<GridBucket> grid_buckets;
-      for (size_t i = 0; i < cells; ++i) {
-        if (!std::getline(in, line)) {
-          return Status::InvalidArgument("truncated grid");
-        }
-        std::istringstream cs(line);
-        GridBucket b;
-        cs >> tag >> b.lo1 >> b.hi1 >> b.lo2 >> b.hi2 >> b.rows >>
-            b.distinct;
-        if (tag != "cell") {
-          return Status::InvalidArgument("expected cell: " + line);
-        }
-        grid_buckets.push_back(b);
-      }
-      grid = Histogram2D(std::move(grid_buckets), grid_rows);
-      if (!std::getline(in, line)) {
-        return Status::InvalidArgument("truncated");
-      }
-    }
-    {
-      std::istringstream ss(line);
-      std::string tag;
-      int in_drop_list = 0;
-      ss >> tag >> in_drop_list >> entry.update_count >>
-          entry.creation_cost >> entry.created_at >> entry.dropped_at;
-      if (tag != "meta") {
-        return Status::InvalidArgument("expected meta: " + line);
-      }
-      entry.in_drop_list = in_drop_list != 0;
-    }
-    if (!std::getline(in, line) || line != "end") {
-      return Status::InvalidArgument("expected end marker");
-    }
-
-    entry.stat =
-        Statistic(std::move(columns),
-                  Histogram(std::move(buckets), hist_rows, hist_distinct),
-                  std::move(prefix_distinct), rows_at_build);
-    if (!grid.empty()) entry.stat.set_grid2d(std::move(grid));
-    catalog->RestoreEntry(std::move(entry));
+  for (StagedEntry& s : staged) {
+    // The in-memory base distribution does not survive a save/load round
+    // trip, so an entry that had one (or a v1 entry, which cannot say)
+    // must not merge-refresh onto the missing base: its first triggered
+    // refresh rescans instead. RestoreEntry bumps stats_version per
+    // entry, invalidating any cached plans built over the replaced
+    // statistics.
+    if (v1 || s.had_base) s.entry.pending_full_rebuild = true;
+    catalog->RestoreEntry(std::move(s.entry));
   }
   return Status::OK();
 }

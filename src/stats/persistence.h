@@ -1,7 +1,9 @@
 // Catalog persistence: saves a statistics catalog (statistics, drop-list
-// membership, counters) to a human-readable text file and restores it,
-// so an offline tuning pass (examples/offline_tuning) can hand its result
-// to a serving process without rebuilding statistics from data.
+// membership, refresh-fencing flags) to a human-readable text file and
+// restores it, so an offline tuning pass (examples/offline_tuning) can
+// hand its result to a serving process without rebuilding statistics from
+// data. This is the portable interchange format; the crash-safe binary
+// journal + snapshot machinery lives in stats/durability.h.
 #ifndef AUTOSTATS_STATS_PERSISTENCE_H_
 #define AUTOSTATS_STATS_PERSISTENCE_H_
 
@@ -12,13 +14,23 @@
 
 namespace autostats {
 
-// Writes every entry (active and drop-listed) to `path`.
+// Writes every entry (active and drop-listed) to `path`, including each
+// entry's pending_full_rebuild flag and whether it held an in-memory base
+// distribution at save time (format v2).
 Status SaveCatalog(const StatsCatalog& catalog, const std::string& path);
 
 // Restores entries from `path` into `catalog` (no build cost charged).
-// Entries already present with the same key are replaced. The file must
-// have been produced by SaveCatalog against a database with the same
-// schema.
+// All-or-nothing: the file is parsed completely before anything is
+// installed, and any error — reported as "<path>:<line>: expected
+// <field>, got ..." — leaves the catalog untouched. Entries already
+// present with the same key are replaced; each replacement bumps the
+// catalog's stats_version, so cached plans over the old statistics are
+// invalidated. Entries that held a base distribution at save time (and
+// every entry of a v1 file, which cannot say) are flagged
+// pending_full_rebuild: the base does not survive the round trip, so the
+// first triggered refresh after a load rescans instead of merging onto a
+// base the catalog no longer has. The file must have been produced by
+// SaveCatalog against a database with the same schema.
 Status LoadCatalog(StatsCatalog* catalog, const std::string& path);
 
 }  // namespace autostats

@@ -106,6 +106,7 @@ Result<double> StatsCatalog::TryCreateStatistic(
       it->second.in_drop_list = false;
       it->second.created_at = clock_;
       BumpStatsVersion();
+      NotifyEntry(key);
       return 0.0;
     }
     return 0.0;  // already active
@@ -146,6 +147,7 @@ Result<double> StatsCatalog::TryCreateStatistic(
   const double cost = entry.creation_cost;
   entries_.emplace(key, std::move(entry));
   BumpStatsVersion();
+  NotifyEntry(key);
   return cost;
 }
 
@@ -153,6 +155,7 @@ void StatsCatalog::RestoreEntry(StatEntry entry) {
   const StatKey key = entry.stat.key();
   entries_[key] = std::move(entry);
   BumpStatsVersion();
+  NotifyEntry(key);
 }
 
 bool StatsCatalog::HasActive(const StatKey& key) const {
@@ -181,6 +184,7 @@ void StatsCatalog::MoveToDropList(const StatKey& key) {
   it->second.in_drop_list = true;
   it->second.dropped_at = clock_;
   BumpStatsVersion();
+  NotifyEntry(key);
 }
 
 void StatsCatalog::RemoveFromDropList(const StatKey& key) {
@@ -189,10 +193,11 @@ void StatsCatalog::RemoveFromDropList(const StatKey& key) {
   it->second.in_drop_list = false;
   it->second.created_at = clock_;
   BumpStatsVersion();
+  NotifyEntry(key);
 }
 
 void StatsCatalog::PhysicallyDrop(const StatKey& key) {
-  entries_.erase(key);
+  if (entries_.erase(key) > 0) NotifyErased(key);
   BumpStatsVersion();
 }
 
@@ -230,12 +235,52 @@ void StatsCatalog::RecordModifications(TableId table, size_t rows) {
   mod_counters_[table] += rows;
   // The underlying data changed, so cardinality estimates (which read live
   // row counts) may change even before any statistic is refreshed.
-  if (rows > 0) BumpStatsVersion();
+  if (rows > 0) {
+    BumpStatsVersion();
+    NotifyCounter(table);
+  }
 }
 
 size_t StatsCatalog::modified_rows(TableId table) const {
   auto it = mod_counters_.find(table);
   return it == mod_counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<TableId, size_t>> StatsCatalog::ModificationCounters()
+    const {
+  std::vector<std::pair<TableId, size_t>> out(mod_counters_.begin(),
+                                              mod_counters_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void StatsCatalog::RestoreDurableState(
+    int64_t clock, uint64_t stats_version,
+    const std::vector<std::pair<TableId, size_t>>& mod_counters) {
+  clock_ = clock;
+  stats_version_ = stats_version;
+  for (const auto& [table, rows] : mod_counters) mod_counters_[table] = rows;
+}
+
+std::vector<StatKey> StatsCatalog::FlagPendingFullRebuild(TableId table) {
+  std::vector<StatKey> flagged;
+  for (auto& [key, entry] : entries_) {
+    if (entry.stat.table() != table) continue;
+    entry.pending_full_rebuild = true;
+    flagged.push_back(key);
+  }
+  std::sort(flagged.begin(), flagged.end());
+  return flagged;
+}
+
+std::vector<StatKey> StatsCatalog::FlagAllPendingFullRebuild() {
+  std::vector<StatKey> flagged;
+  for (auto& [key, entry] : entries_) {
+    entry.pending_full_rebuild = true;
+    flagged.push_back(key);
+  }
+  std::sort(flagged.begin(), flagged.end());
+  return flagged;
 }
 
 Status StatsCatalog::TryMergeRefresh(StatEntry* entry, DeltaSketch* sketch,
@@ -297,6 +342,7 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
         // first triggered refresh after a resurrection must rescan
         // rather than merge onto the stale base.
         entry.pending_full_rebuild = true;
+        NotifyEntry(key);
         continue;
       }
       const int next_count = entry.update_count + 1;
@@ -328,6 +374,7 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
             ++failure_counters_.builds_failed;
             ++failure_counters_.stale_fallbacks;
             entry.pending_full_rebuild = true;
+            NotifyEntry(key);
             any_failed = true;
             continue;
           }
@@ -367,6 +414,7 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
           ++failure_counters_.builds_failed;
           ++failure_counters_.stale_fallbacks;
           entry.pending_full_rebuild = true;
+          NotifyEntry(key);
           any_failed = true;
           continue;
         }
@@ -377,8 +425,12 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
         any_changed = true;  // rescans always invalidate cached plans
       }
       entry.update_count = next_count;
+      NotifyEntry(key);
     }
-    if (!any_failed) modified = 0;
+    if (!any_failed) {
+      modified = 0;
+      NotifyCounter(table);
+    }
     // The delta was consumed by every entry this round (merged, rescanned,
     // or flagged pending_full_rebuild), so it is dropped even when the
     // modification counter is kept for a retry. Clearing also re-validates

@@ -72,6 +72,24 @@ struct StatsFailureCounters {
                                 // statistic (degradation ladder rung 2)
 };
 
+// Observer of durable catalog mutations (implemented by CatalogDurability
+// in stats/durability.h). The catalog invokes it synchronously inside each
+// mutating operation; the listener collects dirty keys and serializes
+// their full current state into one journal record at statement commit.
+class CatalogMutationListener {
+ public:
+  virtual ~CatalogMutationListener() = default;
+  // `key`'s entry changed (created, resurrected, refreshed, restored,
+  // moved in or out of the drop-list, or re-flagged): its full state must
+  // be re-journaled.
+  virtual void OnEntryMutated(const StatKey& key) = 0;
+  // `key`'s entry was physically dropped.
+  virtual void OnEntryErased(const StatKey& key) = 0;
+  // `table`'s row-modification counter changed (recorded DML, or a
+  // triggered refresh resetting it).
+  virtual void OnCounterMutated(TableId table) = 0;
+};
+
 class StatsCatalog {
  public:
   StatsCatalog(const Database* db, StatsBuildConfig build_config = {},
@@ -143,6 +161,9 @@ class StatsCatalog {
   // Records `rows` modified rows against `table` (INSERT/UPDATE/DELETE).
   void RecordModifications(TableId table, size_t rows);
   size_t modified_rows(TableId table) const;
+  // Every per-table modification counter, sorted by table id — the
+  // complete counter state a durability snapshot persists.
+  std::vector<std::pair<TableId, size_t>> ModificationCounters() const;
 
   // The per-(table, column) delta sketches DML execution records into
   // (executor/dml_exec.h) and incremental refreshes consume. Sketches are
@@ -201,8 +222,50 @@ class StatsCatalog {
   uint64_t uid() const { return uid_; }
   uint64_t stats_version() const { return stats_version_; }
 
+  // --- Durability support (stats/durability.h) ---
+
+  // Attaches (or detaches, with nullptr) the mutation observer. At most
+  // one listener; notifications are synchronous.
+  void set_mutation_listener(CatalogMutationListener* listener) {
+    listener_ = listener;
+  }
+  CatalogMutationListener* mutation_listener() const { return listener_; }
+
+  // Installs the catalog-level durable header exactly as journaled:
+  // logical clock, stats_version, and the given modification counters
+  // (merged into the current counter map — a journal record carries only
+  // the counters its statement touched). Crash recovery validates version
+  // monotonicity *across records* before calling; mid-replay the bumped
+  // in-memory version may legitimately run ahead of a record that
+  // journaled a no-op refresh, so this setter does not re-check. Does not
+  // notify the mutation listener.
+  void RestoreDurableState(
+      int64_t clock, uint64_t stats_version,
+      const std::vector<std::pair<TableId, size_t>>& mod_counters);
+
+  // Recovery fencing: flags every entry (active and drop-listed) of
+  // `table` pending_full_rebuild, so its first triggered refresh after a
+  // crash rescans instead of merging onto a base that may have missed
+  // un-journaled deltas (the DeltaStore dies with the process). Returns
+  // the flagged keys so the durability layer can re-journal them. Does
+  // not bump stats_version: the flag changes future refresh behavior,
+  // not current estimates.
+  std::vector<StatKey> FlagPendingFullRebuild(TableId table);
+  // The conservative whole-catalog variant, for journal replay gaps.
+  std::vector<StatKey> FlagAllPendingFullRebuild();
+
  private:
   void BumpStatsVersion() { ++stats_version_; }
+
+  void NotifyEntry(const StatKey& key) {
+    if (listener_ != nullptr) listener_->OnEntryMutated(key);
+  }
+  void NotifyErased(const StatKey& key) {
+    if (listener_ != nullptr) listener_->OnEntryErased(key);
+  }
+  void NotifyCounter(TableId table) {
+    if (listener_ != nullptr) listener_->OnCounterMutated(table);
+  }
 
   // O(|delta|) refresh of one entry: merges `sketch` (may be null — an
   // empty delta) into the entry's base distribution, re-buckets, and
@@ -226,6 +289,7 @@ class StatsCatalog {
   int64_t clock_ = 0;
   uint64_t uid_ = 0;
   uint64_t stats_version_ = 0;
+  CatalogMutationListener* listener_ = nullptr;
 };
 
 // Read-only view of the active statistics with an optional ignored subset

@@ -3,6 +3,10 @@
 // policy.
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -183,6 +187,140 @@ TEST_F(PersistenceTest, EmptyCatalogRoundTrips) {
   StatsCatalog restored(&t_.db);
   ASSERT_TRUE(LoadCatalog(&restored, path_.string()).ok());
   EXPECT_EQ(restored.num_active(), 0u);
+}
+
+namespace {
+
+// Reads `path`, applies `edit` to each line, writes it back.
+void RewriteLines(const std::string& path,
+                  const std::function<void(std::string*)>& edit) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  in.close();
+  std::ofstream out(path, std::ios::trunc);
+  for (std::string& l : lines) {
+    edit(&l);
+    out << l << "\n";
+  }
+}
+
+}  // namespace
+
+TEST_F(PersistenceTest, ReloadFencesEntriesThatHeldABase) {
+  // A freshly built statistic carries an in-memory base distribution; the
+  // text format cannot round-trip it, so the reloaded entry must come
+  // back flagged for a full rescan (merging onto a missing base would
+  // otherwise silently lose every modification the base had absorbed).
+  catalog_.CreateStatistic({t_.fact_val});
+  ASSERT_FALSE(
+      catalog_.FindEntry(MakeStatKey({t_.fact_val}))->base_dist.empty());
+  ASSERT_TRUE(SaveCatalog(catalog_, path_.string()).ok());
+
+  StatsCatalog restored(&t_.db);
+  ASSERT_TRUE(LoadCatalog(&restored, path_.string()).ok());
+  const StatEntry* entry = restored.FindEntry(MakeStatKey({t_.fact_val}));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->pending_full_rebuild);
+  EXPECT_TRUE(entry->base_dist.empty());
+
+  // The converse: a v2 meta line declaring no base and no pending fence
+  // loads unfenced — only entries that actually lose state are fenced.
+  RewriteLines(path_.string(), [](std::string* l) {
+    if (l->rfind("meta ", 0) == 0) {
+      const size_t cut = l->find_last_of(' ', l->find_last_of(' ') - 1);
+      *l = l->substr(0, cut) + " 0 0";
+    }
+  });
+  StatsCatalog unfenced(&t_.db);
+  ASSERT_TRUE(LoadCatalog(&unfenced, path_.string()).ok());
+  EXPECT_FALSE(
+      unfenced.FindEntry(MakeStatKey({t_.fact_val}))->pending_full_rebuild);
+}
+
+TEST_F(PersistenceTest, V1FilesLoadWithConservativeFencing) {
+  // A v1 file cannot say whether an entry held a base, so every entry is
+  // fenced; the explicit pending/had_base fields are v2-only and their
+  // absence must not be a parse error.
+  catalog_.CreateStatistic({t_.fact_val});
+  catalog_.CreateStatistic({t_.dim_pk});
+  ASSERT_TRUE(SaveCatalog(catalog_, path_.string()).ok());
+  RewriteLines(path_.string(), [](std::string* l) {
+    if (*l == "autostats-catalog v2") *l = "autostats-catalog v1";
+    if (l->rfind("meta ", 0) == 0) {
+      const size_t cut = l->find_last_of(' ', l->find_last_of(' ') - 1);
+      *l = l->substr(0, cut);
+    }
+  });
+  StatsCatalog restored(&t_.db);
+  ASSERT_TRUE(LoadCatalog(&restored, path_.string()).ok());
+  EXPECT_EQ(restored.num_active(), 2u);
+  for (const StatKey& key : restored.ActiveKeys()) {
+    EXPECT_TRUE(restored.FindEntry(key)->pending_full_rebuild) << key;
+  }
+}
+
+TEST_F(PersistenceTest, TruncatedFileIsAllOrNothingWithLineNumber) {
+  catalog_.CreateStatistic({t_.fact_val});
+  catalog_.CreateStatistic({t_.dim_pk});
+  ASSERT_TRUE(SaveCatalog(catalog_, path_.string()).ok());
+
+  // Chop the file mid-way through the second section.
+  std::ifstream in(path_);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  in.close();
+  const size_t keep = lines.size() - 3;
+  std::ofstream out(path_, std::ios::trunc);
+  for (size_t i = 0; i < keep; ++i) out << lines[i] << "\n";
+  out.close();
+
+  // The target catalog already holds state; a failed load must not touch
+  // it — not even with the first section, which parsed fine.
+  StatsCatalog restored(&t_.db);
+  restored.CreateStatistic({t_.fact_grp});
+  const uint64_t version_before = restored.stats_version();
+  const Status s = LoadCatalog(&restored, path_.string());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The error names the file and the line past the truncation point.
+  EXPECT_NE(s.message().find(path_.string() + ":" +
+                             std::to_string(keep + 1)),
+            std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("truncated"), std::string::npos) << s.message();
+  EXPECT_EQ(restored.num_active(), 1u);
+  EXPECT_FALSE(restored.HasActive(MakeStatKey({t_.fact_val})));
+  EXPECT_EQ(restored.stats_version(), version_before);
+}
+
+TEST_F(PersistenceTest, GarbledFieldReportsFileLineAndField) {
+  catalog_.CreateStatistic({t_.fact_val});
+  ASSERT_TRUE(SaveCatalog(catalog_, path_.string()).ok());
+  RewriteLines(path_.string(), [](std::string* l) {
+    if (l->rfind("rows_at_build ", 0) == 0) *l = "rows_at_build banana";
+  });
+  StatsCatalog restored(&t_.db);
+  const Status s = LoadCatalog(&restored, path_.string());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find(path_.string() + ":"), std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("rows"), std::string::npos) << s.message();
+  EXPECT_EQ(restored.num_active(), 0u);
+}
+
+TEST_F(PersistenceTest, ReloadBumpsStatsVersionPerReplacedEntry) {
+  catalog_.CreateStatistic({t_.fact_val});
+  catalog_.CreateStatistic({t_.dim_pk});
+  ASSERT_TRUE(SaveCatalog(catalog_, path_.string()).ok());
+
+  // Loading over a live catalog replaces entries in place; every cached
+  // plan costed against the old statistics must see a new stats_version.
+  const uint64_t before = catalog_.stats_version();
+  ASSERT_TRUE(LoadCatalog(&catalog_, path_.string()).ok());
+  EXPECT_GE(catalog_.stats_version(), before + 2);
+  EXPECT_EQ(catalog_.num_active(), 2u);
 }
 
 // --- execution-tree MNSA variant ---

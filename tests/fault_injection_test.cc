@@ -452,11 +452,12 @@ TEST_F(FaultInjectionTest, BackoffGrowsGeometricallyAndRetriesAreCounted) {
 
 TEST_F(FaultInjectionTest, AllFaultPointsAreRegistered) {
   const std::vector<std::string>& points = AllFaultPoints();
-  EXPECT_EQ(points.size(), 7u);
+  EXPECT_EQ(points.size(), 10u);
   for (const char* expected :
        {faults::kStatsCreate, faults::kStatsRefresh, faults::kPersistenceSave,
         faults::kPersistenceLoad, faults::kOptimizerProbe,
-        faults::kDmlApply, faults::kStatsDelta}) {
+        faults::kDmlApply, faults::kStatsDelta, faults::kPersistenceAppend,
+        faults::kPersistenceFsync, faults::kPersistenceRename}) {
     EXPECT_NE(std::find(points.begin(), points.end(), expected),
               points.end())
         << expected;

@@ -19,6 +19,9 @@
 //     the delta without it, rescans once instead of merging modifications
 //     its base already includes (or misses); bases that stayed exact
 //     through a partially-failed round keep merging.
+//  7. Persistence: a catalog reloaded from the text format comes back
+//     fenced (in-memory bases do not survive the round trip), so the
+//     first triggered refresh rescans and later ones merge — both exact.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -31,6 +34,7 @@
 #include "executor/dml_exec.h"
 #include "stats/builder.h"
 #include "stats/delta_sketch.h"
+#include "stats/persistence.h"
 #include "stats/stats_catalog.h"
 #include "tests/test_util.h"
 
@@ -632,6 +636,70 @@ TEST_F(IncrementalRefreshTest, ResurrectionWithUnconsumedDeltaStillMerges) {
                       t.db.table(t.fact).num_rows(), 1));
   EXPECT_EQ(DumpStat(*catalog.Find(MakeStatKey({t.fact_val}))),
             FullRebuildDump(t.db, {t.fact_val}));
+}
+
+// --- 7. Persistence round trips ---
+
+TEST_F(IncrementalRefreshTest, ReloadedCatalogRefreshEqualsFullRebuild) {
+  const std::string path = "incremental_reload_test.catalog";
+  TwoTableDb t = MakeTwoTableDb(4000, 100);
+
+  // First life: create, mutate, merge-refresh — the entry now carries a
+  // merged base distribution the text format cannot round-trip.
+  StatsCatalog catalog(&t.db);
+  ASSERT_TRUE(catalog.TryCreateStatistic({t.fact_val}).ok());
+  Result<size_t> applied =
+      TryApplyDml(&t.db, Insert(t.fact, 300, 23), catalog.mutable_deltas());
+  ASSERT_TRUE(applied.ok());
+  catalog.RecordModifications(t.fact, *applied);
+  EXPECT_GT(catalog.RefreshIfTriggered(MergeAlways()), 0.0);
+  ASSERT_FALSE(
+      catalog.FindEntry(MakeStatKey({t.fact_val}))->base_dist.empty());
+  ASSERT_TRUE(SaveCatalog(catalog, path).ok());
+
+  // Second life: the reload drops the base, so the entry must come back
+  // fenced — a merge here would be against a base the catalog no longer
+  // has (or worse, a wrong one).
+  StatsCatalog reloaded(&t.db);
+  ASSERT_TRUE(LoadCatalog(&reloaded, path).ok());
+  const StatEntry* entry = reloaded.FindEntry(MakeStatKey({t.fact_val}));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->pending_full_rebuild);
+  EXPECT_TRUE(entry->base_dist.empty());
+
+  // Mixed DML against the reloaded catalog, then a triggered refresh: the
+  // fence forces a rescan, which is exact by construction and re-arms the
+  // merge path with a fresh base.
+  uint64_t seed = 41;
+  size_t modified = 0;
+  for (const DmlStatement& dml :
+       {Insert(t.fact, 250, seed++), Update(t.fact, t.fact_val.column, 150,
+                                            seed++),
+        Delete(t.fact, 120, seed++)}) {
+    applied = TryApplyDml(&t.db, dml, reloaded.mutable_deltas());
+    ASSERT_TRUE(applied.ok());
+    modified += *applied;
+  }
+  reloaded.RecordModifications(t.fact, modified);
+  EXPECT_GT(reloaded.RefreshIfTriggered(MergeAlways()), 0.0);
+  EXPECT_EQ(DumpStat(*reloaded.Find(MakeStatKey({t.fact_val}))),
+            FullRebuildDump(t.db, {t.fact_val}));
+  EXPECT_FALSE(
+      reloaded.FindEntry(MakeStatKey({t.fact_val}))->pending_full_rebuild);
+
+  // Third round: the post-reload base is trustworthy, so the next refresh
+  // merges — and still equals the from-scratch rebuild.
+  applied = TryApplyDml(&t.db, Insert(t.fact, 200, seed++),
+                        reloaded.mutable_deltas());
+  ASSERT_TRUE(applied.ok());
+  reloaded.RecordModifications(t.fact, *applied);
+  const double cost = reloaded.RefreshIfTriggered(MergeAlways());
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LT(cost, reloaded.cost_model().UpdateCost(
+                      t.db.table(t.fact).num_rows(), 1));
+  EXPECT_EQ(DumpStat(*reloaded.Find(MakeStatKey({t.fact_val}))),
+            FullRebuildDump(t.db, {t.fact_val}));
+  std::remove(path.c_str());
 }
 
 }  // namespace
