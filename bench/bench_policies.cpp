@@ -67,6 +67,11 @@ int main() {
   bench::BenchJson json("policies");
   const char* json_keys[] = {"none",   "sqlserver7", "mnsa_1col",
                              "mnsa",   "mnsa_d",     "periodic"};
+  // The whole sweep runs with metrics ON: the BENCH json gains probe /
+  // build / refresh / WAL histogram percentiles (obs/metrics.h).
+  obs::MetricsRegistry::Instance().ResetAll();
+  obs::EnableMetrics(true);
+  const bench::WallTimer metrics_on_timer;
   for (size_t i = 0; i < std::size(rows); ++i) {
     const Row& row = rows[i];
     const RunReport r = RunPolicy(row.mode, row.single_column);
@@ -77,6 +82,29 @@ int main() {
                 static_cast<long long>(r.stats_dropped));
     json.AddRunReport(json_keys[i], r);
   }
+  const double metrics_on_ms = metrics_on_timer.ElapsedMs();
+  json.AddMetrics("obs");
+  obs::EnableMetrics(false);
+
+  // Instrumentation overhead exhibit: re-run one representative policy
+  // with metrics off and on; the acceptance bar is <=2% wall clock.
+  const bench::WallTimer off_timer;
+  RunPolicy(CreationMode::kMnsaDOnTheFly);
+  const double off_ms = off_timer.ElapsedMs();
+  obs::EnableMetrics(true);
+  const bench::WallTimer on_timer;
+  RunPolicy(CreationMode::kMnsaDOnTheFly);
+  const double on_ms = on_timer.ElapsedMs();
+  obs::EnableMetrics(false);
+  json.Add("metrics_total_ms", metrics_on_ms);
+  json.Add("overhead_probe_off_ms", off_ms);
+  json.Add("overhead_probe_on_ms", on_ms);
+  json.Add("overhead_percent",
+           off_ms > 0.0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0);
+  std::printf("\nmetrics overhead (mnsa-d rerun): off %.1f ms, on %.1f ms "
+              "(%+.2f%%)\n",
+              off_ms, on_ms,
+              off_ms > 0.0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0);
   json.Write();
   std::printf("\n(update_burden includes the steady-state refresh cost of "
               "the statistics left behind.)\n");

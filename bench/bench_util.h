@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/str_util.h"
 #include "core/candidate.h"
+#include "obs/metrics.h"
 #include "core/mnsa.h"
 #include "core/report.h"
 #include "executor/executor.h"
@@ -163,13 +165,39 @@ class BenchJson {
         static_cast<double>(report.optimizer_calls));
     Add(prefix + "_stats_created", static_cast<double>(report.stats_created));
     Add(prefix + "_stats_dropped", static_cast<double>(report.stats_dropped));
+    Add(prefix + "_num_queries", static_cast<double>(report.num_queries));
+    Add(prefix + "_num_dml", static_cast<double>(report.num_dml));
     Add(prefix + "_builds_failed", static_cast<double>(report.builds_failed));
     Add(prefix + "_build_retries", static_cast<double>(report.build_retries));
     Add(prefix + "_probes_aborted",
         static_cast<double>(report.probes_aborted));
+    Add(prefix + "_dml_retries", static_cast<double>(report.dml_retries));
     Add(prefix + "_degraded_queries",
         static_cast<double>(report.degraded_queries));
     Add(prefix + "_degraded_dml", static_cast<double>(report.degraded_dml));
+    Add(prefix + "_durability_failures",
+        static_cast<double>(report.durability_failures));
+  }
+
+  // Records every registered metric under `prefix`: counters and gauges
+  // verbatim, histograms as count/mean/p50/p90/p99. Call after the
+  // instrumented run, with metrics enabled during it.
+  void AddMetrics(const std::string& prefix) {
+    const auto& registry = obs::MetricsRegistry::Instance();
+    for (const auto& [name, value] : registry.CounterValues()) {
+      Add(prefix + "_" + name, static_cast<double>(value));
+    }
+    for (const auto& [name, value] : registry.GaugeValues()) {
+      Add(prefix + "_" + name, static_cast<double>(value));
+    }
+    for (const auto& [name, snap] : registry.HistogramValues()) {
+      if (snap.count == 0) continue;  // unexercised instrument
+      Add(prefix + "_" + name + "_count", static_cast<double>(snap.count));
+      Add(prefix + "_" + name + "_mean", snap.Mean());
+      Add(prefix + "_" + name + "_p50", snap.Percentile(0.50));
+      Add(prefix + "_" + name + "_p90", snap.Percentile(0.90));
+      Add(prefix + "_" + name + "_p99", snap.Percentile(0.99));
+    }
   }
 
   void Write() const {
@@ -182,12 +210,15 @@ class BenchJson {
       std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
+    // Keys and values pass through JsonEscape: a quote or backslash in a
+    // workload label must not produce an unparseable file.
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", JsonEscape(name_).c_str());
     for (const auto& [key, value] : strings_) {
-      std::fprintf(f, ",\n  \"%s\": \"%s\"", key.c_str(), value.c_str());
+      std::fprintf(f, ",\n  \"%s\": \"%s\"", JsonEscape(key).c_str(),
+                   JsonEscape(value).c_str());
     }
     for (const auto& [key, value] : numbers_) {
-      std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
+      std::fprintf(f, ",\n  \"%s\": %.17g", JsonEscape(key).c_str(), value);
     }
     std::fprintf(f, "\n}\n");
     std::fclose(f);

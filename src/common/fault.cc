@@ -5,6 +5,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace autostats {
 
 namespace fault_internal {
@@ -55,6 +57,8 @@ void FaultInjector::Reset() {
 Status FaultInjector::Poke(const char* point, const char* detail,
                            int64_t* torn_write_bytes) {
   int latency_micros = 0;
+  bool fired = false;
+  int64_t fire_index = 0;
   Status injected = Status::OK();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -85,6 +89,8 @@ Status FaultInjector::Poke(const char* point, const char* detail,
     }
     if (!fire) return Status::OK();
     ++state.stats.fires;
+    fired = true;
+    fire_index = n;
     if (s.kind == FaultKind::kLatencySpike) {
       latency_micros = s.latency_micros;
     } else {
@@ -97,6 +103,16 @@ Status FaultInjector::Poke(const char* point, const char* detail,
                            ? std::string(" (") + detail + ")"
                            : std::string()));
     }
+  }
+  // Emitted outside the injector mutex. Armed faults force serial
+  // execution (common/parallel.h), so firings are serial decision points
+  // and the event order is thread-count-invariant.
+  if (fired && obs::TraceEnabled()) {
+    obs::TraceEvent("fault.fire")
+        .Str("point", point)
+        .Str("detail", detail != nullptr ? detail : "")
+        .Int("eligible_hit", fire_index)
+        .Bool("latency_spike", latency_micros > 0);
   }
   if (latency_micros > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(latency_micros));

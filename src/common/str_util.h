@@ -19,6 +19,12 @@ std::string StrFormat(const char* fmt, ...)
 // trailing zeros ("12.5", "3").
 std::string FormatDouble(double v, int digits = 3);
 
+// Escapes `s` for embedding inside a JSON string literal: `"` and `\`
+// get a backslash, common control characters use their short escapes
+// (\n, \t, \r, \b, \f), anything else below 0x20 becomes \u00XX. The
+// result does NOT include the surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
 }  // namespace autostats
 
 #endif  // AUTOSTATS_COMMON_STR_UTIL_H_

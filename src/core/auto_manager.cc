@@ -5,6 +5,8 @@
 #include "core/mnsa_d.h"
 #include "core/shrinking_set.h"
 #include "executor/dml_exec.h"
+#include "obs/trace.h"
+#include "query/dml.h"
 #include "stats/durability.h"
 
 namespace autostats {
@@ -25,6 +27,21 @@ AutoStatsManager::Outcome AutoStatsManager::Process(
     const Statement& statement) {
   catalog_->Tick();
   trace_.Add(statement);
+  // The statement anchor every later lifecycle event joins against: its
+  // `clock` equals the tick just advanced, so stats_explain can say
+  // "created while processing query X".
+  if (obs::TraceEnabled()) {
+    if (statement.kind == Statement::Kind::kQuery) {
+      obs::TraceEvent("stmt")
+          .Str("kind", "query")
+          .Str("name", statement.query.name());
+    } else {
+      obs::TraceEvent("stmt")
+          .Str("kind", "dml")
+          .Str("op", DmlKindName(statement.dml.kind))
+          .Int("table", statement.dml.table);
+    }
+  }
   Outcome outcome = statement.kind == Statement::Kind::kQuery
                         ? ProcessQuery(statement.query)
                         : ProcessDml(statement.dml);

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/check.h"
+#include "obs/trace.h"
+#include "optimizer/plan.h"
 
 namespace autostats {
 
@@ -112,11 +114,36 @@ std::vector<std::vector<ColumnRef>> FindNextStatToBuild(
   for (const PlanNode* node : nodes) {
     std::vector<std::vector<ColumnRef>> next =
         RelevantUnbuilt(query, *node, idx);
-    if (!next.empty()) return next;
+    if (!next.empty()) {
+      // The paper's step-8 rationale, made visible: the most expensive
+      // plan operator with relevant unbuilt candidates picked these keys.
+      if (obs::TraceEnabled()) {
+        std::string keys;
+        for (size_t i = 0; i < next.size(); ++i) {
+          if (i > 0) keys += ' ';
+          keys += MakeStatKey(next[i]);
+        }
+        obs::TraceEvent("mnsa.pick")
+            .Str("query", query.name())
+            .Str("op", PlanOpName(node->op))
+            .Num("cost_local", node->cost_local)
+            .Str("rationale", "most_expensive_operator")
+            .Int("picked", static_cast<int64_t>(next.size()))
+            .Str("keys", keys);
+      }
+      return next;
+    }
   }
   // No node claims the remaining candidates (e.g. a candidate on a column
   // whose predicate was subsumed); fall back to the first unbuilt one so
   // exhaustive runs terminate.
+  if (obs::TraceEnabled()) {
+    obs::TraceEvent("mnsa.pick")
+        .Str("query", query.name())
+        .Str("rationale", "fallback_first_unbuilt")
+        .Int("picked", 1)
+        .Str("keys", idx.list.front()->key());
+  }
   return {idx.list.front()->columns};
 }
 

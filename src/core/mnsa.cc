@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "core/find_next_stat.h"
+#include "obs/trace.h"
 
 namespace autostats {
 
@@ -80,7 +81,13 @@ MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
     for (const CandidateStat& c : candidates) {
       const TableId t = c.columns.front().table;
       if (optimizer.db().table(t).num_rows() < config.small_table_rows) {
-        create(c.columns);
+        if (create(c.columns) && obs::TraceEnabled()) {
+          obs::TraceEvent("mnsa.small_table")
+              .Str("query", query.name())
+              .Str("key", c.key())
+              .Int("table_rows",
+                   static_cast<int64_t>(optimizer.db().table(t).num_rows()));
+        }
       }
     }
   }
@@ -156,7 +163,21 @@ MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
     OptimizeResult& p_high = hi.result;
     AUTOSTATS_DCHECK(p_high.cost >= p_low.cost - 1e-6);
     const EquivalenceSpec spec{config.equivalence, config.t_percent};
-    if (PlansEquivalent(spec, p_low, p_high)) {
+    const bool equivalent = PlansEquivalent(spec, p_low, p_high);
+    // One combined event AFTER the join, emitted by the serial decision
+    // loop: the twin probes themselves emit nothing, which is what keeps
+    // the trace bit-identical at any probe thread count.
+    if (obs::TraceEnabled()) {
+      obs::TraceEvent("mnsa.probe_pair")
+          .Str("query", query.name())
+          .Int("iteration", iter)
+          .Num("cost_low", p_low.cost)
+          .Num("cost_high", p_high.cost)
+          .Num("t_percent", config.t_percent)
+          .Bool("equivalent", equivalent)
+          .Int("uncertain_vars", static_cast<int64_t>(current.uncertain.size()));
+    }
+    if (equivalent) {
       return result;  // existing statistics include an essential set
     }
 
@@ -194,6 +215,12 @@ MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
     if (config.drop_detection &&
         next_plan.plan.Signature() == current.plan.Signature()) {
       for (const StatKey& key : created_now) {
+        if (obs::TraceEnabled()) {
+          obs::TraceEvent("mnsa.drop_detect")
+              .Str("query", query.name())
+              .Str("key", key)
+              .Str("reason", "plan_unchanged");
+        }
         catalog->MoveToDropList(key);
         result.dropped.push_back(key);
         vetoed.insert(key);

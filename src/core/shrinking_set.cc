@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace autostats {
 
@@ -133,6 +134,17 @@ ShrinkingSetResult RunShrinkingSet(const Optimizer& optimizer,
 
     const bool needed =
         std::find(differs.begin(), differs.end(), 1) != differs.end();
+    // Serial decision point (the per-query probes above emit nothing):
+    // one verdict event per statistic, in sorted-key order.
+    if (obs::TraceEnabled()) {
+      int64_t differing = 0;
+      for (char d : differs) differing += d;
+      obs::TraceEvent("shrink.verdict")
+          .Str("key", s)
+          .Bool("needed", needed)
+          .Int("relevant_queries", static_cast<int64_t>(relevant.size()))
+          .Int("differing_plans", differing);
+    }
     if (!needed) {
       r_set.erase(s);
       result.removed.push_back(s);

@@ -1,0 +1,169 @@
+// MetricsRegistry: process-wide counters, gauges, and fixed-bucket
+// histograms for the statistics-management hot paths (optimizer probe
+// latency split real-vs-cache-hit, statistic build cost, merge-vs-full
+// refresh cost, WAL append/fsync/checkpoint latency, plan-cache
+// occupancy).
+//
+// Design constraints, in order:
+//   1. Near-zero overhead when disabled: every instrumentation site
+//      first checks MetricsEnabled(), a single relaxed atomic load
+//      (the same pattern as FaultsArmed() in common/fault.h). No
+//      timing, no allocation, no lock when metrics are off.
+//   2. Thread-safe when enabled: all instruments are plain atomics;
+//      Observe/Add never take the registry lock. The lock only guards
+//      registration (first lookup per site, typically cached in a
+//      function-local static) and snapshotting.
+//   3. Deterministic exports: snapshots iterate a std::map, so the
+//      BenchJson and Prometheus dumps list metrics in name order
+//      regardless of registration order or thread count. (Latency
+//      *values* are wall-clock and thus not deterministic; anything
+//      that must be bit-identical across runs belongs in the trace
+//      layer, obs/trace.h, not here.)
+//
+// Instruments live forever once registered (the registry is a leaky
+// Meyers singleton and Reset() zeroes values without invalidating
+// pointers), so call sites may cache Counter*/Histogram* in statics.
+#ifndef AUTOSTATS_OBS_METRICS_H_
+#define AUTOSTATS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autostats {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace internal
+
+// One relaxed load; the only cost instrumentation pays when disabled.
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+// Flips collection on/off. Off is the default; bench_policies and the
+// observability tests turn it on explicitly.
+void EnableMetrics(bool on);
+
+// Monotonic event count (probe calls, cache hits, ...).
+class Counter {
+ public:
+  void Add(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Last-write-wins instantaneous value (plan-cache occupancy).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges;
+// an implicit +inf bucket catches the tail. Observe() is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0.0;
+    std::vector<double> bounds;    // upper edges, ascending
+    std::vector<int64_t> buckets;  // bounds.size() + 1 entries
+    // Linear interpolation within the winning bucket; q in [0,1].
+    // Returns 0 for an empty histogram.
+    double Percentile(double q) const;
+    double Mean() const { return count > 0 ? sum / count : 0.0; }
+  };
+  Snapshot Snap() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<int64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // double stored as bits (CAS add)
+};
+
+// `count` ascending upper edges starting at `start`, each `factor`
+// apart: ExponentialBounds(1, 2, 4) -> {1, 2, 4, 8}.
+std::vector<double> ExponentialBounds(double start, double factor, int count);
+
+// Standard edges used by every latency histogram in the catalog:
+// 1us .. ~65ms in x2 steps (17 edges), +inf tail.
+const std::vector<double>& LatencyBoundsUs();
+
+// Standard edges for optimizer cost-unit histograms: 1 .. ~1e6 in x4
+// steps (11 edges), +inf tail.
+const std::vector<double>& CostBounds();
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  // Get-or-register. Never returns null; pointers stay valid forever.
+  // Re-registering a histogram ignores `bounds` and returns the
+  // existing instrument.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  // Zeroes every instrument; registrations (and cached pointers)
+  // survive. Tests call this between scenarios.
+  void ResetAll();
+
+  // Name-ordered snapshots.
+  std::vector<std::pair<std::string, int64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, int64_t>> GaugeValues() const;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> HistogramValues()
+      const;
+
+  // Prometheus text exposition (name-ordered; histograms expand into
+  // cumulative `_bucket{le=...}` rows plus `_sum`/`_count`).
+  std::string PrometheusText() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Records elapsed wall time in microseconds into `h` on destruction.
+// Construction captures MetricsEnabled() once, so a scope that starts
+// disabled stays free even if metrics flip on mid-flight.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* h);
+  ~ScopedLatency();
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* h_;
+  int64_t start_ns_;  // 0 when disabled at construction
+};
+
+}  // namespace obs
+}  // namespace autostats
+
+#endif  // AUTOSTATS_OBS_METRICS_H_

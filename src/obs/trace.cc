@@ -1,0 +1,140 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace autostats {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+void EnableTrace(bool on) {
+  internal::g_trace_enabled.store(on, std::memory_order_release);
+}
+
+TraceSink& TraceSink::Instance() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+void TraceSink::Append(const std::string& fields) {
+  const uint64_t clock = clock_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string line = StrFormat("{\"seq\":%llu,\"clock\":%llu",
+                               static_cast<unsigned long long>(next_seq_++),
+                               static_cast<unsigned long long>(clock));
+  if (!fields.empty()) {
+    line += ',';
+    line += fields;
+  }
+  line += '}';
+  lines_.push_back(std::move(line));
+}
+
+void TraceSink::SetLogicalClock(uint64_t clock) {
+  clock_.store(clock, std::memory_order_relaxed);
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.clear();
+  next_seq_ = 0;
+}
+
+size_t TraceSink::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+std::vector<std::string> TraceSink::Lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+std::string TraceSink::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+bool TraceSink::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string dump = Dump();
+  const bool ok =
+      std::fwrite(dump.data(), 1, dump.size(), f) == dump.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string TraceFormatNumber(double v) {
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (std::isfinite(v) && std::floor(v) == v && std::fabs(v) <= kMaxExact) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan literals; stats payloads shouldn't produce
+    // them, but degrade to a string rather than emit invalid JSON.
+    return std::isnan(v) ? "\"nan\"" : (v > 0 ? "\"inf\"" : "\"-inf\"");
+  }
+  return StrFormat("%.17g", v);
+}
+
+TraceEvent::TraceEvent(const char* type) : enabled_(TraceEnabled()) {
+  if (!enabled_) return;
+  body_ = "\"type\":\"";
+  body_ += JsonEscape(type);
+  body_ += '"';
+}
+
+TraceEvent::~TraceEvent() {
+  if (!enabled_) return;
+  TraceSink::Instance().Append(body_);
+}
+
+TraceEvent& TraceEvent::Str(const char* key, const std::string& value) {
+  if (!enabled_) return *this;
+  body_ += ",\"";
+  body_ += JsonEscape(key);
+  body_ += "\":\"";
+  body_ += JsonEscape(value);
+  body_ += '"';
+  return *this;
+}
+
+TraceEvent& TraceEvent::Num(const char* key, double value) {
+  if (!enabled_) return *this;
+  body_ += ",\"";
+  body_ += JsonEscape(key);
+  body_ += "\":";
+  body_ += TraceFormatNumber(value);
+  return *this;
+}
+
+TraceEvent& TraceEvent::Int(const char* key, int64_t value) {
+  if (!enabled_) return *this;
+  body_ += ",\"";
+  body_ += JsonEscape(key);
+  body_ += "\":";
+  body_ += StrFormat("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+TraceEvent& TraceEvent::Bool(const char* key, bool value) {
+  if (!enabled_) return *this;
+  body_ += ",\"";
+  body_ += JsonEscape(key);
+  body_ += "\":";
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace autostats

@@ -1,0 +1,129 @@
+// TraceSink: structured JSONL lifecycle events for every decision the
+// statistics manager makes — MNSA probe pairs with both forced-magic
+// costs and the t-test verdict, find_next_stat's most-expensive-
+// operator rationale, MNSA/D drop-list moves, shrinking-set discard
+// verdicts, create/refresh/fence/resurrect transitions in
+// StatsCatalog, WAL commit/checkpoint/recovery events, and fault-point
+// firings.
+//
+// Determinism contract (the whole point): a trace taken at 1, 2, or 4
+// probe threads over the same seeded workload is BYTE-IDENTICAL.
+// Three rules make that hold:
+//   1. Events are only emitted from serial decision points. The twin
+//      ε/1−ε probes run in parallel but emit nothing; the MNSA loop
+//      emits one combined `mnsa.probe_pair` event after the join, in
+//      loop order. Same for every other fan-out in the library
+//      (ParallelFor writes into per-index slots; all trace emission
+//      happens in the serial index-order reduction that follows).
+//   2. Events carry a logical clock (the manager's statement tick,
+//      via SetLogicalClock) and a sink-assigned sequence number —
+//      never wall time.
+//   3. Floating-point payloads are themselves deterministic (optimizer
+//      costs, t-test thresholds) and formatted with a fixed rule.
+//
+// Overhead contract: when tracing is disabled, constructing a
+// TraceEvent costs one relaxed atomic load and touches no heap (the
+// builder's std::string member stays in its SSO default state and
+// every field append is skipped). observability_test pins this with a
+// global-new counting allocator.
+//
+// Event lines look like:
+//   {"seq":17,"clock":4,"type":"stat.create","key":"3:1","cost":812.5}
+// `seq` is assigned at append (total order of all events), `clock` is
+// the logical statement tick during which the event fired. The trace
+// is buffered in memory; examples/stats_explain replays a workload and
+// reconstructs per-statistic lifecycles from these lines alone.
+#ifndef AUTOSTATS_OBS_TRACE_H_
+#define AUTOSTATS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace autostats {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+// One relaxed load; the only cost instrumentation pays when disabled.
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Flips trace collection on/off (off by default).
+void EnableTrace(bool on);
+
+class TraceSink {
+ public:
+  static TraceSink& Instance();
+
+  // Appends one event. `fields` is the comma-joined key/value body
+  // WITHOUT the surrounding braces or the seq/clock prefix; the sink
+  // stamps `"seq":N,"clock":C` and wraps it. Thread-safe, but see the
+  // determinism contract in the file comment: call sites must be
+  // serial decision points for traces to be thread-count-invariant.
+  void Append(const std::string& fields);
+
+  // The logical clock stamped on subsequent events. AutoStatsManager
+  // advances it once per processed statement (StatsCatalog::Tick);
+  // recovery restores it from the durable snapshot.
+  void SetLogicalClock(uint64_t clock);
+  uint64_t LogicalClock() const {
+    return clock_.load(std::memory_order_relaxed);
+  }
+
+  // Drops all buffered events and resets seq (not the logical clock).
+  void Clear();
+
+  size_t NumEvents() const;
+  std::vector<std::string> Lines() const;
+  // All lines joined with '\n', with a trailing newline when nonempty
+  // (the exact JSONL bytes the determinism test diffs).
+  std::string Dump() const;
+  // Writes Dump() to `path`; returns false on I/O error.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  TraceSink() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+  uint64_t next_seq_ = 0;
+  std::atomic<uint64_t> clock_{0};
+};
+
+// Builder for one event; appends to TraceSink::Instance() on
+// destruction. Usage:
+//   obs::TraceEvent("stat.create").Str("key", key).Num("cost", c);
+// When tracing is disabled every method is a no-op and nothing is
+// allocated or appended.
+class TraceEvent {
+ public:
+  explicit TraceEvent(const char* type);
+  ~TraceEvent();
+  TraceEvent(const TraceEvent&) = delete;
+  TraceEvent& operator=(const TraceEvent&) = delete;
+
+  TraceEvent& Str(const char* key, const std::string& value);
+  TraceEvent& Num(const char* key, double value);
+  TraceEvent& Int(const char* key, int64_t value);
+  TraceEvent& Bool(const char* key, bool value);
+
+ private:
+  bool enabled_;
+  std::string body_;
+};
+
+// Deterministic number rendering shared by TraceEvent and the
+// stats_explain selftest: integers in [-2^53, 2^53] print without a
+// decimal point, everything else as %.17g.
+std::string TraceFormatNumber(double v);
+
+}  // namespace obs
+}  // namespace autostats
+
+#endif  // AUTOSTATS_OBS_TRACE_H_

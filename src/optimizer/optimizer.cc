@@ -1,12 +1,42 @@
 #include "optimizer/optimizer.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "optimizer/cardinality.h"
 #include "optimizer/plan_cache.h"
 
 namespace autostats {
+
+namespace {
+
+// Probe latency split by outcome: a cache hit is a map lookup plus a
+// deep copy; a real optimization runs the full selectivity/enumeration
+// pipeline. Keeping them in separate histograms is what makes the
+// cache's value visible (the two distributions should not overlap).
+obs::Histogram* RealProbeHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
+      "probe_latency_real_us", obs::LatencyBoundsUs());
+  return h;
+}
+
+obs::Histogram* CacheHitProbeHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
+      "probe_latency_cache_hit_us", obs::LatencyBoundsUs());
+  return h;
+}
+
+int64_t NowNs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+double ElapsedUs(int64_t start_ns) {
+  return static_cast<double>(NowNs() - start_ns) / 1000.0;
+}
+
+}  // namespace
 
 Optimizer::Optimizer(const Database* db, OptimizerConfig config)
     : db_(db), config_(config), cost_model_(config.cost) {
@@ -23,12 +53,16 @@ OptimizeResult Optimizer::Optimize(const Query& query, const StatsView& stats,
   num_calls_.fetch_add(1, std::memory_order_relaxed);
   AUTOSTATS_CHECK_MSG(query.num_tables() >= 1, "query has no tables");
 
+  // Captured once: a probe that starts with metrics off stays free.
+  const int64_t start_ns = obs::MetricsEnabled() ? NowNs() : 0;
+
   PlanCacheKey cache_key;
   if (plan_cache_ != nullptr) {
     cache_key = PlanCache::MakeKey(query, stats, overrides);
     OptimizeResult cached;
     if (plan_cache_->Lookup(cache_key, &cached)) {
       num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (start_ns != 0) CacheHitProbeHistogram()->Observe(ElapsedUs(start_ns));
       return cached;
     }
   }
@@ -71,6 +105,7 @@ OptimizeResult Optimizer::Optimize(const Query& query, const StatsView& stats,
   result.bindings = sel.bindings();
   result.uncertain = sel.UncertainBindings();
   if (plan_cache_ != nullptr) plan_cache_->Insert(cache_key, result);
+  if (start_ns != 0) RealProbeHistogram()->Observe(ElapsedUs(start_ns));
   return result;
 }
 

@@ -5,10 +5,29 @@
 #include <vector>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace autostats {
 
 namespace {
+
+obs::Counter* HitCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Instance().GetCounter("plan_cache.hits");
+  return c;
+}
+
+obs::Counter* MissCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Instance().GetCounter("plan_cache.misses");
+  return c;
+}
+
+obs::Gauge* OccupancyGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Instance().GetGauge("plan_cache.occupancy");
+  return g;
+}
 
 OptimizeResult CloneResult(const OptimizeResult& r) {
   OptimizeResult out;
@@ -70,10 +89,12 @@ bool PlanCache::Lookup(const PlanCacheKey& key, OptimizeResult* out) {
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
+    if (obs::MetricsEnabled()) MissCounter()->Add();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // touch
   ++stats_.hits;
+  if (obs::MetricsEnabled()) HitCounter()->Add();
   *out = CloneResult(it->second->result);
   return true;
 }
@@ -90,6 +111,9 @@ void PlanCache::Insert(const PlanCacheKey& key, const OptimizeResult& result) {
     lru_.pop_back();
     ++stats_.capacity_evictions;
   }
+  if (obs::MetricsEnabled()) {
+    OccupancyGauge()->Set(static_cast<int64_t>(map_.size()));
+  }
 }
 
 void PlanCache::InvalidateCatalog(uint64_t catalog_uid) {
@@ -102,6 +126,9 @@ void PlanCache::InvalidateCatalog(uint64_t catalog_uid) {
     } else {
       ++it;
     }
+  }
+  if (obs::MetricsEnabled()) {
+    OccupancyGauge()->Set(static_cast<int64_t>(map_.size()));
   }
 }
 
@@ -136,6 +163,7 @@ void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   map_.clear();
+  if (obs::MetricsEnabled()) OccupancyGauge()->Set(0);
 }
 
 size_t PlanCache::size() const {

@@ -11,10 +11,34 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace autostats {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+obs::Histogram* WalAppendHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
+      "wal_append_us", obs::LatencyBoundsUs());
+  return h;
+}
+
+obs::Histogram* WalFsyncHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
+      "wal_fsync_us", obs::LatencyBoundsUs());
+  return h;
+}
+
+obs::Histogram* WalCheckpointHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
+      "wal_checkpoint_us", obs::LatencyBoundsUs());
+  return h;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // CRC32
@@ -611,6 +635,17 @@ Status CatalogDurability::Recover(RecoveryInfo* info) {
   }
   dirty_entries_.insert(flagged.begin(), flagged.end());
   info->entries_flagged = flagged.size();
+  if (obs::TraceEnabled()) {
+    obs::TraceEvent("wal.recovery")
+        .Bool("recovered", info->recovered)
+        .Int("snapshot_lsn", static_cast<int64_t>(info->snapshot_lsn))
+        .Int("records_replayed",
+             static_cast<int64_t>(info->records_replayed))
+        .Int("last_lsn", static_cast<int64_t>(info->last_lsn))
+        .Bool("journal_truncated", info->journal_truncated)
+        .Bool("replay_gap", info->replay_gap)
+        .Int("entries_flagged", static_cast<int64_t>(info->entries_flagged));
+  }
   return Status::OK();
 }
 
@@ -738,7 +773,10 @@ Status CatalogDurability::AppendFrame(const std::string& payload,
     // not rollback. POSIX gives no honest retry after a failed fsync.
     return fsync_gate;
   }
-  AUTOSTATS_RETURN_IF_ERROR(FsyncStream(journal_, JournalPath()));
+  {
+    obs::ScopedLatency timer(WalFsyncHistogram());
+    AUTOSTATS_RETURN_IF_ERROR(FsyncStream(journal_, JournalPath()));
+  }
   return Status::OK();
 }
 
@@ -753,11 +791,21 @@ Status CatalogDurability::CommitStatement() {
   const uint64_t lsn = next_lsn_;
   const std::string payload = EncodeRecord(lsn, /*full_snapshot=*/false);
   bool record_persisted = false;
-  const Status appended = AppendFrame(payload, "journal", &record_persisted);
+  Status appended;
+  {
+    obs::ScopedLatency timer(WalAppendHistogram());
+    appended = AppendFrame(payload, "journal", &record_persisted);
+  }
   if (sealed_) return appended;
   if (!record_persisted) {
     // Plain injected append failure: nothing reached the file. Keep the
     // dirty sets and retry under the same LSN on the next statement.
+    if (obs::TraceEnabled()) {
+      obs::TraceEvent("wal.commit_failed")
+          .Int("lsn", static_cast<int64_t>(lsn))
+          .Str("error", appended.message())
+          .Bool("record_persisted", false);
+    }
     return appended;
   }
   // The record is in the file (even if its fsync failed — recovery would
@@ -765,6 +813,20 @@ Status CatalogDurability::CommitStatement() {
   // fsync is surfaced as accounting, never retried under the same LSN.
   ++next_lsn_;
   ClearDirty();
+  if (obs::TraceEnabled()) {
+    if (appended.ok()) {
+      obs::TraceEvent("wal.commit")
+          .Int("lsn", static_cast<int64_t>(lsn))
+          .Int("bytes", static_cast<int64_t>(payload.size()));
+    } else {
+      // Committed-but-unacked: the record reached the file, its fsync
+      // failed. The LSN is consumed either way.
+      obs::TraceEvent("wal.commit_failed")
+          .Int("lsn", static_cast<int64_t>(lsn))
+          .Str("error", appended.message())
+          .Bool("record_persisted", true);
+    }
+  }
   return appended;
 }
 
@@ -817,6 +879,23 @@ Status CatalogDurability::PublishFile(const std::string& tmp,
 }
 
 Status CatalogDurability::Checkpoint() {
+  obs::ScopedLatency timer(WalCheckpointHistogram());
+  const uint64_t lsn_before = last_committed_lsn();
+  const Status s = CheckpointImpl();
+  if (obs::TraceEnabled()) {
+    if (s.ok()) {
+      obs::TraceEvent("wal.checkpoint")
+          .Int("lsn", static_cast<int64_t>(last_committed_lsn()));
+    } else {
+      obs::TraceEvent("wal.checkpoint_failed")
+          .Int("lsn", static_cast<int64_t>(lsn_before))
+          .Str("error", s.message());
+    }
+  }
+  return s;
+}
+
+Status CatalogDurability::CheckpointImpl() {
   if (sealed_) {
     return Status::FailedPrecondition(
         "durability sealed after simulated crash; reopen to recover");

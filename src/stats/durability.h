@@ -136,6 +136,13 @@ class CatalogDurability : public CatalogMutationListener {
   // mutations first so the snapshot sits on a statement boundary.
   Status Checkpoint();
 
+ private:
+  // Checkpoint body; the public wrapper adds latency metrics and the
+  // wal.checkpoint trace event around it.
+  Status CheckpointImpl();
+
+ public:
+
   // LSN of the last successfully committed record (0 before the first).
   uint64_t last_committed_lsn() const { return next_lsn_ - 1; }
   // True once a simulated (or real, unrecoverable) kill sealed the

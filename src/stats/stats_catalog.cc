@@ -6,8 +6,32 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace autostats {
+
+namespace {
+
+obs::Histogram* BuildCostHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
+      "stat_build_cost", obs::CostBounds());
+  return h;
+}
+
+obs::Histogram* MergeCostHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
+      "refresh_merge_cost", obs::CostBounds());
+  return h;
+}
+
+obs::Histogram* RebuildCostHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
+      "refresh_rebuild_cost", obs::CostBounds());
+  return h;
+}
+
+}  // namespace
 
 namespace {
 
@@ -107,6 +131,9 @@ Result<double> StatsCatalog::TryCreateStatistic(
       it->second.created_at = clock_;
       BumpStatsVersion();
       NotifyEntry(key);
+      if (obs::TraceEnabled()) {
+        obs::TraceEvent("stat.resurrect").Str("key", key);
+      }
       return 0.0;
     }
     return 0.0;  // already active
@@ -127,6 +154,11 @@ Result<double> StatsCatalog::TryCreateStatistic(
     // Retry budget exhausted: no entry, no cost, and no version bump — a
     // failed build must not invalidate cached plans it did not change.
     ++failure_counters_.builds_failed;
+    if (obs::TraceEnabled()) {
+      obs::TraceEvent("stat.create_failed")
+          .Str("key", key)
+          .Str("error", built.message());
+    }
     return built;
   }
   // Fence against unconsumed deltas: the base just captured already
@@ -145,17 +177,36 @@ Result<double> StatsCatalog::TryCreateStatistic(
   entry.created_at = clock_;
   total_creation_cost_ += entry.creation_cost;
   const double cost = entry.creation_cost;
+  const bool fenced = entry.pending_full_rebuild;
   entries_.emplace(key, std::move(entry));
   BumpStatsVersion();
   NotifyEntry(key);
+  if (obs::MetricsEnabled()) BuildCostHistogram()->Observe(cost);
+  if (obs::TraceEnabled()) {
+    obs::TraceEvent("stat.create")
+        .Str("key", key)
+        .Num("cost", cost)
+        .Bool("fenced", fenced);
+    if (fenced) {
+      obs::TraceEvent("stat.fence")
+          .Str("key", key)
+          .Str("reason", "unconsumed_delta");
+    }
+  }
   return cost;
 }
 
 void StatsCatalog::RestoreEntry(StatEntry entry) {
   const StatKey key = entry.stat.key();
+  const bool drop_listed = entry.in_drop_list;
   entries_[key] = std::move(entry);
   BumpStatsVersion();
   NotifyEntry(key);
+  if (obs::TraceEnabled()) {
+    obs::TraceEvent("stat.restore")
+        .Str("key", key)
+        .Bool("drop_listed", drop_listed);
+  }
 }
 
 bool StatsCatalog::HasActive(const StatKey& key) const {
@@ -185,6 +236,9 @@ void StatsCatalog::MoveToDropList(const StatKey& key) {
   it->second.dropped_at = clock_;
   BumpStatsVersion();
   NotifyEntry(key);
+  if (obs::TraceEnabled()) {
+    obs::TraceEvent("stat.drop_list").Str("key", key);
+  }
 }
 
 void StatsCatalog::RemoveFromDropList(const StatKey& key) {
@@ -194,10 +248,18 @@ void StatsCatalog::RemoveFromDropList(const StatKey& key) {
   it->second.created_at = clock_;
   BumpStatsVersion();
   NotifyEntry(key);
+  if (obs::TraceEnabled()) {
+    obs::TraceEvent("stat.resurrect").Str("key", key);
+  }
 }
 
 void StatsCatalog::PhysicallyDrop(const StatKey& key) {
-  if (entries_.erase(key) > 0) NotifyErased(key);
+  if (entries_.erase(key) > 0) {
+    NotifyErased(key);
+    if (obs::TraceEnabled()) {
+      obs::TraceEvent("stat.physical_drop").Str("key", key);
+    }
+  }
   BumpStatsVersion();
 }
 
@@ -254,12 +316,18 @@ std::vector<std::pair<TableId, size_t>> StatsCatalog::ModificationCounters()
   return out;
 }
 
+void StatsCatalog::Tick() {
+  ++clock_;
+  obs::TraceSink::Instance().SetLogicalClock(static_cast<uint64_t>(clock_));
+}
+
 void StatsCatalog::RestoreDurableState(
     int64_t clock, uint64_t stats_version,
     const std::vector<std::pair<TableId, size_t>>& mod_counters) {
   clock_ = clock;
   stats_version_ = stats_version;
   for (const auto& [table, rows] : mod_counters) mod_counters_[table] = rows;
+  obs::TraceSink::Instance().SetLogicalClock(static_cast<uint64_t>(clock_));
 }
 
 std::vector<StatKey> StatsCatalog::FlagPendingFullRebuild(TableId table) {
@@ -270,6 +338,13 @@ std::vector<StatKey> StatsCatalog::FlagPendingFullRebuild(TableId table) {
     flagged.push_back(key);
   }
   std::sort(flagged.begin(), flagged.end());
+  if (obs::TraceEnabled()) {
+    for (const StatKey& key : flagged) {
+      obs::TraceEvent("stat.fence")
+          .Str("key", key)
+          .Str("reason", "recovery_table");
+    }
+  }
   return flagged;
 }
 
@@ -280,6 +355,13 @@ std::vector<StatKey> StatsCatalog::FlagAllPendingFullRebuild() {
     flagged.push_back(key);
   }
   std::sort(flagged.begin(), flagged.end());
+  if (obs::TraceEnabled()) {
+    for (const StatKey& key : flagged) {
+      obs::TraceEvent("stat.fence")
+          .Str("key", key)
+          .Str("reason", "recovery_all");
+    }
+  }
   return flagged;
 }
 
@@ -331,6 +413,13 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
     // A fault on stats.delta poisons the table's delta stream: every
     // statistic on the table rescans this round, restoring exactness.
     const bool delta_poisoned = deltas_.Tracked(table) && !deltas_.Valid(table);
+    if (obs::TraceEnabled()) {
+      obs::TraceEvent("stat.refresh_trigger")
+          .Int("table", table)
+          .Int("modified", static_cast<int64_t>(modified))
+          .Num("threshold", threshold)
+          .Bool("delta_poisoned", delta_poisoned);
+    }
     bool any_changed = false;
     bool any_failed = false;
     for (auto& [key, entry] : entries_) {
@@ -343,6 +432,11 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
         // rather than merge onto the stale base.
         entry.pending_full_rebuild = true;
         NotifyEntry(key);
+        if (obs::TraceEnabled()) {
+          obs::TraceEvent("stat.fence")
+              .Str("key", key)
+              .Str("reason", "drop_list_missed_delta");
+        }
         continue;
       }
       const int next_count = entry.update_count + 1;
@@ -375,14 +469,29 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
             ++failure_counters_.stale_fallbacks;
             entry.pending_full_rebuild = true;
             NotifyEntry(key);
+            if (obs::TraceEnabled()) {
+              obs::TraceEvent("stat.refresh_stale")
+                  .Str("key", key)
+                  .Str("mode", "merge")
+                  .Str("fence_reason", "merge_failed");
+            }
             any_failed = true;
             continue;
           }
-          cost += cost_model_.IncrementalRefreshCost(
+          const double merge_cost = cost_model_.IncrementalRefreshCost(
               sketch != nullptr
                   ? static_cast<size_t>(sketch->rows_touched())
                   : 0,
               entry.stat.width());
+          cost += merge_cost;
+          if (obs::MetricsEnabled()) MergeCostHistogram()->Observe(merge_cost);
+          if (obs::TraceEnabled()) {
+            obs::TraceEvent("stat.refresh")
+                .Str("key", key)
+                .Str("mode", "merge")
+                .Bool("changed", changed)
+                .Num("cost", merge_cost);
+          }
           any_changed = any_changed || changed;
         } else {
           // Legacy row-count scaling: the entry has no base distribution
@@ -393,6 +502,13 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
           const bool changed = !SameStatistic(entry.stat, scaled);
           entry.stat = std::move(scaled);
           cost += cost_model_.fixed_overhead;  // O(buckets) metadata touch
+          if (obs::TraceEnabled()) {
+            obs::TraceEvent("stat.refresh")
+                .Str("key", key)
+                .Str("mode", "scale")
+                .Bool("changed", changed)
+                .Num("cost", cost_model_.fixed_overhead);
+          }
           any_changed = any_changed || changed;
         }
       } else {
@@ -415,13 +531,31 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
           ++failure_counters_.stale_fallbacks;
           entry.pending_full_rebuild = true;
           NotifyEntry(key);
+          if (obs::TraceEnabled()) {
+            obs::TraceEvent("stat.refresh_stale")
+                .Str("key", key)
+                .Str("mode", "rebuild")
+                .Str("fence_reason", "rebuild_failed");
+          }
           any_failed = true;
           continue;
         }
         entry.stat = std::move(rebuilt.stat);
         entry.base_dist = std::move(rebuilt.leading_dist);
         entry.pending_full_rebuild = false;
-        cost += cost_model_.UpdateCost(rows, entry.stat.width());
+        const double rebuild_cost =
+            cost_model_.UpdateCost(rows, entry.stat.width());
+        cost += rebuild_cost;
+        if (obs::MetricsEnabled()) {
+          RebuildCostHistogram()->Observe(rebuild_cost);
+        }
+        if (obs::TraceEnabled()) {
+          obs::TraceEvent("stat.refresh")
+              .Str("key", key)
+              .Str("mode", "rebuild")
+              .Bool("changed", true)
+              .Num("cost", rebuild_cost);
+        }
         any_changed = true;  // rescans always invalidate cached plans
       }
       entry.update_count = next_count;

@@ -207,8 +207,10 @@ class StatsCatalog {
   void ResetAccounting();
 
   // Logical clock, advanced by the policy layer per processed statement.
+  // Tick also publishes the new value to the trace sink (obs/trace.h) so
+  // every lifecycle event carries the statement tick it fired under.
   int64_t now() const { return clock_; }
-  void Tick() { ++clock_; }
+  void Tick();
 
   // --- Plan-cost cache support (optimizer/plan_cache.h) ---
   //
