@@ -57,7 +57,7 @@ double EstimateLt(const StatsCatalog& catalog, ColumnRef column,
 // table, refresh one catalog by merging the recorded delta sketch and
 // another by a full rescan, and compare cost charged, wall-clock, and the
 // q-error of a probe predicate under each. Emits BENCH_3.json.
-void RunIncrementalRefreshExperiment() {
+bool RunIncrementalRefreshExperiment() {
   Database db = bench::MakeDb("TPCD_2");
   const TableId lineitem = db.FindTable("lineitem");
   const ColumnRef shipdate = db.Resolve("lineitem", "l_shipdate");
@@ -144,7 +144,7 @@ void RunIncrementalRefreshExperiment() {
   json.Add("probe_qerror_full", q_full);
   json.Add("probe_qerror_incremental", q_incremental);
   json.Add("qerror_ratio", q_full > 0 ? q_incremental / q_full : 0.0);
-  json.Write();
+  return json.Write();
 }
 
 }  // namespace
@@ -190,6 +190,5 @@ int main() {
       "expensive queries [is] not adversely affected' — visible above as "
       "the exec_incr column growing with the threshold.)\n");
 
-  RunIncrementalRefreshExperiment();
-  return 0;
+  return RunIncrementalRefreshExperiment() ? 0 : 1;
 }

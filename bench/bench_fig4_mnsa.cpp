@@ -117,6 +117,5 @@ int main() {
   json.Add("creation_reduction_pct",
            (multi.create_all_cost - multi.mnsa_cost) / multi.create_all_cost *
                100.0);
-  json.Write();
-  return 0;
+  return json.Write() ? 0 : 1;
 }

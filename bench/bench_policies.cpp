@@ -105,8 +105,8 @@ int main() {
               "(%+.2f%%)\n",
               off_ms, on_ms,
               off_ms > 0.0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0);
-  json.Write();
+  const bool wrote = json.Write();
   std::printf("\n(update_burden includes the steady-state refresh cost of "
               "the statistics left behind.)\n");
-  return 0;
+  return wrote ? 0 : 1;
 }

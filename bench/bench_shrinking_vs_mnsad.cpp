@@ -201,6 +201,6 @@ int main() {
   json.Add("cache_hit_ratio", steady_hit_ratio);
   json.Add("cache_call_reduction", call_reduction);
   json.Add("cache_speedup", cache_speedup);
-  json.Write();
-  return identical ? 0 : 1;
+  const bool wrote = json.Write();
+  return (identical && wrote) ? 0 : 1;
 }

@@ -200,7 +200,10 @@ class BenchJson {
     }
   }
 
-  void Write() const {
+  // Returns false (and removes the partial file) if any write failed — a
+  // full disk must not silently commit a truncated baseline that a later
+  // bench_diff run would then "pass" against.
+  bool Write() const {
     const char* dir = std::getenv("AUTOSTATS_BENCH_JSON_DIR");
     const std::string path =
         (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
@@ -208,21 +211,32 @@ class BenchJson {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
-      return;
+      return false;
     }
     // Keys and values pass through JsonEscape: a quote or backslash in a
     // workload label must not produce an unparseable file.
-    std::fprintf(f, "{\n  \"bench\": \"%s\"", JsonEscape(name_).c_str());
+    bool ok =
+        std::fprintf(f, "{\n  \"bench\": \"%s\"", JsonEscape(name_).c_str()) >=
+        0;
     for (const auto& [key, value] : strings_) {
-      std::fprintf(f, ",\n  \"%s\": \"%s\"", JsonEscape(key).c_str(),
-                   JsonEscape(value).c_str());
+      ok = ok && std::fprintf(f, ",\n  \"%s\": \"%s\"",
+                              JsonEscape(key).c_str(),
+                              JsonEscape(value).c_str()) >= 0;
     }
     for (const auto& [key, value] : numbers_) {
-      std::fprintf(f, ",\n  \"%s\": %.17g", JsonEscape(key).c_str(), value);
+      ok = ok && std::fprintf(f, ",\n  \"%s\": %.17g",
+                              JsonEscape(key).c_str(), value) >= 0;
     }
-    std::fprintf(f, "\n}\n");
-    std::fclose(f);
+    ok = ok && std::fprintf(f, "\n}\n") >= 0;
+    ok = std::fclose(f) == 0 && ok;  // fclose flushes; always check it
+    if (!ok) {
+      std::fprintf(stderr, "BenchJson: write failed for %s; removing\n",
+                   path.c_str());
+      std::remove(path.c_str());
+      return false;
+    }
     std::printf("[wrote %s]\n", path.c_str());
+    return true;
   }
 
  private:

@@ -1,10 +1,12 @@
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "common/zipfian.h"
+#include "stats/endbiased.h"
 #include "stats/equidepth.h"
 #include "stats/histogram.h"
 #include "stats/maxdiff.h"
@@ -182,6 +184,208 @@ TEST(HistogramTest, DistinctInRangeProportional) {
   const Histogram h = BuildMaxDiff(UniformDist(100, 10.0), 16);
   const double half = h.DistinctInRange(-1.0, 49.5);
   EXPECT_NEAR(half, 50.0, 8.0);
+}
+
+// --- locked-in edge-case behaviour ---
+// These pin the estimation semantics the branch-free bucket-search kernels
+// must reproduce exactly (docs/PERF.md, bit-identical-results contract).
+
+TEST(HistogramEdgeTest, EmptyHistogramIsAllZero) {
+  const Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(-kInf, false, kInf, true), 0.0);
+  EXPECT_DOUBLE_EQ(h.DistinctInRange(-kInf, kInf), 0.0);
+  // A histogram with buckets but no rows also counts as empty.
+  const Histogram zero({{0.0, 10.0, 0.0, 0.0}}, 0.0, 0.0);
+  EXPECT_TRUE(zero.empty());
+  EXPECT_DOUBLE_EQ(zero.SelectivityEq(5.0), 0.0);
+}
+
+TEST(HistogramEdgeTest, SingleBucketCoversItsDomainInclusively) {
+  // One bucket [0, 10] with 100 rows over 10 distinct values; the first
+  // bucket includes its lower edge.
+  const Histogram h({{0.0, 10.0, 100.0, 10.0}}, 100.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(10.0), 0.1);
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(5.0), 0.1);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(-kInf, false, 5.0, true), 0.5);
+  EXPECT_NEAR(h.SelectivityRange(2.0, false, 7.0, true), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(-kInf, false, kInf, true), 1.0);
+}
+
+TEST(HistogramEdgeTest, QueryRangeOutsideDomainIsZero) {
+  const Histogram h = BuildMaxDiff(UniformDist(100, 10.0), 16);
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(100.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(101.0, true, 200.0, true), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(-50.0, true, -1.0, true), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(-50.0, false, -1.0, false), 0.0);
+  EXPECT_DOUBLE_EQ(h.DistinctInRange(200.0, 300.0), 0.0);
+}
+
+TEST(HistogramEdgeTest, PointRangeInclusiveExclusive) {
+  const Histogram h = BuildMaxDiff(UniformDist(100, 10.0), 16);
+  for (const double x : {0.0, 13.0, 50.0, 99.0}) {
+    // [x, x] is exactly the equality estimate; any half-open or open
+    // point interval is empty.
+    EXPECT_DOUBLE_EQ(h.SelectivityRange(x, true, x, true),
+                     h.SelectivityEq(x));
+    EXPECT_DOUBLE_EQ(h.SelectivityRange(x, true, x, false), 0.0);
+    EXPECT_DOUBLE_EQ(h.SelectivityRange(x, false, x, true), 0.0);
+    EXPECT_DOUBLE_EQ(h.SelectivityRange(x, false, x, false), 0.0);
+  }
+}
+
+TEST(HistogramEdgeTest, NanBoundsAreZeroNotPoison) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Histogram h = BuildMaxDiff(UniformDist(100, 10.0), 16);
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(nan), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(nan, true, 50.0, true), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(0.0, true, nan, true), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(nan, false, nan, false), 0.0);
+  EXPECT_DOUBLE_EQ(h.DistinctInRange(nan, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.DistinctInRange(0.0, nan), 0.0);
+}
+
+TEST(HistogramEdgeTest, SingletonBucketsMatchExactKeyOnly) {
+  // End-biased histograms carry lo == hi singleton buckets for heavy
+  // hitters; only the exact key hits them.
+  std::vector<ValueFreq> dist = UniformDist(50, 1.0);
+  dist[10].freq = 500.0;
+  dist[30].freq = 400.0;
+  const Histogram h = BuildEndBiased(dist, 16);
+  bool found_singleton = false;
+  for (const HistogramBucket& b : h.buckets()) {
+    found_singleton |= b.hi <= b.lo;
+  }
+  ASSERT_TRUE(found_singleton);
+  const double total = 48.0 + 500.0 + 400.0;
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(10.0), 500.0 / total);
+  EXPECT_DOUBLE_EQ(h.SelectivityEq(30.0), 400.0 / total);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(10.0, true, 10.0, true),
+                   h.SelectivityEq(10.0));
+}
+
+// --- bit-identical kernels: fuzz against the reference linear scans ---
+
+// The pre-optimization implementations, verbatim. The production kernels
+// must agree bit-for-bit with these on every histogram a builder can
+// produce and every query shape, including NaN and infinities.
+double RefCoveredFraction(const HistogramBucket& b, double a, double bb) {
+  if (b.hi <= b.lo) {
+    return (b.lo > a && b.lo <= bb) ? 1.0 : 0.0;
+  }
+  const double lo = std::max(a, b.lo);
+  const double hi = std::min(bb, b.hi);
+  if (hi <= lo) return 0.0;
+  return (hi - lo) / (b.hi - b.lo);
+}
+
+double RefSelectivityEq(const Histogram& h, double key) {
+  if (h.empty() || std::isnan(key)) return 0.0;
+  if (key < h.min_value() || key > h.max_value()) return 0.0;
+  const auto& buckets = h.buckets();
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const HistogramBucket& b = buckets[i];
+    const bool in =
+        (b.hi <= b.lo) ? (key == b.lo)
+        : (i == 0)     ? (key >= b.lo && key <= b.hi)
+                       : (key > b.lo && key <= b.hi);
+    if (in) {
+      const double d = std::max(b.distinct, 1.0);
+      return (b.rows / d) / h.total_rows();
+    }
+  }
+  return 0.0;
+}
+
+double RefSelectivityRange(const Histogram& h, double lo, bool lo_inclusive,
+                           double hi, bool hi_inclusive) {
+  if (h.empty() || std::isnan(lo) || std::isnan(hi)) return 0.0;
+  if (hi < lo) return 0.0;
+  double rows = 0.0;
+  for (const HistogramBucket& b : h.buckets()) {
+    rows += b.rows * RefCoveredFraction(b, lo, hi);
+  }
+  double sel = rows / h.total_rows();
+  if (lo_inclusive && lo > -kInf) sel += RefSelectivityEq(h, lo);
+  if (!hi_inclusive && hi < kInf) sel -= RefSelectivityEq(h, hi);
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+double RefDistinctInRange(const Histogram& h, double lo, double hi) {
+  if (h.empty() || std::isnan(lo) || std::isnan(hi) || hi < lo) return 0.0;
+  double distinct = 0.0;
+  for (const HistogramBucket& b : h.buckets()) {
+    distinct += b.distinct * RefCoveredFraction(b, lo, hi);
+  }
+  return std::max(distinct, 0.0);
+}
+
+::testing::AssertionResult BitEq(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  if (ba == bb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bit patterns differ)";
+}
+
+TEST(HistogramBitIdenticalTest, KernelsMatchReferenceOnFuzzedWorkloads) {
+  Rng rng(20260809);
+  const double special[] = {-kInf, kInf,
+                            std::numeric_limits<double>::quiet_NaN()};
+  for (int round = 0; round < 60; ++round) {
+    const int n = 1 + static_cast<int>(rng.NextU64(400));
+    const int num_buckets = 1 + static_cast<int>(rng.NextU64(48));
+    std::vector<ValueFreq> dist;
+    double v = -100.0 + rng.NextDouble() * 50.0;
+    for (int i = 0; i < n; ++i) {
+      v += 0.25 + rng.NextDouble() * 10.0;
+      dist.push_back({v, 1.0 + std::floor(rng.NextDouble() * 500.0)});
+    }
+    if (rng.NextBool(0.3)) dist[rng.NextU64(dist.size())].freq = 1e5;
+    Histogram h;
+    switch (round % 3) {
+      case 0: h = BuildMaxDiff(dist, num_buckets); break;
+      case 1: h = BuildEquiDepth(dist, num_buckets); break;
+      default: h = BuildEndBiased(dist, num_buckets); break;
+    }
+    ASSERT_FALSE(h.empty());
+
+    // Probe keys: every bucket edge (exactly and nudged), random interior
+    // points, and the specials.
+    std::vector<double> keys;
+    for (const HistogramBucket& b : h.buckets()) {
+      for (const double e : {b.lo, b.hi}) {
+        keys.push_back(e);
+        keys.push_back(std::nextafter(e, -kInf));
+        keys.push_back(std::nextafter(e, kInf));
+      }
+    }
+    for (int i = 0; i < 40; ++i) {
+      keys.push_back(h.min_value() +
+                     (rng.NextDouble() * 1.2 - 0.1) *
+                         (h.max_value() - h.min_value()));
+    }
+    for (const double s : special) keys.push_back(s);
+
+    for (const double key : keys) {
+      EXPECT_TRUE(BitEq(h.SelectivityEq(key), RefSelectivityEq(h, key)))
+          << "Eq key=" << key << " round=" << round;
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const double a = keys[rng.NextU64(keys.size())];
+      const double b = keys[rng.NextU64(keys.size())];
+      const bool li = rng.NextBool(0.5), hi_inc = rng.NextBool(0.5);
+      EXPECT_TRUE(BitEq(h.SelectivityRange(a, li, b, hi_inc),
+                        RefSelectivityRange(h, a, li, b, hi_inc)))
+          << "Range [" << a << "," << b << "] round=" << round;
+      EXPECT_TRUE(BitEq(h.DistinctInRange(a, b), RefDistinctInRange(h, a, b)))
+          << "Distinct [" << a << "," << b << "] round=" << round;
+    }
+  }
 }
 
 TEST(HistogramTest, ToStringMentionsBuckets) {
