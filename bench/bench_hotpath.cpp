@@ -1,0 +1,426 @@
+// bench_hotpath: the measurement half of the perf-trajectory gate
+// (examples/bench_diff.cpp is the comparison half). Emits
+// BENCH_hotpath.json with three classes of series, gated by
+// bench/baselines/hotpath.rules:
+//
+//   1. Deterministic counts and checksums — selectivity checksums over a
+//      fixed probe grid (locking in the kernels' bit-identical contract),
+//      single-threaded plan-cache hit accounting, WAL fsync/append counts
+//      under group commit, and workload exec-cost at 1/2/4 threads (equal
+//      by the bit-identical-parallelism contract). Gated exactly: any
+//      drift on any machine is a semantic change, not noise.
+//
+//   2. In-process old-vs-new speedup ratios — the pre-optimization
+//      kernels (linear bucket scan, string-render key hashing) are kept
+//      here as reference implementations and timed against the shipped
+//      ones in the same process. Ratios are robust to machine speed, so
+//      they gate loosely (they still move with cache sizes and
+//      compilers, hence wide tolerances + absolute floors).
+//
+//   3. Absolute latencies and the PR 5 metrics percentiles — recorded for
+//      trend reading across the committed baselines, never gated.
+#include <algorithm>
+#include <clocale>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/auto_manager.h"
+#include "optimizer/plan_cache.h"
+#include "stats/durability.h"
+#include "stats/histogram.h"
+#include "stats/maxdiff.h"
+#include "tests/test_util.h"
+
+namespace autostats::bench {
+namespace {
+
+using testing::MakeFilterQuery;
+using testing::MakeJoinQuery;
+using testing::MakeTwoTableDb;
+using testing::TwoTableDb;
+
+// xorshift64*: deterministic probe-grid generator (fixed seed, no
+// std::random machinery whose streams could differ across libstdc++s).
+struct Rng {
+  uint64_t state;
+  explicit Rng(uint64_t seed) : state(seed) {}
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1Dull;
+  }
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(Next() >> 11) * 0x1.0p-53);
+  }
+};
+
+// Best-of-N wall time for `rounds` calls of fn; minimum filters scheduler
+// noise out of the ratio numerator and denominator alike.
+double BestMs(const std::function<void()>& fn, int rounds = 5) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < rounds; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.ElapsedMs());
+  }
+  return best;
+}
+
+// --- Reference (pre-optimization) kernels ---------------------------------
+// Verbatim ports of the linear-scan selectivity code this PR replaced,
+// operating on the public bucket vector. The bench asserts they still
+// produce bit-identical sums, then times them against the shipped kernels.
+
+double RefCoveredFraction(const HistogramBucket& b, double a, double bb) {
+  if (b.hi <= b.lo) return (b.lo > a && b.lo <= bb) ? 1.0 : 0.0;
+  const double lo = std::max(a, b.lo);
+  const double hi = std::min(bb, b.hi);
+  if (hi <= lo) return 0.0;
+  return (hi - lo) / (b.hi - b.lo);
+}
+
+double RefSelectivityEq(const Histogram& h, double key) {
+  if (h.empty()) return 0.0;
+  if (key < h.min_value() || key > h.max_value()) return 0.0;
+  const std::vector<HistogramBucket>& buckets = h.buckets();
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const HistogramBucket& b = buckets[i];
+    const bool in =
+        (b.hi <= b.lo) ? (key == b.lo)
+        : (i == 0)     ? (key >= b.lo && key <= b.hi)
+                       : (key > b.lo && key <= b.hi);
+    if (in) {
+      const double d = std::max(b.distinct, 1.0);
+      return (b.rows / d) / h.total_rows();
+    }
+  }
+  return 0.0;
+}
+
+double RefSelectivityRange(const Histogram& h, double lo, bool lo_inclusive,
+                           double hi, bool hi_inclusive) {
+  if (h.empty()) return 0.0;
+  if (hi < lo) return 0.0;
+  double rows = 0.0;
+  for (const HistogramBucket& b : h.buckets()) {
+    rows += b.rows * RefCoveredFraction(b, lo, hi);
+  }
+  double sel = rows / h.total_rows();
+  if (lo_inclusive && lo > -std::numeric_limits<double>::infinity()) {
+    sel += RefSelectivityEq(h, lo);
+  }
+  if (!hi_inclusive && hi < std::numeric_limits<double>::infinity()) {
+    sel -= RefSelectivityEq(h, hi);
+  }
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+// The replaced MakeKey: renders the overrides to a string signature, then
+// hashes the key by re-hashing all three strings (the old
+// PlanCacheKeyHash), which is what every Lookup/Insert used to pay.
+size_t RefKeyHash(const Query& query, const StatsView& view,
+                  const SelectivityOverrides& overrides) {
+  const uint64_t catalog_uid = view.catalog().uid();
+  const uint64_t stats_version = view.catalog().stats_version();
+  const uint64_t schema_version = view.catalog().db().schema_version();
+  const std::string query_fingerprint = query.Fingerprint();
+  const std::string view_signature = view.Signature();
+  std::vector<std::pair<SelVar, double>> sorted(overrides.begin(),
+                                                overrides.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.first.kind != b.first.kind) return a.first.kind < b.first.kind;
+    return a.first.index < b.first.index;
+  });
+  std::string overrides_signature;
+  for (const auto& [var, value] : sorted) {
+    overrides_signature += StrFormat(
+        "%d:%d=%.17g;", static_cast<int>(var.kind), var.index, value);
+  }
+  const std::hash<std::string> h;
+  size_t seed = std::hash<uint64_t>{}(catalog_uid * 0x9e3779b97f4a7c15ULL ^
+                                      stats_version ^ (schema_version << 32));
+  const auto mix = [&seed](size_t v) {
+    seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  };
+  mix(h(query_fingerprint));
+  mix(h(view_signature));
+  mix(h(overrides_signature));
+  return seed;
+}
+
+// --- Section 1: histogram kernels -----------------------------------------
+
+void HistogramSection(BenchJson* json) {
+  // A skewed 20k-value distribution compressed to ~200 buckets: large
+  // enough that the linear scan pays ~100 bucket visits per probe.
+  std::vector<ValueFreq> dist;
+  dist.reserve(20000);
+  Rng rng(0xC0FFEE);
+  for (int i = 0; i < 20000; ++i) {
+    dist.push_back({static_cast<double>(i),
+                    1.0 + static_cast<double>(rng.Next() % 97)});
+  }
+  const Histogram hist = BuildMaxDiff(dist, 200);
+  json->Add("hist_buckets", static_cast<double>(hist.buckets().size()));
+
+  constexpr int kProbes = 4096;
+  std::vector<double> eq_keys(kProbes);
+  std::vector<std::pair<double, double>> ranges(kProbes);
+  Rng probe_rng(0xDECAF);
+  for (int i = 0; i < kProbes; ++i) {
+    eq_keys[i] = std::floor(probe_rng.Uniform(-500.0, 20500.0));
+    double a = probe_rng.Uniform(-500.0, 20500.0);
+    double b = probe_rng.Uniform(-500.0, 20500.0);
+    ranges[i] = {std::min(a, b), std::max(a, b)};
+  }
+
+  // Checksums first — and the reference kernels must agree bit-for-bit,
+  // which is the optimization's core claim.
+  double eq_sum = 0.0, range_sum = 0.0, distinct_sum = 0.0;
+  double ref_eq_sum = 0.0, ref_range_sum = 0.0;
+  for (int i = 0; i < kProbes; ++i) {
+    eq_sum += hist.SelectivityEq(eq_keys[i]);
+    ref_eq_sum += RefSelectivityEq(hist, eq_keys[i]);
+    const auto& [lo, hi] = ranges[i];
+    range_sum += hist.SelectivityRange(lo, (i & 1) != 0, hi, (i & 2) != 0);
+    ref_range_sum +=
+        RefSelectivityRange(hist, lo, (i & 1) != 0, hi, (i & 2) != 0);
+    distinct_sum += hist.DistinctInRange(lo, hi);
+  }
+  json->Add("selectivity_eq_checksum", eq_sum);
+  json->Add("selectivity_range_checksum", range_sum);
+  json->Add("distinct_checksum", distinct_sum);
+  json->Add("hist_ref_matches",
+            (eq_sum == ref_eq_sum && range_sum == ref_range_sum) ? 1.0 : 0.0);
+
+  constexpr int kReps = 50;
+  volatile double sink = 0.0;
+  const double eq_new_ms = BestMs([&] {
+    double s = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      for (int i = 0; i < kProbes; ++i) s += hist.SelectivityEq(eq_keys[i]);
+    }
+    sink = s;
+  });
+  const double eq_old_ms = BestMs([&] {
+    double s = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      for (int i = 0; i < kProbes; ++i) s += RefSelectivityEq(hist, eq_keys[i]);
+    }
+    sink = s;
+  });
+  const double range_new_ms = BestMs([&] {
+    double s = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      for (int i = 0; i < kProbes; ++i) {
+        const auto& [lo, hi] = ranges[i];
+        s += hist.SelectivityRange(lo, (i & 1) != 0, hi, (i & 2) != 0);
+      }
+    }
+    sink = s;
+  });
+  const double range_old_ms = BestMs([&] {
+    double s = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      for (int i = 0; i < kProbes; ++i) {
+        const auto& [lo, hi] = ranges[i];
+        s += RefSelectivityRange(hist, lo, (i & 1) != 0, hi, (i & 2) != 0);
+      }
+    }
+    sink = s;
+  });
+  (void)sink;
+
+  const double probes = static_cast<double>(kReps) * kProbes;
+  json->Add("hist_eq_ns_per_probe", eq_new_ms * 1e6 / probes);
+  json->Add("hist_range_ns_per_probe", range_new_ms * 1e6 / probes);
+  json->Add("hist_eq_speedup", eq_new_ms > 0 ? eq_old_ms / eq_new_ms : 0.0);
+  json->Add("hist_range_speedup",
+            range_new_ms > 0 ? range_old_ms / range_new_ms : 0.0);
+}
+
+// --- Section 2: plan-cache keys and probe accounting ----------------------
+
+void PlanCacheSection(BenchJson* json) {
+  TwoTableDb t = MakeTwoTableDb(4000, 100);
+  StatsCatalog catalog(&t.db);
+  const StatsView view(&catalog);
+  const Query query = MakeJoinQuery(t, 60);
+
+  SelectivityOverrides overrides;
+  for (int i = 0; i < 6; ++i) {
+    overrides[{SelVar::Kind::kFilter, i}] = 0.125 + 0.1 * i;
+  }
+  overrides[{SelVar::Kind::kJoin, 0}] = 0.01;
+
+  constexpr int kKeys = 20000;
+  volatile uint64_t sink = 0;
+  const double new_ms = BestMs([&] {
+    uint64_t acc = 0;
+    for (int i = 0; i < kKeys; ++i) {
+      acc ^= PlanCache::MakeKey(query, view, overrides).hash;
+    }
+    sink = acc;
+  });
+  const double old_ms = BestMs([&] {
+    uint64_t acc = 0;
+    for (int i = 0; i < kKeys; ++i) {
+      acc ^= static_cast<uint64_t>(RefKeyHash(query, view, overrides));
+    }
+    sink = acc;
+  });
+  (void)sink;
+  json->Add("key_hash_ns_per_key", new_ms * 1e6 / kKeys);
+  json->Add("key_hash_speedup", new_ms > 0 ? old_ms / new_ms : 0.0);
+
+  // Deterministic probe accounting: three identical single-threaded
+  // sweeps over the workload — round 1 misses, rounds 2-3 hit. Counts are
+  // interleaving-free at one thread, so they gate exactly.
+  SetNumThreads(1);
+  Optimizer optimizer(&t.db);
+  Workload w("hotpath");
+  w.AddQuery(MakeFilterQuery(t, 30));
+  w.AddQuery(MakeJoinQuery(t, 60));
+  w.AddQuery(MakeFilterQuery(t, 80, /*group=*/true));
+  w.AddQuery(MakeJoinQuery(t, 20));
+  for (int round = 0; round < 3; ++round) {
+    for (const Query* q : w.Queries()) {
+      (void)optimizer.Optimize(*q, StatsView(&catalog));
+    }
+  }
+  json->AddOptimizerCounters("probe", optimizer);
+
+  // Bit-identical parallelism: the workload exec-cost sweep must produce
+  // the same double at any thread count (per-index slots, ordered sum).
+  double costs[3] = {0.0, 0.0, 0.0};
+  const int thread_counts[3] = {1, 2, 4};
+  for (int i = 0; i < 3; ++i) {
+    SetNumThreads(thread_counts[i]);
+    costs[i] = WorkloadExecCost(t.db, catalog, optimizer, w);
+  }
+  SetNumThreads(1);
+  json->Add("exec_cost_t1", costs[0]);
+  json->Add("exec_cost_threads_equal",
+            (costs[0] == costs[1] && costs[1] == costs[2]) ? 1.0 : 0.0);
+}
+
+// --- Section 3: WAL group commit ------------------------------------------
+
+Workload WalWorkload(const TwoTableDb& t) {
+  Workload w("wal");
+  w.AddQuery(MakeFilterQuery(t, 30));
+  for (int i = 0; i < 10; ++i) {
+    DmlStatement dml;
+    dml.kind = DmlKind::kInsert;
+    dml.table = t.fact;
+    dml.row_count = 50 + 10 * i;
+    dml.seed = static_cast<uint64_t>(100 + i);
+    w.AddDml(dml);
+  }
+  w.AddQuery(MakeJoinQuery(t, 60));
+  return w;
+}
+
+// Runs the WAL workload at one group-commit setting; returns wall ms and
+// fills the fsync/append counts from the metrics registry.
+double RunWalOnce(int group_commit, double* fsyncs, double* appends) {
+  namespace fs = std::filesystem;
+  const std::string dir = "bench_hotpath.wal.dir";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  TwoTableDb t = MakeTwoTableDb(2000, 100);
+  const Workload w = WalWorkload(t);
+  StatsCatalog catalog(&t.db);
+  Result<std::unique_ptr<CatalogDurability>> opened = CatalogDurability::Open(
+      &catalog, {.dir = dir, .group_commit_statements = group_commit});
+  if (!opened.ok()) {
+    std::fprintf(stderr, "bench_hotpath: durability open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  Optimizer optimizer(&t.db);
+  ManagerPolicy policy;
+  policy.mode = CreationMode::kMnsaDOnTheFly;
+  policy.update_trigger.fraction = 0.01;
+  policy.update_trigger.floor = 1;
+  policy.update_trigger.incremental = true;
+  policy.durability_checkpoint_every = 0;  // no checkpoints: pure commits
+  AutoStatsManager manager(&t.db, &catalog, &optimizer, policy);
+  manager.AttachDurability(opened->get());
+
+  obs::MetricsRegistry::Instance().ResetAll();
+  obs::EnableMetrics(true);
+  WallTimer timer;
+  RunReport report = manager.Run(w);
+  const double ms = timer.ElapsedMs();
+  obs::EnableMetrics(false);
+
+  *fsyncs = 0.0;
+  *appends = 0.0;
+  for (const auto& [name, snap] :
+       obs::MetricsRegistry::Instance().HistogramValues()) {
+    if (name == "wal_fsync_us") *fsyncs = static_cast<double>(snap.count);
+    if (name == "wal_append_us") *appends = static_cast<double>(snap.count);
+  }
+  if (report.durability_failures != 0) {
+    std::fprintf(stderr, "bench_hotpath: durability failures in WAL run\n");
+    std::exit(1);
+  }
+  fs::remove_all(dir, ec);
+  return ms;
+}
+
+void WalSection(BenchJson* json) {
+  double fsyncs1 = 0.0, appends1 = 0.0, fsyncs8 = 0.0, appends8 = 0.0;
+  const double ms1 = RunWalOnce(1, &fsyncs1, &appends1);
+  const double ms8 = RunWalOnce(8, &fsyncs8, &appends8);
+  json->Add("wal_fsyncs_group1", fsyncs1);
+  json->Add("wal_fsyncs_group8", fsyncs8);
+  json->Add("wal_appends", appends1);
+  json->Add("wal_appends_group8_equal", appends1 == appends8 ? 1.0 : 0.0);
+  json->Add("wal_fsync_reduction", fsyncs8 > 0 ? fsyncs1 / fsyncs8 : 0.0);
+  json->Add("wal_run_ms_group1", ms1);
+  json->Add("wal_run_ms_group8", ms8);
+
+  // One instrumented run's full metric surface (counters, gauges,
+  // histogram count/mean/p50/p90/p99) — the PR 5 percentile fields the
+  // trajectory records but never gates.
+  TwoTableDb t = MakeTwoTableDb(2000, 100);
+  const Workload w = WalWorkload(t);
+  StatsCatalog catalog(&t.db);
+  Optimizer optimizer(&t.db);
+  ManagerPolicy policy;
+  policy.mode = CreationMode::kMnsaDOnTheFly;
+  policy.update_trigger.fraction = 0.01;
+  policy.update_trigger.floor = 1;
+  policy.update_trigger.incremental = true;
+  AutoStatsManager manager(&t.db, &catalog, &optimizer, policy);
+  obs::MetricsRegistry::Instance().ResetAll();
+  obs::EnableMetrics(true);
+  (void)manager.Run(w);
+  obs::EnableMetrics(false);
+  json->AddMetrics("run");
+}
+
+}  // namespace
+}  // namespace autostats::bench
+
+int main() {
+  using namespace autostats::bench;
+  std::setlocale(LC_NUMERIC, "C");  // %.17g must not localize decimal points
+  BenchJson json("hotpath");
+  HistogramSection(&json);
+  PlanCacheSection(&json);
+  WalSection(&json);
+  if (!json.Write()) return 1;
+  std::printf("bench_hotpath: BENCH_hotpath.json written\n");
+  return 0;
+}

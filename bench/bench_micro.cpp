@@ -57,6 +57,81 @@ void BM_BuildStatistic(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildStatistic)->Range(1024, 65536);
 
+// A fixed skewed histogram for the selectivity-kernel benchmarks; bucket
+// count sweeps with the benchmark range.
+Histogram MakeProbeHistogram(int num_buckets) {
+  std::vector<ValueFreq> dist;
+  dist.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    dist.push_back({static_cast<double>(i),
+                    1.0 + static_cast<double>((i * 2654435761ull) % 97)});
+  }
+  return BuildMaxDiff(dist, num_buckets);
+}
+
+// The pre-index SelectivityEq: a linear scan over the bucket vector. Kept
+// here as the microbenchmark baseline the branch-free binary search over
+// the flat edge arrays is measured against.
+double SelectivityEqLinearBaseline(const Histogram& h, double key) {
+  if (h.empty()) return 0.0;
+  if (key < h.min_value() || key > h.max_value()) return 0.0;
+  const std::vector<HistogramBucket>& buckets = h.buckets();
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const HistogramBucket& b = buckets[i];
+    const bool in =
+        (b.hi <= b.lo) ? (key == b.lo)
+        : (i == 0)     ? (key >= b.lo && key <= b.hi)
+                       : (key > b.lo && key <= b.hi);
+    if (in) {
+      const double d = std::max(b.distinct, 1.0);
+      return (b.rows / d) / h.total_rows();
+    }
+  }
+  return 0.0;
+}
+
+void BM_SelectivityEq(benchmark::State& state) {
+  const Histogram h = MakeProbeHistogram(static_cast<int>(state.range(0)));
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  double sum = 0.0;
+  for (auto _ : state) {
+    x ^= x >> 12; x ^= x << 25; x ^= x >> 27;
+    sum += h.SelectivityEq(static_cast<double>((x * 0x2545F4914F6CDD1Dull) %
+                                               21000));
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectivityEq)->Range(16, 256);
+
+void BM_SelectivityEqLinearBaseline(benchmark::State& state) {
+  const Histogram h = MakeProbeHistogram(static_cast<int>(state.range(0)));
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  double sum = 0.0;
+  for (auto _ : state) {
+    x ^= x >> 12; x ^= x << 25; x ^= x >> 27;
+    sum += SelectivityEqLinearBaseline(
+        h, static_cast<double>((x * 0x2545F4914F6CDD1Dull) % 21000));
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectivityEqLinearBaseline)->Range(16, 256);
+
+void BM_SelectivityRange(benchmark::State& state) {
+  const Histogram h = MakeProbeHistogram(static_cast<int>(state.range(0)));
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  double sum = 0.0;
+  for (auto _ : state) {
+    x ^= x >> 12; x ^= x << 25; x ^= x >> 27;
+    const double a = static_cast<double>((x * 0x2545F4914F6CDD1Dull) % 21000);
+    sum += h.SelectivityRange(a, false, a + 500.0, true);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectivityRange)->Range(16, 256);
+
 // A single-column table with ~632k distinct values in 1M rows — the
 // high-cardinality shape that stresses a node-per-key container hardest.
 const Database& HighCardinalityDb() {

@@ -1,0 +1,182 @@
+// bench_diff: the perf-trajectory regression gate. Compares freshly
+// produced BENCH_*.json files (bench binaries run with
+// AUTOSTATS_BENCH_JSON_DIR pointed at a scratch dir) against the committed
+// baselines in bench/baselines/, gating the series named in the rules
+// file. See docs/PERF.md for the workflow.
+//
+//   bench_diff --baseline-dir <dir> --fresh-dir <dir> --rules <file>
+//              [--allow-new-series]
+//       Exit 0 iff no gated series regressed beyond its tolerance.
+//       --allow-new-series lets a rule whose series has no committed
+//       baseline yet pass (the flow for landing a new benchmark together
+//       with its first baseline).
+//
+//   bench_diff --update-baselines --baseline-dir <dir> --fresh-dir <dir>
+//              --rules <file>
+//       Copies every BENCH_<bench>.json named by the rules from the fresh
+//       dir over the baseline dir — after validating that each fresh file
+//       parses and carries every gated series. Prints the diff first so
+//       the rebaseline is a reviewed, deliberate act, not a blind reset.
+//
+//   bench_diff --selftest
+//       Runs the parser/gate semantics selftest in a scratch directory.
+//       Exit 0 on pass.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "diag/bench_diff.h"
+
+using namespace autostats;
+using namespace autostats::diag;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_diff --baseline-dir <dir> --fresh-dir <dir> --rules "
+      "<file> [--allow-new-series] [--update-baselines]\n"
+      "       bench_diff --selftest\n");
+  return 2;
+}
+
+int RunSelfTest() {
+  std::error_code ec;
+  const std::filesystem::path scratch =
+      std::filesystem::temp_directory_path(ec) / "bench_diff_selftest";
+  if (ec) {
+    std::fprintf(stderr, "bench_diff: no temp dir: %s\n",
+                 ec.message().c_str());
+    return 1;
+  }
+  std::filesystem::remove_all(scratch, ec);
+  std::filesystem::create_directories(scratch, ec);
+  if (ec) {
+    std::fprintf(stderr, "bench_diff: cannot create %s: %s\n",
+                 scratch.string().c_str(), ec.message().c_str());
+    return 1;
+  }
+  const Status status = BenchDiffSelfTest(scratch.string());
+  std::filesystem::remove_all(scratch, ec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench_diff selftest: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("bench_diff selftest: OK\n");
+  return 0;
+}
+
+// Validates then copies the fresh BENCH files over the baselines.
+int UpdateBaselines(const std::string& baseline_dir,
+                    const std::string& fresh_dir,
+                    const std::vector<GateRule>& rules) {
+  std::set<std::string> benches;
+  for (const GateRule& rule : rules) benches.insert(rule.bench);
+  // Refuse to commit a fresh file that is unparseable or lacks a gated
+  // series — that baseline would make every future gate fail (or worse,
+  // an --allow-new-series run pass vacuously).
+  for (const std::string& bench : benches) {
+    const std::string path = fresh_dir + "/BENCH_" + bench + ".json";
+    Result<BenchDoc> doc = ParseBenchJson(path);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "bench_diff: refusing to install %s: %s\n",
+                   path.c_str(), doc.status().ToString().c_str());
+      return 1;
+    }
+    for (const GateRule& rule : rules) {
+      if (rule.bench != bench) continue;
+      if (doc.value().numbers.find(rule.series) ==
+          doc.value().numbers.end()) {
+        std::fprintf(stderr,
+                     "bench_diff: refusing to install %s: gated series "
+                     "\"%s\" missing\n",
+                     path.c_str(), rule.series.c_str());
+        return 1;
+      }
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(baseline_dir, ec);
+  for (const std::string& bench : benches) {
+    const std::string name = "BENCH_" + bench + ".json";
+    std::filesystem::copy_file(
+        fresh_dir + "/" + name, baseline_dir + "/" + name,
+        std::filesystem::copy_options::overwrite_existing, ec);
+    if (ec) {
+      std::fprintf(stderr, "bench_diff: copy %s failed: %s\n", name.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    std::printf("bench_diff: installed %s/%s\n", baseline_dir.c_str(),
+                name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_dir;
+  std::string fresh_dir;
+  std::string rules_path;
+  bool allow_new_series = false;
+  bool update_baselines = false;
+  bool selftest = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg == "--allow-new-series") {
+      allow_new_series = true;
+    } else if (arg == "--update-baselines") {
+      update_baselines = true;
+    } else if (arg == "--baseline-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      baseline_dir = v;
+    } else if (arg == "--fresh-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      fresh_dir = v;
+    } else if (arg == "--rules") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      rules_path = v;
+    } else {
+      std::fprintf(stderr, "bench_diff: unknown argument '%s'\n",
+                   arg.c_str());
+      return Usage();
+    }
+  }
+
+  if (selftest) return RunSelfTest();
+  if (baseline_dir.empty() || fresh_dir.empty() || rules_path.empty()) {
+    return Usage();
+  }
+
+  Result<std::vector<GateRule>> rules = ParseRulesFile(rules_path);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 rules.status().ToString().c_str());
+    return 2;
+  }
+
+  const DiffReport report = DiffAgainstBaselines(
+      baseline_dir, fresh_dir, rules.value(),
+      allow_new_series || update_baselines);
+  std::fputs(report.ToString().c_str(), stdout);
+
+  if (update_baselines) {
+    return UpdateBaselines(baseline_dir, fresh_dir, rules.value());
+  }
+  return report.ok() ? 0 : 1;
+}

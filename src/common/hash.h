@@ -1,0 +1,68 @@
+// Fast non-cryptographic 64-bit hashing for hot-path keys (plan cache,
+// bench fingerprints). The mixers are the SplitMix64 finalizer — full
+// avalanche, 3 multiplies — so a struct of scalar fields can be hashed by
+// direct field mixing with no string rendering in between.
+//
+// Not stable across releases: never persist these values (the WAL uses
+// Crc32 from stats/durability.h for on-disk integrity).
+#ifndef AUTOSTATS_COMMON_HASH_H_
+#define AUTOSTATS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace autostats {
+
+// SplitMix64 finalizer: bijective full-avalanche mix of one 64-bit word.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Streaming combiner: folds one word into a running seed. Order-sensitive
+// (HashCombine(a, b) != HashCombine(b, a)), as a key hash must be.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9E3779B97F4A7C15ull + (seed << 12) +
+                 (seed >> 4));
+}
+
+// Bytes hashed one 64-bit word at a time (8x fewer mix steps than a
+// byte-at-a-time FNV loop); the tail is zero-padded into a final word.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0x9E3779B97F4A7C15ull ^ static_cast<uint64_t>(len);
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, p + i, sizeof(word));
+    h = Mix64(h ^ word);
+  }
+  if (i < len) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, p + i, len - i);
+    h = Mix64(h ^ tail);
+  }
+  return h;
+}
+
+inline uint64_t HashStr(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+// A double hashed by bit pattern (distinguishes +0.0 / -0.0; collapses
+// nothing else).
+inline uint64_t HashDouble(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return Mix64(bits);
+}
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_COMMON_HASH_H_

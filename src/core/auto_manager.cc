@@ -256,6 +256,11 @@ RunReport AutoStatsManager::Run(const Workload& workload) {
       if (o.degraded) ++report.degraded_dml;
     }
   }
+  // Close the group-commit window: records appended during the stream's
+  // tail must be durable before the run is reported complete.
+  if (durability_ != nullptr && !durability_->crashed()) {
+    if (!durability_->Flush().ok()) ++report.durability_failures;
+  }
   return report;
 }
 

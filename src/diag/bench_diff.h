@@ -1,0 +1,94 @@
+// Regression gate for the committed perf trajectory. Each PR commits
+// canonical benchmark baselines (bench/baselines/BENCH_*.json, produced by
+// the bench binaries' BenchJson emission at fixed seeds and scale) plus a
+// rules file naming the gated series; bench_diff re-runs a fresh
+// measurement, diffs it against the committed baseline, and fails — exit
+// non-zero via the CLI in examples/bench_diff.cpp — on any regression
+// beyond a series' tolerance.
+//
+// Gating philosophy (docs/PERF.md): deterministic series (counts,
+// checksums of bit-identical selectivities) gate at 0% tolerance on any
+// machine; relative series (old-vs-new speedup ratios measured in the
+// same process) gate with loose thresholds; absolute latencies are
+// recorded in the baselines for trend reading but never gated, because
+// they measure the CI machine, not the code.
+#ifndef AUTOSTATS_DIAG_BENCH_DIFF_H_
+#define AUTOSTATS_DIAG_BENCH_DIFF_H_
+
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autostats::diag {
+
+// One BENCH_*.json file: the flat numeric series plus the string fields.
+struct BenchDoc {
+  std::string bench;  // the "bench" field ("hotpath", "policies", ...)
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+};
+
+// Parses the flat JSON BenchJson::Write emits ({"k": v, ...}, one level,
+// numbers and strings only). Not a general JSON parser; rejects nesting.
+Result<BenchDoc> ParseBenchJson(const std::string& path);
+
+// How one series is gated.
+enum class GateDirection {
+  kExact,           // |delta| beyond tolerance fails, either direction
+  kHigherIsBetter,  // fails when fresh < baseline by more than tolerance
+  kLowerIsBetter,   // fails when fresh > baseline by more than tolerance
+};
+
+struct GateRule {
+  std::string bench;   // which BENCH_<bench>.json the series lives in
+  std::string series;  // numeric key inside it
+  GateDirection direction = GateDirection::kExact;
+  double tolerance_percent = 0.0;
+  // Optional absolute floor the fresh value must clear regardless of the
+  // baseline (e.g. a speedup ratio that must stay >= 1.2). NaN = unused.
+  double min_value = std::numeric_limits<double>::quiet_NaN();
+};
+
+// Rules file: one rule per line,
+//   <bench> <series> <exact|higher|lower> <tolerance_percent> [min=<v>]
+// '#' starts a comment; blank lines are skipped.
+Result<std::vector<GateRule>> ParseRulesFile(const std::string& path);
+
+struct SeriesDiff {
+  GateRule rule;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double delta_percent = 0.0;
+  bool missing_baseline = false;  // series or file absent on the old side
+  bool missing_fresh = false;     // series or file absent on the new side
+  bool failed = false;
+  std::string verdict;  // one line: "ok" or why it failed
+};
+
+struct DiffReport {
+  std::vector<SeriesDiff> series;
+  int failures = 0;
+  bool ok() const { return failures == 0; }
+  std::string ToString() const;  // aligned table, one row per series
+};
+
+// Diffs every rule: baselines come from `baseline_dir`, fresh runs from
+// `fresh_dir` (both holding BENCH_<bench>.json files). A missing fresh
+// series always fails (the gate must not pass vacuously); a missing
+// baseline series fails unless `allow_new_series` (the flow for landing a
+// brand-new benchmark together with its baseline).
+DiffReport DiffAgainstBaselines(const std::string& baseline_dir,
+                                const std::string& fresh_dir,
+                                const std::vector<GateRule>& rules,
+                                bool allow_new_series = false);
+
+// In-process selftest of the parser and gate semantics (writes scratch
+// files under `scratch_dir`); returns the first failure, or OK.
+Status BenchDiffSelfTest(const std::string& scratch_dir);
+
+}  // namespace autostats::diag
+
+#endif  // AUTOSTATS_DIAG_BENCH_DIFF_H_

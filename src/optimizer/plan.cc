@@ -1,10 +1,77 @@
 #include "optimizer/plan.h"
 
 #include <algorithm>
+#include <new>
 
 #include "common/str_util.h"
 
 namespace autostats {
+
+namespace {
+
+// Slab pool for PlanNode. The optimizer's probe engine allocates and frees
+// nodes at very high rates (a tree per probe, a deep copy per cache hit),
+// and at 4096 cached plans the global allocator's lock and per-node
+// metadata dominate Clone(). Blocks are served LIFO from a per-thread free
+// list backed by chunked slabs, so the common alloc/free is a couple of
+// pointer moves with no lock.
+//
+// Slabs are retained for the life of the process (like the metrics
+// registry's leaky singletons): a node allocated by a probe worker can be
+// freed later by whichever thread evicts it from the plan cache, so slab
+// lifetime cannot be tied to any one thread. The pool object itself is
+// trivially destructible, which keeps frees during static destruction
+// (cached plans outliving main) safe.
+constexpr size_t kNodesPerSlab = 256;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct NodePool {
+  FreeBlock* free = nullptr;
+
+  void* Allocate() {
+    if (free == nullptr) Refill();
+    FreeBlock* block = free;
+    free = block->next;
+    return block;
+  }
+
+  void Free(void* ptr) {
+    FreeBlock* block = static_cast<FreeBlock*>(ptr);
+    block->next = free;
+    free = block;
+  }
+
+  void Refill() {
+    char* slab =
+        static_cast<char*>(::operator new(kNodesPerSlab * sizeof(PlanNode)));
+    for (size_t i = kNodesPerSlab; i-- > 0;) Free(slab + i * sizeof(PlanNode));
+  }
+};
+
+thread_local NodePool g_plan_node_pool;
+
+}  // namespace
+
+void* PlanNode::operator new(size_t size) {
+  if (size != sizeof(PlanNode)) return ::operator new(size);
+  return g_plan_node_pool.Allocate();
+}
+
+void PlanNode::operator delete(void* ptr) noexcept {
+  if (ptr != nullptr) g_plan_node_pool.Free(ptr);
+}
+
+void PlanNode::operator delete(void* ptr, size_t size) noexcept {
+  if (ptr == nullptr) return;
+  if (size != sizeof(PlanNode)) {
+    ::operator delete(ptr);
+    return;
+  }
+  g_plan_node_pool.Free(ptr);
+}
 
 const char* PlanOpName(PlanOp op) {
   switch (op) {

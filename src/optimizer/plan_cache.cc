@@ -4,7 +4,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/str_util.h"
+#include "common/hash.h"
 #include "obs/metrics.h"
 
 namespace autostats {
@@ -40,20 +40,6 @@ OptimizeResult CloneResult(const OptimizeResult& r) {
 
 }  // namespace
 
-size_t PlanCacheKeyHash::operator()(const PlanCacheKey& k) const {
-  const std::hash<std::string> h;
-  size_t seed = std::hash<uint64_t>{}(k.catalog_uid * 0x9e3779b97f4a7c15ULL ^
-                                      k.stats_version ^
-                                      (k.schema_version << 32));
-  const auto mix = [&seed](size_t v) {
-    seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
-  };
-  mix(h(k.query_fingerprint));
-  mix(h(k.view_signature));
-  mix(h(k.overrides_signature));
-  return seed;
-}
-
 PlanCache::PlanCache(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
@@ -66,20 +52,30 @@ PlanCacheKey PlanCache::MakeKey(const Query& query, const StatsView& view,
   key.query_fingerprint = query.Fingerprint();
   key.view_signature = view.Signature();
 
-  // Overrides in canonical (kind, index) order; exact value rendering.
-  std::vector<std::pair<SelVar, double>> sorted(overrides.begin(),
-                                                overrides.end());
-  std::sort(sorted.begin(), sorted.end(),
+  // Overrides in canonical (kind, index) order; values kept exact.
+  key.overrides.assign(overrides.begin(), overrides.end());
+  std::sort(key.overrides.begin(), key.overrides.end(),
             [](const auto& a, const auto& b) {
               if (a.first.kind != b.first.kind) {
                 return a.first.kind < b.first.kind;
               }
               return a.first.index < b.first.index;
             });
-  for (const auto& [var, value] : sorted) {
-    key.overrides_signature += StrFormat(
-        "%d:%d=%.17g;", static_cast<int>(var.kind), var.index, value);
+
+  // One hash per key, at construction: scalar fields mix directly, strings
+  // hash once, and each override folds in as two words ((kind, index)
+  // packed, then the value's bit pattern).
+  uint64_t h = Mix64(key.catalog_uid);
+  h = HashCombine(h, key.stats_version);
+  h = HashCombine(h, key.schema_version);
+  h = HashCombine(h, HashStr(key.query_fingerprint));
+  h = HashCombine(h, HashStr(key.view_signature));
+  for (const auto& [var, value] : key.overrides) {
+    h = HashCombine(h, (static_cast<uint64_t>(var.kind) << 32) |
+                           static_cast<uint32_t>(var.index));
+    h = HashCombine(h, HashDouble(value));
   }
+  key.hash = h;
   return key;
 }
 

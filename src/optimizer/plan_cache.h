@@ -27,6 +27,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "optimizer/optimizer.h"
 
@@ -38,13 +39,21 @@ struct PlanCacheKey {
   uint64_t schema_version = 0;
   std::string query_fingerprint;
   std::string view_signature;
-  std::string overrides_signature;
+  // Canonical (kind, index)-sorted overrides — compared exactly; no string
+  // rendering (the old "%d:%d=%.17g;" signature built and hashed a fresh
+  // string per probe, which dominated MakeKey).
+  std::vector<std::pair<SelVar, double>> overrides;
+  // Precomputed by MakeKey: a direct 64-bit mix of every field above, so
+  // map operations reuse it instead of re-walking the strings.
+  uint64_t hash = 0;
 
   bool operator==(const PlanCacheKey&) const = default;
 };
 
 struct PlanCacheKeyHash {
-  size_t operator()(const PlanCacheKey& k) const;
+  size_t operator()(const PlanCacheKey& k) const {
+    return static_cast<size_t>(k.hash);
+  }
 };
 
 struct PlanCacheStats {

@@ -406,14 +406,17 @@ Status FsyncStream(std::FILE* f, const std::string& what) {
   return Status::OK();
 }
 
-// Directory-entry durability for the renames; best-effort (a failure here
-// narrows the crash window but cannot corrupt state).
-void FsyncDir(const std::string& dir) {
+// Directory-entry durability for the renames. A failure cannot corrupt
+// state (the rename already happened), but it does mean the new entry may
+// not survive a power loss — so it is surfaced like any other fsync
+// failure and counted against the statement's durability accounting.
+Status FsyncDir(const std::string& dir) {
   const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
+  if (fd < 0) return Status::Internal("cannot open " + dir + " for fsync");
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) return Status::Internal("fsync failed for " + dir);
+  return Status::OK();
 }
 
 // snapshot-<lsn>.ckpt files in `dir`, as (lsn, path), newest first.
@@ -475,7 +478,15 @@ CatalogDurability::~CatalogDurability() {
   if (catalog_ != nullptr && catalog_->mutation_listener() == this) {
     catalog_->set_mutation_listener(nullptr);
   }
-  if (journal_ != nullptr) std::fclose(journal_);
+  if (journal_ != nullptr) {
+    // Best-effort close of the group-commit window: records already
+    // flushed to the OS but awaiting their batch fsync. No fault gates in
+    // a destructor — a simulated kill has already sealed the writer.
+    if (!sealed_ && appends_since_fsync_ > 0) {
+      FsyncStream(journal_, JournalPath());
+    }
+    std::fclose(journal_);
+  }
 }
 
 std::string CatalogDurability::JournalPath() const {
@@ -757,27 +768,40 @@ Status CatalogDurability::AppendFrame(const std::string& payload,
     return Status::Internal("journal flush failed in " + options_.dir);
   }
   *record_persisted = true;
+  return Status::OK();
+}
+
+Status CatalogDurability::SyncJournal(const char* gate_detail) {
+  // One physical fsync acknowledges every append since the last one.
+  appends_since_fsync_ = 0;
   int64_t fsync_torn = -1;
   const Status fsync_gate =
       PokeFaultCrash(faults::kPersistenceFsync, gate_detail, &fsync_torn);
   if (!fsync_gate.ok()) {
     if (fsync_torn >= 0) {
-      // Kill during fsync: the record reached the file before the
-      // "death", so recovery replays it — a committed-but-unacked
-      // statement, the classic group-commit window.
+      // Kill during fsync: the records reached the file before the
+      // "death", so recovery replays them — committed-but-unacked
+      // statements, the classic group-commit window.
       Seal();
       return fsync_gate;
     }
-    // Plain fsync failure: the record is in the file (recovery would see
-    // it), so the commit must count — surfacing the error is accounting,
-    // not rollback. POSIX gives no honest retry after a failed fsync.
+    // Plain fsync failure: the records are in the file (recovery would
+    // see them), so the commits must count — surfacing the error is
+    // accounting, not rollback. POSIX gives no honest retry after a
+    // failed fsync.
     return fsync_gate;
   }
-  {
-    obs::ScopedLatency timer(WalFsyncHistogram());
-    AUTOSTATS_RETURN_IF_ERROR(FsyncStream(journal_, JournalPath()));
+  obs::ScopedLatency timer(WalFsyncHistogram());
+  return FsyncStream(journal_, JournalPath());
+}
+
+Status CatalogDurability::Flush() {
+  if (sealed_) {
+    return Status::FailedPrecondition(
+        "durability sealed after simulated crash; reopen to recover");
   }
-  return Status::OK();
+  if (appends_since_fsync_ == 0) return Status::OK();
+  return SyncJournal("journal");
 }
 
 Status CatalogDurability::CommitStatement() {
@@ -807,6 +831,19 @@ Status CatalogDurability::CommitStatement() {
           .Bool("record_persisted", false);
     }
     return appended;
+  }
+  // The record is in the file; now pay the fsync — or, under group
+  // commit, defer it until the batch fills. A deferred record sits in the
+  // OS page cache: it survives process death (the write () completed) but
+  // not a machine crash, the documented group-commit window.
+  if (appended.ok() &&
+      ++appends_since_fsync_ >=
+          std::max(1, options_.group_commit_statements)) {
+    appended = SyncJournal("journal");
+    // Kill during the batch fsync: the writer is sealed before the LSN is
+    // consumed, so recovery replays this record from the file — identical
+    // to the pre-group-commit behaviour.
+    if (sealed_) return appended;
   }
   // The record is in the file (even if its fsync failed — recovery would
   // replay it), so the commit stands and the LSN is consumed; a failed
@@ -874,8 +911,7 @@ Status CatalogDurability::PublishFile(const std::string& tmp,
   if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
     return Status::Internal("rename failed: " + tmp + " -> " + final_path);
   }
-  FsyncDir(options_.dir);
-  return Status::OK();
+  return FsyncDir(options_.dir);
 }
 
 Status CatalogDurability::Checkpoint() {
@@ -923,6 +959,9 @@ Status CatalogDurability::CheckpointImpl() {
     Seal();  // no journal to append to — equivalent to losing the disk
     return Status::Internal("cannot reopen " + JournalPath());
   }
+  // Any appends awaiting their group fsync lived in the journal that was
+  // just swapped out; the snapshot covers them, so the window is clean.
+  appends_since_fsync_ = 0;
 
   // Prune: keep the newest keep_snapshots, drop the rest.
   const int keep = std::max(options_.keep_snapshots, 1);

@@ -16,6 +16,7 @@ Histogram BuildEquiDepth(const std::vector<ValueFreq>& value_freqs,
   const double target = total_rows / num_buckets;
 
   std::vector<HistogramBucket> buckets;
+  buckets.reserve(static_cast<size_t>(num_buckets));
   HistogramBucket cur;
   cur.lo = value_freqs.front().value;
   bool open = false;

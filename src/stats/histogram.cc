@@ -23,13 +23,66 @@ double CoveredFraction(const HistogramBucket& b, double a, double bb) {
   return (hi - lo) / (b.hi - b.lo);
 }
 
+// Branchless lower bound: first index i in [0, n) with a[i] >= key, or n.
+// The halving loop compiles to a cmov per step (no mispredicted branch),
+// which is what makes bucket search flat-cost across key distributions.
+// NaN keys compare false everywhere and return 0; callers guard NaN before
+// using the result.
+size_t LowerBound(const double* a, size_t n, double key) {
+  if (n == 0) return 0;
+  size_t base = 0;
+  size_t len = n;
+  while (len > 1) {
+    const size_t half = len / 2;
+    base += (a[base + half - 1] < key) ? half : 0;
+    len -= half;
+  }
+  return base + (a[base] < key ? 1 : 0);
+}
+
+// Branchless upper bound: first index i in [0, n) with a[i] > key, or n.
+size_t UpperBound(const double* a, size_t n, double key) {
+  if (n == 0) return 0;
+  size_t base = 0;
+  size_t len = n;
+  while (len > 1) {
+    const size_t half = len / 2;
+    base += (a[base + half - 1] <= key) ? half : 0;
+    len -= half;
+  }
+  return base + (a[base] <= key ? 1 : 0);
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<HistogramBucket> buckets, double total_rows,
                      double total_distinct)
     : buckets_(std::move(buckets)),
       total_rows_(total_rows),
-      total_distinct_(std::max(total_distinct, 1.0)) {}
+      total_distinct_(std::max(total_distinct, 1.0)) {
+  BuildSearchIndex();
+}
+
+void Histogram::BuildSearchIndex() {
+  los_.resize(buckets_.size());
+  his_.resize(buckets_.size());
+  edges_sorted_ = true;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    los_[i] = buckets_[i].lo;
+    his_[i] = buckets_[i].hi;
+    // Monotone (non-decreasing) lo and hi sequences are what the binary
+    // searches need; every builder produces them, but a hand-assembled
+    // histogram might not. NaN edges compare false and also disable the
+    // fast path.
+    if (i > 0 && !(los_[i - 1] <= los_[i] && his_[i - 1] <= his_[i])) {
+      edges_sorted_ = false;
+    }
+  }
+  if (!buckets_.empty() &&
+      (std::isnan(buckets_.front().lo) || std::isnan(buckets_.back().hi))) {
+    edges_sorted_ = false;
+  }
+}
 
 double Histogram::min_value() const {
   AUTOSTATS_CHECK(!buckets_.empty());
@@ -42,9 +95,20 @@ double Histogram::max_value() const {
 }
 
 double Histogram::SelectivityEq(double key) const {
-  if (empty()) return 0.0;
+  if (empty() || std::isnan(key)) return 0.0;
   if (key < min_value() || key > max_value()) return 0.0;
-  for (size_t i = 0; i < buckets_.size(); ++i) {
+  // Narrow to the buckets that can possibly contain `key`: everything
+  // before the first hi >= key fails `key <= b.hi` (and `key == b.lo` for
+  // singletons, whose hi == lo); everything from the first lo > key fails
+  // `key >(=) b.lo`. The scan inside the window is the original predicate,
+  // so the result is bit-identical to the full linear scan.
+  size_t begin = 0;
+  size_t end = buckets_.size();
+  if (edges_sorted_) {
+    begin = LowerBound(his_.data(), his_.size(), key);
+    end = UpperBound(los_.data(), los_.size(), key);
+  }
+  for (size_t i = begin; i < end; ++i) {
     const HistogramBucket& b = buckets_[i];
     const bool in =
         (b.hi <= b.lo) ? (key == b.lo)  // singleton (end-biased) bucket
@@ -60,12 +124,24 @@ double Histogram::SelectivityEq(double key) const {
 
 double Histogram::SelectivityRange(double lo, bool lo_inclusive, double hi,
                                    bool hi_inclusive) const {
-  if (empty()) return 0.0;
+  if (empty() || std::isnan(lo) || std::isnan(hi)) return 0.0;
   if (hi < lo) return 0.0;
   // Treat interval as (lo, hi] over numeric keys, then patch the endpoint
   // inclusion with equality estimates.
+  //
+  // Buckets with b.hi < lo or b.lo > hi have CoveredFraction exactly 0.0
+  // (for both regular and singleton buckets), so skipping them leaves the
+  // left-to-right sum bit-identical. The window bounds come from the
+  // branchless searches over the flat edge arrays.
   double rows = 0.0;
-  for (const HistogramBucket& b : buckets_) {
+  size_t begin = 0;
+  size_t end = buckets_.size();
+  if (edges_sorted_) {
+    begin = LowerBound(his_.data(), his_.size(), lo);
+    end = UpperBound(los_.data(), los_.size(), hi);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    const HistogramBucket& b = buckets_[i];
     rows += b.rows * CoveredFraction(b, lo, hi);
   }
   double sel = rows / total_rows_;
@@ -79,9 +155,16 @@ double Histogram::SelectivityRange(double lo, bool lo_inclusive, double hi,
 }
 
 double Histogram::DistinctInRange(double lo, double hi) const {
-  if (empty() || hi < lo) return 0.0;
+  if (empty() || std::isnan(lo) || std::isnan(hi) || hi < lo) return 0.0;
   double distinct = 0.0;
-  for (const HistogramBucket& b : buckets_) {
+  size_t begin = 0;
+  size_t end = buckets_.size();
+  if (edges_sorted_) {
+    begin = LowerBound(his_.data(), his_.size(), lo);
+    end = UpperBound(los_.data(), los_.size(), hi);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    const HistogramBucket& b = buckets_[i];
     distinct += b.distinct * CoveredFraction(b, lo, hi);
   }
   return std::max(distinct, 0.0);

@@ -58,7 +58,19 @@ class Histogram {
   std::string ToString() const;
 
  private:
+  // Builds the flat boundary arrays (los_/his_) the branch-free bucket
+  // search runs over, and records whether they are sorted (binary search
+  // is only valid on monotone edges; unsorted inputs fall back to the
+  // full linear scan, which is always correct).
+  void BuildSearchIndex();
+
   std::vector<HistogramBucket> buckets_;
+  // Flat copies of the bucket edges: the hot kernels binary-search these
+  // contiguous arrays instead of striding through the 32-byte bucket
+  // structs, so the search touches 4x fewer cache lines.
+  std::vector<double> los_;
+  std::vector<double> his_;
+  bool edges_sorted_ = false;
   double total_rows_ = 0.0;
   double total_distinct_ = 0.0;
 };

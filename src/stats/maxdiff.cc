@@ -18,16 +18,18 @@ Histogram BuildMaxDiff(const std::vector<ValueFreq>& value_freqs,
 
   // Area of value i = freq(i) * spread(i), spread = distance to next value.
   // Boundary candidates are between consecutive values, scored by the
-  // absolute difference of adjacent areas.
-  std::vector<std::pair<double, size_t>> diffs;  // (score, boundary after i)
-  diffs.reserve(n > 0 ? n - 1 : 0);
-  auto area = [&](size_t i) {
+  // absolute difference of adjacent areas. Areas are materialized once in
+  // a flat pass (each is needed by two adjacent diffs).
+  std::vector<double> areas(n);
+  for (size_t i = 0; i < n; ++i) {
     const double spread =
         (i + 1 < n) ? (value_freqs[i + 1].value - value_freqs[i].value) : 1.0;
-    return value_freqs[i].freq * std::max(spread, 1e-12);
-  };
+    areas[i] = value_freqs[i].freq * std::max(spread, 1e-12);
+  }
+  std::vector<std::pair<double, size_t>> diffs;  // (score, boundary after i)
+  diffs.reserve(n > 0 ? n - 1 : 0);
   for (size_t i = 0; i + 1 < n; ++i) {
-    diffs.emplace_back(std::fabs(area(i + 1) - area(i)), i);
+    diffs.emplace_back(std::fabs(areas[i + 1] - areas[i]), i);
   }
   const size_t num_boundaries =
       std::min(diffs.size(), static_cast<size_t>(num_buckets - 1));
@@ -43,6 +45,7 @@ Histogram BuildMaxDiff(const std::vector<ValueFreq>& value_freqs,
   std::sort(boundaries.begin(), boundaries.end());
 
   std::vector<HistogramBucket> buckets;
+  buckets.reserve(num_boundaries + 1);
   size_t start = 0;
   auto flush = [&](size_t end) {  // values [start, end] inclusive
     HistogramBucket b;

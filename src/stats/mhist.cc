@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <memory>
 #include <queue>
-#include <set>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/str_util.h"
@@ -28,12 +27,29 @@ struct BuildBucket {
 // Finds the MaxDiff boundary of the marginal distribution along `dim`:
 // the largest |area(i+1) - area(i)| between adjacent distinct values.
 // Returns (score, boundary); score < 0 when the bucket cannot be split.
+//
+// The marginal is built by sort + run-length encode over flat scratch
+// vectors instead of a std::map (one node allocation per point). The
+// frequencies are run lengths — identical to the map's sum of 1.0
+// increments, since small integer counts are exact in double — and the
+// ascending iteration order matches the map's, so every downstream
+// accumulation is bit-identical.
 std::pair<double, double> MarginalMaxDiff(
     const std::vector<std::array<double, 2>>& points, int dim) {
-  std::map<double, double> freq;
-  for (const auto& p : points) freq[p[static_cast<size_t>(dim)]] += 1.0;
-  if (freq.size() < 2) return {-1.0, 0.0};
-  std::vector<std::pair<double, double>> vf(freq.begin(), freq.end());
+  thread_local std::vector<double> scratch;
+  thread_local std::vector<std::pair<double, double>> vf;
+  scratch.clear();
+  scratch.reserve(points.size());
+  for (const auto& p : points) scratch.push_back(p[static_cast<size_t>(dim)]);
+  std::sort(scratch.begin(), scratch.end());
+  vf.clear();
+  for (size_t i = 0; i < scratch.size();) {
+    size_t j = i;
+    while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+    vf.emplace_back(scratch[i], static_cast<double>(j - i));
+    i = j;
+  }
+  if (vf.size() < 2) return {-1.0, 0.0};
   auto area = [&](size_t i) {
     const double spread =
         (i + 1 < vf.size()) ? (vf[i + 1].first - vf[i].first) : 1.0;
@@ -86,16 +102,26 @@ GridBucket Finalize(const std::vector<std::array<double, 2>>& points) {
   AUTOSTATS_CHECK(!points.empty());
   g.lo1 = g.hi1 = points[0][0];
   g.lo2 = g.hi2 = points[0][1];
-  std::set<std::pair<double, double>> distinct;
+  // Distinct pairs via sort + adjacent-unique on a flat scratch vector:
+  // same count a std::set would produce, without a node allocation per
+  // point.
+  thread_local std::vector<std::pair<double, double>> scratch;
+  scratch.clear();
+  scratch.reserve(points.size());
   for (const auto& p : points) {
     g.lo1 = std::min(g.lo1, p[0]);
     g.hi1 = std::max(g.hi1, p[0]);
     g.lo2 = std::min(g.lo2, p[1]);
     g.hi2 = std::max(g.hi2, p[1]);
-    distinct.insert({p[0], p[1]});
+    scratch.emplace_back(p[0], p[1]);
+  }
+  std::sort(scratch.begin(), scratch.end());
+  size_t distinct = 0;
+  for (size_t i = 0; i < scratch.size(); ++i) {
+    distinct += (i == 0 || scratch[i] != scratch[i - 1]) ? 1 : 0;
   }
   g.rows = static_cast<double>(points.size());
-  g.distinct = static_cast<double>(distinct.size());
+  g.distinct = static_cast<double>(distinct);
   return g;
 }
 

@@ -33,6 +33,7 @@
 #include "common/parallel.h"
 #include "core/auto_manager.h"
 #include "executor/dml_exec.h"
+#include "obs/metrics.h"
 #include "stats/stats_catalog.h"
 #include "tests/test_util.h"
 
@@ -575,7 +576,119 @@ TEST_F(DurabilityTest, PlainAppendFailureRetriesUnderSameLsn) {
   fs::remove_all(dir, ec);
 }
 
-// --- 5. Artifacts for the stats_fsck ctest step ---------------------------
+// --- 5. Group commit ------------------------------------------------------
+
+// With group_commit_statements = N, every statement still appends its own
+// record (statement-boundary atomicity) but only every Nth commit fsyncs;
+// Flush() closes a partial batch. The journal contents — and therefore
+// recovery — are bit-identical to per-statement fsync.
+TEST_F(DurabilityTest, GroupCommitBatchesFsyncsAndFlushCloses) {
+  const std::string dir = FreshDir("groupcommit");
+  TwoTableDb t = MakeTwoTableDb(kFactRows, 100);
+  StatsCatalog catalog(&t.db);
+  Result<std::unique_ptr<CatalogDurability>> opened = CatalogDurability::Open(
+      &catalog, {.dir = dir, .group_commit_statements = 3});
+  ASSERT_TRUE(opened.ok());
+  CatalogDurability* d = opened->get();
+
+  for (int i = 0; i < 5; ++i) {
+    catalog.Tick();
+    catalog.CreateStatistic({ColumnRef{t.fact, static_cast<ColumnId>(i % 4)}});
+    ASSERT_TRUE(d->CommitStatement().ok());
+    // Commits 1,2 buffer; 3 fsyncs the batch; 4,5 buffer again.
+    EXPECT_EQ(d->unsynced_appends(), (i + 1) % 3) << i;
+    EXPECT_EQ(d->last_committed_lsn(), static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(d->unsynced_appends(), 2);
+  ASSERT_TRUE(d->Flush().ok());
+  EXPECT_EQ(d->unsynced_appends(), 0);
+  ASSERT_TRUE(d->Flush().ok());  // idempotent no-op
+
+  // Every record — batched or not — is in the journal: recovery sees all 5.
+  StatsCatalog recovered(&t.db);
+  RecoveryInfo info;
+  Result<std::unique_ptr<CatalogDurability>> reopened =
+      CatalogDurability::Open(&recovered, {.dir = dir}, &info);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(info.last_lsn, 5u);
+  EXPECT_EQ(info.records_replayed, 5u);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+// The physical fsync count drops N-fold: the wal_fsync_us histogram's
+// count field counts FsyncStream calls on the journal.
+TEST_F(DurabilityTest, GroupCommitReducesPhysicalFsyncs) {
+  auto fsyncs_for = [&](int group) -> int64_t {
+    const std::string dir = FreshDir("fsynccount");
+    TwoTableDb t = MakeTwoTableDb(kFactRows, 100);
+    StatsCatalog catalog(&t.db);
+    Result<std::unique_ptr<CatalogDurability>> opened =
+        CatalogDurability::Open(
+            &catalog, {.dir = dir, .group_commit_statements = group});
+    EXPECT_TRUE(opened.ok());
+    obs::MetricsRegistry::Instance().ResetAll();
+    obs::EnableMetrics(true);
+    for (int i = 0; i < 12; ++i) {
+      catalog.Tick();
+      catalog.CreateStatistic({ColumnRef{t.fact, static_cast<ColumnId>(i % 3)}});
+      EXPECT_TRUE((*opened)->CommitStatement().ok());
+    }
+    EXPECT_TRUE((*opened)->Flush().ok());
+    obs::EnableMetrics(false);
+    int64_t count = 0;
+    for (const auto& [name, snap] :
+         obs::MetricsRegistry::Instance().HistogramValues()) {
+      if (name == "wal_fsync_us") count = snap.count;
+    }
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    return count;
+  };
+  EXPECT_EQ(fsyncs_for(1), 12);
+  EXPECT_EQ(fsyncs_for(4), 3);   // 12 statements in 3 full batches
+  EXPECT_EQ(fsyncs_for(5), 3);   // 2 full batches + Flush() of the tail
+}
+
+// A simulated kill on the batch fsync must behave exactly like the
+// per-statement case: the writer seals, the in-file records replay on
+// recovery, and the resumed run converges bit-identically.
+TEST_F(DurabilityTest, GroupCommitCrashMidBatchRecoversAtStatementBoundary) {
+  SetNumThreads(1);
+  TwoTableDb t = MakeTwoTableDb(kFactRows, 100);
+  const Workload w = CrashWorkload(t);
+  const Baseline base = ComputeBaseline(w);
+
+  const std::string dir = FreshDir("groupcrash");
+  FaultSchedule schedule;
+  schedule.kind = FaultKind::kFailNth;
+  schedule.nth = 2;
+  schedule.count = 1;
+  schedule.torn_write_bytes = 0;
+  FaultInjector::Instance().Arm(faults::kPersistenceFsync, schedule);
+  {
+    TwoTableDb run_db = MakeTwoTableDb(kFactRows, 100);
+    StatsCatalog catalog(&run_db.db);
+    Result<std::unique_ptr<CatalogDurability>> opened =
+        CatalogDurability::Open(
+            &catalog, {.dir = dir, .group_commit_statements = 2});
+    ASSERT_TRUE(opened.ok());
+    Optimizer optimizer(&run_db.db);
+    AutoStatsManager manager(&run_db.db, &catalog, &optimizer, TestPolicy());
+    manager.AttachDurability(opened->get());
+    for (const Statement& s : w.statements()) {
+      manager.Process(s);
+      if ((*opened)->crashed()) break;
+    }
+    EXPECT_TRUE((*opened)->crashed());
+  }
+  FaultInjector::Instance().Reset();
+  RecoverResumeAndCheck(w, dir, base, "group-commit fsync kill");
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+// --- 6. Artifacts for the stats_fsck ctest step ---------------------------
 
 // Leaves a clean, representative durability directory (snapshot rotation
 // + live journal records) in the working directory; the `stats_fsck_scan`
