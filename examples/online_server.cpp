@@ -11,11 +11,23 @@
 //
 // The interesting read: mnsa/mnsa-d match sqlserver7's execution cost at a
 // fraction of its statistics-creation and update spending.
+//
+// Part two re-runs the same comparison *multi-tenant*: every policy
+// becomes one tenant of a single AutoStatsServer (server/) sharing a
+// worker pool, and the per-tenant accounting must match the standalone
+// loops exactly — the server's tenant-isolation contract rendered as a
+// table.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include "core/auto_manager.h"
 #include "core/candidate.h"
 #include "rags/rags.h"
+#include "server/autostats_server.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/schema.h"
 
@@ -33,35 +45,72 @@ std::vector<CandidateStat> SingleColumnOnly(const Query& q) {
   return out;
 }
 
-RunReport Serve(CreationMode mode, bool single_column_candidates,
-                bool aging) {
-  // Every policy gets an identical fresh server: same data, same stream.
+struct PolicyRow {
+  const char* label;
+  CreationMode mode;
+  bool single_column;
+  bool aging;
+};
+
+constexpr PolicyRow kRows[] = {
+    {"none", CreationMode::kNone, false, false},
+    {"sqlserver7-auto-stats", CreationMode::kSqlServer7, true, false},
+    {"mnsa (1-col space)", CreationMode::kMnsaOnTheFly, true, false},
+    {"mnsa-d (1-col space)", CreationMode::kMnsaDOnTheFly, true, false},
+    {"mnsa-d (full candidates)", CreationMode::kMnsaDOnTheFly, false, false},
+    {"mnsa-d (full) + aging", CreationMode::kMnsaDOnTheFly, false, true},
+};
+
+// Every policy gets an identical fresh server: same data, same stream.
+Database MakeServerDb() {
   tpcd::TpcdConfig db_config;
   db_config.scale_factor = 0.002;
   db_config.skew_mode = tpcd::SkewMode::kFixed;
   db_config.z = 2.0;
-  Database db = tpcd::BuildTpcd(db_config);
+  return tpcd::BuildTpcd(db_config);
+}
 
+Workload MakeStream(const Database& db) {
   rags::RagsConfig rags_config;
   rags_config.num_statements = 120;
   rags_config.update_fraction = 0.25;
   rags_config.complexity = rags::Complexity::kComplex;
   rags_config.join_edges = tpcd::TpcdForeignKeys(db);
-  const Workload w = rags::Generate(db, rags_config);
+  return rags::Generate(db, rags_config);
+}
 
-  StatsCatalog catalog(&db);
-  Optimizer optimizer(&db);
+ManagerPolicy MakePolicy(const PolicyRow& row) {
   ManagerPolicy policy;
-  policy.mode = mode;
+  policy.mode = row.mode;
   policy.mnsa.t_percent = 20.0;
-  if (single_column_candidates) policy.mnsa.candidates = SingleColumnOnly;
-  policy.enable_aging = aging;
+  if (row.single_column) policy.mnsa.candidates = SingleColumnOnly;
+  policy.enable_aging = row.aging;
   policy.aging.cooldown_ticks = 300;
   policy.aging.expensive_query_cost = 2000.0;
-  AutoStatsManager manager(&db, &catalog, &optimizer, policy);
+  return policy;
+}
+
+RunReport Serve(const PolicyRow& row) {
+  Database db = MakeServerDb();
+  const Workload w = MakeStream(db);
+  StatsCatalog catalog(&db);
+  Optimizer optimizer(&db);
+  AutoStatsManager manager(&db, &catalog, &optimizer, MakePolicy(row));
   RunReport report = manager.Run(w);
   report.update_cost += catalog.PendingUpdateCost();  // steady-state burden
   return report;
+}
+
+void PrintRow(const char* label, const RunReport& r) {
+  std::printf("%-26s %12.0f %14.0f %14.0f %10lld %10lld\n", label,
+              r.exec_cost, r.creation_cost, r.update_cost,
+              static_cast<long long>(r.stats_created),
+              static_cast<long long>(r.stats_dropped));
+}
+
+void PrintHeader() {
+  std::printf("%-26s %12s %14s %14s %10s %10s\n", "policy", "exec_cost",
+              "creation_cost", "update_burden", "#created", "#dropped");
 }
 
 }  // namespace
@@ -69,32 +118,73 @@ RunReport Serve(CreationMode mode, bool single_column_candidates,
 int main() {
   std::printf("Online auto-statistics server: 120-statement U25-C stream on "
               "skewed TPC-D (z=2)\n\n");
-  std::printf("%-26s %12s %14s %14s %10s %10s\n", "policy", "exec_cost",
-              "creation_cost", "update_burden", "#created", "#dropped");
-  struct Row {
-    const char* label;
-    CreationMode mode;
-    bool single_column;
-    bool aging;
-  };
-  const Row rows[] = {
-      {"none", CreationMode::kNone, false, false},
-      {"sqlserver7-auto-stats", CreationMode::kSqlServer7, true, false},
-      {"mnsa (1-col space)", CreationMode::kMnsaOnTheFly, true, false},
-      {"mnsa-d (1-col space)", CreationMode::kMnsaDOnTheFly, true, false},
-      {"mnsa-d (full candidates)", CreationMode::kMnsaDOnTheFly, false,
-       false},
-      {"mnsa-d (full) + aging", CreationMode::kMnsaDOnTheFly, false, true},
-  };
-  for (const Row& row : rows) {
-    const RunReport r = Serve(row.mode, row.single_column, row.aging);
-    std::printf("%-26s %12.0f %14.0f %14.0f %10lld %10lld\n", row.label,
-                r.exec_cost, r.creation_cost, r.update_cost,
-                static_cast<long long>(r.stats_created),
-                static_cast<long long>(r.stats_dropped));
+  PrintHeader();
+  RunReport standalone[std::size(kRows)];
+  for (size_t i = 0; i < std::size(kRows); ++i) {
+    standalone[i] = Serve(kRows[i]);
+    PrintRow(kRows[i].label, standalone[i]);
   }
   std::printf(
       "\n(update_burden = refresh cost paid during the stream plus the\n"
       " steady-state cost of refreshing the statistics left behind.)\n");
-  return 0;
+
+  // --- Part two: the same six policies as tenants of one server. -----------
+  // One AutoStatsServer, a shared worker pool, six tenant databases; each
+  // tenant's stream is the identical 120-statement mix. Per-tenant
+  // isolation means each report must equal the standalone run above.
+  std::printf("\nSame comparison, multi-tenant: six tenants, one "
+              "AutoStatsServer, 2 workers\n\n");
+  std::vector<Database> dbs;
+  dbs.reserve(std::size(kRows));
+  std::vector<Workload> streams;
+  streams.reserve(std::size(kRows));
+  for (size_t i = 0; i < std::size(kRows); ++i) {
+    dbs.push_back(MakeServerDb());
+    streams.push_back(MakeStream(dbs.back()));
+  }
+
+  ServerOptions options;
+  options.num_workers = 2;
+  AutoStatsServer server(options);
+  for (size_t i = 0; i < std::size(kRows); ++i) {
+    TenantConfig tc;
+    tc.name = "policy" + std::to_string(i);
+    tc.db = &dbs[i];
+    tc.policy = MakePolicy(kRows[i]);
+    server.AddTenant(tc);
+  }
+  server.Start();
+  // Round-robin ingress: per-tenant order is each tenant's stream order.
+  for (size_t s = 0; s < streams[0].size(); ++s) {
+    for (size_t i = 0; i < std::size(kRows); ++i) {
+      server.Submit(i, streams[i].statements()[s]);
+    }
+  }
+  server.Drain();
+  server.Stop();
+
+  PrintHeader();
+  bool all_match = true;
+  // Statement/statistic counts must agree exactly; the cost sums are
+  // reduced in batch order by the server (vs statement order standalone),
+  // so those doubles agree only up to addition-regrouping low bits.
+  const auto close = [](double a, double b) {
+    const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    return std::abs(a - b) <= 1e-9 * scale;
+  };
+  for (size_t i = 0; i < std::size(kRows); ++i) {
+    RunReport r = server.Report(i);
+    r.update_cost += server.catalog(i).PendingUpdateCost();
+    PrintRow(kRows[i].label, r);
+    all_match = all_match && close(r.exec_cost, standalone[i].exec_cost) &&
+                close(r.creation_cost, standalone[i].creation_cost) &&
+                close(r.update_cost, standalone[i].update_cost) &&
+                r.stats_created == standalone[i].stats_created &&
+                r.stats_dropped == standalone[i].stats_dropped &&
+                r.num_queries == standalone[i].num_queries &&
+                r.num_dml == standalone[i].num_dml;
+  }
+  std::printf("\nper-tenant accounting matches the standalone loops: %s\n",
+              all_match ? "yes" : "NO — tenant isolation broken");
+  return all_match ? 0 : 1;
 }

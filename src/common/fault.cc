@@ -24,6 +24,18 @@ const std::vector<std::string>& AllFaultPoints() {
   return kPoints;
 }
 
+namespace {
+thread_local std::string t_fault_scope;
+}  // namespace
+
+ScopedFaultScope::ScopedFaultScope(std::string tag) : prev_(t_fault_scope) {
+  t_fault_scope = std::move(tag);
+}
+
+ScopedFaultScope::~ScopedFaultScope() { t_fault_scope = prev_; }
+
+const std::string& ScopedFaultScope::Current() { return t_fault_scope; }
+
 FaultInjector& FaultInjector::Instance() {
   static FaultInjector* injector = new FaultInjector();
   return *injector;
@@ -56,6 +68,16 @@ void FaultInjector::Reset() {
 
 Status FaultInjector::Poke(const char* point, const char* detail,
                            int64_t* torn_write_bytes) {
+  // Compose the thread's fault scope tag (ScopedFaultScope) into the
+  // detail the schedule's match filter sees: "<tag>|<detail>". Substring
+  // matching keeps both plain detail filters and scope filters working.
+  std::string scoped_detail;
+  if (!t_fault_scope.empty()) {
+    scoped_detail = t_fault_scope;
+    scoped_detail += '|';
+    if (detail != nullptr) scoped_detail += detail;
+    detail = scoped_detail.c_str();
+  }
   int latency_micros = 0;
   bool fired = false;
   int64_t fire_index = 0;

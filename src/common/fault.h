@@ -116,6 +116,30 @@ inline bool FaultsArmed() {
   return fault_internal::g_armed.load(std::memory_order_relaxed);
 }
 
+// Thread-local scope tag composed into every poke's match detail for the
+// scope's lifetime: while a worker runs tenant t03's statements under
+// ScopedFaultScope("tenant=t03"), a schedule armed with match
+// "tenant=t03" fires only on that tenant's operations — and because each
+// tenant's statements are processed serially, the schedule's eligible-hit
+// counter advances in that tenant's own statement order, keeping firings
+// deterministic even under concurrent multi-tenant traffic. Scopes nest
+// (the previous tag is restored on destruction); the tag is prepended as
+// "<tag>|<detail>", so existing detail-substring filters (statistic keys)
+// keep matching.
+class ScopedFaultScope {
+ public:
+  explicit ScopedFaultScope(std::string tag);
+  ~ScopedFaultScope();
+  ScopedFaultScope(const ScopedFaultScope&) = delete;
+  ScopedFaultScope& operator=(const ScopedFaultScope&) = delete;
+
+  // This thread's active tag ("" = unscoped).
+  static const std::string& Current();
+
+ private:
+  std::string prev_;
+};
+
 // The process-wide injection registry. All methods are thread-safe.
 class FaultInjector {
  public:

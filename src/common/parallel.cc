@@ -151,6 +151,14 @@ class ThreadPool {
 
 }  // namespace
 
+ParallelInlineScope::ParallelInlineScope() : prev_(t_in_parallel_region) {
+  t_in_parallel_region = true;
+}
+
+ParallelInlineScope::~ParallelInlineScope() {
+  t_in_parallel_region = prev_;
+}
+
 int NumThreads() { return ThreadPool::Instance().num_threads(); }
 
 void SetNumThreads(int n) { ThreadPool::Instance().set_num_threads(n); }

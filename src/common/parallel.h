@@ -42,6 +42,25 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 // completed.
 void ParallelInvoke(const std::vector<std::function<void()>>& fns);
 
+// Marks the calling thread as already inside a parallel region for the
+// scope's lifetime: every ParallelFor it issues runs serially inline
+// instead of entering the shared pool. The multi-tenant server wraps each
+// statement it processes in one of these — its own workers ARE the
+// parallelism, and tenants fanning probe jobs into the one shared pool
+// would serialize against each other on the pool's job lock. Results are
+// unchanged (the probe engine is bit-identical at any thread count);
+// nests safely with pool workers and with itself.
+class ParallelInlineScope {
+ public:
+  ParallelInlineScope();
+  ~ParallelInlineScope();
+  ParallelInlineScope(const ParallelInlineScope&) = delete;
+  ParallelInlineScope& operator=(const ParallelInlineScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
 }  // namespace autostats
 
 #endif  // AUTOSTATS_COMMON_PARALLEL_H_

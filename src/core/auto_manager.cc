@@ -231,30 +231,33 @@ void AutoStatsManager::RunOfflinePass(Outcome* outcome) {
   statements_since_pass_ = 0;
 }
 
+void AutoStatsManager::Accumulate(const Outcome& o, RunReport* report) {
+  report->exec_cost += o.exec_cost;
+  report->creation_cost += o.creation_cost;
+  report->update_cost += o.update_cost;
+  report->optimizer_calls += o.optimizer_calls;
+  report->stats_created += o.stats_created;
+  report->stats_dropped += o.stats_dropped;
+  report->builds_failed += o.builds_failed;
+  report->build_retries += o.build_retries;
+  report->probes_aborted += o.probes_aborted;
+  report->dml_retries += o.dml_retries;
+  report->durability_failures += o.durability_failures;
+  if (o.was_query) {
+    ++report->num_queries;
+    if (o.degraded) ++report->degraded_queries;
+  } else {
+    ++report->num_dml;
+    if (o.degraded) ++report->degraded_dml;
+  }
+}
+
 RunReport AutoStatsManager::Run(const Workload& workload) {
   ApplyPolicyParallelism(policy_);
   RunReport report;
   report.label = workload.name() + "/" + CreationModeName(policy_.mode);
   for (const Statement& s : workload.statements()) {
-    const Outcome o = Process(s);
-    report.exec_cost += o.exec_cost;
-    report.creation_cost += o.creation_cost;
-    report.update_cost += o.update_cost;
-    report.optimizer_calls += o.optimizer_calls;
-    report.stats_created += o.stats_created;
-    report.stats_dropped += o.stats_dropped;
-    report.builds_failed += o.builds_failed;
-    report.build_retries += o.build_retries;
-    report.probes_aborted += o.probes_aborted;
-    report.dml_retries += o.dml_retries;
-    report.durability_failures += o.durability_failures;
-    if (o.was_query) {
-      ++report.num_queries;
-      if (o.degraded) ++report.degraded_queries;
-    } else {
-      ++report.num_dml;
-      if (o.degraded) ++report.degraded_dml;
-    }
+    Accumulate(Process(s), &report);
   }
   // Close the group-commit window: records appended during the stream's
   // tail must be durable before the run is reported complete.

@@ -49,6 +49,11 @@ class AutoStatsManager {
 
   Outcome Process(const Statement& statement);
 
+  // Folds one statement's outcome into an aggregate report — the exact
+  // reduction Run() applies per statement, exposed so callers that drive
+  // Process() themselves (the multi-tenant server) report identically.
+  static void Accumulate(const Outcome& outcome, RunReport* report);
+
   // Attaches (or detaches, with nullptr) the crash-safety layer: after
   // every processed statement the manager commits one journal record, and
   // every policy().durability_checkpoint_every statements it publishes an

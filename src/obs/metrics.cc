@@ -111,6 +111,48 @@ const std::vector<double>& CostBounds() {
   return kBounds;
 }
 
+namespace {
+thread_local std::string t_metrics_label;
+// Starts at 1 so a zero-initialized LabeledSlot resolves on first use.
+thread_local uint64_t t_metrics_label_epoch = 1;
+
+std::string LabeledName(const char* name) {
+  if (t_metrics_label.empty()) return name;
+  std::string out = t_metrics_label;
+  out += '/';
+  out += name;
+  return out;
+}
+}  // namespace
+
+ScopedMetricsLabel::ScopedMetricsLabel(const std::string& label)
+    : prev_(t_metrics_label) {
+  t_metrics_label = label;
+  ++t_metrics_label_epoch;
+}
+
+ScopedMetricsLabel::~ScopedMetricsLabel() {
+  t_metrics_label = prev_;
+  ++t_metrics_label_epoch;
+}
+
+const std::string& ScopedMetricsLabel::Current() { return t_metrics_label; }
+
+uint64_t ScopedMetricsLabel::Epoch() { return t_metrics_label_epoch; }
+
+Counter* ResolveLabeledCounter(const char* name) {
+  return MetricsRegistry::Instance().GetCounter(LabeledName(name));
+}
+
+Gauge* ResolveLabeledGauge(const char* name) {
+  return MetricsRegistry::Instance().GetGauge(LabeledName(name));
+}
+
+Histogram* ResolveLabeledHistogram(const char* name,
+                                   const std::vector<double>& bounds) {
+  return MetricsRegistry::Instance().GetHistogram(LabeledName(name), bounds);
+}
+
 MetricsRegistry& MetricsRegistry::Instance() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;

@@ -148,6 +148,86 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+// --- Instance / tenant label dimension -------------------------------------
+//
+// Two catalogs in one process (the multi-tenant server) would otherwise
+// fold their series into the same instruments. A ScopedMetricsLabel
+// prefixes "<label>/" onto every instrument name resolved through the
+// GetLabeled* helpers below for the scope's lifetime on this thread, so
+// "plan_cache.hits" becomes "t03/plan_cache.hits" while worker code runs
+// tenant t03's statements. With no scope active (the default, and every
+// pre-existing single-tenant path) names — and the committed baselines
+// built on them — are unchanged.
+//
+// Call sites keep their resolution cheap with a thread_local slot that
+// caches the resolved pointer until the thread's label changes:
+//
+//   obs::Histogram* BuildCostHistogram() {
+//     thread_local obs::LabeledSlot<obs::Histogram> slot;
+//     return obs::GetLabeledHistogram(slot, "stat_build_cost",
+//                                     obs::CostBounds());
+//   }
+class ScopedMetricsLabel {
+ public:
+  explicit ScopedMetricsLabel(const std::string& label);
+  ~ScopedMetricsLabel();
+  ScopedMetricsLabel(const ScopedMetricsLabel&) = delete;
+  ScopedMetricsLabel& operator=(const ScopedMetricsLabel&) = delete;
+
+  // This thread's active label ("" = unlabeled) and its change epoch.
+  // The epoch starts at 1 and bumps on every scope entry/exit, so a
+  // zero-initialized LabeledSlot always resolves on first use.
+  static const std::string& Current();
+  static uint64_t Epoch();
+
+ private:
+  std::string prev_;
+};
+
+template <typename T>
+struct LabeledSlot {
+  uint64_t epoch = 0;  // 0 never matches a real epoch
+  T* ptr = nullptr;
+};
+
+// Slow paths: registry lookup of "<label>/<name>" (or plain `name` when
+// unlabeled). Instrument pointers stay valid forever, so caching them per
+// (thread, label-epoch) is safe.
+Counter* ResolveLabeledCounter(const char* name);
+Gauge* ResolveLabeledGauge(const char* name);
+Histogram* ResolveLabeledHistogram(const char* name,
+                                   const std::vector<double>& bounds);
+
+inline Counter* GetLabeledCounter(LabeledSlot<Counter>& slot,
+                                  const char* name) {
+  const uint64_t epoch = ScopedMetricsLabel::Epoch();
+  if (slot.epoch != epoch) {
+    slot.ptr = ResolveLabeledCounter(name);
+    slot.epoch = epoch;
+  }
+  return slot.ptr;
+}
+
+inline Gauge* GetLabeledGauge(LabeledSlot<Gauge>& slot, const char* name) {
+  const uint64_t epoch = ScopedMetricsLabel::Epoch();
+  if (slot.epoch != epoch) {
+    slot.ptr = ResolveLabeledGauge(name);
+    slot.epoch = epoch;
+  }
+  return slot.ptr;
+}
+
+inline Histogram* GetLabeledHistogram(LabeledSlot<Histogram>& slot,
+                                      const char* name,
+                                      const std::vector<double>& bounds) {
+  const uint64_t epoch = ScopedMetricsLabel::Epoch();
+  if (slot.epoch != epoch) {
+    slot.ptr = ResolveLabeledHistogram(name, bounds);
+    slot.epoch = epoch;
+  }
+  return slot.ptr;
+}
+
 // Records elapsed wall time in microseconds into `h` on destruction.
 // Construction captures MetricsEnabled() once, so a scope that starts
 // disabled stays free even if metrics flip on mid-flight.

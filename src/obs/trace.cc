@@ -16,10 +16,25 @@ void EnableTrace(bool on) {
   internal::g_trace_enabled.store(on, std::memory_order_release);
 }
 
+namespace {
+// The per-thread sink override (ScopedTraceSink); null = Instance().
+thread_local TraceSink* t_current_sink = nullptr;
+}  // namespace
+
 TraceSink& TraceSink::Instance() {
   static TraceSink* sink = new TraceSink();
   return *sink;
 }
+
+TraceSink& TraceSink::Current() {
+  return t_current_sink != nullptr ? *t_current_sink : Instance();
+}
+
+ScopedTraceSink::ScopedTraceSink(TraceSink* sink) : prev_(t_current_sink) {
+  t_current_sink = sink;
+}
+
+ScopedTraceSink::~ScopedTraceSink() { t_current_sink = prev_; }
 
 void TraceSink::Append(const std::string& fields) {
   const uint64_t clock = clock_.load(std::memory_order_relaxed);
@@ -96,7 +111,7 @@ TraceEvent::TraceEvent(const char* type) : enabled_(TraceEnabled()) {
 
 TraceEvent::~TraceEvent() {
   if (!enabled_) return;
-  TraceSink::Instance().Append(body_);
+  TraceSink::Current().Append(body_);
 }
 
 TraceEvent& TraceEvent::Str(const char* key, const std::string& value) {

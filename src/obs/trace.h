@@ -59,7 +59,20 @@ void EnableTrace(bool on);
 
 class TraceSink {
  public:
+  // A standalone sink (per-tenant trace streams; see ScopedTraceSink).
+  // Seq numbering and the logical clock are per-sink, so two catalogs
+  // traced into two sinks never interleave or collide.
+  TraceSink() = default;
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // The process-wide default sink (single-tenant tools and tests).
   static TraceSink& Instance();
+
+  // The sink events are appended to on this thread: the innermost active
+  // ScopedTraceSink override, or Instance() when none is active.
+  static TraceSink& Current();
 
   // Appends one event. `fields` is the comma-joined key/value body
   // WITHOUT the surrounding braces or the seq/clock prefix; the sink
@@ -88,15 +101,31 @@ class TraceSink {
   bool WriteFile(const std::string& path) const;
 
  private:
-  TraceSink() = default;
-
   mutable std::mutex mu_;
   std::vector<std::string> lines_;
   uint64_t next_seq_ = 0;
   std::atomic<uint64_t> clock_{0};
 };
 
-// Builder for one event; appends to TraceSink::Instance() on
+// Redirects this thread's trace stream to `sink` for the scope's lifetime
+// (restoring the previous override on destruction — scopes nest). The
+// multi-tenant server wraps each statement it processes in one of these,
+// so every lifecycle event a tenant's catalog emits lands in that
+// tenant's own sink with that tenant's own seq numbers and logical
+// clock, byte-identical regardless of which worker thread ran it.
+// nullptr restores the default Instance() routing.
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink* sink);
+  ~ScopedTraceSink();
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
+
+// Builder for one event; appends to TraceSink::Current() on
 // destruction. Usage:
 //   obs::TraceEvent("stat.create").Str("key", key).Num("cost", c);
 // When tracing is disabled every method is a no-op and nothing is

@@ -17,15 +17,15 @@ namespace {
 // pipeline. Keeping them in separate histograms is what makes the
 // cache's value visible (the two distributions should not overlap).
 obs::Histogram* RealProbeHistogram() {
-  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
-      "probe_latency_real_us", obs::LatencyBoundsUs());
-  return h;
+  thread_local obs::LabeledSlot<obs::Histogram> slot;
+  return obs::GetLabeledHistogram(slot, "probe_latency_real_us",
+                                  obs::LatencyBoundsUs());
 }
 
 obs::Histogram* CacheHitProbeHistogram() {
-  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
-      "probe_latency_cache_hit_us", obs::LatencyBoundsUs());
-  return h;
+  thread_local obs::LabeledSlot<obs::Histogram> slot;
+  return obs::GetLabeledHistogram(slot, "probe_latency_cache_hit_us",
+                                  obs::LatencyBoundsUs());
 }
 
 int64_t NowNs() {

@@ -12,21 +12,18 @@ namespace autostats {
 namespace {
 
 obs::Counter* HitCounter() {
-  static obs::Counter* c =
-      obs::MetricsRegistry::Instance().GetCounter("plan_cache.hits");
-  return c;
+  thread_local obs::LabeledSlot<obs::Counter> slot;
+  return obs::GetLabeledCounter(slot, "plan_cache.hits");
 }
 
 obs::Counter* MissCounter() {
-  static obs::Counter* c =
-      obs::MetricsRegistry::Instance().GetCounter("plan_cache.misses");
-  return c;
+  thread_local obs::LabeledSlot<obs::Counter> slot;
+  return obs::GetLabeledCounter(slot, "plan_cache.misses");
 }
 
 obs::Gauge* OccupancyGauge() {
-  static obs::Gauge* g =
-      obs::MetricsRegistry::Instance().GetGauge("plan_cache.occupancy");
-  return g;
+  thread_local obs::LabeledSlot<obs::Gauge> slot;
+  return obs::GetLabeledGauge(slot, "plan_cache.occupancy");
 }
 
 OptimizeResult CloneResult(const OptimizeResult& r) {

@@ -1,0 +1,250 @@
+#include "server/autostats_server.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "common/parallel.h"
+
+namespace autostats {
+
+namespace {
+
+// All four thread scopes a worker (or recovery, or a drain flush) holds
+// while touching one tenant's state, as a single stack object.
+struct TenantScopes {
+  explicit TenantScopes(const std::string& name, obs::TraceSink* sink)
+      : metrics_label(name),
+        trace_sink(sink),
+        fault_scope("tenant=" + name) {}
+
+  obs::ScopedMetricsLabel metrics_label;
+  obs::ScopedTraceSink trace_sink;
+  ScopedFaultScope fault_scope;
+  ParallelInlineScope inline_probes;
+};
+
+}  // namespace
+
+AutoStatsServer::AutoStatsServer(ServerOptions options)
+    : options_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  ingress_latency_us_ =
+      reg.GetHistogram("server.ingress_to_applied_us", obs::LatencyBoundsUs());
+  statements_total_ = reg.GetCounter("server.statements");
+  backpressure_total_ = reg.GetCounter("server.backpressure_waits");
+}
+
+AutoStatsServer::~AutoStatsServer() { Stop(); }
+
+size_t AutoStatsServer::AddTenant(const TenantConfig& config) {
+  AUTOSTATS_CHECK(!started_);
+  AUTOSTATS_CHECK(config.db != nullptr && !config.name.empty());
+  for (const auto& t : tenants_) AUTOSTATS_CHECK(t->name != config.name);
+
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = config.name;
+  tenant->db = config.db;
+  tenant->catalog = std::make_unique<StatsCatalog>(config.db);
+  tenant->optimizer = std::make_unique<Optimizer>(config.db);
+  ManagerPolicy policy = config.policy;
+  policy.num_threads = 0;  // probes run inline; never re-enter the pool
+  tenant->manager = std::make_unique<AutoStatsManager>(
+      config.db, tenant->catalog.get(), tenant->optimizer.get(),
+      std::move(policy));
+  tenant->report.label =
+      tenant->name + "/" + CreationModeName(config.policy.mode);
+
+  if (!config.durability_dir.empty()) {
+    // Recovery replays the tenant's journal into its catalog: run it
+    // under the tenant's scopes so recovery trace events land in the
+    // tenant's sink and injected faults can target it.
+    TenantScopes scopes(tenant->name, &tenant->trace);
+    Result<std::unique_ptr<CatalogDurability>> opened = CatalogDurability::
+        Open(tenant->catalog.get(), {.dir = config.durability_dir});
+    if (opened.ok()) {
+      tenant->durability = std::move(*opened);
+      tenant->manager->AttachDurability(tenant->durability.get());
+    } else {
+      // Fail open: the tenant serves in-memory; the failure is visible
+      // in its report.
+      ++tenant->report.durability_failures;
+    }
+  }
+
+  tenants_.push_back(std::move(tenant));
+  return tenants_.size() - 1;
+}
+
+void AutoStatsServer::Start() {
+  AUTOSTATS_CHECK(!started_);
+  started_ = true;
+  int n = options_.num_workers > 0 ? options_.num_workers : NumThreads();
+  if (n < 1) n = 1;
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+bool AutoStatsServer::SubmitInternal(size_t tenant,
+                                     const Statement& statement,
+                                     bool block) {
+  AUTOSTATS_CHECK(tenant < tenants_.size());
+  Tenant* t = tenants_[tenant].get();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (t->queue.size() >= options_.max_queue_depth) {
+    if (!block) return false;
+    ++t->backpressure_waits;
+    if (obs::MetricsEnabled()) backpressure_total_->Add();
+    space_cv_.wait(lock, [&] {
+      return t->queue.size() < options_.max_queue_depth || stop_;
+    });
+    if (stop_) return false;
+  }
+  t->queue.emplace_back(statement, std::chrono::steady_clock::now());
+  ++pending_;
+  if (!t->scheduled) {
+    t->scheduled = true;
+    ready_.push_back(t);
+    work_cv_.notify_one();
+  }
+  return true;
+}
+
+void AutoStatsServer::Submit(size_t tenant, const Statement& statement) {
+  SubmitInternal(tenant, statement, /*block=*/true);
+}
+
+bool AutoStatsServer::TrySubmit(size_t tenant, const Statement& statement) {
+  return SubmitInternal(tenant, statement, /*block=*/false);
+}
+
+void AutoStatsServer::WorkerLoop() {
+  for (;;) {
+    Tenant* t = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !ready_.empty(); });
+      if (stop_) return;
+      t = ready_.front();
+      ready_.pop_front();
+      // t->scheduled stays true: this worker owns the tenant until it
+      // requeues or parks it in RunTenantBatch's epilogue.
+    }
+    RunTenantBatch(t);
+  }
+}
+
+void AutoStatsServer::RunTenantBatch(Tenant* t) {
+  std::vector<std::pair<Statement, std::chrono::steady_clock::time_point>>
+      batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t n = std::min(t->queue.size(),
+                              static_cast<size_t>(options_.max_batch));
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(t->queue.front()));
+      t->queue.pop_front();
+    }
+  }
+  space_cv_.notify_all();
+
+  RunReport local;
+  {
+    TenantScopes scopes(t->name, &t->trace);
+    for (const auto& [statement, enqueued] : batch) {
+      AutoStatsManager::Accumulate(t->manager->Process(statement), &local);
+      if (obs::MetricsEnabled()) {
+        const auto elapsed = std::chrono::steady_clock::now() - enqueued;
+        ingress_latency_us_->Observe(
+            std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+                elapsed)
+                .count());
+        statements_total_->Add();
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t->report += local;
+    pending_ -= batch.size();
+    if (!t->queue.empty()) {
+      ready_.push_back(t);  // keep scheduled; take a turn at the back
+      work_cv_.notify_one();
+    } else {
+      t->scheduled = false;
+    }
+    if (pending_ == 0) drain_cv_.notify_all();
+  }
+}
+
+void AutoStatsServer::Drain() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return pending_ == 0 || stop_; });
+    if (stop_) return;
+  }
+  // Close each durable tenant's group-commit window. pending_ == 0 means
+  // no worker holds any tenant (the decrement happens in the batch
+  // epilogue), so touching tenant state from here is safe while ingress
+  // stays quiescent.
+  for (const auto& tenant : tenants_) {
+    Tenant* t = tenant.get();
+    if (t->durability == nullptr || t->durability->crashed()) continue;
+    TenantScopes scopes(t->name, &t->trace);
+    if (!t->durability->Flush().ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++t->report.durability_failures;
+    }
+  }
+}
+
+void AutoStatsServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  drain_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+const std::string& AutoStatsServer::tenant_name(size_t tenant) const {
+  AUTOSTATS_CHECK(tenant < tenants_.size());
+  return tenants_[tenant]->name;
+}
+
+const StatsCatalog& AutoStatsServer::catalog(size_t tenant) const {
+  AUTOSTATS_CHECK(tenant < tenants_.size());
+  return *tenants_[tenant]->catalog;
+}
+
+const obs::TraceSink& AutoStatsServer::trace(size_t tenant) const {
+  AUTOSTATS_CHECK(tenant < tenants_.size());
+  return tenants_[tenant]->trace;
+}
+
+RunReport AutoStatsServer::Report(size_t tenant) const {
+  AUTOSTATS_CHECK(tenant < tenants_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_[tenant]->report;
+}
+
+int64_t AutoStatsServer::backpressure_waits(size_t tenant) const {
+  AUTOSTATS_CHECK(tenant < tenants_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_[tenant]->backpressure_waits;
+}
+
+const CatalogDurability* AutoStatsServer::durability(size_t tenant) const {
+  AUTOSTATS_CHECK(tenant < tenants_.size());
+  return tenants_[tenant]->durability.get();
+}
+
+}  // namespace autostats

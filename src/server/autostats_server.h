@@ -1,0 +1,195 @@
+// AutoStatsServer: one statistics-management service hosting N tenant
+// databases on a shared worker pool. The paper frames statistics
+// management as an unattended background activity beside the server (§6);
+// at fleet scale that activity is multiplexed — many databases, one
+// budget of cores — so the server owns, per tenant: a StatsCatalog, an
+// Optimizer (with its PlanCache), an AutoStatsManager driving the
+// configured policy, an optional CatalogDurability (own WAL directory),
+// and a private TraceSink. Statement streams arrive on any number of
+// ingress threads tagged by tenant; workers drain them.
+//
+// Determinism contract (the tentpole invariant, pinned by server_test):
+// identical per-tenant statement streams produce bit-identical per-tenant
+// catalogs AND byte-identical per-tenant traces at any worker count and
+// any ingress interleaving. Three mechanisms make that hold:
+//
+//   1. Per-tenant serialization. Each tenant has a FIFO queue and is
+//      executed by at most one worker at a time (a `scheduled` flag —
+//      the actor pattern): a tenant's catalog evolution is a pure
+//      function of its own stream, never of sibling traffic.
+//   2. Thread-scoped observability. Workers wrap every statement in a
+//      ScopedTraceSink (events land in the tenant's sink with its own
+//      seq numbers and logical clock), a ScopedMetricsLabel (metric
+//      series become "<tenant>/<name>"), and a ScopedFaultScope
+//      ("tenant=<name>", so fault schedules can target one tenant and
+//      their eligible-hit counters advance in that tenant's own serial
+//      statement order — deterministic firing under concurrency).
+//   3. Inline probes. Statements run under a ParallelInlineScope: the
+//      server's workers ARE the parallelism, so the probe engine runs
+//      serially per statement (bit-identical results by its contract)
+//      instead of funneling every tenant through the shared pool's one
+//      job at a time.
+//
+// Admission control: each tenant's queue is bounded
+// (ServerOptions::max_queue_depth). Submit() blocks the ingress thread
+// until space frees (counting a backpressure wait); TrySubmit() rejects
+// instead. Backpressure is per-tenant — a slow tenant saturates its own
+// queue, not its siblings'.
+//
+// Ordering caveat: the determinism input is each tenant's stream order.
+// Submissions for the SAME tenant from multiple ingress threads are
+// FIFO in arrival order, which is then a race the caller chose to run.
+#ifndef AUTOSTATS_SERVER_AUTOSTATS_SERVER_H_
+#define AUTOSTATS_SERVER_AUTOSTATS_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/auto_manager.h"
+#include "core/policy.h"
+#include "core/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "optimizer/optimizer.h"
+#include "query/workload.h"
+#include "stats/durability.h"
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+struct ServerOptions {
+  // Worker threads draining tenant queues. 0 uses NumThreads() (the
+  // AUTOSTATS_THREADS / hardware-concurrency setting).
+  int num_workers = 0;
+  // Per-tenant admission bound: Submit() blocks (TrySubmit() rejects)
+  // while a tenant has this many statements queued.
+  size_t max_queue_depth = 256;
+  // Statements a worker drains from one tenant per scheduling turn
+  // before requeueing it behind its siblings (bounds head-of-line
+  // latency for other ready tenants).
+  int max_batch = 8;
+};
+
+struct TenantConfig {
+  // Metric prefix, trace identity, and fault-scope tag ("tenant=<name>").
+  // Must be unique within the server and non-empty.
+  std::string name;
+  // The tenant's data plane; mutated by its DML statements. Not owned —
+  // must outlive the server.
+  Database* db;
+  // Statistics-management policy for this tenant's AutoStatsManager.
+  // policy.num_threads is ignored: statements run probe-inline (see file
+  // comment) and never re-enter the shared pool.
+  ManagerPolicy policy;
+  // When non-empty, the tenant's catalog is crash-safe: a private
+  // CatalogDurability opens (and recovers) this directory, and the
+  // manager commits one journal record per statement with checkpoints on
+  // the policy cadence. Empty = in-memory only.
+  std::string durability_dir;
+};
+
+class AutoStatsServer {
+ public:
+  explicit AutoStatsServer(ServerOptions options = {});
+  // Stops and joins the workers. Queued-but-unprocessed statements are
+  // dropped; call Drain() first for a clean shutdown.
+  ~AutoStatsServer();
+
+  AutoStatsServer(const AutoStatsServer&) = delete;
+  AutoStatsServer& operator=(const AutoStatsServer&) = delete;
+
+  // Registers a tenant and returns its index (the handle Submit takes).
+  // Opens durability (running crash recovery under the tenant's trace /
+  // metric / fault scopes) when configured. Must be called before
+  // Start(); a failed durability open leaves the tenant in-memory only
+  // and is reported in the tenant's RunReport as a durability failure.
+  size_t AddTenant(const TenantConfig& config);
+
+  // Spawns the worker pool. Call once, after all AddTenant calls.
+  void Start();
+
+  // Enqueues one statement for `tenant`, blocking while its queue is
+  // full (each block counts one backpressure wait). Thread-safe; callable
+  // from any number of ingress threads.
+  void Submit(size_t tenant, const Statement& statement);
+  // Non-blocking admission: false if the tenant's queue is full.
+  bool TrySubmit(size_t tenant, const Statement& statement);
+
+  // Blocks until every submitted statement has been processed, then
+  // closes each durable tenant's group-commit window (Flush) under that
+  // tenant's scopes. Ingress must be quiescent (no concurrent Submit)
+  // for the return to be meaningful.
+  void Drain();
+
+  // Stops and joins the workers (idempotent). Implies no further
+  // Submit/Drain; queued statements are not processed.
+  void Stop();
+
+  size_t num_tenants() const { return tenants_.size(); }
+  const std::string& tenant_name(size_t tenant) const;
+
+  // --- Per-tenant state. Only meaningful while quiescent (after Drain
+  // or Stop): the catalog and trace are actively mutated by workers. ---
+
+  const StatsCatalog& catalog(size_t tenant) const;
+  const obs::TraceSink& trace(size_t tenant) const;
+  // Aggregate accounting over every statement processed so far, reduced
+  // exactly as AutoStatsManager::Run would (Accumulate per statement).
+  RunReport Report(size_t tenant) const;
+  // Backpressure waits ingress threads have suffered for this tenant.
+  int64_t backpressure_waits(size_t tenant) const;
+  // The tenant's durability layer (nullptr when in-memory only).
+  const CatalogDurability* durability(size_t tenant) const;
+
+ private:
+  struct Tenant {
+    std::string name;
+    Database* db = nullptr;
+    std::unique_ptr<StatsCatalog> catalog;
+    std::unique_ptr<Optimizer> optimizer;
+    std::unique_ptr<AutoStatsManager> manager;
+    std::unique_ptr<CatalogDurability> durability;
+    obs::TraceSink trace;
+
+    // Guarded by the server's mu_:
+    std::deque<std::pair<Statement, std::chrono::steady_clock::time_point>>
+        queue;
+    bool scheduled = false;  // a worker currently owns this tenant
+    RunReport report;
+    int64_t backpressure_waits = 0;
+  };
+
+  void WorkerLoop();
+  // Drains one batch from `t` (which the caller owns via `scheduled`).
+  void RunTenantBatch(Tenant* t);
+  bool SubmitInternal(size_t tenant, const Statement& statement, bool block);
+
+  const ServerOptions options_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+
+  mutable std::mutex mu_;  // guards every field below + Tenant queue state
+  std::condition_variable work_cv_;   // workers: ready_ nonempty or stop
+  std::condition_variable space_cv_;  // ingress: queue space freed
+  std::condition_variable drain_cv_;  // Drain: pending_ reached zero
+  std::deque<Tenant*> ready_;         // tenants with work, none scheduled
+  size_t pending_ = 0;  // submitted, not yet fully processed
+  bool stop_ = false;
+
+  // Aggregate (unlabeled) instruments, resolved once at construction.
+  obs::Histogram* ingress_latency_us_;
+  obs::Counter* statements_total_;
+  obs::Counter* backpressure_total_;
+};
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_SERVER_AUTOSTATS_SERVER_H_

@@ -1,0 +1,61 @@
+#include "server/catalog_digest.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "stats/durability.h"
+
+namespace autostats {
+
+std::string CatalogCanonicalDump(const StatsCatalog& catalog) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "clock=" << catalog.now() << " version=" << catalog.stats_version()
+      << "\n";
+  for (const auto& [table, rows] : catalog.ModificationCounters()) {
+    if (rows == 0) continue;  // a zero counter is semantically absent
+    out << "mod table=" << table << " rows=" << rows << "\n";
+  }
+  std::vector<StatKey> keys = catalog.ActiveKeys();
+  const std::vector<StatKey> dropped = catalog.DropListKeys();
+  keys.insert(keys.end(), dropped.begin(), dropped.end());
+  std::sort(keys.begin(), keys.end());
+  for (const StatKey& key : keys) {
+    const StatEntry* e = catalog.FindEntry(key);
+    const Statistic& s = e->stat;
+    out << key << " drop=" << (e->in_drop_list ? 1 : 0)
+        << " updates=" << e->update_count << " cost=" << e->creation_cost
+        << " created=" << e->created_at << " dropped=" << e->dropped_at
+        << " pending=" << (e->pending_full_rebuild ? 1 : 0)
+        << " rows=" << s.rows_at_build() << " prefix=";
+    for (int k = 1; k <= s.width(); ++k) out << s.PrefixDistinct(k) << ",";
+    out << " hist=" << s.histogram().total_rows() << "/"
+        << s.histogram().total_distinct() << ":";
+    for (const HistogramBucket& b : s.histogram().buckets()) {
+      out << "[" << b.lo << "," << b.hi << "," << b.rows << "," << b.distinct
+          << "]";
+    }
+    if (s.has_grid2d()) {
+      out << " grid=" << s.grid2d().total_rows() << ":";
+      for (const GridBucket& b : s.grid2d().buckets()) {
+        out << "[" << b.lo1 << "," << b.hi1 << "," << b.lo2 << "," << b.hi2
+            << "," << b.rows << "," << b.distinct << "]";
+      }
+    }
+    out << " base=";
+    for (const ValueFreq& vf : e->base_dist) {
+      out << "(" << vf.value << "," << vf.freq << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+uint32_t CatalogDigest(const StatsCatalog& catalog) {
+  const std::string dump = CatalogCanonicalDump(catalog);
+  return Crc32(dump.data(), dump.size());
+}
+
+}  // namespace autostats

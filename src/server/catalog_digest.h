@@ -1,0 +1,32 @@
+// Canonical catalog digests for cross-run comparison. The multi-tenant
+// server's determinism contract — identical per-tenant statement streams
+// produce bit-identical per-tenant catalogs at any worker count — needs a
+// cheap, total rendering of a catalog's logical state to compare and to
+// gate in the benchmark pipeline. CatalogCanonicalDump() renders every
+// durable field (entries sorted by key, full-precision doubles, histogram
+// and grid buckets, base distributions, pending_full_rebuild flags, the
+// modification counters, logical clock, and stats_version); the process-
+// local catalog uid is deliberately excluded so two instances that lived
+// through the same history digest equal. CatalogDigest() is the CRC32 of
+// that dump — the value BENCH_server.json publishes per tenant and the
+// bench-diff gate pins exactly.
+#ifndef AUTOSTATS_SERVER_CATALOG_DIGEST_H_
+#define AUTOSTATS_SERVER_CATALOG_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stats/stats_catalog.h"
+
+namespace autostats {
+
+// The canonical multi-line rendering described above. Only call while no
+// other thread mutates the catalog.
+std::string CatalogCanonicalDump(const StatsCatalog& catalog);
+
+// Crc32 over CatalogCanonicalDump().
+uint32_t CatalogDigest(const StatsCatalog& catalog);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_SERVER_CATALOG_DIGEST_H_

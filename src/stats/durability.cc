@@ -21,21 +21,21 @@ namespace fs = std::filesystem;
 namespace {
 
 obs::Histogram* WalAppendHistogram() {
-  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
-      "wal_append_us", obs::LatencyBoundsUs());
-  return h;
+  thread_local obs::LabeledSlot<obs::Histogram> slot;
+  return obs::GetLabeledHistogram(slot, "wal_append_us",
+                                  obs::LatencyBoundsUs());
 }
 
 obs::Histogram* WalFsyncHistogram() {
-  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
-      "wal_fsync_us", obs::LatencyBoundsUs());
-  return h;
+  thread_local obs::LabeledSlot<obs::Histogram> slot;
+  return obs::GetLabeledHistogram(slot, "wal_fsync_us",
+                                  obs::LatencyBoundsUs());
 }
 
 obs::Histogram* WalCheckpointHistogram() {
-  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
-      "wal_checkpoint_us", obs::LatencyBoundsUs());
-  return h;
+  thread_local obs::LabeledSlot<obs::Histogram> slot;
+  return obs::GetLabeledHistogram(slot, "wal_checkpoint_us",
+                                  obs::LatencyBoundsUs());
 }
 
 }  // namespace

@@ -14,21 +14,20 @@ namespace autostats {
 namespace {
 
 obs::Histogram* BuildCostHistogram() {
-  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
-      "stat_build_cost", obs::CostBounds());
-  return h;
+  thread_local obs::LabeledSlot<obs::Histogram> slot;
+  return obs::GetLabeledHistogram(slot, "stat_build_cost", obs::CostBounds());
 }
 
 obs::Histogram* MergeCostHistogram() {
-  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
-      "refresh_merge_cost", obs::CostBounds());
-  return h;
+  thread_local obs::LabeledSlot<obs::Histogram> slot;
+  return obs::GetLabeledHistogram(slot, "refresh_merge_cost",
+                                  obs::CostBounds());
 }
 
 obs::Histogram* RebuildCostHistogram() {
-  static obs::Histogram* h = obs::MetricsRegistry::Instance().GetHistogram(
-      "refresh_rebuild_cost", obs::CostBounds());
-  return h;
+  thread_local obs::LabeledSlot<obs::Histogram> slot;
+  return obs::GetLabeledHistogram(slot, "refresh_rebuild_cost",
+                                  obs::CostBounds());
 }
 
 }  // namespace
@@ -318,7 +317,7 @@ std::vector<std::pair<TableId, size_t>> StatsCatalog::ModificationCounters()
 
 void StatsCatalog::Tick() {
   ++clock_;
-  obs::TraceSink::Instance().SetLogicalClock(static_cast<uint64_t>(clock_));
+  obs::TraceSink::Current().SetLogicalClock(static_cast<uint64_t>(clock_));
 }
 
 void StatsCatalog::RestoreDurableState(
@@ -327,7 +326,7 @@ void StatsCatalog::RestoreDurableState(
   clock_ = clock;
   stats_version_ = stats_version;
   for (const auto& [table, rows] : mod_counters) mod_counters_[table] = rows;
-  obs::TraceSink::Instance().SetLogicalClock(static_cast<uint64_t>(clock_));
+  obs::TraceSink::Current().SetLogicalClock(static_cast<uint64_t>(clock_));
 }
 
 std::vector<StatKey> StatsCatalog::FlagPendingFullRebuild(TableId table) {

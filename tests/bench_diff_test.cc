@@ -182,7 +182,7 @@ TEST_F(BenchDiffTest, CommittedRulesAndBaselinesAreConsistent) {
   const std::string repo_baselines = std::string(AUTOSTATS_SOURCE_DIR) +
                                      "/bench/baselines";
   Result<std::vector<GateRule>> rules =
-      ParseRulesFile(repo_baselines + "/hotpath.rules");
+      ParseRulesFile(repo_baselines + "/gate.rules");
   ASSERT_TRUE(rules.ok()) << rules.status().ToString();
   EXPECT_GE(rules->size(), 10u);
   for (const GateRule& rule : *rules) {

@@ -580,5 +580,128 @@ TEST_F(ObservabilityTest, ManagedRunPopulatesHotPathHistograms) {
   EXPECT_TRUE(build_seen);
 }
 
+// --- 8. Instance / tenant label dimension ---------------------------------
+//
+// Two catalogs in one process used to fold their series into the same
+// singleton instruments; these tests pin the label dimension that keeps
+// them apart (obs/metrics.h, ScopedMetricsLabel).
+
+TEST_F(ObservabilityTest, ScopedMetricsLabelSplitsSeriesPerTenant) {
+  obs::EnableMetrics(true);
+  TwoTableDb a = MakeTwoTableDb(1500, 40);
+  TwoTableDb b = MakeTwoTableDb(1500, 40);
+  {
+    obs::ScopedMetricsLabel label("tenA");
+    StatsCatalog catalog(&a.db);
+    catalog.CreateStatistic({a.fact_val});
+  }
+  {
+    obs::ScopedMetricsLabel label("tenB");
+    StatsCatalog catalog(&b.db);
+    catalog.CreateStatistic({b.fact_val});
+    catalog.CreateStatistic({b.fact_grp});
+  }
+  obs::EnableMetrics(false);
+  int64_t ten_a = 0, ten_b = 0, unlabeled = 0;
+  for (const auto& [name, snap] :
+       obs::MetricsRegistry::Instance().HistogramValues()) {
+    if (name == "tenA/stat_build_cost") ten_a = snap.count;
+    if (name == "tenB/stat_build_cost") ten_b = snap.count;
+    if (name == "stat_build_cost") unlabeled = snap.count;
+  }
+  EXPECT_EQ(ten_a, 1);
+  EXPECT_EQ(ten_b, 2);
+  // Nothing leaked into the unlabeled singleton series.
+  EXPECT_EQ(unlabeled, 0);
+}
+
+TEST_F(ObservabilityTest, ScopedMetricsLabelRestoresAndNests) {
+  EXPECT_EQ(obs::ScopedMetricsLabel::Current(), "");
+  const uint64_t epoch0 = obs::ScopedMetricsLabel::Epoch();
+  {
+    obs::ScopedMetricsLabel outer("outer");
+    EXPECT_EQ(obs::ScopedMetricsLabel::Current(), "outer");
+    EXPECT_NE(obs::ScopedMetricsLabel::Epoch(), epoch0);
+    {
+      obs::ScopedMetricsLabel inner("inner");
+      EXPECT_EQ(obs::ScopedMetricsLabel::Current(), "inner");
+      // A cached slot re-resolves under the new label.
+      obs::LabeledSlot<obs::Counter> slot;
+      obs::Counter* c = obs::GetLabeledCounter(slot, "label.probe");
+      EXPECT_EQ(c,
+                obs::MetricsRegistry::Instance().GetCounter(
+                    "inner/label.probe"));
+    }
+    EXPECT_EQ(obs::ScopedMetricsLabel::Current(), "outer");
+  }
+  EXPECT_EQ(obs::ScopedMetricsLabel::Current(), "");
+  // The epoch moved on every entry/exit, so stale slots cannot survive.
+  EXPECT_NE(obs::ScopedMetricsLabel::Epoch(), epoch0);
+  obs::LabeledSlot<obs::Counter> slot;
+  EXPECT_EQ(obs::GetLabeledCounter(slot, "label.probe"),
+            obs::MetricsRegistry::Instance().GetCounter("label.probe"));
+}
+
+TEST_F(ObservabilityTest, ScopedTraceSinkIsolatesStreamsAndSeqNumbers) {
+  obs::EnableTrace(true);
+  obs::TraceSink tenant_a;
+  obs::TraceSink tenant_b;
+  obs::TraceEvent("global.before").Int("n", 1);
+  {
+    obs::ScopedTraceSink scope(&tenant_a);
+    obs::TraceEvent("a.one").Int("n", 1);
+    {
+      obs::ScopedTraceSink nested(&tenant_b);
+      obs::TraceEvent("b.one").Int("n", 1);
+    }
+    obs::TraceEvent("a.two").Int("n", 2);
+  }
+  obs::TraceEvent("global.after").Int("n", 2);
+  obs::EnableTrace(false);
+
+  // Each sink numbered its own stream from seq 0 — no interleaving, no
+  // collisions between two catalogs in one process.
+  ASSERT_EQ(tenant_a.NumEvents(), 2u);
+  EXPECT_NE(tenant_a.Lines()[0].find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(tenant_a.Lines()[0].find("a.one"), std::string::npos);
+  EXPECT_NE(tenant_a.Lines()[1].find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(tenant_a.Lines()[1].find("a.two"), std::string::npos);
+  ASSERT_EQ(tenant_b.NumEvents(), 1u);
+  EXPECT_NE(tenant_b.Lines()[0].find("\"seq\":0"), std::string::npos);
+  const std::vector<std::string> global = obs::TraceSink::Instance().Lines();
+  ASSERT_EQ(global.size(), 2u);
+  EXPECT_NE(global[0].find("global.before"), std::string::npos);
+  EXPECT_NE(global[1].find("global.after"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ScopedTraceSinkCarriesPerSinkLogicalClock) {
+  obs::EnableTrace(true);
+  TwoTableDb a = MakeTwoTableDb(500, 30);
+  TwoTableDb b = MakeTwoTableDb(500, 30);
+  StatsCatalog catalog_a(&a.db);
+  StatsCatalog catalog_b(&b.db);
+  obs::TraceSink sink_a;
+  obs::TraceSink sink_b;
+  {
+    obs::ScopedTraceSink scope(&sink_a);
+    catalog_a.Tick();
+    catalog_a.Tick();
+    obs::TraceEvent("a.ev");
+  }
+  {
+    obs::ScopedTraceSink scope(&sink_b);
+    catalog_b.Tick();
+    obs::TraceEvent("b.ev");
+  }
+  obs::EnableTrace(false);
+  // Each catalog's Tick advanced only its own sink's clock; the global
+  // sink (clock 0) was never touched.
+  EXPECT_EQ(sink_a.LogicalClock(), 2u);
+  EXPECT_EQ(sink_b.LogicalClock(), 1u);
+  EXPECT_EQ(obs::TraceSink::Instance().LogicalClock(), 0u);
+  EXPECT_NE(sink_a.Lines()[0].find("\"clock\":2"), std::string::npos);
+  EXPECT_NE(sink_b.Lines()[0].find("\"clock\":1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace autostats
