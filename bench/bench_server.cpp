@@ -1,20 +1,30 @@
 // bench_server: the multi-tenant AutoStatsServer exhibit. Emits
-// BENCH_server.json with two classes of series:
+// BENCH_server.json with three classes of series:
 //
-//   1. Throughput scaling — statements/sec through the shared worker
-//      pool at 1/2/4/8 workers, at 10 tenants (durable, per-tenant WAL)
-//      and at 100 tenants (in-memory), with p99 ingress->applied latency
-//      read from the "server.ingress_to_applied_us" MetricsRegistry
-//      histogram. Machine-dependent: recorded for trend reading across
-//      the committed baselines, never gated.
-//
-//   2. Deterministic tenant state — per-tenant catalog digests
-//      (server/catalog_digest.h) and per-tenant WAL fsync counts (the
-//      "<tenant>/wal_fsync_us" labeled histogram), plus flags asserting
-//      both are identical across every worker count. These pin the
-//      server's determinism contract in the perf gate: any drift on any
-//      machine is a semantic change, not noise. Gated exactly by
+//   1. Deterministic tenant state — per-tenant catalog digests
+//      (server/catalog_digest.h) and, with the fsync coordinator OFF,
+//      per-tenant WAL fsync counts (the "<tenant>/wal_fsync_us" labeled
+//      histogram), swept across every shard count x worker count
+//      combination with flags asserting bit-identical results. These pin
+//      the server's determinism contract in the perf gate: any drift on
+//      any machine is a semantic change, not noise. Gated exactly by
 //      bench/baselines/gate.rules.
+//
+//   2. Throughput scaling — statements/sec through the shared worker
+//      pool at 1/2/4/8 workers under the DEFAULT config (sharded
+//      scheduler, cross-tenant async group commit ON), at 10 and 100
+//      durable tenants, plus a shards=1 pin at 100 tenants for reading
+//      the sharding win. Machine-dependent: recorded for trend reading
+//      across the committed baselines, never gated.
+//
+//   3. Fsync economics — total physical fsyncs at 100 tenants with the
+//      coordinator OFF (the deterministic per-tenant cadence, exact-
+//      gated) vs ON (wall-clock shaped, ungated), with a gated flag
+//      asserting the budget actually coalesces (ON strictly below OFF).
+//
+// At smoke scale (AUTOSTATS_SF <= 0.001, the bench-smoke / bench-diff
+// pin) a 1000-tenant in-memory sweep also runs: scheduler + digest
+// correctness at fleet-ish tenant counts, cheap enough for CI.
 #include <algorithm>
 #include <clocale>
 #include <cstdint>
@@ -42,6 +52,7 @@ using testing::MakeTwoTableDb;
 using testing::TwoTableDb;
 
 constexpr int kWorkerCounts[] = {1, 2, 4, 8};
+constexpr int kShardCounts[] = {1, 2, 4};
 
 // Tenant data-plane size tracks AUTOSTATS_SF like every other exhibit
 // (1e6 rows at SF 1.0), clamped so the smoke scale still builds real
@@ -71,7 +82,7 @@ ManagerPolicy TenantPolicy() {
 
 // Deterministic per-tenant stream (same recipe family as server_test):
 // a query/DML mix that is a pure function of (tenant, position), so every
-// run at every worker count replays identical inputs.
+// run at every shard/worker count replays identical inputs.
 Workload TenantStream(const TwoTableDb& t, size_t tenant, int statements) {
   Workload w(TenantName(tenant));
   Rng rng(9000 + tenant);
@@ -107,6 +118,15 @@ Workload TenantStream(const TwoTableDb& t, size_t tenant, int statements) {
   return w;
 }
 
+struct RunSpec {
+  size_t tenants = 10;
+  int workers = 1;
+  int shards = 0;        // 0 = ServerOptions auto (min(workers, 8))
+  int stmts = 40;        // per tenant
+  bool durable = true;
+  double fsync_budget = -1.0;  // < 0 = ServerOptions default (ON)
+};
+
 struct ServerRun {
   double ms = 0.0;             // submit-to-drained wall time
   int64_t statements = 0;      // statements processed (sum of reports)
@@ -117,21 +137,21 @@ struct ServerRun {
   double ingress_count = 0.0;   // that histogram's sample count
   std::vector<uint32_t> digests;  // per-tenant catalog digest
   std::vector<double> fsyncs;     // per-tenant wal_fsync_us count
+  double fsync_total = 0.0;       // sum of the above
 };
 
-ServerRun RunOnce(size_t num_tenants, int workers, int stmts_per_tenant,
-                  bool durable) {
+ServerRun RunOnce(const RunSpec& spec) {
   const std::string wal_root = "bench_server.wal.dir";
   std::error_code ec;
   fs::remove_all(wal_root, ec);
 
   std::vector<TwoTableDb> dbs;
-  dbs.reserve(num_tenants);
+  dbs.reserve(spec.tenants);
   std::vector<Workload> streams;
-  streams.reserve(num_tenants);
-  for (size_t i = 0; i < num_tenants; ++i) {
+  streams.reserve(spec.tenants);
+  for (size_t i = 0; i < spec.tenants; ++i) {
     dbs.push_back(MakeTwoTableDb(FactRows(), 60));
-    streams.push_back(TenantStream(dbs[i], i, stmts_per_tenant));
+    streams.push_back(TenantStream(dbs[i], i, spec.stmts));
   }
 
   // Reset before constructing the server: it resolves its aggregate
@@ -140,17 +160,19 @@ ServerRun RunOnce(size_t num_tenants, int workers, int stmts_per_tenant,
   obs::EnableMetrics(true);
 
   ServerOptions options;
-  options.num_workers = workers;
+  options.num_workers = spec.workers;
+  options.num_shards = spec.shards;
   options.max_queue_depth = 16;  // bounded backlog: p99 reflects service,
                                  // not an unbounded queue
   options.max_batch = 8;
+  if (spec.fsync_budget >= 0.0) options.fsync_budget_per_sec = spec.fsync_budget;
   AutoStatsServer server(options);
-  for (size_t i = 0; i < num_tenants; ++i) {
+  for (size_t i = 0; i < spec.tenants; ++i) {
     TenantConfig tc;
     tc.name = TenantName(i);
     tc.db = &dbs[i].db;
     tc.policy = TenantPolicy();
-    if (durable) tc.durability_dir = wal_root + "/" + tc.name;
+    if (spec.durable) tc.durability_dir = wal_root + "/" + tc.name;
     server.AddTenant(tc);
   }
   server.Start();
@@ -160,15 +182,15 @@ ServerRun RunOnce(size_t num_tenants, int workers, int stmts_per_tenant,
   // so per-tenant order (the determinism input) is preserved while the
   // cross-tenant interleaving is a free-running race. A single ingress
   // thread would bottleneck the pool before the workers do.
-  const size_t ingress_threads = std::min<size_t>(4, num_tenants);
+  const size_t ingress_threads = std::min<size_t>(4, spec.tenants);
   WallTimer timer;
   {
     std::vector<std::thread> ingress;
     ingress.reserve(ingress_threads);
     for (size_t g = 0; g < ingress_threads; ++g) {
       ingress.emplace_back([&, g] {
-        for (int s = 0; s < stmts_per_tenant; ++s) {
-          for (size_t i = g; i < num_tenants; i += ingress_threads) {
+        for (int s = 0; s < spec.stmts; ++s) {
+          for (size_t i = g; i < spec.tenants; i += ingress_threads) {
             server.Submit(i, streams[i].statements()[s]);
           }
         }
@@ -182,7 +204,7 @@ ServerRun RunOnce(size_t num_tenants, int workers, int stmts_per_tenant,
   server.Stop();
   obs::EnableMetrics(false);
 
-  for (size_t i = 0; i < num_tenants; ++i) {
+  for (size_t i = 0; i < spec.tenants; ++i) {
     const RunReport report = server.Report(i);
     run.statements += report.num_queries + report.num_dml;
     if (report.durability_failures != 0) {
@@ -195,7 +217,7 @@ ServerRun RunOnce(size_t num_tenants, int workers, int stmts_per_tenant,
   run.sps = run.ms > 0 ? 1000.0 * static_cast<double>(run.statements) / run.ms
                        : 0.0;
 
-  run.fsyncs.assign(num_tenants, 0.0);
+  run.fsyncs.assign(spec.tenants, 0.0);
   for (const auto& [name, snap] :
        obs::MetricsRegistry::Instance().HistogramValues()) {
     if (name == "server.ingress_to_applied_us") {
@@ -204,9 +226,10 @@ ServerRun RunOnce(size_t num_tenants, int workers, int stmts_per_tenant,
       run.mean_ingress_us = snap.Mean();
       continue;
     }
-    for (size_t i = 0; i < num_tenants; ++i) {
+    for (size_t i = 0; i < spec.tenants; ++i) {
       if (name == TenantName(i) + "/wal_fsync_us") {
         run.fsyncs[i] = static_cast<double>(snap.count);
+        run.fsync_total += run.fsyncs[i];
       }
     }
   }
@@ -215,20 +238,72 @@ ServerRun RunOnce(size_t num_tenants, int workers, int stmts_per_tenant,
   return run;
 }
 
-// Sweeps the worker counts for one tenant-count config, emitting the
-// throughput series per worker count and the deterministic tenant state
-// once (with cross-worker-count equality flags).
+// --- 1. Determinism across shard topologies --------------------------------
+//
+// Coordinator OFF so the per-tenant fsync schedule is the deterministic
+// inline cadence: digests AND fsync counts must be bit-identical at every
+// shard count x worker count combination.
+void ShardSweepSection(BenchJson* json) {
+  std::printf("\ndeterminism sweep: shards {1,2,4} x workers {1,2,4,8}, "
+              "coordinator off\n");
+  std::vector<ServerRun> runs;
+  for (int shards : kShardCounts) {
+    for (int workers : kWorkerCounts) {
+      RunSpec spec;
+      spec.tenants = 10;
+      spec.workers = workers;
+      spec.shards = shards;
+      spec.stmts = 40;
+      spec.durable = true;
+      spec.fsync_budget = 0.0;  // inline per-tenant fsyncs
+      runs.push_back(RunOnce(spec));
+    }
+  }
+  const ServerRun& ref = runs[0];
+  json->Add("t10_statements", static_cast<double>(ref.statements));
+  double digest_sum = 0.0;
+  for (size_t i = 0; i < ref.digests.size(); ++i) {
+    digest_sum += static_cast<double>(ref.digests[i]);
+    json->Add("t10_digest_" + TenantName(i),
+              static_cast<double>(ref.digests[i]));
+    json->Add("t10_fsyncs_" + TenantName(i), ref.fsyncs[i]);
+  }
+  json->Add("t10_digest_sum", digest_sum);
+  json->Add("t10_fsyncs_total", ref.fsync_total);
+
+  bool digests_equal = true, fsyncs_equal = true;
+  for (const ServerRun& r : runs) {
+    digests_equal = digests_equal && r.digests == ref.digests;
+    fsyncs_equal = fsyncs_equal && r.fsyncs == ref.fsyncs;
+    if (r.statements != ref.statements) digests_equal = false;
+  }
+  json->Add("t10_digests_shards_workers_equal", digests_equal ? 1.0 : 0.0);
+  json->Add("t10_fsyncs_shards_workers_equal", fsyncs_equal ? 1.0 : 0.0);
+  std::printf("  digests %s, fsync schedules %s across all 12 combinations\n",
+              digests_equal ? "bit-identical" : "DIVERGED",
+              fsyncs_equal ? "identical" : "DIVERGED");
+}
+
+// --- 2. Throughput under the default config --------------------------------
+//
+// Sweeps the worker counts for one tenant-count config (auto shards,
+// coordinator ON — the shipped defaults), emitting the throughput series
+// per worker count and a digest-equality flag across the sweep.
 void TenantScaleSection(BenchJson* json, size_t num_tenants,
-                        int stmts_per_tenant, bool durable,
-                        bool per_tenant_series) {
+                        int stmts_per_tenant) {
   const std::string prefix = "t" + std::to_string(num_tenants);
   std::vector<ServerRun> runs;
   for (int workers : kWorkerCounts) {
     // Best-of-2: commit-wait overlap on a loaded machine is noisy; the
     // faster round is the machine's capability. Both rounds still feed
     // the determinism checks below.
-    runs.push_back(RunOnce(num_tenants, workers, stmts_per_tenant, durable));
-    runs.push_back(RunOnce(num_tenants, workers, stmts_per_tenant, durable));
+    RunSpec spec;
+    spec.tenants = num_tenants;
+    spec.workers = workers;
+    spec.stmts = stmts_per_tenant;
+    spec.durable = true;
+    runs.push_back(RunOnce(spec));
+    runs.push_back(RunOnce(spec));
     const size_t n = runs.size();
     const ServerRun& r =
         runs[n - 1].sps > runs[n - 2].sps ? runs[n - 1] : runs[n - 2];
@@ -244,37 +319,76 @@ void TenantScaleSection(BenchJson* json, size_t num_tenants,
   }
 
   const ServerRun& ref = runs[0];
-  json->Add(prefix + "_statements", static_cast<double>(ref.statements));
   json->Add(prefix + "_ingress_samples", ref.ingress_count);
-
-  double digest_sum = 0.0, fsync_sum = 0.0;
-  for (size_t i = 0; i < num_tenants; ++i) {
-    digest_sum += static_cast<double>(ref.digests[i]);
-    fsync_sum += ref.fsyncs[i];
-    if (per_tenant_series) {
-      json->Add(prefix + "_digest_" + TenantName(i),
-                static_cast<double>(ref.digests[i]));
-      if (durable) {
-        json->Add(prefix + "_fsyncs_" + TenantName(i), ref.fsyncs[i]);
-      }
-    }
+  double digest_sum = 0.0;
+  for (uint32_t d : ref.digests) digest_sum += static_cast<double>(d);
+  // t100 has no shard sweep of its own: its digest sum + statement count
+  // from this (default-config) sweep are the exact-gated state pin.
+  if (prefix != "t10") {
+    json->Add(prefix + "_statements", static_cast<double>(ref.statements));
+    json->Add(prefix + "_digest_sum", digest_sum);
   }
-  json->Add(prefix + "_digest_sum", digest_sum);
-  if (durable) json->Add(prefix + "_fsyncs_total", fsync_sum);
 
-  // The determinism contract, asserted across the whole worker sweep:
-  // identical catalogs and (for durable tenants) identical WAL fsync
-  // schedules at every worker count.
-  bool digests_equal = true, fsyncs_equal = true;
+  // Digests must agree across the whole sweep (fsync schedules are
+  // wall-clock shaped with the coordinator ON and deliberately unpinned).
+  bool digests_equal = true;
   for (const ServerRun& r : runs) {
     digests_equal = digests_equal && r.digests == ref.digests;
-    fsyncs_equal = fsyncs_equal && r.fsyncs == ref.fsyncs;
     if (r.statements != ref.statements) digests_equal = false;
   }
   json->Add(prefix + "_digests_workers_equal", digests_equal ? 1.0 : 0.0);
-  if (durable) {
-    json->Add(prefix + "_fsyncs_workers_equal", fsyncs_equal ? 1.0 : 0.0);
-  }
+}
+
+// --- 3. Fsync economics ----------------------------------------------------
+//
+// One 100-tenant run per coordinator mode at the widest worker count:
+// OFF = the deterministic per-tenant cadence (exact-gated count), ON =
+// the budgeted cross-tenant schedule (ungated count, gated strictly-less
+// flag).
+void FsyncBudgetSection(BenchJson* json) {
+  RunSpec off;
+  off.tenants = 100;
+  off.workers = 8;
+  off.stmts = 8;
+  off.durable = true;
+  off.fsync_budget = 0.0;
+  const ServerRun off_run = RunOnce(off);
+
+  RunSpec on = off;
+  on.fsync_budget = -1.0;  // shipped default budget
+  const ServerRun on_run = RunOnce(on);
+
+  json->Add("t100_fsyncs_total", off_run.fsync_total);
+  json->Add("t100_fsyncs_budget_total", on_run.fsync_total);
+  json->Add("t100_fsync_budget_saves",
+            on_run.fsync_total < off_run.fsync_total ? 1.0 : 0.0);
+  std::printf("\nt100 w8 physical fsyncs: %.0f inline -> %.0f budgeted "
+              "(%.1fx fewer)\n",
+              off_run.fsync_total, on_run.fsync_total,
+              on_run.fsync_total > 0
+                  ? off_run.fsync_total / on_run.fsync_total
+                  : 0.0);
+}
+
+// --- 4. Fleet-count smoke (tiny SF only) ------------------------------------
+//
+// 1000 in-memory tenants, short streams: scheduler + digest correctness
+// at fleet-ish tenant counts. Only at smoke scale (the bench-smoke and
+// bench-diff pin, AUTOSTATS_SF <= 0.001) so CI pays seconds, not minutes.
+void FleetSmokeSection(BenchJson* json) {
+  RunSpec spec;
+  spec.tenants = 1000;
+  spec.workers = 8;
+  spec.stmts = 4;
+  spec.durable = false;
+  const ServerRun run = RunOnce(spec);
+  double digest_sum = 0.0;
+  for (uint32_t d : run.digests) digest_sum += static_cast<double>(d);
+  json->Add("t1000_statements", static_cast<double>(run.statements));
+  json->Add("t1000_digest_sum", digest_sum);
+  json->Add("t1000_w8_statements_per_sec", run.sps);
+  std::printf("t1000 smoke: %lld statements, %8.0f stmts/s\n",
+              static_cast<long long>(run.statements), run.sps);
 }
 
 }  // namespace
@@ -283,21 +397,36 @@ void TenantScaleSection(BenchJson* json, size_t num_tenants,
 int main() {
   using namespace autostats::bench;
   std::setlocale(LC_NUMERIC, "C");  // %.17g must not localize decimal points
-  PrintHeader("Multi-tenant AutoStatsServer: shared-pool throughput scaling",
+  PrintHeader("Multi-tenant AutoStatsServer: sharded scheduling + "
+              "cross-tenant group commit",
               "unattended statistics management beside the server (Section 6), "
               "multiplexed across tenants");
   BenchJson json("server");
   json.Add("fact_rows", static_cast<double>(FactRows()));
   // Every tenant is durable (its own WAL directory, group commit +
-  // checkpoints): statements block on fsync, so worker-count scaling
-  // comes from overlapping commit waits — visible even on a single core.
-  // 10 tenants with per-tenant digest/fsync series for the gate...
-  TenantScaleSection(&json, 10, 40, /*durable=*/true,
-                     /*per_tenant_series=*/true);
-  // ...and 100 tenants stressing scheduler fairness; the gate takes the
-  // digest/fsync sums (100 per-tenant series would drown the rules).
-  TenantScaleSection(&json, 100, 8, /*durable=*/true,
-                     /*per_tenant_series=*/false);
+  // checkpoints): statements block on fsync, so throughput comes from
+  // taking the fsync off the worker critical path and coalescing it —
+  // visible even on a single core.
+  ShardSweepSection(&json);
+  // 10 tenants and 100 tenants under the shipped defaults...
+  TenantScaleSection(&json, 10, 40);
+  TenantScaleSection(&json, 100, 8);
+  // ...plus the shards=1 pin for reading the sharding win at t100.
+  {
+    RunSpec spec;
+    spec.tenants = 100;
+    spec.workers = 8;
+    spec.shards = 1;
+    spec.stmts = 8;
+    spec.durable = true;
+    const ServerRun a = RunOnce(spec);
+    const ServerRun b = RunOnce(spec);
+    json.Add("t100_w8_shards1_statements_per_sec", std::max(a.sps, b.sps));
+    std::printf("t100 workers=8 shards=1  %8.0f stmts/s (sharding pin)\n",
+                std::max(a.sps, b.sps));
+  }
+  FsyncBudgetSection(&json);
+  if (ScaleFactor() <= 0.001) FleetSmokeSection(&json);
   if (!json.Write()) return 1;
   std::printf("bench_server: BENCH_server.json written\n");
   return 0;

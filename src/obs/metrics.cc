@@ -101,6 +101,17 @@ std::vector<double> ExponentialBounds(double start, double factor, int count) {
   return out;
 }
 
+std::vector<double> LinearBounds(double start, double step, int count) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(v);
+    v += step;
+  }
+  return out;
+}
+
 const std::vector<double>& LatencyBoundsUs() {
   static const std::vector<double> kBounds = ExponentialBounds(1.0, 2.0, 17);
   return kBounds;

@@ -105,6 +105,12 @@ class Histogram {
 // apart: ExponentialBounds(1, 2, 4) -> {1, 2, 4, 8}.
 std::vector<double> ExponentialBounds(double start, double factor, int count);
 
+// `count` ascending upper edges starting at `start`, each `step` apart:
+// LinearBounds(1, 1, 4) -> {1, 2, 3, 4}. For small-integer distributions
+// (tenants per fsync batch, shard occupancy) where exponential edges
+// would fold everything into the first bucket.
+std::vector<double> LinearBounds(double start, double step, int count);
+
 // Standard edges used by every latency histogram in the catalog:
 // 1us .. ~65ms in x2 steps (17 edges), +inf tail.
 const std::vector<double>& LatencyBoundsUs();

@@ -1,5 +1,6 @@
 #include "server/autostats_server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -24,15 +25,37 @@ struct TenantScopes {
   ParallelInlineScope inline_probes;
 };
 
+// How often an idle worker on a multi-shard server re-checks the
+// cross-shard steal condition. A bounded poll instead of a global
+// condition variable keeps the uncontended submit path shard-local; the
+// ready_total_ fast path below means a poll wakeup with no work anywhere
+// is one relaxed load.
+constexpr std::chrono::milliseconds kStealPoll{1};
+
 }  // namespace
 
 AutoStatsServer::AutoStatsServer(ServerOptions options)
     : options_(options) {
+  resolved_workers_ =
+      options_.num_workers > 0 ? options_.num_workers : NumThreads();
+  if (resolved_workers_ < 1) resolved_workers_ = 1;
+  int shards = options_.num_shards > 0 ? options_.num_shards
+                                       : std::min(resolved_workers_, 8);
+  if (shards < 1) shards = 1;
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = static_cast<size_t>(i);
+    shards_.push_back(std::move(shard));
+  }
+
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
   ingress_latency_us_ =
       reg.GetHistogram("server.ingress_to_applied_us", obs::LatencyBoundsUs());
   statements_total_ = reg.GetCounter("server.statements");
   backpressure_total_ = reg.GetCounter("server.backpressure_waits");
+  rejected_total_ = reg.GetCounter("server.rejected_total");
+  steals_total_ = reg.GetCounter("server.work_steals");
 }
 
 AutoStatsServer::~AutoStatsServer() { Stop(); }
@@ -43,8 +66,12 @@ size_t AutoStatsServer::AddTenant(const TenantConfig& config) {
   for (const auto& t : tenants_) AUTOSTATS_CHECK(t->name != config.name);
 
   auto tenant = std::make_unique<Tenant>();
+  tenant->index = tenants_.size();
+  tenant->shard = shards_[tenant->index % shards_.size()].get();
   tenant->name = config.name;
   tenant->db = config.db;
+  tenant->weight = std::max(1, config.weight);
+  tenant->turns_left = tenant->weight;
   tenant->catalog = std::make_unique<StatsCatalog>(config.db);
   tenant->optimizer = std::make_unique<Optimizer>(config.db);
   ManagerPolicy policy = config.policy;
@@ -54,6 +81,8 @@ size_t AutoStatsServer::AddTenant(const TenantConfig& config) {
       std::move(policy));
   tenant->report.label =
       tenant->name + "/" + CreationModeName(config.policy.mode);
+  tenant->rejected_counter = obs::MetricsRegistry::Instance().GetCounter(
+      tenant->name + "/server.rejected_total");
 
   if (!config.durability_dir.empty()) {
     // Recovery replays the tenant's journal into its catalog: run it
@@ -65,6 +94,30 @@ size_t AutoStatsServer::AddTenant(const TenantConfig& config) {
     if (opened.ok()) {
       tenant->durability = std::move(*opened);
       tenant->manager->AttachDurability(tenant->durability.get());
+      if (options_.fsync_budget_per_sec > 0.0) {
+        // Wire the tenant into its shard's fsync coordinator (created on
+        // first durable tenant): commits defer their physical fsync to
+        // the shared budget instead of paying it on the worker thread.
+        Shard* shard = tenant->shard;
+        if (shard->coordinator == nullptr) {
+          shard->coordinator = std::make_unique<FsyncCoordinator>(
+              FsyncCoordinator::Options{options_.fsync_budget_per_sec,
+                                        options_.fsync_max_coalesce_us});
+        }
+        Tenant* t = tenant.get();
+        FsyncCoordinator::Member member;
+        member.name = t->name;
+        member.durability = t->durability.get();
+        member.trace = &t->trace;
+        member.on_flush_error = [this, t](const Status&) {
+          std::lock_guard<std::mutex> lock(t->shard->mu);
+          ++t->report.durability_failures;
+        };
+        const size_t id = shard->coordinator->AddMember(std::move(member));
+        FsyncCoordinator* coordinator = shard->coordinator.get();
+        t->durability->set_fsync_deferral(
+            [coordinator, id] { coordinator->RequestFsync(id); });
+      }
     } else {
       // Fail open: the tenant serves in-memory; the failure is visible
       // in its report.
@@ -79,11 +132,13 @@ size_t AutoStatsServer::AddTenant(const TenantConfig& config) {
 void AutoStatsServer::Start() {
   AUTOSTATS_CHECK(!started_);
   started_ = true;
-  int n = options_.num_workers > 0 ? options_.num_workers : NumThreads();
-  if (n < 1) n = 1;
-  workers_.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  for (const auto& shard : shards_) {
+    if (shard->coordinator != nullptr) shard->coordinator->Start();
+  }
+  workers_.reserve(static_cast<size_t>(resolved_workers_));
+  for (int i = 0; i < resolved_workers_; ++i) {
+    const size_t home = static_cast<size_t>(i) % shards_.size();
+    workers_.emplace_back([this, home] { WorkerLoop(home); });
   }
 }
 
@@ -91,23 +146,38 @@ bool AutoStatsServer::SubmitInternal(size_t tenant,
                                      const Statement& statement,
                                      bool block) {
   AUTOSTATS_CHECK(tenant < tenants_.size());
+  // Drain()'s wait is on the aggregate pending count: concurrent ingress
+  // would re-raise it after the wait and race the per-tenant flushes.
+  AUTOSTATS_DCHECK(drains_active_.load(std::memory_order_relaxed) == 0);
   Tenant* t = tenants_[tenant].get();
-  std::unique_lock<std::mutex> lock(mu_);
+  Shard* shard = t->shard;
+  std::unique_lock<std::mutex> lock(shard->mu);
   if (t->queue.size() >= options_.max_queue_depth) {
-    if (!block) return false;
+    if (!block) {
+      ++t->rejected;
+      if (obs::MetricsEnabled()) {
+        rejected_total_->Add();
+        t->rejected_counter->Add();
+      }
+      return false;
+    }
     ++t->backpressure_waits;
     if (obs::MetricsEnabled()) backpressure_total_->Add();
-    space_cv_.wait(lock, [&] {
-      return t->queue.size() < options_.max_queue_depth || stop_;
+    shard->space_cv.wait(lock, [&] {
+      return t->queue.size() < options_.max_queue_depth ||
+             stop_.load(std::memory_order_relaxed);
     });
-    if (stop_) return false;
+    if (stop_.load(std::memory_order_relaxed)) return false;
   }
   t->queue.emplace_back(statement, std::chrono::steady_clock::now());
-  ++pending_;
+  ++shard->pending;
+  pending_total_.fetch_add(1, std::memory_order_relaxed);
   if (!t->scheduled) {
     t->scheduled = true;
-    ready_.push_back(t);
-    work_cv_.notify_one();
+    t->turns_left = t->weight;
+    shard->ready.push_back(t);
+    ready_total_.fetch_add(1, std::memory_order_relaxed);
+    shard->work_cv.notify_one();
   }
   return true;
 }
@@ -120,27 +190,61 @@ bool AutoStatsServer::TrySubmit(size_t tenant, const Statement& statement) {
   return SubmitInternal(tenant, statement, /*block=*/false);
 }
 
-void AutoStatsServer::WorkerLoop() {
+AutoStatsServer::Tenant* AutoStatsServer::PopReady(Shard* s) {
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->ready.empty()) return nullptr;
+  Tenant* t = s->ready.front();
+  s->ready.pop_front();
+  // t->scheduled stays true: this worker owns the tenant until it
+  // requeues or parks it in RunTenantBatch's epilogue.
+  ready_total_.fetch_sub(1, std::memory_order_relaxed);
+  return t;
+}
+
+void AutoStatsServer::WorkerLoop(size_t home_shard) {
+  Shard* home = shards_[home_shard].get();
+  const size_t n = shards_.size();
   for (;;) {
-    Tenant* t = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || !ready_.empty(); });
-      if (stop_) return;
-      t = ready_.front();
-      ready_.pop_front();
-      // t->scheduled stays true: this worker owns the tenant until it
-      // requeues or parks it in RunTenantBatch's epilogue.
+    if (stop_.load(std::memory_order_relaxed)) return;
+    Tenant* t = PopReady(home);
+    if (t == nullptr && n > 1 &&
+        ready_total_.load(std::memory_order_relaxed) > 0) {
+      // Home shard idle but somebody is ready: steal. The scan order
+      // starts at the next sibling so steal pressure spreads instead of
+      // piling onto shard 0. Stealing moves only the *scheduling turn*
+      // — the tenant's queue, epilogue, and accounting stay under its
+      // own shard's mutex, so results are unaffected.
+      for (size_t k = 1; k < n && t == nullptr; ++k) {
+        t = PopReady(shards_[(home_shard + k) % n].get());
+      }
+      if (t != nullptr && obs::MetricsEnabled()) steals_total_->Add();
     }
-    RunTenantBatch(t);
+    if (t != nullptr) {
+      RunTenantBatch(t);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(home->mu);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (n == 1) {
+      home->work_cv.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) || !home->ready.empty();
+      });
+    } else {
+      // Bounded wait so an idle worker notices stealable work on other
+      // shards without a global wakeup channel.
+      home->work_cv.wait_for(lock, kStealPoll, [&] {
+        return stop_.load(std::memory_order_relaxed) || !home->ready.empty();
+      });
+    }
   }
 }
 
 void AutoStatsServer::RunTenantBatch(Tenant* t) {
+  Shard* shard = t->shard;
   std::vector<std::pair<Statement, std::chrono::steady_clock::time_point>>
       batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(shard->mu);
     const size_t n = std::min(t->queue.size(),
                               static_cast<size_t>(options_.max_batch));
     batch.reserve(n);
@@ -149,7 +253,7 @@ void AutoStatsServer::RunTenantBatch(Tenant* t) {
       t->queue.pop_front();
     }
   }
-  space_cv_.notify_all();
+  shard->space_cv.notify_all();
 
   RunReport local;
   {
@@ -164,30 +268,60 @@ void AutoStatsServer::RunTenantBatch(Tenant* t) {
                 .count());
         statements_total_->Add();
       }
+      if (options_.post_statement_hook) options_.post_statement_hook(t->index);
     }
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(shard->mu);
     t->report += local;
-    pending_ -= batch.size();
+    shard->pending -= batch.size();
     if (!t->queue.empty()) {
-      ready_.push_back(t);  // keep scheduled; take a turn at the back
-      work_cv_.notify_one();
+      // Weighted round-robin: a tenant keeps the head of the ready queue
+      // until its `weight` consecutive turns are spent, then goes to the
+      // back with a fresh allowance.
+      if (t->turns_left > 1) {
+        --t->turns_left;
+        shard->ready.push_front(t);
+      } else {
+        t->turns_left = t->weight;
+        shard->ready.push_back(t);
+      }
+      ready_total_.fetch_add(1, std::memory_order_relaxed);
+      shard->work_cv.notify_one();
     } else {
       t->scheduled = false;
+      t->turns_left = t->weight;
     }
-    if (pending_ == 0) drain_cv_.notify_all();
+  }
+  const size_t prev = pending_total_.fetch_sub(batch.size(),
+                                               std::memory_order_acq_rel);
+  if (prev == batch.size()) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
   }
 }
 
 void AutoStatsServer::Drain() {
+  drains_active_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    drain_cv_.wait(lock, [&] { return pending_ == 0 || stop_; });
-    if (stop_) return;
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [&] {
+      return pending_total_.load(std::memory_order_acquire) == 0 ||
+             stop_.load(std::memory_order_relaxed);
+    });
   }
-  // Close each durable tenant's group-commit window. pending_ == 0 means
+  if (stop_.load(std::memory_order_relaxed)) {
+    drains_active_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  // Quiesce the fsync coordinators first: every deferred fsync the
+  // drained statements requested is paid before the per-tenant window
+  // close below, so a tenant whose flush fails is accounted exactly once.
+  for (const auto& shard : shards_) {
+    if (shard->coordinator != nullptr) shard->coordinator->FlushNow();
+  }
+  // Close each durable tenant's group-commit window. pending == 0 means
   // no worker holds any tenant (the decrement happens in the batch
   // epilogue), so touching tenant state from here is safe while ingress
   // stays quiescent.
@@ -196,28 +330,42 @@ void AutoStatsServer::Drain() {
     if (t->durability == nullptr || t->durability->crashed()) continue;
     TenantScopes scopes(t->name, &t->trace);
     if (!t->durability->Flush().ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(t->shard->mu);
       ++t->report.durability_failures;
     }
   }
+  drains_active_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void AutoStatsServer::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) return;
-    stop_ = true;
+  if (stop_.exchange(true)) return;
+  // Lock-and-release each shard mutex before notifying: a worker that
+  // checked stop_ just before the store and is about to wait must
+  // observe either the flag or the notification.
+  for (const auto& shard : shards_) {
+    { std::lock_guard<std::mutex> lock(shard->mu); }
+    shard->work_cv.notify_all();
+    shard->space_cv.notify_all();
   }
-  work_cv_.notify_all();
-  space_cv_.notify_all();
-  drain_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
   for (std::thread& w : workers_) w.join();
   workers_.clear();
+  for (const auto& shard : shards_) {
+    if (shard->coordinator != nullptr) shard->coordinator->Stop();
+  }
 }
 
 const std::string& AutoStatsServer::tenant_name(size_t tenant) const {
   AUTOSTATS_CHECK(tenant < tenants_.size());
   return tenants_[tenant]->name;
+}
+
+const FsyncCoordinator* AutoStatsServer::coordinator(size_t shard) const {
+  AUTOSTATS_CHECK(shard < shards_.size());
+  return shards_[shard]->coordinator.get();
 }
 
 const StatsCatalog& AutoStatsServer::catalog(size_t tenant) const {
@@ -232,14 +380,23 @@ const obs::TraceSink& AutoStatsServer::trace(size_t tenant) const {
 
 RunReport AutoStatsServer::Report(size_t tenant) const {
   AUTOSTATS_CHECK(tenant < tenants_.size());
-  std::lock_guard<std::mutex> lock(mu_);
-  return tenants_[tenant]->report;
+  const Tenant* t = tenants_[tenant].get();
+  std::lock_guard<std::mutex> lock(t->shard->mu);
+  return t->report;
 }
 
 int64_t AutoStatsServer::backpressure_waits(size_t tenant) const {
   AUTOSTATS_CHECK(tenant < tenants_.size());
-  std::lock_guard<std::mutex> lock(mu_);
-  return tenants_[tenant]->backpressure_waits;
+  const Tenant* t = tenants_[tenant].get();
+  std::lock_guard<std::mutex> lock(t->shard->mu);
+  return t->backpressure_waits;
+}
+
+int64_t AutoStatsServer::rejected_total(size_t tenant) const {
+  AUTOSTATS_CHECK(tenant < tenants_.size());
+  const Tenant* t = tenants_[tenant].get();
+  std::lock_guard<std::mutex> lock(t->shard->mu);
+  return t->rejected;
 }
 
 const CatalogDurability* AutoStatsServer::durability(size_t tenant) const {

@@ -8,15 +8,30 @@
 // and a private TraceSink. Statement streams arrive on any number of
 // ingress threads tagged by tenant; workers drain them.
 //
+// Scheduling is SHARDED: tenants are statically assigned to
+// ServerOptions::num_shards independent shards (tenant index modulo shard
+// count), each with its own mutex, ready deque, pending counter, and
+// work/space condition variables. Workers have a home shard
+// (worker index modulo shard count) and take work from it; only when the
+// home shard is idle do they scan siblings and steal a ready tenant, so
+// the uncontended Submit -> dispatch -> epilogue hot path never crosses
+// shards and never touches a global lock. Within a shard the ready queue
+// is WEIGHTED round-robin: a tenant with TenantConfig::weight w takes w
+// consecutive scheduling turns (of up to max_batch statements each)
+// before yielding the head of the queue — under contention, service is
+// proportional to weight; an uncontended tenant is unaffected.
+//
 // Determinism contract (the tentpole invariant, pinned by server_test):
 // identical per-tenant statement streams produce bit-identical per-tenant
-// catalogs AND byte-identical per-tenant traces at any worker count and
-// any ingress interleaving. Three mechanisms make that hold:
+// catalogs AND byte-identical per-tenant traces at any shard count, any
+// worker count, and any ingress interleaving. Three mechanisms make that
+// hold:
 //
 //   1. Per-tenant serialization. Each tenant has a FIFO queue and is
 //      executed by at most one worker at a time (a `scheduled` flag —
 //      the actor pattern): a tenant's catalog evolution is a pure
-//      function of its own stream, never of sibling traffic.
+//      function of its own stream, never of sibling traffic, shard
+//      topology, or who stole whom.
 //   2. Thread-scoped observability. Workers wrap every statement in a
 //      ScopedTraceSink (events land in the tenant's sink with its own
 //      seq numbers and logical clock), a ScopedMetricsLabel (metric
@@ -30,11 +45,21 @@
 //      instead of funneling every tenant through the shared pool's one
 //      job at a time.
 //
+// Durability: each shard owns an optional FsyncCoordinator
+// (server/fsync_coordinator.h). With fsync_budget_per_sec > 0, durable
+// tenants append + OS-flush their own WAL records exactly as before but
+// defer the physical fsync to the shard's coordinator, which coalesces
+// fsyncs across tenants under the shared budget — journal content,
+// recovery, and statement-boundary tearing are unchanged; only the fsync
+// schedule becomes wall-clock dependent. 0 restores the per-tenant
+// inline cadence (deterministic fsync counts).
+//
 // Admission control: each tenant's queue is bounded
 // (ServerOptions::max_queue_depth). Submit() blocks the ingress thread
 // until space frees (counting a backpressure wait); TrySubmit() rejects
-// instead. Backpressure is per-tenant — a slow tenant saturates its own
-// queue, not its siblings'.
+// instead (counting a rejection, per tenant and on the aggregate
+// server.rejected_total counter). Backpressure is per-tenant — a slow
+// tenant saturates its own queue, not its siblings'.
 //
 // Ordering caveat: the determinism input is each tenant's stream order.
 // Submissions for the SAME tenant from multiple ingress threads are
@@ -42,10 +67,12 @@
 #ifndef AUTOSTATS_SERVER_AUTOSTATS_SERVER_H_
 #define AUTOSTATS_SERVER_AUTOSTATS_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -59,6 +86,7 @@
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "query/workload.h"
+#include "server/fsync_coordinator.h"
 #include "stats/durability.h"
 #include "stats/stats_catalog.h"
 
@@ -68,13 +96,33 @@ struct ServerOptions {
   // Worker threads draining tenant queues. 0 uses NumThreads() (the
   // AUTOSTATS_THREADS / hardware-concurrency setting).
   int num_workers = 0;
+  // Independent scheduler shards. 0 = auto: min(resolved workers, 8).
+  // Tenants map to shards by index (tenant i -> shard i % num_shards);
+  // workers map the same way and steal from siblings only when their
+  // home shard is idle.
+  int num_shards = 0;
   // Per-tenant admission bound: Submit() blocks (TrySubmit() rejects)
   // while a tenant has this many statements queued.
   size_t max_queue_depth = 256;
   // Statements a worker drains from one tenant per scheduling turn
   // before requeueing it behind its siblings (bounds head-of-line
-  // latency for other ready tenants).
+  // latency for other ready tenants). A tenant with weight w takes w
+  // consecutive turns before yielding.
   int max_batch = 8;
+  // Cross-tenant async group commit: flush passes per second each
+  // shard's FsyncCoordinator may spend on its durable tenants. 0
+  // disables the coordinator — every tenant pays its own fsync inline on
+  // the worker thread (the deterministic per-tenant cadence).
+  double fsync_budget_per_sec = 256.0;
+  // Upper bound on how long a committed-but-unsynced WAL record may wait
+  // for cross-tenant coalescing (the durability-lag bound).
+  int fsync_max_coalesce_us = 10000;
+  // Test-only observation point: invoked on the worker thread after each
+  // processed statement with the tenant's index. With one worker the
+  // invocation order is exactly the schedule, which is what the
+  // weighted-round-robin tests pin. Must be thread-safe; must not call
+  // back into the server.
+  std::function<void(size_t tenant)> post_statement_hook;
 };
 
 struct TenantConfig {
@@ -93,6 +141,10 @@ struct TenantConfig {
   // manager commits one journal record per statement with checkpoints on
   // the policy cadence. Empty = in-memory only.
   std::string durability_dir;
+  // Scheduling priority: consecutive weighted-round-robin turns this
+  // tenant takes within its shard before yielding (clamped to >= 1).
+  // Affects only latency under contention, never results.
+  int weight = 1;
 };
 
 class AutoStatsServer {
@@ -112,28 +164,39 @@ class AutoStatsServer {
   // and is reported in the tenant's RunReport as a durability failure.
   size_t AddTenant(const TenantConfig& config);
 
-  // Spawns the worker pool. Call once, after all AddTenant calls.
+  // Spawns the worker pool and the per-shard fsync coordinators. Call
+  // once, after all AddTenant calls.
   void Start();
 
   // Enqueues one statement for `tenant`, blocking while its queue is
   // full (each block counts one backpressure wait). Thread-safe; callable
   // from any number of ingress threads.
   void Submit(size_t tenant, const Statement& statement);
-  // Non-blocking admission: false if the tenant's queue is full.
+  // Non-blocking admission: false if the tenant's queue is full (counted
+  // per tenant and on server.rejected_total).
   bool TrySubmit(size_t tenant, const Statement& statement);
 
   // Blocks until every submitted statement has been processed, then
+  // forces each shard's fsync coordinator through a final pass and
   // closes each durable tenant's group-commit window (Flush) under that
-  // tenant's scopes. Ingress must be quiescent (no concurrent Submit)
-  // for the return to be meaningful.
+  // tenant's scopes. Ingress must be QUIESCENT (no concurrent Submit /
+  // TrySubmit) from before the call until it returns — the wait is on an
+  // aggregate pending count that concurrent ingress would re-raise.
+  // Debug builds check the precondition and abort on a violation.
   void Drain();
 
-  // Stops and joins the workers (idempotent). Implies no further
-  // Submit/Drain; queued statements are not processed.
+  // Stops and joins the workers and coordinators (idempotent). Implies
+  // no further Submit/Drain; queued statements are not processed.
   void Stop();
 
   size_t num_tenants() const { return tenants_.size(); }
   const std::string& tenant_name(size_t tenant) const;
+  // Resolved shard topology (fixed at construction).
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  size_t shard_of(size_t tenant) const { return tenant % shards_.size(); }
+  // The shard's fsync coordinator; nullptr when the shard has no durable
+  // tenants or fsync_budget_per_sec == 0.
+  const FsyncCoordinator* coordinator(size_t shard) const;
 
   // --- Per-tenant state. Only meaningful while quiescent (after Drain
   // or Stop): the catalog and trace are actively mutated by workers. ---
@@ -145,11 +208,17 @@ class AutoStatsServer {
   RunReport Report(size_t tenant) const;
   // Backpressure waits ingress threads have suffered for this tenant.
   int64_t backpressure_waits(size_t tenant) const;
+  // TrySubmit rejections this tenant has bounced.
+  int64_t rejected_total(size_t tenant) const;
   // The tenant's durability layer (nullptr when in-memory only).
   const CatalogDurability* durability(size_t tenant) const;
 
  private:
+  struct Shard;
+
   struct Tenant {
+    size_t index = 0;
+    Shard* shard = nullptr;
     std::string name;
     Database* db = nullptr;
     std::unique_ptr<StatsCatalog> catalog;
@@ -157,37 +226,61 @@ class AutoStatsServer {
     std::unique_ptr<AutoStatsManager> manager;
     std::unique_ptr<CatalogDurability> durability;
     obs::TraceSink trace;
+    int weight = 1;
+    obs::Counter* rejected_counter = nullptr;  // "<name>/server.rejected_total"
 
-    // Guarded by the server's mu_:
+    // Guarded by shard->mu:
     std::deque<std::pair<Statement, std::chrono::steady_clock::time_point>>
         queue;
     bool scheduled = false;  // a worker currently owns this tenant
+    int turns_left = 1;      // weighted-round-robin turns remaining
     RunReport report;
     int64_t backpressure_waits = 0;
+    int64_t rejected = 0;
   };
 
-  void WorkerLoop();
+  // One independent scheduler: its mutex guards its tenants' queue state
+  // and nothing else, so uncontended traffic never crosses shards.
+  struct Shard {
+    size_t index = 0;
+    mutable std::mutex mu;
+    std::condition_variable work_cv;   // workers: ready nonempty or stop
+    std::condition_variable space_cv;  // ingress: queue space freed
+    std::deque<Tenant*> ready;         // WRR queue of schedulable tenants
+    size_t pending = 0;                // submitted, not yet processed
+    std::unique_ptr<FsyncCoordinator> coordinator;
+  };
+
+  void WorkerLoop(size_t home_shard);
+  // Pops the next ready tenant from `s`, or nullptr.
+  Tenant* PopReady(Shard* s);
   // Drains one batch from `t` (which the caller owns via `scheduled`).
   void RunTenantBatch(Tenant* t);
   bool SubmitInternal(size_t tenant, const Statement& statement, bool block);
 
   const ServerOptions options_;
+  int resolved_workers_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Tenant>> tenants_;
   std::vector<std::thread> workers_;
   bool started_ = false;
 
-  mutable std::mutex mu_;  // guards every field below + Tenant queue state
-  std::condition_variable work_cv_;   // workers: ready_ nonempty or stop
-  std::condition_variable space_cv_;  // ingress: queue space freed
-  std::condition_variable drain_cv_;  // Drain: pending_ reached zero
-  std::deque<Tenant*> ready_;         // tenants with work, none scheduled
-  size_t pending_ = 0;  // submitted, not yet fully processed
-  bool stop_ = false;
+  std::atomic<bool> stop_{false};
+  // Cheap aggregates for idle-steal checks and Drain: the per-shard
+  // truth lives under each shard's mutex; these relaxed counters only
+  // gate "is there possibly work/pending anywhere" decisions.
+  std::atomic<size_t> ready_total_{0};
+  std::atomic<size_t> pending_total_{0};
+  std::atomic<int> drains_active_{0};  // Drain-quiescence debug check
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;  // pending_total_ reached zero
 
   // Aggregate (unlabeled) instruments, resolved once at construction.
   obs::Histogram* ingress_latency_us_;
   obs::Counter* statements_total_;
   obs::Counter* backpressure_total_;
+  obs::Counter* rejected_total_;
+  obs::Counter* steals_total_;
 };
 
 }  // namespace autostats

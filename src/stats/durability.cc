@@ -478,11 +478,12 @@ CatalogDurability::~CatalogDurability() {
   if (catalog_ != nullptr && catalog_->mutation_listener() == this) {
     catalog_->set_mutation_listener(nullptr);
   }
+  std::lock_guard<std::mutex> lock(commit_mu_);
   if (journal_ != nullptr) {
     // Best-effort close of the group-commit window: records already
     // flushed to the OS but awaiting their batch fsync. No fault gates in
     // a destructor — a simulated kill has already sealed the writer.
-    if (!sealed_ && appends_since_fsync_ > 0) {
+    if (!crashed() && appends_since_fsync_ > 0) {
       FsyncStream(journal_, JournalPath());
     }
     std::fclose(journal_);
@@ -796,7 +797,8 @@ Status CatalogDurability::SyncJournal(const char* gate_detail) {
 }
 
 Status CatalogDurability::Flush() {
-  if (sealed_) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (crashed()) {
     return Status::FailedPrecondition(
         "durability sealed after simulated crash; reopen to recover");
   }
@@ -805,7 +807,21 @@ Status CatalogDurability::Flush() {
 }
 
 Status CatalogDurability::CommitStatement() {
-  if (sealed_) {
+  bool defer_fsync = false;
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    s = CommitStatementLocked(&defer_fsync);
+  }
+  // The hook runs outside commit_mu_: it typically takes the fsync
+  // coordinator's lock, whose thread takes commit_mu_ inside Flush() —
+  // invoking it under the lock would deadlock.
+  if (defer_fsync) fsync_deferral_();
+  return s;
+}
+
+Status CatalogDurability::CommitStatementLocked(bool* defer_fsync) {
+  if (crashed()) {
     return Status::FailedPrecondition(
         "durability sealed after simulated crash; reopen to recover");
   }
@@ -820,7 +836,7 @@ Status CatalogDurability::CommitStatement() {
     obs::ScopedLatency timer(WalAppendHistogram());
     appended = AppendFrame(payload, "journal", &record_persisted);
   }
-  if (sealed_) return appended;
+  if (crashed()) return appended;
   if (!record_persisted) {
     // Plain injected append failure: nothing reached the file. Keep the
     // dirty sets and retry under the same LSN on the next statement.
@@ -839,11 +855,19 @@ Status CatalogDurability::CommitStatement() {
   if (appended.ok() &&
       ++appends_since_fsync_ >=
           std::max(1, options_.group_commit_statements)) {
-    appended = SyncJournal("journal");
-    // Kill during the batch fsync: the writer is sealed before the LSN is
-    // consumed, so recovery replays this record from the file — identical
-    // to the pre-group-commit behaviour.
-    if (sealed_) return appended;
+    if (fsync_deferral_ != nullptr && defer_fsync != nullptr) {
+      // Cross-tenant async group commit: the record is in the file and
+      // OS-flushed; the fsync is owed to the coordinator, which calls
+      // Flush(). The LSN is consumed below exactly as for a synchronous
+      // commit — a deferred record is committed-but-unacked by design.
+      *defer_fsync = true;
+    } else {
+      appended = SyncJournal("journal");
+      // Kill during the batch fsync: the writer is sealed before the LSN
+      // is consumed, so recovery replays this record from the file —
+      // identical to the pre-group-commit behaviour.
+      if (crashed()) return appended;
+    }
   }
   // The record is in the file (even if its fsync failed — recovery would
   // replay it), so the commit stands and the LSN is consumed; a failed
@@ -917,7 +941,15 @@ Status CatalogDurability::PublishFile(const std::string& tmp,
 Status CatalogDurability::Checkpoint() {
   obs::ScopedLatency timer(WalCheckpointHistogram());
   const uint64_t lsn_before = last_committed_lsn();
-  const Status s = CheckpointImpl();
+  bool defer_fsync = false;
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    s = CheckpointImpl(&defer_fsync);
+  }
+  // Only reachable when the boundary commit succeeded but the snapshot
+  // publish failed: the committed record still owes its deferred fsync.
+  if (defer_fsync) fsync_deferral_();
   if (obs::TraceEnabled()) {
     if (s.ok()) {
       obs::TraceEvent("wal.checkpoint")
@@ -931,15 +963,15 @@ Status CatalogDurability::Checkpoint() {
   return s;
 }
 
-Status CatalogDurability::CheckpointImpl() {
-  if (sealed_) {
+Status CatalogDurability::CheckpointImpl(bool* defer_fsync) {
+  if (crashed()) {
     return Status::FailedPrecondition(
         "durability sealed after simulated crash; reopen to recover");
   }
   // Snapshots sit on statement boundaries: flush any pending mutations
   // into the journal first (a no-op right after a successful commit).
   if (pending_mutations() > 0) {
-    AUTOSTATS_RETURN_IF_ERROR(CommitStatement());
+    AUTOSTATS_RETURN_IF_ERROR(CommitStatementLocked(defer_fsync));
   }
   const uint64_t lsn = last_committed_lsn();
   const std::string payload = EncodeRecord(lsn, /*full_snapshot=*/true);
@@ -960,8 +992,10 @@ Status CatalogDurability::CheckpointImpl() {
     return Status::Internal("cannot reopen " + JournalPath());
   }
   // Any appends awaiting their group fsync lived in the journal that was
-  // just swapped out; the snapshot covers them, so the window is clean.
+  // just swapped out; the snapshot covers them, so the window is clean —
+  // including a fsync the boundary commit deferred above.
   appends_since_fsync_ = 0;
+  if (defer_fsync != nullptr) *defer_fsync = false;
 
   // Prune: keep the newest keep_snapshots, drop the rest.
   const int keep = std::max(options_.keep_snapshots, 1);

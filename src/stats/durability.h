@@ -41,9 +41,12 @@
 #ifndef AUTOSTATS_STATS_DURABILITY_H_
 #define AUTOSTATS_STATS_DURABILITY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -146,6 +149,22 @@ class CatalogDurability : public CatalogMutationListener {
   // statement stream so its tail is durable before the process idles.
   Status Flush();
 
+  // Cross-tenant async group commit (server/fsync_coordinator.h). When a
+  // hook is installed, a commit whose group window fills no longer pays
+  // SyncJournal inline: the record is appended and OS-flushed exactly as
+  // before (so statement-boundary tearing and replay are unchanged), and
+  // the hook is invoked — outside the internal lock — to announce that
+  // this journal owes an fsync. The hook's owner must eventually call
+  // Flush(), which acknowledges every append since the last physical
+  // fsync in one call; until then the unsynced tail sits in the OS page
+  // cache (survives process death, not machine death — the same bounded
+  // window as group_commit_statements > 1, now shared across tenants).
+  // Install before serving begins; the hook must be thread-safe and must
+  // not call back into this object.
+  void set_fsync_deferral(std::function<void()> hook) {
+    fsync_deferral_ = std::move(hook);
+  }
+
   // Publishes a full-catalog snapshot at the last committed LSN (tmp file
   // + fsync + atomic rename), swaps in a fresh journal the same way, and
   // prunes snapshots beyond options.keep_snapshots. Commits pending
@@ -154,8 +173,13 @@ class CatalogDurability : public CatalogMutationListener {
 
  private:
   // Checkpoint body; the public wrapper adds latency metrics and the
-  // wal.checkpoint trace event around it.
-  Status CheckpointImpl();
+  // wal.checkpoint trace event around it. Runs under commit_mu_; sets
+  // *defer_fsync when its internal commit left an fsync to the hook.
+  Status CheckpointImpl(bool* defer_fsync);
+  // CommitStatement body, called under commit_mu_. When the group window
+  // fills and a deferral hook is installed, sets *defer_fsync instead of
+  // paying SyncJournal (null = always sync inline).
+  Status CommitStatementLocked(bool* defer_fsync);
 
  public:
 
@@ -163,14 +187,20 @@ class CatalogDurability : public CatalogMutationListener {
   uint64_t last_committed_lsn() const { return next_lsn_ - 1; }
   // True once a simulated (or real, unrecoverable) kill sealed the
   // writer; only a fresh Open() on the directory resumes durability.
-  bool crashed() const { return sealed_; }
+  // Safe to read from any thread (the fsync coordinator may seal while a
+  // worker is deciding whether to commit).
+  bool crashed() const { return sealed_.load(std::memory_order_relaxed); }
   size_t pending_mutations() const {
     return dirty_entries_.size() + erased_entries_.size() +
            dirty_counters_.size();
   }
   // Committed records appended (and OS-flushed) but not yet fsynced —
-  // the group-commit window. Always 0 with group_commit_statements == 1.
-  int unsynced_appends() const { return appends_since_fsync_; }
+  // the group-commit window. Always 0 with group_commit_statements == 1
+  // and no deferral hook.
+  int unsynced_appends() const {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    return appends_since_fsync_;
+  }
 
   // CatalogMutationListener:
   void OnEntryMutated(const StatKey& key) override;
@@ -196,7 +226,7 @@ class CatalogDurability : public CatalogMutationListener {
   // Writes a single-frame file and atomically renames it over `final`.
   Status PublishFile(const std::string& tmp, const std::string& final_path,
                      const std::string& payload, const char* gate_detail);
-  void Seal() { sealed_ = true; }
+  void Seal() { sealed_.store(true, std::memory_order_relaxed); }
   void ClearDirty();
 
   std::string JournalPath() const;
@@ -204,9 +234,15 @@ class CatalogDurability : public CatalogMutationListener {
 
   StatsCatalog* catalog_;
   DurabilityOptions options_;
+  // Serializes CommitStatement / Flush / Checkpoint against each other:
+  // with a deferral hook installed, Flush() arrives from the fsync
+  // coordinator's thread while the owning worker may be committing the
+  // next statement. Uncontended in every single-threaded path.
+  mutable std::mutex commit_mu_;
+  std::function<void()> fsync_deferral_;  // see set_fsync_deferral()
   std::FILE* journal_ = nullptr;
   uint64_t next_lsn_ = 1;
-  bool sealed_ = false;
+  std::atomic<bool> sealed_{false};
   int appends_since_fsync_ = 0;  // group-commit window (see Flush())
   // Sorted so record layout is deterministic for a given catalog history.
   std::set<StatKey> dirty_entries_;

@@ -32,6 +32,7 @@
 #include "core/report.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/autostats_server.h"
 #include "stats/durability.h"
 #include "stats/stats_catalog.h"
 #include "tests/test_util.h"
@@ -138,6 +139,8 @@ TEST_F(ObservabilityTest, HistogramBucketsSumAndPercentiles) {
 TEST_F(ObservabilityTest, ExponentialBoundsAndStandardEdges) {
   EXPECT_EQ(obs::ExponentialBounds(1, 2, 4),
             (std::vector<double>{1, 2, 4, 8}));
+  EXPECT_EQ(obs::LinearBounds(1, 1, 4), (std::vector<double>{1, 2, 3, 4}));
+  EXPECT_EQ(obs::LinearBounds(2, 3, 3), (std::vector<double>{2, 5, 8}));
   EXPECT_EQ(obs::LatencyBoundsUs().size(), 17u);
   EXPECT_EQ(obs::CostBounds().size(), 11u);
   EXPECT_DOUBLE_EQ(obs::LatencyBoundsUs().front(), 1.0);
@@ -613,6 +616,37 @@ TEST_F(ObservabilityTest, ScopedMetricsLabelSplitsSeriesPerTenant) {
   EXPECT_EQ(ten_b, 2);
   // Nothing leaked into the unlabeled singleton series.
   EXPECT_EQ(unlabeled, 0);
+}
+
+// The server's rejection accounting: TrySubmit bounces land on the
+// aggregate server.rejected_total counter AND the per-tenant
+// "<tenant>/server.rejected_total" series, matching the per-tenant
+// accessor exactly. Workers are never started, so admission outcomes are
+// fully deterministic.
+TEST_F(ObservabilityTest, ServerRejectionsCountedPerTenantAndAggregate) {
+  obs::EnableMetrics(true);
+  TwoTableDb a = MakeTwoTableDb(100, 10);
+  TwoTableDb b = MakeTwoTableDb(100, 10);
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 2;
+  AutoStatsServer server(options);
+  server.AddTenant({.name = "tenA", .db = &a.db, .policy = ManagerPolicy()});
+  server.AddTenant({.name = "tenB", .db = &b.db, .policy = ManagerPolicy()});
+  const Statement q = Statement::MakeQuery(MakeFilterQuery(a, 30));
+  for (int i = 0; i < 5; ++i) server.TrySubmit(0, q);  // 2 admit, 3 bounce
+  for (int i = 0; i < 3; ++i) server.TrySubmit(1, q);  // 2 admit, 1 bounce
+  obs::EnableMetrics(false);
+
+  EXPECT_EQ(server.rejected_total(0), 3);
+  EXPECT_EQ(server.rejected_total(1), 1);
+  auto& reg = obs::MetricsRegistry::Instance();
+  EXPECT_EQ(reg.GetCounter("server.rejected_total")->Value(), 4);
+  EXPECT_EQ(reg.GetCounter("tenA/server.rejected_total")->Value(), 3);
+  EXPECT_EQ(reg.GetCounter("tenB/server.rejected_total")->Value(), 1);
+  // Rejections are not backpressure: the blocking-wait counter is
+  // untouched.
+  EXPECT_EQ(reg.GetCounter("server.backpressure_waits")->Value(), 0);
 }
 
 TEST_F(ObservabilityTest, ScopedMetricsLabelRestoresAndNests) {

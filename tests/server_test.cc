@@ -13,17 +13,28 @@
 //     across the stats.refresh, dml.apply, and persistence.* points.
 //  4. Admission control: TrySubmit rejects at the configured queue bound;
 //     blocking Submit counts backpressure waits; both are per-tenant.
+//  5. Weighted round-robin: TenantConfig::weight grants consecutive
+//     scheduling turns within a shard, deterministically.
+//  6. Cross-tenant async group commit: Drain quiesces the per-shard
+//     fsync coordinator, and a kill injected mid cross-tenant fsync
+//     batch seals only the victim — every tenant independently recovers
+//     to its own statement boundary.
+//  7. Drain's quiescent-ingress precondition trips the debug check.
 #include "server/autostats_server.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "obs/trace.h"
 #include "query/dml.h"
@@ -120,6 +131,7 @@ struct TenantResult {
 struct RunConfig {
   size_t tenants = 5;
   int workers = 1;
+  int shards = 0;  // 0 = ServerOptions auto (min(workers, 8))
   uint64_t interleave_seed = 0;
   std::string durability_root;  // empty = in-memory tenants
   // The fault-isolation tests run tenants on the SQL Server 7 policy:
@@ -146,6 +158,7 @@ std::vector<TenantResult> RunServer(const RunConfig& cfg) {
 
   ServerOptions options;
   options.num_workers = cfg.workers;
+  options.num_shards = cfg.shards;
   options.max_queue_depth = 4;  // small, so ingress really backpressures
   options.max_batch = 3;
   AutoStatsServer server(options);
@@ -230,6 +243,65 @@ TEST_F(ServerTest, DeterministicAcrossWorkersAndInterleavings) {
         EXPECT_EQ(got[i].trace, ref[i].trace)
             << "trace diverged: tenant " << i << " workers=" << workers
             << " seed=" << seed;
+      }
+    }
+  }
+}
+
+// The same property across shard topologies: shard count and worker
+// count are pure scheduling knobs — every combination, in-memory and
+// durable (with the default async-group-commit budget ON), yields the
+// bit-identical per-tenant catalogs and byte-identical traces of the
+// 1-shard/1-worker reference.
+TEST_F(ServerTest, DeterministicAcrossShardTopologies) {
+  RunConfig ref_cfg;
+  ref_cfg.workers = 1;
+  ref_cfg.shards = 1;
+  ref_cfg.interleave_seed = 7;
+  const std::vector<TenantResult> ref = RunServer(ref_cfg);
+
+  for (int shards : {1, 2, 4}) {
+    for (int workers : {1, 2, 4, 8}) {
+      RunConfig cfg;
+      cfg.shards = shards;
+      cfg.workers = workers;
+      cfg.interleave_seed = static_cast<uint64_t>(31 * shards + workers);
+      const std::vector<TenantResult> got = RunServer(cfg);
+      ASSERT_EQ(got.size(), ref.size());
+      for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(got[i].dump, ref[i].dump)
+            << "catalog diverged: tenant " << i << " shards=" << shards
+            << " workers=" << workers;
+        EXPECT_EQ(got[i].digest, ref[i].digest);
+        EXPECT_EQ(got[i].trace, ref[i].trace)
+            << "trace diverged: tenant " << i << " shards=" << shards
+            << " workers=" << workers;
+      }
+    }
+  }
+
+  // Durable subset: WAL directories attached, fsync coordinator live.
+  RunConfig dref_cfg;
+  dref_cfg.tenants = 3;
+  dref_cfg.workers = 1;
+  dref_cfg.shards = 1;
+  dref_cfg.interleave_seed = 5;
+  dref_cfg.durability_root = FreshDir("shard_durable_ref");
+  const std::vector<TenantResult> dref = RunServer(dref_cfg);
+  for (int shards : {2, 4}) {
+    for (int workers : {1, 4}) {
+      RunConfig cfg = dref_cfg;
+      cfg.shards = shards;
+      cfg.workers = workers;
+      cfg.interleave_seed = static_cast<uint64_t>(7 * shards + workers);
+      cfg.durability_root = FreshDir("shard_durable_got");
+      const std::vector<TenantResult> got = RunServer(cfg);
+      for (size_t i = 0; i < dref.size(); ++i) {
+        EXPECT_EQ(got[i].dump, dref[i].dump)
+            << "durable catalog diverged: tenant " << i << " shards=" << shards
+            << " workers=" << workers;
+        EXPECT_EQ(got[i].trace, dref[i].trace);
+        EXPECT_EQ(got[i].report.durability_failures, 0);
       }
     }
   }
@@ -428,6 +500,267 @@ TEST_F(ServerTest, BackpressureWaitsAreCounted) {
   // submission must have blocked.
   EXPECT_GT(server.backpressure_waits(0), 0);
 }
+
+// --- 5. Weighted round-robin ----------------------------------------------
+
+// Two tenants on one shard and one worker, queued before Start so the
+// schedule is fully deterministic: a weight-3 tenant takes three
+// consecutive max_batch turns at the head of the ready queue before
+// yielding, a weight-1 tenant exactly one.
+TEST_F(ServerTest, WeightedRoundRobinGivesConsecutiveTurns) {
+  TwoTableDb ta = MakeTwoTableDb(200, 20);
+  TwoTableDb tb = MakeTwoTableDb(200, 20);
+  ServerOptions options;
+  options.num_workers = 1;
+  options.num_shards = 1;
+  options.max_batch = 2;
+  options.max_queue_depth = 8;
+  std::mutex mu;
+  std::vector<size_t> order;
+  options.post_statement_hook = [&](size_t tenant) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(tenant);
+  };
+  AutoStatsServer server(options);
+  server.AddTenant(
+      {.name = "a", .db = &ta.db, .policy = TenantPolicy(), .weight = 1});
+  server.AddTenant(
+      {.name = "b", .db = &tb.db, .policy = TenantPolicy(), .weight = 3});
+  const Statement qa = Statement::MakeQuery(MakeFilterQuery(ta, 30));
+  const Statement qb = Statement::MakeQuery(MakeFilterQuery(tb, 30));
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(server.TrySubmit(0, qa));
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(server.TrySubmit(1, qb));
+  server.Start();
+  server.Drain();
+  server.Stop();
+
+  // a takes one 2-statement turn and yields; b then burns its three
+  // turns (its whole queue) back to back; a finishes.
+  const std::vector<size_t> expected = {0, 0, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0};
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(server.Report(0).num_queries, 6);
+  EXPECT_EQ(server.Report(1).num_queries, 6);
+}
+
+// --- 6. Cross-tenant async group commit -----------------------------------
+
+// With a starved budget and a huge coalesce window, no fsync pass runs
+// during the stream — Drain must quiesce the coordinator so every
+// tenant's group-commit window is closed (unsynced_appends == 0) before
+// it returns, and the journals recover the full streams.
+TEST_F(ServerTest, DrainQuiescesTheFsyncCoordinator) {
+  const size_t kTenants = 2;
+  const std::string root = FreshDir("coordinator_drain");
+  std::vector<TwoTableDb> dbs;
+  std::vector<Workload> streams;
+  for (size_t i = 0; i < kTenants; ++i) {
+    dbs.push_back(MakeTwoTableDb(kFactRows, kDimRows));
+    streams.push_back(TenantStream(dbs[i], i));
+  }
+
+  ServerOptions options;
+  options.num_workers = 2;
+  options.num_shards = 1;  // both tenants share one coordinator
+  options.fsync_budget_per_sec = 0.001;   // one pass per ~17 minutes
+  options.fsync_max_coalesce_us = 10000000;  // 10 s lag bound
+  AutoStatsServer server(options);
+  for (size_t i = 0; i < kTenants; ++i) {
+    TenantConfig tc;
+    tc.name = TenantName(i);
+    tc.db = &dbs[i].db;
+    tc.policy = TenantPolicy();
+    tc.policy.durability_checkpoint_every = 0;  // journal-only durability
+    tc.durability_dir = root + "/" + tc.name;
+    server.AddTenant(tc);
+  }
+  server.Start();
+  for (size_t i = 0; i < kTenants; ++i) {
+    for (const Statement& s : streams[i].statements()) server.Submit(i, s);
+  }
+  server.Drain();
+
+  const FsyncCoordinator* coordinator = server.coordinator(0);
+  ASSERT_NE(coordinator, nullptr);
+  EXPECT_GE(coordinator->passes(), 1);
+  EXPECT_GE(coordinator->fsyncs(), static_cast<int64_t>(kTenants));
+  // Every commit deferred its fsync; most rode a sibling's pass.
+  EXPECT_GE(coordinator->requests(), static_cast<int64_t>(kTenants));
+  EXPECT_GT(coordinator->coalesced(), 0);
+  for (size_t i = 0; i < kTenants; ++i) {
+    EXPECT_EQ(server.Report(i).durability_failures, 0);
+    ASSERT_NE(server.durability(i), nullptr);
+    EXPECT_EQ(server.durability(i)->unsynced_appends(), 0)
+        << "Drain left tenant " << i << "'s group-commit window open";
+  }
+  server.Stop();
+
+  for (size_t i = 0; i < kTenants; ++i) {
+    TwoTableDb t = MakeTwoTableDb(kFactRows, kDimRows);
+    StatsCatalog recovered(&t.db);
+    RecoveryInfo info;
+    Result<std::unique_ptr<CatalogDurability>> opened = CatalogDurability::
+        Open(&recovered, {.dir = root + "/" + TenantName(i)}, &info);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    EXPECT_EQ(info.last_lsn, streams[i].size()) << "tenant " << i;
+  }
+}
+
+// A kill injected mid cross-tenant fsync batch (the persistence.fsync
+// point now fires on the coordinator thread, under the victim's fault
+// scope) seals exactly the victim; every tenant — victim included —
+// independently recovers to its own statement boundary.
+TEST_F(ServerTest, CrashMidCrossTenantFsyncBatchRecoversPerTenant) {
+  const size_t kTenants = 3;
+  const size_t kVictim = 1;
+  const std::string root = FreshDir("fsync_batch_crash");
+  std::vector<TwoTableDb> dbs;
+  std::vector<Workload> streams;
+  for (size_t i = 0; i < kTenants; ++i) {
+    dbs.push_back(MakeTwoTableDb(kFactRows, kDimRows));
+    streams.push_back(TenantStream(dbs[i], i));
+  }
+
+  ServerOptions options;
+  options.num_workers = 2;
+  options.num_shards = 1;  // all three tenants share one coordinator
+  options.fsync_budget_per_sec = 2000.0;
+  options.fsync_max_coalesce_us = 200;
+  std::vector<std::string> live_dumps(kTenants);
+  std::vector<uint64_t> recovered_lsn(kTenants, 0);
+  {
+    AutoStatsServer server(options);
+    for (size_t i = 0; i < kTenants; ++i) {
+      TenantConfig tc;
+      tc.name = TenantName(i);
+      tc.db = &dbs[i].db;
+      tc.policy = TenantPolicy();
+      tc.policy.durability_checkpoint_every = 0;  // journal fsyncs only
+      tc.durability_dir = root + "/" + tc.name;
+      server.AddTenant(tc);
+    }
+    server.Start();
+
+    // Armed after Start so the victim's (fault-scoped) recovery open is
+    // untouched: the first journal fsync for the victim — a coordinator
+    // pass — is a simulated kill.
+    FaultSchedule schedule;
+    schedule.kind = FaultKind::kFailNth;
+    schedule.nth = 1;
+    schedule.count = INT64_MAX;
+    schedule.match = "tenant=" + TenantName(kVictim);
+    schedule.torn_write_bytes = 0;
+    FaultInjector::Instance().Arm(faults::kPersistenceFsync, schedule);
+
+    size_t remaining = 0;
+    std::vector<size_t> pos(kTenants, 0);
+    for (const Workload& s : streams) remaining += s.size();
+    size_t pick = 0;
+    while (remaining > 0) {
+      while (pos[pick] >= streams[pick].size()) pick = (pick + 1) % kTenants;
+      server.Submit(pick, streams[pick].statements()[pos[pick]++]);
+      pick = (pick + 1) % kTenants;
+      --remaining;
+    }
+    server.Drain();
+    server.Stop();
+
+    const FaultPointStats stats =
+        FaultInjector::Instance().PointStats(faults::kPersistenceFsync);
+    FaultInjector::Instance().Reset();
+    EXPECT_GT(stats.fires, 0) << "kill schedule never fired";
+
+    for (size_t i = 0; i < kTenants; ++i) {
+      ASSERT_NE(server.durability(i), nullptr);
+      // Fail-open: every tenant processed its whole stream regardless.
+      EXPECT_EQ(static_cast<size_t>(server.Report(i).num_queries +
+                                    server.Report(i).num_dml),
+                streams[i].size());
+      if (i == kVictim) {
+        EXPECT_TRUE(server.durability(i)->crashed())
+            << "kill did not seal the victim's writer";
+      } else {
+        EXPECT_FALSE(server.durability(i)->crashed())
+            << "kill leaked into sibling tenant " << i;
+        EXPECT_EQ(server.Report(i).durability_failures, 0);
+      }
+      live_dumps[i] = CatalogCanonicalDump(server.catalog(i));
+    }
+  }
+
+  auto strip_pending = [](std::string s) {
+    for (size_t p = s.find(" pending="); p != std::string::npos;
+         p = s.find(" pending=", p)) {
+      s.erase(p, 10);  // " pending=X"
+    }
+    return s;
+  };
+
+  // Independent recovery: siblings reopen to their full streams; the
+  // victim reopens to the statement boundary its journal durably reached
+  // — bit-identical to a serial replay of exactly that stream prefix.
+  for (size_t i = 0; i < kTenants; ++i) {
+    TwoTableDb t = MakeTwoTableDb(kFactRows, kDimRows);
+    StatsCatalog recovered(&t.db);
+    RecoveryInfo info;
+    Result<std::unique_ptr<CatalogDurability>> opened = CatalogDurability::
+        Open(&recovered, {.dir = root + "/" + TenantName(i)}, &info);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    recovered_lsn[i] = info.last_lsn;
+    if (i != kVictim) {
+      EXPECT_EQ(info.last_lsn, streams[i].size()) << "tenant " << i;
+      EXPECT_EQ(strip_pending(CatalogCanonicalDump(recovered)),
+                strip_pending(live_dumps[i]))
+          << "sibling " << i << " lost durable state";
+      continue;
+    }
+    // The victim's journal holds every record appended before the seal
+    // (appends are flushed; only the physical fsync was killed): a
+    // consistent prefix of its stream, never a torn statement.
+    EXPECT_LE(info.last_lsn, streams[i].size());
+    TwoTableDb ot = MakeTwoTableDb(kFactRows, kDimRows);
+    StatsCatalog oracle_catalog(&ot.db);
+    Optimizer oracle_optimizer(&ot.db);
+    ManagerPolicy oracle_policy = TenantPolicy();
+    oracle_policy.durability_checkpoint_every = 0;
+    oracle_policy.num_threads = 0;
+    AutoStatsManager oracle(&ot.db, &oracle_catalog, &oracle_optimizer,
+                            oracle_policy);
+    ParallelInlineScope inline_probes;
+    for (uint64_t s = 0; s < info.last_lsn; ++s) {
+      oracle.Process(streams[i].statements()[s]);
+    }
+    EXPECT_EQ(strip_pending(CatalogCanonicalDump(recovered)),
+              strip_pending(CatalogCanonicalDump(oracle_catalog)))
+        << "victim did not recover to a statement boundary (last_lsn="
+        << info.last_lsn << ")";
+  }
+}
+
+// --- 7. Drain precondition (debug builds) ----------------------------------
+
+#ifndef NDEBUG
+// Drain requires quiescent ingress: a Submit racing a Drain trips the
+// debug check instead of silently racing the aggregate pending count.
+TEST_F(ServerTest, DrainConcurrentWithSubmitTripsDebugCheck) {
+  EXPECT_DEATH_IF_SUPPORTED(
+      {
+        TwoTableDb t = MakeTwoTableDb(100, 10);
+        ServerOptions options;
+        options.num_workers = 1;
+        AutoStatsServer server(options);
+        server.AddTenant(
+            {.name = "a", .db = &t.db, .policy = TenantPolicy()});
+        const Statement q = Statement::MakeQuery(MakeFilterQuery(t, 30));
+        // Workers never started: pending stays nonzero and Drain blocks.
+        server.Submit(0, q);
+        std::thread drainer([&] { server.Drain(); });
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        server.Submit(0, q);  // must abort: ingress during Drain
+        drainer.join();
+      },
+      "drains_active_");
+}
+#endif  // !NDEBUG
 
 // --- Digest sanity ---------------------------------------------------------
 
