@@ -25,6 +25,8 @@
 // At smoke scale (AUTOSTATS_SF <= 0.001, the bench-smoke / bench-diff
 // pin) a 1000-tenant in-memory sweep also runs: scheduler + digest
 // correctness at fleet-ish tenant counts, cheap enough for CI.
+#include <unistd.h>
+
 #include <algorithm>
 #include <clocale>
 #include <cstdint>
@@ -35,6 +37,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "query/dml.h"
 #include "server/autostats_server.h"
@@ -141,7 +144,12 @@ struct ServerRun {
 };
 
 ServerRun RunOnce(const RunSpec& spec) {
-  const std::string wal_root = "bench_server.wal.dir";
+  // Per-process root: ctest runs bench_server_smoke and
+  // bench_server_generate (the same binary) concurrently in this
+  // directory, and a shared WAL root would let one run remove_all the
+  // other's live journals mid-fsync.
+  const std::string wal_root =
+      "bench_server.wal." + std::to_string(::getpid()) + ".dir";
   std::error_code ec;
   fs::remove_all(wal_root, ec);
 
@@ -370,7 +378,131 @@ void FsyncBudgetSection(BenchJson* json) {
                   : 0.0);
 }
 
-// --- 4. Fleet-count smoke (tiny SF only) ------------------------------------
+// --- 4. Degraded-mode serving: breaker trips + recovery ---------------------
+//
+// 100 tenants, 3 of them on a permanently failing persistence path (one
+// victim per fault point — the injector holds one schedule per point):
+// the breakers trip, the victims serve degraded (magic numbers,
+// statements parked), the other 97 keep their full durable cadence.
+// After the disk "heals" (schedules disarmed), operator probes re-admit
+// every victim. The statement accounting across trip/park/replay is
+// deterministic — gated exactly — while the fleet throughput with
+// degraded tenants in the mix is machine-dependent and recorded ungated.
+void BreakerSection(BenchJson* json) {
+  constexpr size_t kTenants = 100;
+  constexpr size_t kVictims = 3;
+  constexpr int kStmts = 8;
+  const std::string wal_root =
+      "bench_server.breaker." + std::to_string(::getpid()) + ".dir";
+  std::error_code ec;
+  fs::remove_all(wal_root, ec);
+
+  std::vector<TwoTableDb> dbs;
+  dbs.reserve(kTenants);
+  std::vector<Workload> streams;
+  streams.reserve(kTenants);
+  for (size_t i = 0; i < kTenants; ++i) {
+    dbs.push_back(MakeTwoTableDb(FactRows(), 60));
+    streams.push_back(TenantStream(dbs[i], i, kStmts));
+  }
+
+  ServerOptions options;
+  options.num_workers = 8;
+  options.max_queue_depth = 16;
+  options.max_batch = 8;
+  options.fsync_budget_per_sec = 0.0;  // inline fsync: trips deterministic
+  options.breaker_trip_threshold = 2;
+  options.breaker_probe_backoff_statements = 2;
+  options.breaker_probe_backoff_max_statements = 16;
+  AutoStatsServer server(options);
+  for (size_t i = 0; i < kTenants; ++i) {
+    TenantConfig tc;
+    tc.name = TenantName(i);
+    tc.db = &dbs[i].db;
+    tc.policy = TenantPolicy();
+    tc.durability_dir = wal_root + "/" + tc.name;
+    server.AddTenant(tc);
+  }
+  server.Start();
+
+  const char* kPoints[kVictims] = {faults::kPersistenceFsync,
+                                   faults::kPersistenceAppend,
+                                   faults::kPersistenceRename};
+  for (size_t v = 0; v < kVictims; ++v) {
+    FaultSchedule schedule;  // plain persistent failure, one point each
+    schedule.kind = FaultKind::kFailNth;
+    schedule.nth = 1;
+    schedule.count = INT64_MAX;
+    schedule.match = "tenant=" + TenantName(v);
+    FaultInjector::Instance().Arm(kPoints[v], schedule);
+  }
+
+  const size_t ingress_threads = 4;
+  WallTimer timer;
+  {
+    std::vector<std::thread> ingress;
+    ingress.reserve(ingress_threads);
+    for (size_t g = 0; g < ingress_threads; ++g) {
+      ingress.emplace_back([&, g] {
+        for (int s = 0; s < kStmts; ++s) {
+          for (size_t i = g; i < kTenants; i += ingress_threads) {
+            server.Submit(i, streams[i].statements()[s]);
+          }
+        }
+      });
+    }
+    for (std::thread& t : ingress) t.join();
+  }
+  server.Drain();
+  const double degraded_ms = timer.ElapsedMs();
+
+  // The disk heals; one operator probe per victim re-admits it.
+  FaultInjector::Instance().Reset();
+  int64_t recovered = 0;
+  for (size_t v = 0; v < kVictims; ++v) {
+    if (server.ProbeTenant(v).ok()) ++recovered;
+  }
+  server.Drain();
+  server.Stop();
+
+  int64_t fleet_statements = 0;
+  int64_t victim_statements = 0;
+  int64_t trips = 0;
+  int64_t probes = 0;
+  for (size_t i = 0; i < kTenants; ++i) {
+    const RunReport report = server.Report(i);
+    fleet_statements += report.num_queries + report.num_dml;
+    if (i < kVictims) victim_statements += report.num_queries + report.num_dml;
+    trips += server.breaker_trips(i);
+    probes += server.breaker_probes(i);
+  }
+  const double sps =
+      degraded_ms > 0
+          ? 1000.0 * static_cast<double>(fleet_statements) / degraded_ms
+          : 0.0;
+
+  // Exact gate: no statement is ever lost across trip -> park -> replay,
+  // and every tripped victim recovers after the fault clears.
+  json->Add("t100_breaker_recovery_statements",
+            static_cast<double>(victim_statements));
+  json->Add("t100_breaker_fleet_statements",
+            static_cast<double>(fleet_statements));
+  json->Add("t100_breaker_victims_recovered", static_cast<double>(recovered));
+  // Trend series (ungated): how often the breakers cycled and what the
+  // fleet sustained with 5% of tenants quarantined.
+  json->Add("t100_breaker_trips", static_cast<double>(trips));
+  json->Add("t100_breaker_probes", static_cast<double>(probes));
+  json->Add("t100_degraded_statements_per_sec", sps);
+  std::printf(
+      "\nt100 degraded-mode: 3 victims, %lld trips, %lld probes, "
+      "%lld/%zu recovered, %8.0f stmts/s with quarantine active\n",
+      static_cast<long long>(trips), static_cast<long long>(probes),
+      static_cast<long long>(recovered), kVictims, sps);
+
+  fs::remove_all(wal_root, ec);
+}
+
+// --- 5. Fleet-count smoke (tiny SF only) ------------------------------------
 //
 // 1000 in-memory tenants, short streams: scheduler + digest correctness
 // at fleet-ish tenant counts. Only at smoke scale (the bench-smoke and
@@ -426,6 +558,7 @@ int main() {
                 std::max(a.sps, b.sps));
   }
   FsyncBudgetSection(&json);
+  BreakerSection(&json);
   if (ScaleFactor() <= 0.001) FleetSmokeSection(&json);
   if (!json.Write()) return 1;
   std::printf("bench_server: BENCH_server.json written\n");

@@ -21,6 +21,9 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  // Transiently unable to serve (overload shed, quarantined tenant,
+  // draining): the caller may retry later; the request was not applied.
+  kUnavailable,
 };
 
 // Returns a short human-readable name ("OK", "InvalidArgument", ...).
@@ -54,6 +57,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

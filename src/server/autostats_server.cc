@@ -11,8 +11,8 @@ namespace autostats {
 
 namespace {
 
-// All four thread scopes a worker (or recovery, or a drain flush) holds
-// while touching one tenant's state, as a single stack object.
+// All four thread scopes a worker (or a lifecycle op, or a drain flush)
+// holds while touching one tenant's state, as a single stack object.
 struct TenantScopes {
   explicit TenantScopes(const std::string& name, obs::TraceSink* sink)
       : metrics_label(name),
@@ -31,6 +31,14 @@ struct TenantScopes {
 // ready_total_ fast path below means a poll wakeup with no work anywhere
 // is one relaxed load.
 constexpr std::chrono::milliseconds kStealPoll{1};
+
+constexpr size_t kNoMember = static_cast<size_t>(-1);
+
+// server.tenant_state gauge values (docs/ARCHITECTURE.md §16).
+constexpr double kGaugeHealthy = 0.0;
+constexpr double kGaugeDegraded = 1.0;
+constexpr double kGaugeProbing = 2.0;
+constexpr double kGaugeRemoved = 3.0;
 
 }  // namespace
 
@@ -56,77 +64,156 @@ AutoStatsServer::AutoStatsServer(ServerOptions options)
   backpressure_total_ = reg.GetCounter("server.backpressure_waits");
   rejected_total_ = reg.GetCounter("server.rejected_total");
   steals_total_ = reg.GetCounter("server.work_steals");
+  shed_total_ = reg.GetCounter("server.shed_total");
+  breaker_trips_ = reg.GetCounter("server.breaker_trips");
+  breaker_probes_ = reg.GetCounter("server.breaker_probes");
+  breaker_recoveries_ = reg.GetCounter("server.breaker_recoveries");
 }
 
-AutoStatsServer::~AutoStatsServer() { Stop(); }
+AutoStatsServer::~AutoStatsServer() {
+  Stop();
+  // Tenants outlive the workers and coordinators that reference them
+  // (Stop joined both); chunks only ever grow, so the count is final.
+  const size_t n = tenant_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    delete chunks_[i / kTenantChunkSize]->slots[i % kTenantChunkSize];
+  }
+}
+
+AutoStatsServer::Tenant* AutoStatsServer::FindTenant(size_t tenant) const {
+  // The release store in AddTenant publishes the chunk slot before the
+  // count covers it, so an index below the acquired count always reads a
+  // fully built tenant without a registry lock.
+  if (tenant >= tenant_count_.load(std::memory_order_acquire)) return nullptr;
+  return chunks_[tenant / kTenantChunkSize]->slots[tenant % kTenantChunkSize];
+}
+
+AutoStatsServer::Tenant* AutoStatsServer::FindTenantOrDie(
+    size_t tenant) const {
+  Tenant* t = FindTenant(tenant);
+  AUTOSTATS_CHECK(t != nullptr);
+  return t;
+}
 
 size_t AutoStatsServer::AddTenant(const TenantConfig& config) {
-  AUTOSTATS_CHECK(!started_);
   AUTOSTATS_CHECK(config.db != nullptr && !config.name.empty());
-  for (const auto& t : tenants_) AUTOSTATS_CHECK(t->name != config.name);
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  const size_t index = tenant_count_.load(std::memory_order_acquire);
+  AUTOSTATS_CHECK(index < kTenantChunkSize * kMaxTenantChunks);
+  for (size_t i = 0; i < index; ++i) {
+    AUTOSTATS_CHECK(FindTenant(i)->name != config.name);
+  }
 
-  auto tenant = std::make_unique<Tenant>();
-  tenant->index = tenants_.size();
-  tenant->shard = shards_[tenant->index % shards_.size()].get();
-  tenant->name = config.name;
-  tenant->db = config.db;
-  tenant->weight = std::max(1, config.weight);
-  tenant->turns_left = tenant->weight;
-  tenant->catalog = std::make_unique<StatsCatalog>(config.db);
-  tenant->optimizer = std::make_unique<Optimizer>(config.db);
+  Tenant* t = new Tenant();
+  t->index = index;
+  t->shard = shards_[index % shards_.size()].get();
+  t->name = config.name;
+  t->db = config.db;
+  t->config = config;
+  t->weight = std::max(1, config.weight);
+  t->turns_left = t->weight;
+  // Per-tenant jitter stream: fixed server seed + fixed index = a fixed
+  // probe schedule, independent of sibling traffic.
+  t->rng = Rng(options_.breaker_seed ^
+               (0x9E3779B97F4A7C15ull * static_cast<uint64_t>(index + 1)));
+  t->catalog = std::make_unique<StatsCatalog>(config.db);
+  t->optimizer = std::make_unique<Optimizer>(config.db);
   ManagerPolicy policy = config.policy;
   policy.num_threads = 0;  // probes run inline; never re-enter the pool
-  tenant->manager = std::make_unique<AutoStatsManager>(
-      config.db, tenant->catalog.get(), tenant->optimizer.get(),
-      std::move(policy));
-  tenant->report.label =
-      tenant->name + "/" + CreationModeName(config.policy.mode);
-  tenant->rejected_counter = obs::MetricsRegistry::Instance().GetCounter(
-      tenant->name + "/server.rejected_total");
+  t->manager = std::make_unique<AutoStatsManager>(
+      config.db, t->catalog.get(), t->optimizer.get(), std::move(policy));
+  t->report.label = t->name + "/" + CreationModeName(config.policy.mode);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  t->rejected_counter = reg.GetCounter(t->name + "/server.rejected_total");
+  t->state_gauge = reg.GetGauge(t->name + "/server.tenant_state");
 
   if (!config.durability_dir.empty()) {
     // Recovery replays the tenant's journal into its catalog: run it
     // under the tenant's scopes so recovery trace events land in the
     // tenant's sink and injected faults can target it.
-    TenantScopes scopes(tenant->name, &tenant->trace);
+    TenantScopes scopes(t->name, &t->trace);
+    RecoveryInfo info;
     Result<std::unique_ptr<CatalogDurability>> opened = CatalogDurability::
-        Open(tenant->catalog.get(), {.dir = config.durability_dir});
+        Open(t->catalog.get(), {.dir = config.durability_dir}, &info);
     if (opened.ok()) {
-      tenant->durability = std::move(*opened);
-      tenant->manager->AttachDurability(tenant->durability.get());
-      if (options_.fsync_budget_per_sec > 0.0) {
-        // Wire the tenant into its shard's fsync coordinator (created on
-        // first durable tenant): commits defer their physical fsync to
-        // the shared budget instead of paying it on the worker thread.
-        Shard* shard = tenant->shard;
-        if (shard->coordinator == nullptr) {
-          shard->coordinator = std::make_unique<FsyncCoordinator>(
-              FsyncCoordinator::Options{options_.fsync_budget_per_sec,
-                                        options_.fsync_max_coalesce_us});
-        }
-        Tenant* t = tenant.get();
-        FsyncCoordinator::Member member;
-        member.name = t->name;
-        member.durability = t->durability.get();
-        member.trace = &t->trace;
-        member.on_flush_error = [this, t](const Status&) {
-          std::lock_guard<std::mutex> lock(t->shard->mu);
-          ++t->report.durability_failures;
-        };
-        const size_t id = shard->coordinator->AddMember(std::move(member));
-        FsyncCoordinator* coordinator = shard->coordinator.get();
-        t->durability->set_fsync_deferral(
-            [coordinator, id] { coordinator->RequestFsync(id); });
-      }
+      t->durability = std::move(*opened);
+      t->manager->AttachDurability(t->durability.get());
+      // Statement numbering (and so a future Resume LSN) continues from
+      // what the journal already holds.
+      t->processed = info.last_lsn;
+      WireDurabilityIntoCoordinator(t);
     } else {
       // Fail open: the tenant serves in-memory; the failure is visible
       // in its report.
-      ++tenant->report.durability_failures;
+      ++t->report.durability_failures;
     }
   }
+  if (obs::MetricsEnabled()) t->state_gauge->Set(kGaugeHealthy);
 
-  tenants_.push_back(std::move(tenant));
-  return tenants_.size() - 1;
+  // Publish: slot first, then the release store on the count that makes
+  // FindTenant admit the index.
+  const size_t chunk = index / kTenantChunkSize;
+  if (chunks_[chunk] == nullptr) {
+    chunks_[chunk] = std::make_unique<TenantChunk>();
+  }
+  chunks_[chunk]->slots[index % kTenantChunkSize] = t;
+  tenant_count_.store(index + 1, std::memory_order_release);
+  return index;
+}
+
+void AutoStatsServer::WireDurabilityIntoCoordinator(Tenant* t) {
+  if (options_.fsync_budget_per_sec <= 0.0 || t->durability == nullptr) {
+    return;
+  }
+  Shard* shard = t->shard;
+  FsyncCoordinator* coordinator = nullptr;
+  bool start_coordinator = false;
+  {
+    // The pointer swap happens under the shard mutex: a sibling tenant's
+    // breaker or removal may be reading shard->coordinator concurrently.
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->coordinator == nullptr) {
+      shard->coordinator = std::make_unique<FsyncCoordinator>(
+          FsyncCoordinator::Options{options_.fsync_budget_per_sec,
+                                    options_.fsync_max_coalesce_us});
+      start_coordinator = started_;
+    }
+    coordinator = shard->coordinator.get();
+  }
+  if (start_coordinator) coordinator->Start();
+
+  if (t->coordinator_member == kNoMember) {
+    FsyncCoordinator::Member member;
+    member.name = t->name;
+    member.durability = t->durability.get();
+    member.trace = &t->trace;
+    const int threshold = options_.breaker_trip_threshold;
+    member.on_flush_error = [this, t, threshold](const Status&) {
+      // Coordinator thread: account the failure, feed the breaker, and
+      // request a trip the owning worker performs at its next turn (the
+      // trip itself detaches durability — a serial-point action).
+      {
+        std::lock_guard<std::mutex> lock(t->shard->mu);
+        ++t->report.durability_failures;
+      }
+      if (threshold > 0) {
+        const int streak =
+            t->failure_streak.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (streak >= threshold) {
+          t->trip_requested.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+    t->coordinator_member = coordinator->AddMember(std::move(member));
+  } else {
+    // Breaker recovery / reopen published a fresh writer for the same
+    // directory; re-admit the existing membership around it.
+    coordinator->ReactivateMember(t->coordinator_member,
+                                  t->durability.get());
+  }
+  const size_t id = t->coordinator_member;
+  t->durability->set_fsync_deferral(
+      [coordinator, id] { coordinator->RequestFsync(id); });
 }
 
 void AutoStatsServer::Start() {
@@ -142,32 +229,69 @@ void AutoStatsServer::Start() {
   }
 }
 
-bool AutoStatsServer::SubmitInternal(size_t tenant,
-                                     const Statement& statement,
-                                     bool block) {
-  AUTOSTATS_CHECK(tenant < tenants_.size());
+Status AutoStatsServer::SubmitInternal(size_t tenant,
+                                       const Statement& statement, bool block,
+                                       int64_t deadline_slots) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("unknown tenant index " + std::to_string(tenant));
+  }
   // Drain()'s wait is on the aggregate pending count: concurrent ingress
   // would re-raise it after the wait and race the per-tenant flushes.
   AUTOSTATS_DCHECK(drains_active_.load(std::memory_order_relaxed) == 0);
-  Tenant* t = tenants_[tenant].get();
+  if (deadline_slots <= 0) deadline_slots = options_.default_deadline_slots;
   Shard* shard = t->shard;
   std::unique_lock<std::mutex> lock(shard->mu);
-  if (t->queue.size() >= options_.max_queue_depth) {
+  for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      return Status::Unavailable("server stopped");
+    }
+    switch (t->state) {
+      case TenantState::kActive:
+        break;
+      case TenantState::kDraining:
+      case TenantState::kRemoved:
+        return Status::NotFound("tenant " + t->name + " removed");
+      case TenantState::kReopening:
+        return Status::Unavailable("tenant " + t->name + " reopening");
+    }
+    if (t->health != TenantHealth::kHealthy &&
+        t->parked.size() + t->queue.size() >= options_.max_parked_statements) {
+      // Quarantine bound: a Degraded tenant holds work instead of doing
+      // it; past the bound it sheds instead of parking without limit.
+      ++t->shed;
+      if (obs::MetricsEnabled()) shed_total_->Add();
+      return Status::Unavailable("tenant " + t->name +
+                                 " quarantined: parked buffer full");
+    }
+    if (deadline_slots > 0 &&
+        t->queue.size() >= static_cast<size_t>(deadline_slots)) {
+      // Logical deadline: the statement would wait behind at least
+      // deadline_slots others — shed it instead of blocking the caller.
+      ++t->shed;
+      if (obs::MetricsEnabled()) shed_total_->Add();
+      return Status::Unavailable("deadline exceeded: tenant " + t->name +
+                                 " queue depth " +
+                                 std::to_string(t->queue.size()));
+    }
+    if (t->queue.size() < options_.max_queue_depth) break;
     if (!block) {
       ++t->rejected;
       if (obs::MetricsEnabled()) {
         rejected_total_->Add();
         t->rejected_counter->Add();
       }
-      return false;
+      return Status::Unavailable("tenant " + t->name + " queue full");
     }
     ++t->backpressure_waits;
     if (obs::MetricsEnabled()) backpressure_total_->Add();
     shard->space_cv.wait(lock, [&] {
       return t->queue.size() < options_.max_queue_depth ||
+             t->state != TenantState::kActive ||
              stop_.load(std::memory_order_relaxed);
     });
-    if (stop_.load(std::memory_order_relaxed)) return false;
+    // Re-validate everything: the tenant may have been removed, tripped,
+    // or the server stopped while we slept.
   }
   t->queue.emplace_back(statement, std::chrono::steady_clock::now());
   ++shard->pending;
@@ -179,15 +303,17 @@ bool AutoStatsServer::SubmitInternal(size_t tenant,
     ready_total_.fetch_add(1, std::memory_order_relaxed);
     shard->work_cv.notify_one();
   }
-  return true;
+  return Status::OK();
 }
 
-void AutoStatsServer::Submit(size_t tenant, const Statement& statement) {
-  SubmitInternal(tenant, statement, /*block=*/true);
+Status AutoStatsServer::Submit(size_t tenant, const Statement& statement,
+                               int64_t deadline_slots) {
+  return SubmitInternal(tenant, statement, /*block=*/true, deadline_slots);
 }
 
-bool AutoStatsServer::TrySubmit(size_t tenant, const Statement& statement) {
-  return SubmitInternal(tenant, statement, /*block=*/false);
+Status AutoStatsServer::TrySubmit(size_t tenant, const Statement& statement,
+                                  int64_t deadline_slots) {
+  return SubmitInternal(tenant, statement, /*block=*/false, deadline_slots);
 }
 
 AutoStatsServer::Tenant* AutoStatsServer::PopReady(Shard* s) {
@@ -243,8 +369,17 @@ void AutoStatsServer::RunTenantBatch(Tenant* t) {
   Shard* shard = t->shard;
   std::vector<std::pair<Statement, std::chrono::steady_clock::time_point>>
       batch;
+  bool tripped_pending = false;
+  bool probe_due_now = false;
   {
     std::lock_guard<std::mutex> lock(shard->mu);
+    // Breaker housekeeping happens at the batch boundary — the tenant's
+    // serial point — so async fsync-pass failures and out-of-band probe
+    // requests act on the owning worker, never on a foreign thread.
+    tripped_pending = t->health == TenantHealth::kHealthy &&
+                      t->trip_requested.load(std::memory_order_relaxed);
+    probe_due_now = t->health == TenantHealth::kDegraded &&
+                    t->probe_requested.load(std::memory_order_relaxed);
     const size_t n = std::min(t->queue.size(),
                               static_cast<size_t>(options_.max_batch));
     batch.reserve(n);
@@ -255,11 +390,69 @@ void AutoStatsServer::RunTenantBatch(Tenant* t) {
   }
   shard->space_cv.notify_all();
 
+  if (tripped_pending) {
+    TenantScopes scopes(t->name, &t->trace);
+    TripBreaker(t, "fsync_pass");
+  } else if (probe_due_now) {
+    TenantScopes scopes(t->name, &t->trace);
+    TryRecoverTenant(t);
+  }
+  // Owner-thread read: only this worker transitions the tenant's health
+  // while it holds the scheduling turn.
+  bool degraded = t->health == TenantHealth::kDegraded;
+
   RunReport local;
+  std::vector<Statement> parked_local;
+  // Hands the statements parked so far in THIS batch over to t->parked
+  // (with their degraded accounting) — recovery replay swaps t->parked,
+  // so anything still in the local buffer when a probe runs would replay
+  // never instead of now.
+  auto flush_parked = [&] {
+    if (parked_local.empty()) return;
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (Statement& s : parked_local) {
+      // A parked statement was answered (degraded) at park time; its
+      // statistics work lands when it replays, where the num_* counters
+      // are compensated so it is never double counted.
+      if (s.kind == Statement::Kind::kQuery) {
+        ++t->report.num_queries;
+        ++t->report.degraded_queries;
+      } else {
+        ++t->report.num_dml;
+        ++t->report.degraded_dml;
+      }
+      t->parked.push_back(std::move(s));
+    }
+    parked_local.clear();
+  };
+  const int threshold = options_.breaker_trip_threshold;
   {
     TenantScopes scopes(t->name, &t->trace);
-    for (const auto& [statement, enqueued] : batch) {
-      AutoStatsManager::Accumulate(t->manager->Process(statement), &local);
+    for (auto& [statement, enqueued] : batch) {
+      if (degraded) {
+        // Logical probe clock: once enough statements were served
+        // degraded, run a half-open probe right here in the tenant's
+        // serial statement order — probe timing is a bit-exact function
+        // of the stream, independent of workers, shards, and batching.
+        bool recovered = false;
+        if (t->degraded_seen >= t->probe_backoff) {
+          flush_parked();
+          recovered = TryRecoverTenant(t);
+        }
+        if (recovered) {
+          degraded = false;  // recovered: this statement runs durably
+        } else {
+          // Degraded serving: acknowledge with magic numbers, park the
+          // statement for recovery replay, touch neither manager nor WAL.
+          ++t->degraded_seen;
+          parked_local.push_back(std::move(statement));
+          if (obs::MetricsEnabled()) statements_total_->Add();
+          continue;
+        }
+      }
+      const AutoStatsManager::Outcome outcome = t->manager->Process(statement);
+      ++t->processed;
+      AutoStatsManager::Accumulate(outcome, &local);
       if (obs::MetricsEnabled()) {
         const auto elapsed = std::chrono::steady_clock::now() - enqueued;
         ingress_latency_us_->Observe(
@@ -269,9 +462,28 @@ void AutoStatsServer::RunTenantBatch(Tenant* t) {
         statements_total_->Add();
       }
       if (options_.post_statement_hook) options_.post_statement_hook(t->index);
+      if (threshold > 0) {
+        // Feed the breaker: a sealed WAL (simulated kill) trips at once;
+        // durability-commit and build failures trip on a streak.
+        const bool sealed =
+            t->durability != nullptr && t->durability->crashed();
+        const bool failed = sealed || outcome.durability_failures > 0 ||
+                            outcome.builds_failed > 0;
+        if (failed) {
+          const int streak =
+              t->failure_streak.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (sealed || streak >= threshold) {
+            TripBreaker(t, sealed ? "wal_sealed" : "failure_streak");
+            degraded = true;  // park the rest of this batch
+          }
+        } else {
+          t->failure_streak.store(0, std::memory_order_relaxed);
+        }
+      }
     }
   }
 
+  flush_parked();
   {
     std::lock_guard<std::mutex> lock(shard->mu);
     t->report += local;
@@ -294,12 +506,374 @@ void AutoStatsServer::RunTenantBatch(Tenant* t) {
       t->turns_left = t->weight;
     }
   }
+  // Space freed above AND possibly unscheduled here: RemoveTenant waits
+  // on space_cv for both.
+  shard->space_cv.notify_all();
   const size_t prev = pending_total_.fetch_sub(batch.size(),
                                                std::memory_order_acq_rel);
   if (prev == batch.size()) {
     std::lock_guard<std::mutex> lock(drain_mu_);
     drain_cv_.notify_all();
   }
+}
+
+int64_t AutoStatsServer::ProbeBackoff(Tenant* t) {
+  const int64_t base =
+      std::max<int64_t>(1, options_.breaker_probe_backoff_statements);
+  const int64_t cap =
+      std::max(base, options_.breaker_probe_backoff_max_statements);
+  const int shift = std::min(t->probe_attempts, 16);
+  int64_t delay = base << shift;
+  if (delay <= 0 || delay > cap) delay = cap;
+  // Seeded jitter in [0, base): per-tenant deterministic, but distinct
+  // tenants probe at distinct offsets instead of stampeding together.
+  delay += static_cast<int64_t>(
+      t->rng.NextU64(static_cast<uint64_t>(base)));
+  return delay;
+}
+
+void AutoStatsServer::TripBreaker(Tenant* t, const char* cause) {
+  Shard* shard = t->shard;
+  if (t->durability != nullptr) {
+    // Quarantine the WAL exactly where it is: no further appends, no
+    // retries on a path that keeps failing. Resume() supersedes it on
+    // recovery with a full snapshot of the live catalog.
+    t->durability->Seal();
+    t->manager->AttachDurability(nullptr);
+    if (t->coordinator_member != kNoMember) {
+      FsyncCoordinator* coordinator = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        coordinator = shard->coordinator.get();
+      }
+      // Blocks out any in-flight pass; must not hold shard->mu here (the
+      // pass's error callback takes it).
+      coordinator->DeactivateMember(t->coordinator_member);
+    }
+  }
+  t->failure_streak.store(0, std::memory_order_relaxed);
+  t->trip_requested.store(false, std::memory_order_relaxed);
+  t->probe_attempts = 0;
+  t->degraded_seen = 0;
+  t->probe_backoff = ProbeBackoff(t);
+  int64_t trips = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    t->health = TenantHealth::kDegraded;
+    trips = ++t->trips;
+  }
+  if (obs::MetricsEnabled()) {
+    breaker_trips_->Add();
+    t->state_gauge->Set(kGaugeDegraded);
+  }
+  obs::TraceEvent("tenant.lifecycle")
+      .Str("event", "breaker_trip")
+      .Str("cause", cause)
+      .Int("processed", static_cast<int64_t>(t->processed))
+      .Int("trips", trips);
+}
+
+bool AutoStatsServer::TryRecoverTenant(Tenant* t) {
+  Shard* shard = t->shard;
+  t->probe_requested.store(false, std::memory_order_relaxed);
+  int64_t probes = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    t->health = TenantHealth::kProbing;
+    probes = ++t->probes;
+  }
+  if (obs::MetricsEnabled()) {
+    breaker_probes_->Add();
+    t->state_gauge->Set(kGaugeProbing);
+  }
+  obs::TraceEvent("tenant.lifecycle")
+      .Str("event", "breaker_probe")
+      .Int("attempt", t->probe_attempts + 1)
+      .Int("probes", probes);
+
+  bool resumed_ok = true;
+  if (!t->config.durability_dir.empty()) {
+    // Half-open probe, read side: validate that the sealed directory
+    // still replays (a torn tail is the expected crash shape).
+    const FsckReport fsck = FsckDurabilityDir(t->config.durability_dir,
+                                              {.allow_torn_tail = true});
+    // Fence BEFORE Resume so the published snapshot carries the fences:
+    // every statistic is pending_full_rebuild until the policy rebuilds
+    // it — degraded-mode staleness can never masquerade as exact.
+    t->durability.reset();
+    t->catalog->FlagAllPendingFullRebuild();
+    // Half-open probe, write side: Resume publishes a full snapshot and
+    // fresh journal through the same fault-gated path as any checkpoint.
+    // A still-failing disk fails here, and the tenant stays quarantined.
+    Result<std::unique_ptr<CatalogDurability>> resumed =
+        CatalogDurability::Resume(t->catalog.get(),
+                                  {.dir = t->config.durability_dir},
+                                  t->processed);
+    if (resumed.ok()) {
+      t->durability = std::move(*resumed);
+      t->manager->AttachDurability(t->durability.get());
+      WireDurabilityIntoCoordinator(t);
+    } else {
+      resumed_ok = false;
+    }
+    if (!fsck.ok) {
+      obs::TraceEvent("tenant.lifecycle")
+          .Str("event", "breaker_probe_fsck")
+          .Bool("wal_ok", false)
+          .Int("findings", static_cast<int64_t>(fsck.findings.size()));
+    }
+  } else {
+    // In-memory tenant (build-failure trip): nothing durable to probe,
+    // but the fences still mark everything for rebuild.
+    t->catalog->FlagAllPendingFullRebuild();
+  }
+
+  if (!resumed_ok) {
+    ++t->probe_attempts;
+    t->degraded_seen = 0;
+    t->probe_backoff = ProbeBackoff(t);
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      t->health = TenantHealth::kDegraded;
+    }
+    if (obs::MetricsEnabled()) t->state_gauge->Set(kGaugeDegraded);
+    obs::TraceEvent("tenant.lifecycle")
+        .Str("event", "breaker_probe_failed")
+        .Int("attempt", t->probe_attempts);
+    return false;
+  }
+
+  // Re-admission: replay everything served degraded through the manager,
+  // oldest first. New arrivals land in the queue behind us (this thread
+  // owns the tenant), so stream order is preserved end to end.
+  std::deque<Statement> parked;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    parked.swap(t->parked);
+  }
+  RunReport replay;
+  int64_t replayed_queries = 0;
+  int64_t replayed_dml = 0;
+  for (const Statement& s : parked) {
+    const AutoStatsManager::Outcome outcome = t->manager->Process(s);
+    ++t->processed;
+    if (outcome.was_query) {
+      ++replayed_queries;
+    } else {
+      ++replayed_dml;
+    }
+    AutoStatsManager::Accumulate(outcome, &replay);
+    if (options_.post_statement_hook) options_.post_statement_hook(t->index);
+  }
+  // The parked statements were already counted (as degraded) when they
+  // were parked; keep the replayed work but compensate the stream counts.
+  replay.num_queries -= replayed_queries;
+  replay.num_dml -= replayed_dml;
+
+  t->failure_streak.store(0, std::memory_order_relaxed);
+  t->trip_requested.store(false, std::memory_order_relaxed);
+  t->probe_attempts = 0;
+  int64_t recoveries = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    t->report += replay;
+    t->health = TenantHealth::kHealthy;
+    recoveries = ++t->recoveries;
+  }
+  if (obs::MetricsEnabled()) {
+    breaker_recoveries_->Add();
+    t->state_gauge->Set(kGaugeHealthy);
+  }
+  obs::TraceEvent("tenant.lifecycle")
+      .Str("event", "breaker_recovered")
+      .Int("replayed", static_cast<int64_t>(parked.size()))
+      .Int("recoveries", recoveries);
+  return true;
+}
+
+Status AutoStatsServer::RemoveTenant(size_t tenant) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("unknown tenant index " + std::to_string(tenant));
+  }
+  Shard* shard = t->shard;
+  FsyncCoordinator* coordinator = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    if (t->state != TenantState::kActive) {
+      return Status::FailedPrecondition("tenant " + t->name +
+                                        " is not active");
+    }
+    // Admission flips to kNotFound here; siblings are untouched.
+    t->state = TenantState::kDraining;
+    shard->space_cv.wait(lock, [&] {
+      return (t->queue.empty() && !t->scheduled) || !started_ ||
+             stop_.load(std::memory_order_relaxed);
+    });
+    if (!started_ || stop_.load(std::memory_order_relaxed)) {
+      // No workers will drain the queue; removal drops it.
+      const size_t dropped = t->queue.size();
+      t->queue.clear();
+      shard->pending -= dropped;
+      pending_total_.fetch_sub(dropped, std::memory_order_relaxed);
+    }
+    coordinator = shard->coordinator.get();
+  }
+
+  {
+    TenantScopes scopes(t->name, &t->trace);
+    // Seal the WAL: final flush through the shard's coordinator (so a
+    // pending deferred fsync is paid, not dropped), then retire the
+    // membership so no later pass touches the dying durability object.
+    if (t->durability != nullptr && t->coordinator_member != kNoMember &&
+        coordinator != nullptr) {
+      const Status flushed = coordinator->FlushMember(t->coordinator_member);
+      if (!flushed.ok()) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        ++t->report.durability_failures;
+      }
+      coordinator->DeactivateMember(t->coordinator_member);
+    } else if (t->durability != nullptr && !t->durability->crashed()) {
+      const Status flushed = t->durability->Flush();
+      if (!flushed.ok()) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        ++t->report.durability_failures;
+      }
+    }
+    obs::TraceEvent("tenant.lifecycle")
+        .Str("event", "remove")
+        .Int("processed", static_cast<int64_t>(t->processed))
+        .Int("parked_dropped", static_cast<int64_t>(t->parked.size()));
+    // Destruction order matters: durability is the catalog's mutation
+    // listener (its destructor closes the journal under these scopes).
+    t->durability.reset();
+  }
+  t->manager.reset();
+  t->optimizer.reset();
+  t->catalog.reset();
+  t->failure_streak.store(0, std::memory_order_relaxed);
+  t->trip_requested.store(false, std::memory_order_relaxed);
+  t->probe_requested.store(false, std::memory_order_relaxed);
+  t->probe_attempts = 0;
+  t->degraded_seen = 0;
+  t->probe_backoff = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    t->parked.clear();
+    t->state = TenantState::kRemoved;
+    t->health = TenantHealth::kHealthy;
+  }
+  if (obs::MetricsEnabled()) t->state_gauge->Set(kGaugeRemoved);
+  return Status::OK();
+}
+
+Status AutoStatsServer::ReopenTenant(size_t tenant) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("unknown tenant index " + std::to_string(tenant));
+  }
+  Shard* shard = t->shard;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (t->state != TenantState::kRemoved) {
+      return Status::FailedPrecondition("tenant " + t->name +
+                                        " is not removed");
+    }
+    t->state = TenantState::kReopening;
+  }
+
+  t->catalog = std::make_unique<StatsCatalog>(t->db);
+  t->optimizer = std::make_unique<Optimizer>(t->db);
+  ManagerPolicy policy = t->config.policy;
+  policy.num_threads = 0;
+  t->manager = std::make_unique<AutoStatsManager>(
+      t->db, t->catalog.get(), t->optimizer.get(), std::move(policy));
+  t->processed = 0;
+  t->probe_attempts = 0;
+  t->degraded_seen = 0;
+  t->probe_backoff = 0;
+  t->failure_streak.store(0, std::memory_order_relaxed);
+  t->trip_requested.store(false, std::memory_order_relaxed);
+  t->probe_requested.store(false, std::memory_order_relaxed);
+  {
+    TenantScopes scopes(t->name, &t->trace);
+    uint64_t recovered_lsn = 0;
+    if (!t->config.durability_dir.empty()) {
+      RecoveryInfo info;
+      Result<std::unique_ptr<CatalogDurability>> opened = CatalogDurability::
+          Open(t->catalog.get(), {.dir = t->config.durability_dir}, &info);
+      if (opened.ok()) {
+        t->durability = std::move(*opened);
+        t->manager->AttachDurability(t->durability.get());
+        t->processed = info.last_lsn;
+        recovered_lsn = info.last_lsn;
+        WireDurabilityIntoCoordinator(t);
+      } else {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        ++t->report.durability_failures;
+      }
+    }
+    obs::TraceEvent("tenant.lifecycle")
+        .Str("event", "reopen")
+        .Int("recovered_lsn", static_cast<int64_t>(recovered_lsn));
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    t->state = TenantState::kActive;
+    t->health = TenantHealth::kHealthy;
+    t->turns_left = t->weight;
+  }
+  if (obs::MetricsEnabled()) t->state_gauge->Set(kGaugeHealthy);
+  return Status::OK();
+}
+
+Status AutoStatsServer::ProbeTenant(size_t tenant) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("unknown tenant index " + std::to_string(tenant));
+  }
+  Shard* shard = t->shard;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (t->state != TenantState::kActive) {
+      return Status::FailedPrecondition("tenant " + t->name +
+                                        " is not active");
+    }
+    if (t->health == TenantHealth::kHealthy) return Status::OK();
+    if (t->scheduled) {
+      // A worker owns the tenant; request an out-of-band probe it runs
+      // at its next batch boundary instead of waiting out the backoff.
+      t->probe_requested.store(true, std::memory_order_relaxed);
+      return Status::Unavailable("tenant " + t->name +
+                                 " busy; probe scheduled");
+    }
+    // Queue empty (an unscheduled tenant has no queued work): claim the
+    // scheduling turn exactly like a worker would.
+    t->scheduled = true;
+  }
+  bool recovered = false;
+  {
+    TenantScopes scopes(t->name, &t->trace);
+    recovered = TryRecoverTenant(t);
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    t->scheduled = false;
+    if (!t->queue.empty()) {
+      // Arrivals landed while we held the turn; hand them to a worker.
+      t->scheduled = true;
+      t->turns_left = t->weight;
+      shard->ready.push_back(t);
+      ready_total_.fetch_add(1, std::memory_order_relaxed);
+      shard->work_cv.notify_one();
+    }
+  }
+  shard->space_cv.notify_all();
+  return recovered ? Status::OK()
+                   : Status::Unavailable("tenant " + t->name +
+                                         " probe failed");
 }
 
 void AutoStatsServer::Drain() {
@@ -319,14 +893,22 @@ void AutoStatsServer::Drain() {
   // drained statements requested is paid before the per-tenant window
   // close below, so a tenant whose flush fails is accounted exactly once.
   for (const auto& shard : shards_) {
-    if (shard->coordinator != nullptr) shard->coordinator->FlushNow();
+    FsyncCoordinator* coordinator = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      coordinator = shard->coordinator.get();
+    }
+    if (coordinator != nullptr) coordinator->FlushNow();
   }
   // Close each durable tenant's group-commit window. pending == 0 means
   // no worker holds any tenant (the decrement happens in the batch
   // epilogue), so touching tenant state from here is safe while ingress
-  // stays quiescent.
-  for (const auto& tenant : tenants_) {
-    Tenant* t = tenant.get();
+  // and lifecycle stay quiescent. Removed tenants have no durability;
+  // a quarantined tenant's WAL is sealed (crashed) and is skipped — its
+  // parked statements stay parked until a probe recovers it.
+  const size_t n = tenant_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    Tenant* t = FindTenant(i);
     if (t->durability == nullptr || t->durability->crashed()) continue;
     TenantScopes scopes(t->name, &t->trace);
     if (!t->durability->Flush().ok()) {
@@ -359,49 +941,87 @@ void AutoStatsServer::Stop() {
 }
 
 const std::string& AutoStatsServer::tenant_name(size_t tenant) const {
-  AUTOSTATS_CHECK(tenant < tenants_.size());
-  return tenants_[tenant]->name;
+  return FindTenantOrDie(tenant)->name;
 }
 
 const FsyncCoordinator* AutoStatsServer::coordinator(size_t shard) const {
   AUTOSTATS_CHECK(shard < shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
   return shards_[shard]->coordinator.get();
 }
 
 const StatsCatalog& AutoStatsServer::catalog(size_t tenant) const {
-  AUTOSTATS_CHECK(tenant < tenants_.size());
-  return *tenants_[tenant]->catalog;
+  const Tenant* t = FindTenantOrDie(tenant);
+  AUTOSTATS_CHECK(t->catalog != nullptr);  // removed tenants have none
+  return *t->catalog;
 }
 
 const obs::TraceSink& AutoStatsServer::trace(size_t tenant) const {
-  AUTOSTATS_CHECK(tenant < tenants_.size());
-  return tenants_[tenant]->trace;
+  return FindTenantOrDie(tenant)->trace;
 }
 
 RunReport AutoStatsServer::Report(size_t tenant) const {
-  AUTOSTATS_CHECK(tenant < tenants_.size());
-  const Tenant* t = tenants_[tenant].get();
+  const Tenant* t = FindTenantOrDie(tenant);
   std::lock_guard<std::mutex> lock(t->shard->mu);
   return t->report;
 }
 
 int64_t AutoStatsServer::backpressure_waits(size_t tenant) const {
-  AUTOSTATS_CHECK(tenant < tenants_.size());
-  const Tenant* t = tenants_[tenant].get();
+  const Tenant* t = FindTenantOrDie(tenant);
   std::lock_guard<std::mutex> lock(t->shard->mu);
   return t->backpressure_waits;
 }
 
 int64_t AutoStatsServer::rejected_total(size_t tenant) const {
-  AUTOSTATS_CHECK(tenant < tenants_.size());
-  const Tenant* t = tenants_[tenant].get();
+  const Tenant* t = FindTenantOrDie(tenant);
   std::lock_guard<std::mutex> lock(t->shard->mu);
   return t->rejected;
 }
 
+int64_t AutoStatsServer::shed_total(size_t tenant) const {
+  const Tenant* t = FindTenantOrDie(tenant);
+  std::lock_guard<std::mutex> lock(t->shard->mu);
+  return t->shed;
+}
+
 const CatalogDurability* AutoStatsServer::durability(size_t tenant) const {
-  AUTOSTATS_CHECK(tenant < tenants_.size());
-  return tenants_[tenant]->durability.get();
+  return FindTenantOrDie(tenant)->durability.get();
+}
+
+TenantState AutoStatsServer::tenant_state(size_t tenant) const {
+  const Tenant* t = FindTenantOrDie(tenant);
+  std::lock_guard<std::mutex> lock(t->shard->mu);
+  return t->state;
+}
+
+TenantHealth AutoStatsServer::tenant_health(size_t tenant) const {
+  const Tenant* t = FindTenantOrDie(tenant);
+  std::lock_guard<std::mutex> lock(t->shard->mu);
+  return t->health;
+}
+
+int64_t AutoStatsServer::breaker_trips(size_t tenant) const {
+  const Tenant* t = FindTenantOrDie(tenant);
+  std::lock_guard<std::mutex> lock(t->shard->mu);
+  return t->trips;
+}
+
+int64_t AutoStatsServer::breaker_probes(size_t tenant) const {
+  const Tenant* t = FindTenantOrDie(tenant);
+  std::lock_guard<std::mutex> lock(t->shard->mu);
+  return t->probes;
+}
+
+int64_t AutoStatsServer::breaker_recoveries(size_t tenant) const {
+  const Tenant* t = FindTenantOrDie(tenant);
+  std::lock_guard<std::mutex> lock(t->shard->mu);
+  return t->recoveries;
+}
+
+size_t AutoStatsServer::parked_statements(size_t tenant) const {
+  const Tenant* t = FindTenantOrDie(tenant);
+  std::lock_guard<std::mutex> lock(t->shard->mu);
+  return t->parked.size();
 }
 
 }  // namespace autostats

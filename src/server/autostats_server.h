@@ -54,12 +54,47 @@
 // schedule becomes wall-clock dependent. 0 restores the per-tenant
 // inline cadence (deterministic fsync counts).
 //
+// Tenant lifecycle (live, under traffic — docs/ARCHITECTURE.md §16):
+// AddTenant is callable at any time, including while workers drain other
+// tenants. RemoveTenant quiesces exactly one tenant — admission starts
+// rejecting with kNotFound, the queue drains, the WAL is sealed through
+// the shard's FsyncCoordinator — and releases its catalog/manager.
+// ReopenTenant rebuilds the tenant from its durability directory
+// (bit-identical snapshot + replay recovery, exactness fences included)
+// without pausing siblings. States: Active -> Draining -> Removed ->
+// Reopening -> Active.
+//
+// Circuit breakers (per tenant): a failure streak over durability
+// commits, statistic builds, and coordinator fsync passes trips the
+// tenant Healthy -> Degraded. Degraded serving is in-memory and
+// magic-number-only: the WAL is sealed, the manager is frozen, and every
+// admitted statement is acknowledged degraded and parked — a permanently
+// failing persistence.fsync no longer retries on every statement and
+// never blocks the shard. Recovery is by half-open probes on a seeded
+// exponential backoff measured in statements served degraded (logical
+// time counted by the owning worker, so probe schedules are bit-exact
+// functions of the tenant's stream): a probe validates the
+// sealed WAL (replay/fsck), fences the live catalog pending_full_rebuild,
+// and re-establishes durability via CatalogDurability::Resume (a full
+// snapshot of the authoritative in-memory state) — then the parked
+// statements replay through the manager and the tenant returns Healthy.
+// Probe timing from *coordinator* fsync failures is wall-clock shaped
+// (the coordinator itself is); with fsync_budget_per_sec == 0 every trip
+// and recovery is deterministic.
+//
 // Admission control: each tenant's queue is bounded
 // (ServerOptions::max_queue_depth). Submit() blocks the ingress thread
 // until space frees (counting a backpressure wait); TrySubmit() rejects
 // instead (counting a rejection, per tenant and on the aggregate
 // server.rejected_total counter). Backpressure is per-tenant — a slow
-// tenant saturates its own queue, not its siblings'.
+// tenant saturates its own queue, not its siblings'. Both entry points
+// return a typed Status: kNotFound for an unknown or removed tenant,
+// kUnavailable for a shed (queue full on TrySubmit, logical deadline
+// exceeded, quarantined tenant with a full parked buffer, stopping
+// server). A per-statement logical deadline (deadline_slots) sheds the
+// statement when the tenant's queue is already deeper than the budget —
+// an overloaded or quarantined tenant answers with a typed error instead
+// of blocking the shard.
 //
 // Ordering caveat: the determinism input is each tenant's stream order.
 // Submissions for the SAME tenant from multiple ingress threads are
@@ -79,6 +114,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/auto_manager.h"
 #include "core/policy.h"
 #include "core/report.h"
@@ -117,6 +153,30 @@ struct ServerOptions {
   // Upper bound on how long a committed-but-unsynced WAL record may wait
   // for cross-tenant coalescing (the durability-lag bound).
   int fsync_max_coalesce_us = 10000;
+  // Circuit breaker: consecutive failed statements (a durability commit
+  // failure, a build that exhausted retries, or a coordinator fsync-pass
+  // failure) before a tenant trips Healthy -> Degraded. A sealed WAL
+  // (simulated kill) trips immediately. 0 disables the breakers
+  // (pre-breaker behavior: durability failures retry forever).
+  int breaker_trip_threshold = 3;
+  // Half-open probe backoff, measured in statements the tenant serves
+  // degraded (logical time): the first probe runs after ~base parked
+  // statements, doubling per failed probe up to the max, plus a seeded
+  // jitter in [0, base). Counted by the owning worker in the tenant's
+  // serial statement order, so probe schedules are deterministic.
+  int64_t breaker_probe_backoff_statements = 8;
+  int64_t breaker_probe_backoff_max_statements = 64;
+  // Seed for the per-tenant probe-jitter stream (tenant index is mixed
+  // in); fixed seed + fixed streams = deterministic probe schedule.
+  uint64_t breaker_seed = 0x5EEDul;
+  // Quarantine bound: statements a Degraded tenant may hold (queued +
+  // parked awaiting recovery) before admission sheds with kUnavailable.
+  size_t max_parked_statements = 1024;
+  // Default logical-deadline budget applied when Submit's deadline_slots
+  // argument is 0: a statement is shed (kUnavailable) when its tenant's
+  // queue is already this deep. 0 = no deadline (block / reject on
+  // max_queue_depth only).
+  int64_t default_deadline_slots = 0;
   // Test-only observation point: invoked on the worker thread after each
   // processed statement with the tenant's index. With one worker the
   // invocation order is exactly the schedule, which is what the
@@ -147,6 +207,12 @@ struct TenantConfig {
   int weight = 1;
 };
 
+// Lifecycle state of a tenant slot (indices are never reused).
+enum class TenantState { kActive, kDraining, kRemoved, kReopening };
+// Circuit-breaker health of an Active tenant. Probing is the transient
+// half-open state while a recovery probe runs on the owning worker.
+enum class TenantHealth { kHealthy, kDegraded, kProbing };
+
 class AutoStatsServer {
  public:
   explicit AutoStatsServer(ServerOptions options = {});
@@ -159,37 +225,77 @@ class AutoStatsServer {
 
   // Registers a tenant and returns its index (the handle Submit takes).
   // Opens durability (running crash recovery under the tenant's trace /
-  // metric / fault scopes) when configured. Must be called before
-  // Start(); a failed durability open leaves the tenant in-memory only
-  // and is reported in the tenant's RunReport as a durability failure.
+  // metric / fault scopes) when configured; a failed durability open
+  // leaves the tenant in-memory only and is reported in the tenant's
+  // RunReport as a durability failure. Callable before Start() or LIVE
+  // while workers drain other tenants; lifecycle calls (AddTenant /
+  // RemoveTenant / ReopenTenant) serialize against each other and must
+  // not race Start(), Drain(), or Stop().
   size_t AddTenant(const TenantConfig& config);
 
+  // Quiesces and removes one tenant without pausing siblings: admission
+  // flips to kNotFound, the queue drains (the owning worker finishes its
+  // batch), the WAL is sealed with a final fsync through the shard's
+  // FsyncCoordinator, and the catalog/optimizer/manager are released.
+  // The index, name, trace, and report survive for ReopenTenant and the
+  // accessors below. A Degraded tenant may be removed; its parked
+  // statements are dropped. kNotFound for an unknown index,
+  // kFailedPrecondition unless the tenant is Active.
+  Status RemoveTenant(size_t tenant);
+
+  // Rebuilds a Removed tenant from its TenantConfig: fresh catalog /
+  // optimizer / manager, durability recovered bit-identical from
+  // snapshot + replay (with the usual exactness fences) under the
+  // tenant's scopes, coordinator membership re-armed. The tenant resumes
+  // Active and Healthy; its statement numbering continues from the
+  // recovered LSN. kFailedPrecondition unless Removed.
+  Status ReopenTenant(size_t tenant);
+
+  // Forces a half-open recovery probe on a Degraded tenant NOW (tests,
+  // operators, and the chaos harness use this instead of waiting out the
+  // logical backoff). OK if the tenant recovered (or was already
+  // Healthy); kUnavailable if the probe failed or a worker owns the
+  // tenant (the backoff is re-armed / fast-forwarded so the next turn
+  // probes); kFailedPrecondition unless Active.
+  Status ProbeTenant(size_t tenant);
+
   // Spawns the worker pool and the per-shard fsync coordinators. Call
-  // once, after all AddTenant calls.
+  // once; tenants may be added before or after.
   void Start();
 
   // Enqueues one statement for `tenant`, blocking while its queue is
   // full (each block counts one backpressure wait). Thread-safe; callable
-  // from any number of ingress threads.
-  void Submit(size_t tenant, const Statement& statement);
-  // Non-blocking admission: false if the tenant's queue is full (counted
-  // per tenant and on server.rejected_total).
-  bool TrySubmit(size_t tenant, const Statement& statement);
+  // from any number of ingress threads. `deadline_slots` (0 = use
+  // ServerOptions::default_deadline_slots) is the statement's logical
+  // deadline: if the tenant's queue is already that deep the statement
+  // is shed with kUnavailable instead of blocking. kNotFound for an
+  // unknown or removed tenant; kUnavailable for a quarantined tenant
+  // whose parked buffer is full, or after Stop().
+  Status Submit(size_t tenant, const Statement& statement,
+                int64_t deadline_slots = 0);
+  // Non-blocking admission: kUnavailable when the tenant's queue is full
+  // (counted per tenant and on server.rejected_total) or any Submit shed
+  // case applies; kNotFound exactly as for Submit.
+  Status TrySubmit(size_t tenant, const Statement& statement,
+                   int64_t deadline_slots = 0);
 
-  // Blocks until every submitted statement has been processed, then
-  // forces each shard's fsync coordinator through a final pass and
+  // Blocks until every submitted statement has been processed or parked,
+  // then forces each shard's fsync coordinator through a final pass and
   // closes each durable tenant's group-commit window (Flush) under that
-  // tenant's scopes. Ingress must be QUIESCENT (no concurrent Submit /
-  // TrySubmit) from before the call until it returns — the wait is on an
-  // aggregate pending count that concurrent ingress would re-raise.
-  // Debug builds check the precondition and abort on a violation.
+  // tenant's scopes. A Degraded tenant's parked statements stay parked —
+  // they replay on recovery. Ingress and lifecycle ops must be QUIESCENT
+  // (no concurrent Submit / TrySubmit / Add / Remove / Reopen) from
+  // before the call until it returns. Debug builds check the ingress
+  // precondition and abort on a violation.
   void Drain();
 
   // Stops and joins the workers and coordinators (idempotent). Implies
   // no further Submit/Drain; queued statements are not processed.
   void Stop();
 
-  size_t num_tenants() const { return tenants_.size(); }
+  size_t num_tenants() const {
+    return tenant_count_.load(std::memory_order_acquire);
+  }
   const std::string& tenant_name(size_t tenant) const;
   // Resolved shard topology (fixed at construction).
   int num_shards() const { return static_cast<int>(shards_.size()); }
@@ -201,17 +307,34 @@ class AutoStatsServer {
   // --- Per-tenant state. Only meaningful while quiescent (after Drain
   // or Stop): the catalog and trace are actively mutated by workers. ---
 
+  // CHECKs that the tenant is not Removed (a removed tenant has no
+  // catalog until ReopenTenant).
   const StatsCatalog& catalog(size_t tenant) const;
   const obs::TraceSink& trace(size_t tenant) const;
   // Aggregate accounting over every statement processed so far, reduced
   // exactly as AutoStatsManager::Run would (Accumulate per statement).
+  // Parked (degraded-served) statements count as degraded queries/DML
+  // when parked; their statistics work lands when they replay.
   RunReport Report(size_t tenant) const;
   // Backpressure waits ingress threads have suffered for this tenant.
   int64_t backpressure_waits(size_t tenant) const;
   // TrySubmit rejections this tenant has bounced.
   int64_t rejected_total(size_t tenant) const;
-  // The tenant's durability layer (nullptr when in-memory only).
+  // Statements shed by deadline or quarantine admission (kUnavailable).
+  int64_t shed_total(size_t tenant) const;
+  // The tenant's durability layer (nullptr when in-memory only, removed,
+  // or quarantined awaiting recovery).
   const CatalogDurability* durability(size_t tenant) const;
+
+  // --- Lifecycle / breaker introspection (thread-safe) ---
+
+  TenantState tenant_state(size_t tenant) const;
+  TenantHealth tenant_health(size_t tenant) const;
+  int64_t breaker_trips(size_t tenant) const;
+  int64_t breaker_probes(size_t tenant) const;
+  int64_t breaker_recoveries(size_t tenant) const;
+  // Statements parked by a Degraded tenant, awaiting recovery replay.
+  size_t parked_statements(size_t tenant) const;
 
  private:
   struct Shard;
@@ -221,22 +344,48 @@ class AutoStatsServer {
     Shard* shard = nullptr;
     std::string name;
     Database* db = nullptr;
+    TenantConfig config;  // retained for ReopenTenant
     std::unique_ptr<StatsCatalog> catalog;
     std::unique_ptr<Optimizer> optimizer;
     std::unique_ptr<AutoStatsManager> manager;
     std::unique_ptr<CatalogDurability> durability;
     obs::TraceSink trace;
     int weight = 1;
+    size_t coordinator_member = static_cast<size_t>(-1);
     obs::Counter* rejected_counter = nullptr;  // "<name>/server.rejected_total"
+    obs::Gauge* state_gauge = nullptr;         // "<name>/server.tenant_state"
+
+    // Owner-thread state: written only by the thread holding the tenant
+    // (the scheduled flag — a worker's batch, or a lifecycle op's claim).
+    uint64_t processed = 0;    // statements through the manager == WAL LSN
+    int probe_attempts = 0;    // failed half-open probes since the trip
+    int64_t degraded_seen = 0;  // statements parked since the last trip/probe
+    int64_t probe_backoff = 0;  // degraded_seen budget unlocking a probe
+    Rng rng;                   // probe-backoff jitter (seeded, per tenant)
+
+    // Cross-thread breaker feed: the owning worker counts synchronous
+    // failures; the fsync coordinator's error callback counts pass
+    // failures and requests a trip the owner performs at its next turn;
+    // ProbeTenant requests an out-of-band probe the same way.
+    std::atomic<int> failure_streak{0};
+    std::atomic<bool> trip_requested{false};
+    std::atomic<bool> probe_requested{false};
 
     // Guarded by shard->mu:
     std::deque<std::pair<Statement, std::chrono::steady_clock::time_point>>
         queue;
     bool scheduled = false;  // a worker currently owns this tenant
     int turns_left = 1;      // weighted-round-robin turns remaining
+    TenantState state = TenantState::kActive;
+    TenantHealth health = TenantHealth::kHealthy;
+    std::deque<Statement> parked;  // degraded-served, awaiting recovery
+    int64_t trips = 0;
+    int64_t probes = 0;
+    int64_t recoveries = 0;
     RunReport report;
     int64_t backpressure_waits = 0;
     int64_t rejected = 0;
+    int64_t shed = 0;
   };
 
   // One independent scheduler: its mutex guards its tenants' queue state
@@ -245,10 +394,20 @@ class AutoStatsServer {
     size_t index = 0;
     mutable std::mutex mu;
     std::condition_variable work_cv;   // workers: ready nonempty or stop
-    std::condition_variable space_cv;  // ingress: queue space freed
+    std::condition_variable space_cv;  // ingress: queue space freed;
+                                       // lifecycle: tenant unscheduled
     std::deque<Tenant*> ready;         // WRR queue of schedulable tenants
     size_t pending = 0;                // submitted, not yet processed
     std::unique_ptr<FsyncCoordinator> coordinator;
+  };
+
+  // Lock-free tenant lookup: indices resolve through fixed-size chunks
+  // published with a release store on tenant_count_, so Submit and the
+  // workers never take a registry lock while AddTenant grows the fleet.
+  static constexpr size_t kTenantChunkSize = 256;
+  static constexpr size_t kMaxTenantChunks = 4096;  // 1M tenant slots
+  struct TenantChunk {
+    Tenant* slots[kTenantChunkSize] = {};
   };
 
   void WorkerLoop(size_t home_shard);
@@ -256,12 +415,26 @@ class AutoStatsServer {
   Tenant* PopReady(Shard* s);
   // Drains one batch from `t` (which the caller owns via `scheduled`).
   void RunTenantBatch(Tenant* t);
-  bool SubmitInternal(size_t tenant, const Statement& statement, bool block);
+  Status SubmitInternal(size_t tenant, const Statement& statement, bool block,
+                        int64_t deadline_slots);
+  // nullptr when the index is out of range (never-registered tenant).
+  Tenant* FindTenant(size_t tenant) const;
+  Tenant* FindTenantOrDie(size_t tenant) const;
+  // Creates (and starts, if the server is running) the shard coordinator
+  // on demand and adds/reactivates the tenant's membership around its
+  // current durability object. No-op when budget is 0 or not durable.
+  void WireDurabilityIntoCoordinator(Tenant* t);
+  // Breaker transitions; the caller owns the tenant and holds its scopes.
+  void TripBreaker(Tenant* t, const char* cause);
+  bool TryRecoverTenant(Tenant* t);
+  int64_t ProbeBackoff(Tenant* t);
 
   const ServerOptions options_;
   int resolved_workers_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::unique_ptr<TenantChunk> chunks_[kMaxTenantChunks];
+  std::atomic<size_t> tenant_count_{0};
+  std::mutex lifecycle_mu_;  // serializes AddTenant/RemoveTenant/Reopen
   std::vector<std::thread> workers_;
   bool started_ = false;
 
@@ -281,6 +454,10 @@ class AutoStatsServer {
   obs::Counter* backpressure_total_;
   obs::Counter* rejected_total_;
   obs::Counter* steals_total_;
+  obs::Counter* shed_total_;
+  obs::Counter* breaker_trips_;
+  obs::Counter* breaker_probes_;
+  obs::Counter* breaker_recoveries_;
 };
 
 }  // namespace autostats

@@ -41,23 +41,66 @@ FsyncCoordinator::FsyncCoordinator(Options options)
 FsyncCoordinator::~FsyncCoordinator() { Stop(); }
 
 size_t FsyncCoordinator::AddMember(Member member) {
-  AUTOSTATS_CHECK(!started_);
   AUTOSTATS_CHECK(member.durability != nullptr && !member.name.empty());
-  members_.push_back(std::move(member));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = std::make_unique<MemberState>();
+  state->member = std::move(member);
+  members_.push_back(std::move(state));
   return members_.size() - 1;
+}
+
+void FsyncCoordinator::DeactivateMember(size_t member) {
+  std::unique_lock<std::mutex> lock(mu_);
+  AUTOSTATS_CHECK(member < members_.size());
+  members_[member]->active = false;
+  dirty_.erase(member);
+  // Wait out any in-flight pass: it may have copied this member's state
+  // before the flag flipped, and the caller is about to retire the
+  // durability object that copy points at.
+  idle_cv_.wait(lock, [&] { return stop_ || !in_pass_; });
+}
+
+void FsyncCoordinator::ReactivateMember(size_t member,
+                                        CatalogDurability* durability) {
+  AUTOSTATS_CHECK(durability != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  AUTOSTATS_CHECK(member < members_.size());
+  MemberState& state = *members_[member];
+  AUTOSTATS_CHECK(!state.active);
+  state.member.durability = durability;
+  state.active = true;
+}
+
+Status FsyncCoordinator::FlushMember(size_t member) {
+  std::string name;
+  obs::TraceSink* trace = nullptr;
+  CatalogDurability* durability = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AUTOSTATS_CHECK(member < members_.size());
+    MemberState& state = *members_[member];
+    if (!state.active) return Status::OK();
+    dirty_.erase(member);
+    name = state.member.name;
+    trace = state.member.trace;
+    durability = state.member.durability;
+  }
+  if (durability->crashed()) return Status::OK();
+  FlushScopes scopes(name, trace);
+  return durability->Flush();
 }
 
 void FsyncCoordinator::Start() {
   AUTOSTATS_CHECK(!started_);
   started_ = true;
-  if (members_.empty()) return;
   last_pass_ = std::chrono::steady_clock::now();
   thread_ = std::thread([this] { Loop(); });
 }
 
 void FsyncCoordinator::RequestFsync(size_t member) {
-  AUTOSTATS_CHECK(member < members_.size());
   std::lock_guard<std::mutex> lock(mu_);
+  AUTOSTATS_CHECK(member < members_.size());
+  if (!members_[member]->active) return;
   ++requests_;
   if (obs::MetricsEnabled()) requests_total_->Add();
   if (!dirty_.insert(member).second) {
@@ -125,16 +168,32 @@ void FsyncCoordinator::Loop() {
 
 void FsyncCoordinator::FlushBatch(const std::vector<size_t>& batch) {
   for (size_t id : batch) {
-    Member& m = members_[id];
-    if (m.durability->crashed()) continue;  // sealed: only Open() resumes
-    FlushScopes scopes(m.name, m.trace);
-    const Status s = m.durability->Flush();
+    // Snapshot the member under mu_: AddMember may be growing the vector
+    // and a lifecycle op may be deactivating this very member. A member
+    // deactivated after this copy is still safe to flush — its durability
+    // object outlives the pass (DeactivateMember waits it out).
+    std::string name;
+    obs::TraceSink* trace = nullptr;
+    CatalogDurability* durability = nullptr;
+    std::function<void(const Status&)> on_flush_error;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MemberState& state = *members_[id];
+      if (!state.active) continue;
+      name = state.member.name;
+      trace = state.member.trace;
+      durability = state.member.durability;
+      on_flush_error = state.member.on_flush_error;
+    }
+    if (durability->crashed()) continue;  // sealed: only Open() resumes
+    FlushScopes scopes(name, trace);
+    const Status s = durability->Flush();
     // A failed flush on a live writer is a tenant durability failure. A
     // flush that *sealed* the writer (simulated kill) is not double
     // counted here: the tenant's next commit fails and its manager
     // accounts it.
-    if (!s.ok() && !m.durability->crashed() && m.on_flush_error) {
-      m.on_flush_error(s);
+    if (!s.ok() && !durability->crashed() && on_flush_error) {
+      on_flush_error(s);
     }
   }
 }

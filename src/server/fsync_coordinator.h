@@ -46,6 +46,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -89,10 +90,31 @@ class FsyncCoordinator {
   FsyncCoordinator& operator=(const FsyncCoordinator&) = delete;
 
   // Registers one durable tenant; returns the id RequestFsync takes.
-  // All members must be added before Start().
+  // Callable before or after Start() (live tenant add): ids are indices,
+  // assigned in registration order and never reused.
   size_t AddMember(Member member);
 
-  // Spawns the coordinator thread. Idempotent no-op with zero members.
+  // Retires a member (tenant removal or circuit-breaker quarantine): its
+  // pending request is dropped and later passes skip it. Blocks until any
+  // in-flight pass finishes, so on return no coordinator code holds the
+  // member's durability pointer and the owner may retire the object.
+  // Must not be called from the coordinator thread (the error callback).
+  void DeactivateMember(size_t member);
+
+  // Re-admits a deactivated member around a NEW durability object (tenant
+  // reopen / breaker recovery publish a fresh writer for the same
+  // directory). The caller must have DeactivateMember'd first.
+  void ReactivateMember(size_t member, CatalogDurability* durability);
+
+  // Synchronous final flush of one member on the calling thread, under
+  // the member's scopes (the tenant-removal seal). Clears the member's
+  // pending request; returns the flush status directly instead of
+  // routing it through on_flush_error. OK for an inactive, sealed, or
+  // never-dirty member.
+  Status FlushMember(size_t member);
+
+  // Spawns the coordinator thread (even with zero members: live-added
+  // tenants enqueue work later). Call once.
   void Start();
 
   // Announces that `member`'s journal owes an fsync (the deferral hook).
@@ -116,11 +138,18 @@ class FsyncCoordinator {
   int64_t fsyncs() const;     // member Flush() calls issued by passes
 
  private:
+  // Member plus its lifecycle flag; heap-allocated so addresses are
+  // stable while AddMember grows the vector under traffic.
+  struct MemberState {
+    Member member;
+    bool active = true;
+  };
+
   void Loop();
   void FlushBatch(const std::vector<size_t>& batch);
 
   const Options options_;
-  std::vector<Member> members_;
+  std::vector<std::unique_ptr<MemberState>> members_;  // guarded by mu_
 
   mutable std::mutex mu_;
   std::condition_variable cv_;       // coordinator: work arrived / forced

@@ -510,6 +510,33 @@ Result<std::unique_ptr<CatalogDurability>> CatalogDurability::Open(
   return d;
 }
 
+Result<std::unique_ptr<CatalogDurability>> CatalogDurability::Resume(
+    StatsCatalog* catalog, const DurabilityOptions& options,
+    uint64_t resume_lsn) {
+  AUTOSTATS_CHECK(catalog != nullptr);
+  AUTOSTATS_CHECK(resume_lsn > 0);
+  AUTOSTATS_CHECK(catalog->mutation_listener() == nullptr);
+  std::unique_ptr<CatalogDurability> d(
+      new CatalogDurability(catalog, options));
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + options.dir + ": " +
+                            ec.message());
+  }
+  d->journal_ = std::fopen(d->JournalPath().c_str(), "ab");
+  if (d->journal_ == nullptr) {
+    return Status::Internal("cannot open " + d->JournalPath());
+  }
+  d->next_lsn_ = resume_lsn + 1;
+  // The checkpoint publishes the authoritative snapshot at resume_lsn and
+  // swaps in a fresh journal. Every record the sealed journal held is at
+  // or below resume_lsn, so recovery skips it even if the swap fails.
+  AUTOSTATS_RETURN_IF_ERROR(d->Checkpoint());
+  catalog->set_mutation_listener(d.get());
+  return d;
+}
+
 Status CatalogDurability::Recover(RecoveryInfo* info) {
   std::error_code ec;
   fs::create_directories(options_.dir, ec);
@@ -773,8 +800,6 @@ Status CatalogDurability::AppendFrame(const std::string& payload,
 }
 
 Status CatalogDurability::SyncJournal(const char* gate_detail) {
-  // One physical fsync acknowledges every append since the last one.
-  appends_since_fsync_ = 0;
   int64_t fsync_torn = -1;
   const Status fsync_gate =
       PokeFaultCrash(faults::kPersistenceFsync, gate_detail, &fsync_torn);
@@ -783,17 +808,24 @@ Status CatalogDurability::SyncJournal(const char* gate_detail) {
       // Kill during fsync: the records reached the file before the
       // "death", so recovery replays them — committed-but-unacked
       // statements, the classic group-commit window.
+      appends_since_fsync_ = 0;
       Seal();
       return fsync_gate;
     }
     // Plain fsync failure: the records are in the file (recovery would
     // see them), so the commits must count — surfacing the error is
-    // accounting, not rollback. POSIX gives no honest retry after a
-    // failed fsync.
+    // accounting, not rollback. But the fsync is still OWED: the window
+    // stays open so the next Flush() (or commit) retries the physical
+    // fsync — a poisoned pass is never silently absorbed by a later
+    // successful one reporting "nothing pending".
     return fsync_gate;
   }
   obs::ScopedLatency timer(WalFsyncHistogram());
-  return FsyncStream(journal_, JournalPath());
+  const Status synced = FsyncStream(journal_, JournalPath());
+  // One physical fsync acknowledges every append since the last one —
+  // but only a successful one closes the window.
+  if (synced.ok()) appends_since_fsync_ = 0;
+  return synced;
 }
 
 Status CatalogDurability::Flush() {

@@ -129,6 +129,20 @@ class CatalogDurability : public CatalogMutationListener {
       StatsCatalog* catalog, const DurabilityOptions& options,
       RecoveryInfo* info = nullptr);
 
+  // Re-establishes durability around a LIVE catalog without replaying the
+  // directory (the circuit-breaker recovery path, server/autostats_server).
+  // The in-memory catalog is authoritative — it is exactly the state after
+  // `resume_lsn` processed statements — so instead of recovering, this
+  // publishes a full-catalog snapshot at `resume_lsn` and swaps in a fresh
+  // journal (both fault-gated like any checkpoint), superseding whatever
+  // the sealed journal held, then attaches as the catalog's mutation
+  // listener. On failure the directory is untouched as far as recovery is
+  // concerned (an unrenamed tmp file at worst) and the catalog keeps no
+  // durability. Requires resume_lsn > 0 and no listener already attached.
+  static Result<std::unique_ptr<CatalogDurability>> Resume(
+      StatsCatalog* catalog, const DurabilityOptions& options,
+      uint64_t resume_lsn);
+
   ~CatalogDurability() override;
 
   CatalogDurability(const CatalogDurability&) = delete;
@@ -145,9 +159,21 @@ class CatalogDurability : public CatalogMutationListener {
   Status CommitStatement();
 
   // Forces the pending group-commit fsync (a no-op when nothing is
-  // buffered or group_commit_statements == 1). Call at the end of a
-  // statement stream so its tail is durable before the process idles.
+  // buffered). Call at the end of a statement stream so its tail is
+  // durable before the process idles. A pass whose physical fsync FAILED
+  // leaves the window open — the fsync is still owed, so the next Flush()
+  // retries it instead of reporting OK: a poisoned flush is never
+  // silently absorbed by a later pass (the circuit breaker depends on
+  // seeing it).
   Status Flush();
+
+  // Permanently seals the writer (the circuit breaker's quarantine):
+  // every later commit, flush, or checkpoint fails with
+  // kFailedPrecondition without touching disk, exactly as after a
+  // simulated kill. The journal on disk stays a valid statement-boundary
+  // prefix; a fresh Open() on the directory (or Resume()) recovers it.
+  // Thread-safe and idempotent.
+  void Seal() { sealed_.store(true, std::memory_order_relaxed); }
 
   // Cross-tenant async group commit (server/fsync_coordinator.h). When a
   // hook is installed, a commit whose group window fills no longer pays
@@ -226,7 +252,6 @@ class CatalogDurability : public CatalogMutationListener {
   // Writes a single-frame file and atomically renames it over `final`.
   Status PublishFile(const std::string& tmp, const std::string& final_path,
                      const std::string& payload, const char* gate_detail);
-  void Seal() { sealed_.store(true, std::memory_order_relaxed); }
   void ClearDirty();
 
   std::string JournalPath() const;

@@ -576,6 +576,54 @@ TEST_F(DurabilityTest, PlainAppendFailureRetriesUnderSameLsn) {
   fs::remove_all(dir, ec);
 }
 
+// A failed Flush() must stay owed: the group-commit window stays open so
+// the NEXT Flush() physically retries the fsync instead of no-opping —
+// a poisoned flush can never be silently absorbed by a later pass that
+// has nothing of its own to sync.
+TEST_F(DurabilityTest, PoisonedFlushIsRetriedNotDropped) {
+  const std::string dir = FreshDir("poisonflush");
+  TwoTableDb t = MakeTwoTableDb(kFactRows, 100);
+  StatsCatalog catalog(&t.db);
+  Result<std::unique_ptr<CatalogDurability>> opened = CatalogDurability::Open(
+      &catalog, {.dir = dir, .group_commit_statements = 4});
+  ASSERT_TRUE(opened.ok());
+  CatalogDurability* d = opened->get();
+
+  catalog.Tick();
+  catalog.CreateStatistic({t.fact_fk});
+  ASSERT_TRUE(d->CommitStatement().ok());
+  catalog.Tick();
+  catalog.CreateStatistic({t.fact_val});
+  ASSERT_TRUE(d->CommitStatement().ok());
+  ASSERT_EQ(d->unsynced_appends(), 2);  // batched, fsync still owed
+
+  FaultSchedule schedule;  // plain failure on exactly the next fsync
+  schedule.kind = FaultKind::kFailNth;
+  schedule.nth = 1;
+  schedule.count = 1;
+  FaultInjector::Instance().Arm(faults::kPersistenceFsync, schedule);
+  const Status poisoned = d->Flush();
+  EXPECT_FALSE(poisoned.ok());
+  EXPECT_FALSE(d->crashed());
+  // THE regression: the window must remain open after the failure.
+  EXPECT_EQ(d->unsynced_appends(), 2);
+
+  // The disk healed (schedule exhausted): the retry pays the owed fsync.
+  EXPECT_TRUE(d->Flush().ok());
+  EXPECT_EQ(d->unsynced_appends(), 0);
+
+  StatsCatalog recovered(&t.db);
+  RecoveryInfo info;
+  Result<std::unique_ptr<CatalogDurability>> reopened =
+      CatalogDurability::Open(&recovered, {.dir = dir}, &info);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(info.last_lsn, 2u);
+  EXPECT_NE(recovered.FindEntry(MakeStatKey({t.fact_fk})), nullptr);
+  EXPECT_NE(recovered.FindEntry(MakeStatKey({t.fact_val})), nullptr);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
 // --- 5. Group commit ------------------------------------------------------
 
 // With group_commit_statements = N, every statement still appends its own
