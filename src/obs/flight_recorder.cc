@@ -1,0 +1,98 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace autostats {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_flight_enabled{false};
+}  // namespace internal
+
+void EnableFlightRecorder(bool on) {
+  internal::g_flight_enabled.store(on, std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_capacity(size_t lines) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = lines > 0 ? lines : 1;
+  while (lines_.size() > capacity_) {
+    lines_.pop_front();
+    ++dropped_;
+  }
+}
+
+void FlightRecorder::RecordLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lines_.size() >= capacity_) {
+    lines_.pop_front();
+    ++dropped_;
+  }
+  lines_.push_back(line);
+}
+
+std::string FlightRecorder::Dump(
+    const std::string& tenant, const std::string& reason,
+    const std::vector<std::pair<std::string, int64_t>>& metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrFormat(
+      "{\"flight\":\"header\",\"tenant\":\"%s\",\"reason\":\"%s\","
+      "\"events\":%zu,\"dropped\":%llu}\n",
+      JsonEscape(tenant).c_str(), JsonEscape(reason).c_str(), lines_.size(),
+      static_cast<unsigned long long>(dropped_));
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  for (const auto& [name, value] : metrics) {
+    const auto it = last_metrics_.find(name);
+    const int64_t delta = value - (it != last_metrics_.end() ? it->second : 0);
+    out += StrFormat(
+        "{\"flight\":\"metric\",\"name\":\"%s\",\"value\":%lld,"
+        "\"delta\":%lld}\n",
+        JsonEscape(name).c_str(), static_cast<long long>(value),
+        static_cast<long long>(delta));
+    last_metrics_[name] = value;
+  }
+  return out;
+}
+
+bool FlightRecorder::DumpToFile(
+    const std::string& path, const std::string& tenant,
+    const std::string& reason,
+    const std::vector<std::pair<std::string, int64_t>>& metrics) {
+  const std::string body = Dump(tenant, reason, metrics);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+size_t FlightRecorder::NumLines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.clear();
+  last_metrics_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace obs
+}  // namespace autostats

@@ -1,0 +1,97 @@
+// FlightRecorder: a bounded per-tenant ring of the most recent trace
+// events plus a metrics-delta ledger, dumped atomically to a post-mortem
+// JSONL file when something goes wrong (breaker trip, chaos episode) or
+// on demand (AutoStatsServer::DumpTenant). The black box you read AFTER
+// the crash: it costs one ring push per trace event while healthy and
+// only touches the filesystem at dump time.
+//
+// Feeding: TraceSink (trace.h) forwards every formatted event line to an
+// attached recorder. The forward never changes what the sink itself
+// stores, so trace bytes — the determinism contract's surface — are
+// identical with or without a recorder attached. Because production
+// fleets run with trace *display* off, EnableFlightRecorder(true) makes
+// TraceEvent build its payload for the recorder alone: events are
+// recorded but TraceSink::Lines()/Dump() stay empty.
+//
+// Dump format (one JSON object per line):
+//   {"flight":"header","tenant":"t03","reason":"breaker_trip",
+//    "events":128,"dropped":12}
+//   ...the recorded trace event lines, oldest first, verbatim...
+//   {"flight":"metric","name":"t03/server.rejected_total","value":4,
+//    "delta":4}
+// `delta` is the change since this recorder's previous dump (== value on
+// the first). examples/stats_explain --replay renders a dump back into
+// the tenant's event timeline.
+#ifndef AUTOSTATS_OBS_FLIGHT_RECORDER_H_
+#define AUTOSTATS_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autostats {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_flight_enabled;
+}  // namespace internal
+
+// True when flight recording alone should force TraceEvent to build its
+// payload (trace display may stay off). One relaxed load.
+inline bool FlightRecorderEnabled() {
+  return internal::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableFlightRecorder(bool on);
+
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Ring capacity in event lines (oldest dropped past it; the dropped
+  // count is reported in the dump header). Set before traffic.
+  void set_capacity(size_t lines);
+
+  // Records one formatted trace event line (no trailing newline).
+  // Thread-safe; called from TraceSink::Append under the sink's lock.
+  void RecordLine(const std::string& line);
+
+  // Renders the post-mortem (see file comment). `metrics` is the
+  // tenant's current counter/gauge values; each row's delta is computed
+  // against this recorder's previous dump and the ledger advances.
+  std::string Dump(const std::string& tenant, const std::string& reason,
+                   const std::vector<std::pair<std::string, int64_t>>&
+                       metrics = {});
+
+  // Dump() written via tmp file + atomic rename, so a reader never sees
+  // a half-written post-mortem. Returns false on any I/O error (the tmp
+  // file is removed).
+  bool DumpToFile(const std::string& path, const std::string& tenant,
+                  const std::string& reason,
+                  const std::vector<std::pair<std::string, int64_t>>&
+                      metrics = {});
+
+  size_t NumLines() const;
+  uint64_t dropped() const;
+  // Drops buffered events and the metrics-delta ledger.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> lines_;
+  size_t capacity_ = 256;
+  uint64_t dropped_ = 0;
+  std::map<std::string, int64_t> last_metrics_;  // previous dump's values
+};
+
+}  // namespace obs
+}  // namespace autostats
+
+#endif  // AUTOSTATS_OBS_FLIGHT_RECORDER_H_

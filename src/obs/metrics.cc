@@ -51,10 +51,15 @@ Histogram::Snapshot Histogram::Snap() const {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
   }
+  s.overflow = s.buckets[bounds_.size()];
   s.count = count_.load(std::memory_order_relaxed);
   const uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
   std::memcpy(&s.sum, &bits, sizeof(double));
   return s;
+}
+
+int64_t Histogram::Overflow() const {
+  return buckets_[bounds_.size()].load(std::memory_order_relaxed);
 }
 
 void Histogram::Reset() {
@@ -225,14 +230,62 @@ MetricsRegistry::HistogramValues() const {
   return out;
 }
 
-namespace {
-
-// Prometheus metric names: dots become underscores.
-std::string PromName(const std::string& name) {
+std::string PromSanitizeName(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
-    if (c == '.' || c == '-') c = '_';
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
   }
+  return out;
+}
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Splits a registry name into (sanitized exposition name, tenant label
+// value): "t03/wal_fsync.us" -> ("wal_fsync_us", "t03"); names without
+// the ScopedMetricsLabel '/' keep their flat sanitized form and no
+// label, byte-identical to the pre-label exposition.
+std::pair<std::string, std::string> PromSplit(const std::string& name) {
+  const size_t slash = name.find('/');
+  if (slash == std::string::npos || slash == 0) {
+    return {PromSanitizeName(name), std::string()};
+  }
+  return {PromSanitizeName(name.substr(slash + 1)), name.substr(0, slash)};
+}
+
+// "{tenant=\"t03\"}" (or "" unlabeled); `extra` appends inside the
+// braces, for histogram `le=` rows.
+std::string PromLabels(const std::string& tenant, const std::string& extra) {
+  if (tenant.empty() && extra.empty()) return "";
+  std::string out = "{";
+  if (!tenant.empty()) {
+    out += "tenant=\"" + PromEscapeLabelValue(tenant) + "\"";
+    if (!extra.empty()) out += ',';
+  }
+  out += extra;
+  out += '}';
   return out;
 }
 
@@ -240,32 +293,63 @@ std::string PromName(const std::string& name) {
 
 std::string MetricsRegistry::PrometheusText() const {
   std::string out;
-  for (const auto& [name, value] : CounterValues()) {
-    const std::string p = PromName(name);
-    out += StrFormat("# TYPE %s counter\n", p.c_str());
-    out += StrFormat("%s %lld\n", p.c_str(), static_cast<long long>(value));
-  }
-  for (const auto& [name, value] : GaugeValues()) {
-    const std::string p = PromName(name);
-    out += StrFormat("# TYPE %s gauge\n", p.c_str());
-    out += StrFormat("%s %lld\n", p.c_str(), static_cast<long long>(value));
-  }
-  for (const auto& [name, snap] : HistogramValues()) {
-    const std::string p = PromName(name);
-    out += StrFormat("# TYPE %s histogram\n", p.c_str());
-    int64_t cum = 0;
-    for (size_t i = 0; i < snap.bounds.size(); ++i) {
-      cum += snap.buckets[i];
-      out += StrFormat("%s_bucket{le=\"%s\"} %lld\n", p.c_str(),
-                       FormatDouble(snap.bounds[i], 6).c_str(),
-                       static_cast<long long>(cum));
+  // All samples of one metric must form a single group under its TYPE
+  // line, so rows are re-grouped by exposition name: a tenant-labeled
+  // series joins its base metric's group instead of minting an invalid
+  // name containing '/'. Within a group the unlabeled row (if any)
+  // sorts first because "x" < "t03/x" in the registry's name order.
+  const auto scalar = [&out](
+      const std::vector<std::pair<std::string, int64_t>>& values,
+      const char* type) {
+    std::map<std::string, std::vector<std::pair<std::string, int64_t>>>
+        grouped;
+    for (const auto& [name, value] : values) {
+      auto [base, tenant] = PromSplit(name);
+      grouped[base].emplace_back(tenant, value);
     }
-    out += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", p.c_str(),
-                     static_cast<long long>(snap.count));
-    out += StrFormat("%s_sum %s\n", p.c_str(),
-                     FormatDouble(snap.sum, 6).c_str());
-    out += StrFormat("%s_count %lld\n", p.c_str(),
-                     static_cast<long long>(snap.count));
+    for (const auto& [base, rows] : grouped) {
+      out += StrFormat("# TYPE %s %s\n", base.c_str(), type);
+      for (const auto& [tenant, value] : rows) {
+        out += StrFormat("%s%s %lld\n", base.c_str(),
+                         PromLabels(tenant, "").c_str(),
+                         static_cast<long long>(value));
+      }
+    }
+  };
+  scalar(CounterValues(), "counter");
+  scalar(GaugeValues(), "gauge");
+  std::map<std::string,
+           std::vector<std::pair<std::string, Histogram::Snapshot>>>
+      grouped;
+  for (const auto& [name, snap] : HistogramValues()) {
+    auto [base, tenant] = PromSplit(name);
+    grouped[base].emplace_back(tenant, snap);
+  }
+  for (const auto& [base, rows] : grouped) {
+    out += StrFormat("# TYPE %s histogram\n", base.c_str());
+    for (const auto& [tenant, snap] : rows) {
+      int64_t cum = 0;
+      for (size_t i = 0; i < snap.bounds.size(); ++i) {
+        cum += snap.buckets[i];
+        out += StrFormat(
+            "%s_bucket%s %lld\n", base.c_str(),
+            PromLabels(tenant, StrFormat("le=\"%s\"",
+                                         FormatDouble(snap.bounds[i], 6)
+                                             .c_str()))
+                .c_str(),
+            static_cast<long long>(cum));
+      }
+      out += StrFormat("%s_bucket%s %lld\n", base.c_str(),
+                       PromLabels(tenant, "le=\"+Inf\"").c_str(),
+                       static_cast<long long>(snap.count));
+      const std::string plain = PromLabels(tenant, "");
+      out += StrFormat("%s_sum%s %s\n", base.c_str(), plain.c_str(),
+                       FormatDouble(snap.sum, 6).c_str());
+      out += StrFormat("%s_count%s %lld\n", base.c_str(), plain.c_str(),
+                       static_cast<long long>(snap.count));
+      out += StrFormat("%s_overflow%s %lld\n", base.c_str(), plain.c_str(),
+                       static_cast<long long>(snap.overflow));
+    }
   }
   return out;
 }

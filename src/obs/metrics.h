@@ -84,6 +84,11 @@ class Histogram {
   struct Snapshot {
     int64_t count = 0;
     double sum = 0.0;
+    // Observations past the last edge (the implicit +inf bucket). The
+    // buckets vector still carries them as its final entry; this field
+    // just makes a clipped distribution — edges chosen too low for the
+    // data — distinguishable from a legitimate tail at a glance.
+    int64_t overflow = 0;
     std::vector<double> bounds;    // upper edges, ascending
     std::vector<int64_t> buckets;  // bounds.size() + 1 entries
     // Linear interpolation within the winning bucket; q in [0,1].
@@ -92,6 +97,8 @@ class Histogram {
     double Mean() const { return count > 0 ? sum / count : 0.0; }
   };
   Snapshot Snap() const;
+  // Observations that landed past the last edge so far.
+  int64_t Overflow() const;
   void Reset();
 
  private:
@@ -142,7 +149,13 @@ class MetricsRegistry {
       const;
 
   // Prometheus text exposition (name-ordered; histograms expand into
-  // cumulative `_bucket{le=...}` rows plus `_sum`/`_count`).
+  // cumulative `_bucket{le=...}` rows plus `_sum`/`_count`/`_overflow`).
+  // Tenant-scoped series — the `<tenant>/<name>` names minted by
+  // ScopedMetricsLabel, whose `/` is invalid in the Prometheus data
+  // model — are exposed under the sanitized base name with a
+  // `tenant="<name>"` label; unlabeled series keep their flat names
+  // byte-for-byte. (BenchJson consumes the raw registry names and is
+  // untouched by this mapping.)
   std::string PrometheusText() const;
 
  private:
@@ -233,6 +246,13 @@ inline Histogram* GetLabeledHistogram(LabeledSlot<Histogram>& slot,
   }
   return slot.ptr;
 }
+
+// Prometheus name/label-value rules, shared with the server health
+// exposition (server/health.cc): metric names allow [a-zA-Z0-9_:] (every
+// other byte becomes '_'); label values escape backslash, double-quote,
+// and newline.
+std::string PromSanitizeName(const std::string& name);
+std::string PromEscapeLabelValue(const std::string& value);
 
 // Records elapsed wall time in microseconds into `h` on destruction.
 // Construction captures MetricsEnabled() once, so a scope that starts

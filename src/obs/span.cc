@@ -1,0 +1,256 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/str_util.h"
+#include "obs/trace.h"
+
+namespace autostats {
+namespace obs {
+
+namespace internal {
+std::atomic<int> g_span_mode{static_cast<int>(SpanMode::kDisabled)};
+}  // namespace internal
+
+SpanMode CurrentSpanMode() {
+  return static_cast<SpanMode>(
+      internal::g_span_mode.load(std::memory_order_relaxed));
+}
+
+void EnableSpans(SpanMode mode) {
+  internal::g_span_mode.store(static_cast<int>(mode),
+                              std::memory_order_relaxed);
+}
+
+double SpanNowUs() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::micro>(now).count();
+}
+
+// ---- SpanSink -------------------------------------------------------------
+
+void SpanSink::set_capacity(size_t spans, size_t passes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = spans > 0 ? spans : 1;
+  pass_capacity_ = passes > 0 ? passes : 1;
+  while (spans_.size() > capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  while (passes_.size() > pass_capacity_) passes_.pop_front();
+}
+
+void SpanSink::Append(const StatementSpan& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  spans_.push_back(span);
+}
+
+void SpanSink::AppendFsyncPass(const FsyncPassSpan& pass) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (passes_.size() >= pass_capacity_) passes_.pop_front();
+  passes_.push_back(pass);
+}
+
+void SpanSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  passes_.clear();
+  dropped_ = 0;
+}
+
+size_t SpanSink::NumSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+size_t SpanSink::NumFsyncPasses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return passes_.size();
+}
+
+uint64_t SpanSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<StatementSpan> SpanSink::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<StatementSpan>(spans_.begin(), spans_.end());
+}
+
+std::vector<FsyncPassSpan> SpanSink::FsyncPasses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<FsyncPassSpan>(passes_.begin(), passes_.end());
+}
+
+std::string SpanSink::DumpJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const StatementSpan& s : spans_) {
+    out += StrFormat("{\"span\":\"stmt\",\"stmt\":%llu,\"ingress_seq\":%llu",
+                     static_cast<unsigned long long>(s.stmt),
+                     static_cast<unsigned long long>(s.ingress_seq));
+    out += std::string(",\"query\":") + (s.query ? "true" : "false");
+    out += ",\"ingress\":" + TraceFormatNumber(s.ingress);
+    out += ",\"enqueue\":" + TraceFormatNumber(s.enqueue);
+    out += ",\"pickup\":" + TraceFormatNumber(s.pickup);
+    out += ",\"apply_begin\":" + TraceFormatNumber(s.apply_begin);
+    out += ",\"apply_end\":" + TraceFormatNumber(s.apply_end);
+    out += ",\"wal_append_us\":" + TraceFormatNumber(s.wal_append_us);
+    out += ",\"fsync_us\":" + TraceFormatNumber(s.fsync_us);
+    out += std::string(",\"fsync_deferred\":") +
+           (s.fsync_deferred ? "true" : "false");
+    out += std::string(",\"degraded\":") + (s.degraded ? "true" : "false");
+    out += std::string(",\"replay\":") + (s.replay ? "true" : "false");
+    out += "}\n";
+  }
+  return out;
+}
+
+namespace {
+
+SpanSegmentStats SegmentStats(std::vector<double>* values) {
+  SpanSegmentStats stats;
+  if (values->empty()) return stats;
+  std::sort(values->begin(), values->end());
+  const size_t n = values->size();
+  // Nearest-rank: good enough for a health dashboard, monotone, and
+  // exact at the window edges.
+  stats.p50_us = (*values)[std::min(n - 1, n / 2)];
+  stats.p99_us = (*values)[std::min(n - 1, (n * 99) / 100)];
+  return stats;
+}
+
+}  // namespace
+
+SpanAttribution SpanSink::Attribution() const {
+  std::vector<StatementSpan> spans = Spans();
+  SpanAttribution attr;
+  std::vector<double> queue_wait, apply, wal, fsync;
+  for (const StatementSpan& s : spans) {
+    if (s.degraded) continue;  // never reached apply; no timeline to attribute
+    ++attr.spans;
+    queue_wait.push_back(std::max(0.0, s.pickup - s.enqueue));
+    apply.push_back(std::max(0.0, s.apply_end - s.apply_begin));
+    wal.push_back(s.wal_append_us);
+    fsync.push_back(s.fsync_us);
+  }
+  attr.queue_wait = SegmentStats(&queue_wait);
+  attr.apply = SegmentStats(&apply);
+  attr.wal_append = SegmentStats(&wal);
+  attr.fsync = SegmentStats(&fsync);
+  return attr;
+}
+
+// ---- WAL-layer attribution ------------------------------------------------
+
+namespace {
+thread_local SpanScratch* t_span_scratch = nullptr;
+}  // namespace
+
+SpanScratch* ActiveSpanScratch() { return t_span_scratch; }
+
+ScopedSpanScratch::ScopedSpanScratch(SpanScratch* scratch)
+    : prev_(t_span_scratch) {
+  t_span_scratch = scratch;
+}
+
+ScopedSpanScratch::~ScopedSpanScratch() { t_span_scratch = prev_; }
+
+SpanStage::SpanStage(Kind kind)
+    : scratch_(SpansEnabled() ? t_span_scratch : nullptr),
+      kind_(kind),
+      wall_(false) {
+  if (scratch_ == nullptr) return;
+  wall_ = CurrentSpanMode() == SpanMode::kWall;
+  if (wall_) start_us_ = SpanNowUs();
+}
+
+SpanStage::~SpanStage() {
+  if (scratch_ == nullptr) return;
+  const double amount = wall_ ? SpanNowUs() - start_us_ : 1.0;
+  if (kind_ == kWalAppend) {
+    scratch_->wal_append_us += amount;
+  } else {
+    scratch_->fsync_us += amount;
+  }
+}
+
+void SpanNoteFsyncDeferred() {
+  if (!SpansEnabled()) return;
+  if (t_span_scratch != nullptr) t_span_scratch->fsync_deferred = true;
+}
+
+// ---- Perfetto export ------------------------------------------------------
+
+std::string SpansToPerfettoJson(const std::vector<TenantSpans>& tenants) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& event) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += event;
+  };
+  int tid = 0;
+  for (const TenantSpans& tenant : tenants) {
+    const int stmt_tid = ++tid;
+    const std::string name = JsonEscape(tenant.name);
+    emit(StrFormat("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                   "\"tid\":%d,\"args\":{\"name\":\"%s statements\"}}",
+                   stmt_tid, name.c_str()));
+    for (const StatementSpan& s : tenant.spans) {
+      if (s.degraded) continue;
+      const double queue_dur = std::max(0.0, s.pickup - s.enqueue);
+      if (queue_dur > 0) {
+        emit(StrFormat("{\"name\":\"queue\",\"ph\":\"X\",\"ts\":%s,"
+                       "\"dur\":%s,\"pid\":1,\"tid\":%d,"
+                       "\"args\":{\"ingress_seq\":%llu}}",
+                       TraceFormatNumber(s.enqueue).c_str(),
+                       TraceFormatNumber(queue_dur).c_str(), stmt_tid,
+                       static_cast<unsigned long long>(s.ingress_seq)));
+      }
+      emit(StrFormat(
+          "{\"name\":\"stmt %llu %s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,"
+          "\"pid\":1,\"tid\":%d,\"args\":{\"ingress_seq\":%llu,"
+          "\"wal_append_us\":%s,\"fsync_us\":%s,\"fsync_deferred\":%s,"
+          "\"replay\":%s}}",
+          static_cast<unsigned long long>(s.stmt),
+          s.query ? "query" : "dml",
+          TraceFormatNumber(s.apply_begin).c_str(),
+          TraceFormatNumber(std::max(0.0, s.apply_end - s.apply_begin))
+              .c_str(),
+          stmt_tid, static_cast<unsigned long long>(s.ingress_seq),
+          TraceFormatNumber(s.wal_append_us).c_str(),
+          TraceFormatNumber(s.fsync_us).c_str(),
+          s.fsync_deferred ? "true" : "false",
+          s.replay ? "true" : "false"));
+    }
+    if (!tenant.passes.empty()) {
+      const int pass_tid = ++tid;
+      emit(StrFormat("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                     "\"tid\":%d,\"args\":{\"name\":\"%s fsync passes\"}}",
+                     pass_tid, name.c_str()));
+      for (const FsyncPassSpan& p : tenant.passes) {
+        emit(StrFormat("{\"name\":\"fsync_pass\",\"ph\":\"X\",\"ts\":%s,"
+                       "\"dur\":%s,\"pid\":1,\"tid\":%d,"
+                       "\"args\":{\"synced_lsn\":%llu}}",
+                       TraceFormatNumber(p.begin).c_str(),
+                       TraceFormatNumber(std::max(0.0, p.end - p.begin))
+                           .c_str(),
+                       pass_tid,
+                       static_cast<unsigned long long>(p.synced_lsn)));
+      }
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace autostats

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/str_util.h"
+#include "obs/flight_recorder.h"
 
 namespace autostats {
 namespace obs {
@@ -47,7 +48,16 @@ void TraceSink::Append(const std::string& fields) {
     line += fields;
   }
   line += '}';
-  lines_.push_back(std::move(line));
+  if (recorder_ != nullptr) recorder_->RecordLine(line);
+  // With trace display off the event exists only for the recorder:
+  // seq still advances (the recorder's lines stay joinable with any
+  // later-enabled trace), but nothing is stored here.
+  if (TraceEnabled()) lines_.push_back(std::move(line));
+}
+
+void TraceSink::set_flight_recorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorder_ = recorder;
 }
 
 void TraceSink::SetLogicalClock(uint64_t clock) {
@@ -102,7 +112,8 @@ std::string TraceFormatNumber(double v) {
   return StrFormat("%.17g", v);
 }
 
-TraceEvent::TraceEvent(const char* type) : enabled_(TraceEnabled()) {
+TraceEvent::TraceEvent(const char* type)
+    : enabled_(TraceActive()) {
   if (!enabled_) return;
   body_ = "\"type\":\"";
   body_ += JsonEscape(type);

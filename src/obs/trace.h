@@ -45,13 +45,26 @@
 namespace autostats {
 namespace obs {
 
+class FlightRecorder;
+
 namespace internal {
 extern std::atomic<bool> g_trace_enabled;
+extern std::atomic<bool> g_flight_enabled;  // defined in flight_recorder.cc
 }  // namespace internal
 
 // One relaxed load; the only cost instrumentation pays when disabled.
 inline bool TraceEnabled() {
   return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// The guard for TraceEvent call sites: an event must be BUILT when the
+// trace is displayed OR a flight recorder wants it buffered
+// (flight_recorder.h — production fleets run with display off). Whether
+// the sink then *stores* the line is still TraceEnabled() alone, so
+// flight recording never changes the visible trace bytes.
+inline bool TraceActive() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed) ||
+         internal::g_flight_enabled.load(std::memory_order_relaxed);
 }
 
 // Flips trace collection on/off (off by default).
@@ -89,6 +102,13 @@ class TraceSink {
     return clock_.load(std::memory_order_relaxed);
   }
 
+  // Attaches a flight recorder (obs/flight_recorder.h): every appended
+  // event line is forwarded to it, verbatim, whether or not trace
+  // display is on. The forward never changes what this sink stores, so
+  // trace bytes stay identical with or without a recorder. Install
+  // before the sink sees traffic; nullptr detaches.
+  void set_flight_recorder(FlightRecorder* recorder);
+
   // Drops all buffered events and resets seq (not the logical clock).
   void Clear();
 
@@ -105,6 +125,7 @@ class TraceSink {
   std::vector<std::string> lines_;
   uint64_t next_seq_ = 0;
   std::atomic<uint64_t> clock_{0};
+  FlightRecorder* recorder_ = nullptr;  // guarded by mu_
 };
 
 // Redirects this thread's trace stream to `sink` for the scope's lifetime

@@ -1,6 +1,7 @@
 #include "server/autostats_server.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <utility>
 
 #include "common/check.h"
@@ -126,6 +127,13 @@ size_t AutoStatsServer::AddTenant(const TenantConfig& config) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
   t->rejected_counter = reg.GetCounter(t->name + "/server.rejected_total");
   t->state_gauge = reg.GetGauge(t->name + "/server.tenant_state");
+  t->spans.set_capacity(options_.span_ring_capacity);
+  if (options_.flight_ring_capacity > 0) {
+    // Attach before any traffic: the recorder shadows every trace event
+    // (enabled or not) without changing the trace bytes themselves.
+    t->flight.set_capacity(options_.flight_ring_capacity);
+    t->trace.set_flight_recorder(&t->flight);
+  }
 
   if (!config.durability_dir.empty()) {
     // Recovery replays the tenant's journal into its catalog: run it
@@ -149,6 +157,12 @@ size_t AutoStatsServer::AddTenant(const TenantConfig& config) {
     }
   }
   if (obs::MetricsEnabled()) t->state_gauge->Set(kGaugeHealthy);
+  // The slot is still private to this thread; seed the health mirror
+  // directly (no shard mutex needed before publication).
+  t->mirror.processed = t->processed;
+  t->mirror.durable = t->durability != nullptr;
+  t->mirror.wal_last_lsn =
+      t->durability != nullptr ? t->durability->last_committed_lsn() : 0;
 
   // Publish: slot first, then the release store on the count that makes
   // FindTenant admit the index.
@@ -187,6 +201,7 @@ void AutoStatsServer::WireDurabilityIntoCoordinator(Tenant* t) {
     member.name = t->name;
     member.durability = t->durability.get();
     member.trace = &t->trace;
+    member.spans = &t->spans;
     const int threshold = options_.breaker_trip_threshold;
     member.on_flush_error = [this, t, threshold](const Status&) {
       // Coordinator thread: account the failure, feed the breaker, and
@@ -236,6 +251,13 @@ Status AutoStatsServer::SubmitInternal(size_t tenant,
   if (t == nullptr) {
     return Status::NotFound("unknown tenant index " + std::to_string(tenant));
   }
+  // Wall-mode span ingress stamp: taken at entry so a backpressure block
+  // shows up as ingress -> enqueue, not as queue wait.
+  const double ingress_now_us =
+      (obs::SpansEnabled() &&
+       obs::CurrentSpanMode() == obs::SpanMode::kWall)
+          ? obs::SpanNowUs()
+          : 0;
   // Drain()'s wait is on the aggregate pending count: concurrent ingress
   // would re-raise it after the wait and race the per-tenant flushes.
   AUTOSTATS_DCHECK(drains_active_.load(std::memory_order_relaxed) == 0);
@@ -293,7 +315,25 @@ Status AutoStatsServer::SubmitInternal(size_t tenant,
     // Re-validate everything: the tenant may have been removed, tripped,
     // or the server stopped while we slept.
   }
-  t->queue.emplace_back(statement, std::chrono::steady_clock::now());
+  QueuedStatement qs;
+  qs.stmt = statement;
+  qs.enqueued = std::chrono::steady_clock::now();
+  // The dense ingress sequence always advances (guarded by shard->mu), so
+  // spans flipped on mid-stream still see stream-position stamps.
+  qs.ingress_seq = ++t->submitted_seq;
+  if (obs::SpansEnabled()) {
+    if (obs::CurrentSpanMode() == obs::SpanMode::kWall) {
+      qs.ingress = ingress_now_us;
+      qs.enqueue = obs::SpanNowUs();
+    } else {
+      // Logical mode: ingress == enqueue == stream position. Admission
+      // order under shard->mu IS the tenant's stream order, so the stamp
+      // is a pure function of the stream.
+      qs.ingress = static_cast<double>(qs.ingress_seq);
+      qs.enqueue = qs.ingress;
+    }
+  }
+  t->queue.push_back(std::move(qs));
   ++shard->pending;
   pending_total_.fetch_add(1, std::memory_order_relaxed);
   if (!t->scheduled) {
@@ -367,10 +407,12 @@ void AutoStatsServer::WorkerLoop(size_t home_shard) {
 
 void AutoStatsServer::RunTenantBatch(Tenant* t) {
   Shard* shard = t->shard;
-  std::vector<std::pair<Statement, std::chrono::steady_clock::time_point>>
-      batch;
+  std::vector<QueuedStatement> batch;
   bool tripped_pending = false;
   bool probe_due_now = false;
+  const bool spans_on = obs::SpansEnabled();
+  const bool spans_wall =
+      spans_on && obs::CurrentSpanMode() == obs::SpanMode::kWall;
   {
     std::lock_guard<std::mutex> lock(shard->mu);
     // Breaker housekeeping happens at the batch boundary — the tenant's
@@ -389,6 +431,9 @@ void AutoStatsServer::RunTenantBatch(Tenant* t) {
     }
   }
   shard->space_cv.notify_all();
+  // Wall-mode pickup stamp: the whole batch left the queue together.
+  // (Logical mode stamps pickup per statement with the processed count.)
+  const double batch_pickup_us = spans_wall ? obs::SpanNowUs() : 0;
 
   if (tripped_pending) {
     TenantScopes scopes(t->name, &t->trace);
@@ -402,33 +447,49 @@ void AutoStatsServer::RunTenantBatch(Tenant* t) {
   bool degraded = t->health == TenantHealth::kDegraded;
 
   RunReport local;
-  std::vector<Statement> parked_local;
+  std::vector<QueuedStatement> parked_local;
   // Hands the statements parked so far in THIS batch over to t->parked
   // (with their degraded accounting) — recovery replay swaps t->parked,
   // so anything still in the local buffer when a probe runs would replay
   // never instead of now.
   auto flush_parked = [&] {
     if (parked_local.empty()) return;
+    if (spans_on) {
+      // Park spans: acknowledged degraded, never applied — stmt 0 and no
+      // pickup/apply stamps. Emitted at flush time, which is always
+      // before any later statement applies, so the span stream stays in
+      // stream order at every batch shape.
+      for (const QueuedStatement& qs : parked_local) {
+        obs::StatementSpan span;
+        span.ingress_seq = qs.ingress_seq;
+        span.query = qs.stmt.kind == Statement::Kind::kQuery;
+        span.degraded = true;
+        span.ingress = qs.ingress;
+        span.enqueue = qs.enqueue;
+        t->spans.Append(span);
+      }
+    }
     std::lock_guard<std::mutex> lock(shard->mu);
-    for (Statement& s : parked_local) {
+    for (QueuedStatement& qs : parked_local) {
       // A parked statement was answered (degraded) at park time; its
       // statistics work lands when it replays, where the num_* counters
       // are compensated so it is never double counted.
-      if (s.kind == Statement::Kind::kQuery) {
+      if (qs.stmt.kind == Statement::Kind::kQuery) {
         ++t->report.num_queries;
         ++t->report.degraded_queries;
       } else {
         ++t->report.num_dml;
         ++t->report.degraded_dml;
       }
-      t->parked.push_back(std::move(s));
+      t->parked.push_back(std::move(qs));
     }
     parked_local.clear();
   };
   const int threshold = options_.breaker_trip_threshold;
   {
     TenantScopes scopes(t->name, &t->trace);
-    for (auto& [statement, enqueued] : batch) {
+    for (QueuedStatement& qs : batch) {
+      Statement& statement = qs.stmt;
       if (degraded) {
         // Logical probe clock: once enough statements were served
         // degraded, run a half-open probe right here in the tenant's
@@ -445,16 +506,47 @@ void AutoStatsServer::RunTenantBatch(Tenant* t) {
           // Degraded serving: acknowledge with magic numbers, park the
           // statement for recovery replay, touch neither manager nor WAL.
           ++t->degraded_seen;
-          parked_local.push_back(std::move(statement));
+          parked_local.push_back(std::move(qs));
           if (obs::MetricsEnabled()) statements_total_->Add();
           continue;
         }
       }
-      const AutoStatsManager::Outcome outcome = t->manager->Process(statement);
+      obs::SpanScratch scratch;
+      const double apply_begin_us = spans_wall ? obs::SpanNowUs() : 0;
+      AutoStatsManager::Outcome outcome;
+      {
+        // The WAL layer reports its append/fsync sub-segments through the
+        // thread-local scratch (obs/span.h) while Process runs.
+        obs::ScopedSpanScratch span_scope(spans_on ? &scratch : nullptr);
+        outcome = t->manager->Process(statement);
+      }
       ++t->processed;
+      if (spans_on) {
+        obs::StatementSpan span;
+        span.stmt = t->processed;
+        span.ingress_seq = qs.ingress_seq;
+        span.query = statement.kind == Statement::Kind::kQuery;
+        span.ingress = qs.ingress;
+        span.enqueue = qs.enqueue;
+        if (spans_wall) {
+          span.pickup = batch_pickup_us;
+          span.apply_begin = apply_begin_us;
+          span.apply_end = obs::SpanNowUs();
+        } else {
+          // Logical: pickup/apply carry the processed count (== catalog
+          // tick == WAL LSN) — a pure function of the tenant's stream.
+          span.pickup = static_cast<double>(t->processed);
+          span.apply_begin = span.pickup;
+          span.apply_end = span.pickup;
+        }
+        span.wal_append_us = scratch.wal_append_us;
+        span.fsync_us = scratch.fsync_us;
+        span.fsync_deferred = scratch.fsync_deferred;
+        t->spans.Append(span);
+      }
       AutoStatsManager::Accumulate(outcome, &local);
       if (obs::MetricsEnabled()) {
-        const auto elapsed = std::chrono::steady_clock::now() - enqueued;
+        const auto elapsed = std::chrono::steady_clock::now() - qs.enqueued;
         ingress_latency_us_->Observe(
             std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
                 elapsed)
@@ -486,6 +578,7 @@ void AutoStatsServer::RunTenantBatch(Tenant* t) {
   flush_parked();
   {
     std::lock_guard<std::mutex> lock(shard->mu);
+    PublishHealthMirrorLocked(t);
     t->report += local;
     shard->pending -= batch.size();
     if (!t->queue.empty()) {
@@ -561,6 +654,7 @@ void AutoStatsServer::TripBreaker(Tenant* t, const char* cause) {
     std::lock_guard<std::mutex> lock(shard->mu);
     t->health = TenantHealth::kDegraded;
     trips = ++t->trips;
+    PublishHealthMirrorLocked(t);
   }
   if (obs::MetricsEnabled()) {
     breaker_trips_->Add();
@@ -571,6 +665,10 @@ void AutoStatsServer::TripBreaker(Tenant* t, const char* cause) {
       .Str("cause", cause)
       .Int("processed", static_cast<int64_t>(t->processed))
       .Int("trips", trips);
+  // Post-mortem: the flight ring now ends at the trip event above. The
+  // dump is I/O outside every lock and emits no trace events of its own
+  // (the recorded bytes must match the PR 7 trace contract exactly).
+  if (!options_.flight_dump_dir.empty()) DumpFlightOnTrip(t, trips);
 }
 
 bool AutoStatsServer::TryRecoverTenant(Tenant* t) {
@@ -635,6 +733,7 @@ bool AutoStatsServer::TryRecoverTenant(Tenant* t) {
     {
       std::lock_guard<std::mutex> lock(shard->mu);
       t->health = TenantHealth::kDegraded;
+      PublishHealthMirrorLocked(t);
     }
     if (obs::MetricsEnabled()) t->state_gauge->Set(kGaugeDegraded);
     obs::TraceEvent("tenant.lifecycle")
@@ -646,17 +745,52 @@ bool AutoStatsServer::TryRecoverTenant(Tenant* t) {
   // Re-admission: replay everything served degraded through the manager,
   // oldest first. New arrivals land in the queue behind us (this thread
   // owns the tenant), so stream order is preserved end to end.
-  std::deque<Statement> parked;
+  std::deque<QueuedStatement> parked;
   {
     std::lock_guard<std::mutex> lock(shard->mu);
     parked.swap(t->parked);
   }
+  const bool spans_on = obs::SpansEnabled();
+  const bool spans_wall =
+      spans_on && obs::CurrentSpanMode() == obs::SpanMode::kWall;
   RunReport replay;
   int64_t replayed_queries = 0;
   int64_t replayed_dml = 0;
-  for (const Statement& s : parked) {
-    const AutoStatsManager::Outcome outcome = t->manager->Process(s);
+  for (const QueuedStatement& qs : parked) {
+    obs::SpanScratch scratch;
+    const double apply_begin_us = spans_wall ? obs::SpanNowUs() : 0;
+    AutoStatsManager::Outcome outcome;
+    {
+      obs::ScopedSpanScratch span_scope(spans_on ? &scratch : nullptr);
+      outcome = t->manager->Process(qs.stmt);
+    }
     ++t->processed;
+    if (spans_on) {
+      // Replay span: the parked statement finally reaches apply. The
+      // park record (degraded=true) already told the admission story, so
+      // this one carries the apply/WAL segments under the original
+      // ingress identity.
+      obs::StatementSpan span;
+      span.stmt = t->processed;
+      span.ingress_seq = qs.ingress_seq;
+      span.query = outcome.was_query;
+      span.replay = true;
+      span.ingress = qs.ingress;
+      span.enqueue = qs.enqueue;
+      if (spans_wall) {
+        span.pickup = apply_begin_us;
+        span.apply_begin = apply_begin_us;
+        span.apply_end = obs::SpanNowUs();
+      } else {
+        span.pickup = static_cast<double>(t->processed);
+        span.apply_begin = span.pickup;
+        span.apply_end = span.pickup;
+      }
+      span.wal_append_us = scratch.wal_append_us;
+      span.fsync_us = scratch.fsync_us;
+      span.fsync_deferred = scratch.fsync_deferred;
+      t->spans.Append(span);
+    }
     if (outcome.was_query) {
       ++replayed_queries;
     } else {
@@ -679,6 +813,7 @@ bool AutoStatsServer::TryRecoverTenant(Tenant* t) {
     t->report += replay;
     t->health = TenantHealth::kHealthy;
     recoveries = ++t->recoveries;
+    PublishHealthMirrorLocked(t);
   }
   if (obs::MetricsEnabled()) {
     breaker_recoveries_->Add();
@@ -763,6 +898,7 @@ Status AutoStatsServer::RemoveTenant(size_t tenant) {
     t->parked.clear();
     t->state = TenantState::kRemoved;
     t->health = TenantHealth::kHealthy;
+    PublishHealthMirrorLocked(t);
   }
   if (obs::MetricsEnabled()) t->state_gauge->Set(kGaugeRemoved);
   return Status::OK();
@@ -824,6 +960,7 @@ Status AutoStatsServer::ReopenTenant(size_t tenant) {
     t->state = TenantState::kActive;
     t->health = TenantHealth::kHealthy;
     t->turns_left = t->weight;
+    PublishHealthMirrorLocked(t);
   }
   if (obs::MetricsEnabled()) t->state_gauge->Set(kGaugeHealthy);
   return Status::OK();
@@ -915,6 +1052,10 @@ void AutoStatsServer::Drain() {
       std::lock_guard<std::mutex> lock(t->shard->mu);
       ++t->report.durability_failures;
     }
+    // Drain is quiescent, so this thread owns every tenant: refresh the
+    // health mirror so a post-drain Health() shows the settled WAL lag.
+    std::lock_guard<std::mutex> lock(t->shard->mu);
+    PublishHealthMirrorLocked(t);
   }
   drains_active_.fetch_sub(1, std::memory_order_relaxed);
 }
@@ -1022,6 +1163,179 @@ size_t AutoStatsServer::parked_statements(size_t tenant) const {
   const Tenant* t = FindTenantOrDie(tenant);
   std::lock_guard<std::mutex> lock(t->shard->mu);
   return t->parked.size();
+}
+
+const obs::SpanSink& AutoStatsServer::spans(size_t tenant) const {
+  return FindTenantOrDie(tenant)->spans;
+}
+
+void AutoStatsServer::PublishHealthMirrorLocked(Tenant* t) {
+  t->mirror.processed = t->processed;
+  if (t->durability != nullptr) {
+    t->mirror.durable = true;
+    t->mirror.wal_sealed = t->durability->crashed();
+    t->mirror.wal_last_lsn = t->durability->last_committed_lsn();
+    t->mirror.wal_unsynced = t->durability->unsynced_appends();
+  } else {
+    // No live writer. A quarantined tenant's directory holds a sealed
+    // WAL (the trip sealed it before detaching), so keep that fact on
+    // display; the last-known LSN stays, the live-lag field clears.
+    t->mirror.durable = false;
+    t->mirror.wal_unsynced = 0;
+    if (t->health != TenantHealth::kHealthy) t->mirror.wal_sealed = true;
+  }
+}
+
+std::vector<std::pair<std::string, int64_t>>
+AutoStatsServer::TenantMetricValues(const Tenant* t) const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  const std::string prefix = t->name + "/";
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  for (const auto& [name, value] : reg.CounterValues()) {
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      out.emplace_back(name, value);
+    }
+  }
+  for (const auto& [name, value] : reg.GaugeValues()) {
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      out.emplace_back(name, value);
+    }
+  }
+  return out;
+}
+
+void AutoStatsServer::DumpFlightOnTrip(Tenant* t, int64_t trip_number) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.flight_dump_dir, ec);
+  const std::string path = options_.flight_dump_dir + "/" + t->name +
+                           ".trip" + std::to_string(trip_number) +
+                           ".flight.jsonl";
+  // Best effort: a post-mortem dump must never take the tenant down
+  // with it. Failure is visible as the file's absence.
+  t->flight.DumpToFile(path, t->name, "breaker_trip", TenantMetricValues(t));
+}
+
+namespace {
+
+const char* TenantStateName(TenantState s) {
+  switch (s) {
+    case TenantState::kActive: return "active";
+    case TenantState::kDraining: return "draining";
+    case TenantState::kRemoved: return "removed";
+    case TenantState::kReopening: return "reopening";
+  }
+  return "unknown";
+}
+
+const char* TenantHealthName(TenantHealth h) {
+  switch (h) {
+    case TenantHealth::kHealthy: return "healthy";
+    case TenantHealth::kDegraded: return "degraded";
+    case TenantHealth::kProbing: return "probing";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+HealthSnapshot AutoStatsServer::Health() {
+  const auto now = std::chrono::steady_clock::now();
+  const size_t n = tenant_count_.load(std::memory_order_acquire);
+  HealthSnapshot snap;
+  snap.tenants.reserve(n);
+  std::vector<HealthWindow> cum(n);
+  for (size_t i = 0; i < n; ++i) {
+    Tenant* t = FindTenant(i);
+    TenantHealthSnapshot ts;
+    ts.name = t->name;
+    {
+      // Everything here is shard-mutex-guarded shared state or the
+      // owner-thread mirror published at the last batch epilogue /
+      // lifecycle transition — never the live durability pointer.
+      std::lock_guard<std::mutex> lock(t->shard->mu);
+      ts.state = TenantStateName(t->state);
+      ts.health = TenantHealthName(t->health);
+      ts.queue_depth = t->queue.size();
+      ts.parked = t->parked.size();
+      ts.submitted = t->submitted_seq;
+      ts.processed = t->mirror.processed;
+      ts.rejected = t->rejected;
+      ts.shed = t->shed;
+      ts.backpressure_waits = t->backpressure_waits;
+      ts.trips = t->trips;
+      ts.probes = t->probes;
+      ts.recoveries = t->recoveries;
+      ts.durable = t->mirror.durable;
+      ts.wal_sealed = t->mirror.wal_sealed;
+      ts.wal_last_lsn = t->mirror.wal_last_lsn;
+      ts.wal_unsynced = t->mirror.wal_unsynced;
+      cum[i].processed = t->mirror.processed;
+      cum[i].shed = t->shed;
+      cum[i].rejected = t->rejected;
+      cum[i].parked_seen =
+          t->report.degraded_queries + t->report.degraded_dml;
+    }
+    // The span ring has its own mutex; read it off the shard lock.
+    ts.attribution = t->spans.Attribution();
+    snap.tenants.push_back(std::move(ts));
+  }
+
+  // Rolling window: rates are deltas against the previous Health() call
+  // on this server, zero on the first (or across a sub-ns window).
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    double window = 0;
+    if (health_called_) {
+      window = std::chrono::duration<double>(now - health_prev_time_).count();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      TenantHealthSnapshot& ts = snap.tenants[i];
+      ts.window_seconds = window;
+      if (window > 0) {
+        HealthWindow prev;  // zero for a tenant added since the last call
+        auto it = health_prev_.find(i);
+        if (it != health_prev_.end()) prev = it->second;
+        ts.processed_per_sec =
+            static_cast<double>(cum[i].processed - prev.processed) / window;
+        ts.shed_per_sec =
+            static_cast<double>(cum[i].shed - prev.shed) / window;
+        ts.rejected_per_sec =
+            static_cast<double>(cum[i].rejected - prev.rejected) / window;
+        ts.park_per_sec =
+            static_cast<double>(cum[i].parked_seen - prev.parked_seen) /
+            window;
+      }
+      health_prev_[i] = cum[i];
+    }
+    health_prev_time_ = now;
+    health_called_ = true;
+  }
+
+  std::sort(snap.tenants.begin(), snap.tenants.end(),
+            [](const TenantHealthSnapshot& a, const TenantHealthSnapshot& b) {
+              return a.name < b.name;
+            });
+  for (const TenantHealthSnapshot& ts : snap.tenants) {
+    if (ts.state == "active") ++snap.active;
+    if (ts.state == "draining") ++snap.draining;
+    if (ts.state == "removed") ++snap.removed;
+    if (ts.state == "reopening") ++snap.reopening;
+    if (ts.health == "degraded") ++snap.degraded;
+    if (ts.health == "probing") ++snap.probing;
+    snap.queue_depth_total += ts.queue_depth;
+  }
+  return snap;
+}
+
+Status AutoStatsServer::DumpTenant(size_t tenant, const std::string& path) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("unknown tenant index " + std::to_string(tenant));
+  }
+  if (!t->flight.DumpToFile(path, t->name, "manual", TenantMetricValues(t))) {
+    return Status::Internal("flight dump failed: " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace autostats

@@ -108,6 +108,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -118,8 +119,11 @@
 #include "core/auto_manager.h"
 #include "core/policy.h"
 #include "core/report.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
+#include "server/health.h"
 #include "optimizer/optimizer.h"
 #include "query/workload.h"
 #include "server/fsync_coordinator.h"
@@ -177,6 +181,17 @@ struct ServerOptions {
   // queue is already this deep. 0 = no deadline (block / reject on
   // max_queue_depth only).
   int64_t default_deadline_slots = 0;
+  // Per-tenant span ring capacity (obs/span.h): recent statement spans
+  // retained for the health plane's attribution breakdown and the
+  // Perfetto export. Spans record only while obs::EnableSpans is on.
+  size_t span_ring_capacity = 4096;
+  // Per-tenant flight-recorder ring capacity in trace-event lines
+  // (obs/flight_recorder.h). 0 detaches the recorders entirely.
+  size_t flight_ring_capacity = 256;
+  // When non-empty, a breaker trip dumps the victim's flight ring to
+  // "<dir>/<tenant>.trip<N>.flight.jsonl" (atomic tmp+rename; the dir is
+  // created on first use). Empty = dumps only via DumpTenant().
+  std::string flight_dump_dir;
   // Test-only observation point: invoked on the worker thread after each
   // processed statement with the tenant's index. With one worker the
   // invocation order is exactly the schedule, which is what the
@@ -336,8 +351,37 @@ class AutoStatsServer {
   // Statements parked by a Degraded tenant, awaiting recovery replay.
   size_t parked_statements(size_t tenant) const;
 
+  // --- Health plane / flight recorder (thread-safe) ---
+
+  // One name-ordered snapshot of every tenant's SLO surface
+  // (server/health.h). Rate fields cover the window since the previous
+  // Health() call on this server (zero on the first). Safe under live
+  // traffic: reads only shard-mutex-guarded state and the span rings.
+  HealthSnapshot Health();
+
+  // Dumps the tenant's flight recorder (recent trace events + metric
+  // deltas) to `path` via tmp file + atomic rename. kNotFound for an
+  // unknown index; kInternal on I/O failure. Thread-safe.
+  Status DumpTenant(size_t tenant, const std::string& path);
+
+  // The tenant's span ring (read-only; its own mutex arbitrates readers
+  // against the owning worker).
+  const obs::SpanSink& spans(size_t tenant) const;
+
  private:
   struct Shard;
+
+  // One admitted statement in a tenant's queue (or parked buffer), with
+  // its span identity: ingress_seq is the dense per-tenant submit
+  // sequence, ingress/enqueue are the mode-dependent span stamps
+  // recorded at admission (obs/span.h; 0 when spans were off).
+  struct QueuedStatement {
+    Statement stmt;
+    std::chrono::steady_clock::time_point enqueued;
+    uint64_t ingress_seq = 0;
+    double ingress = 0;
+    double enqueue = 0;
+  };
 
   struct Tenant {
     size_t index = 0;
@@ -350,6 +394,8 @@ class AutoStatsServer {
     std::unique_ptr<AutoStatsManager> manager;
     std::unique_ptr<CatalogDurability> durability;
     obs::TraceSink trace;
+    obs::SpanSink spans;        // per-statement causal timelines
+    obs::FlightRecorder flight;  // recent trace events for post-mortems
     int weight = 1;
     size_t coordinator_member = static_cast<size_t>(-1);
     obs::Counter* rejected_counter = nullptr;  // "<name>/server.rejected_total"
@@ -372,13 +418,12 @@ class AutoStatsServer {
     std::atomic<bool> probe_requested{false};
 
     // Guarded by shard->mu:
-    std::deque<std::pair<Statement, std::chrono::steady_clock::time_point>>
-        queue;
+    std::deque<QueuedStatement> queue;
     bool scheduled = false;  // a worker currently owns this tenant
     int turns_left = 1;      // weighted-round-robin turns remaining
     TenantState state = TenantState::kActive;
     TenantHealth health = TenantHealth::kHealthy;
-    std::deque<Statement> parked;  // degraded-served, awaiting recovery
+    std::deque<QueuedStatement> parked;  // degraded-served, awaiting recovery
     int64_t trips = 0;
     int64_t probes = 0;
     int64_t recoveries = 0;
@@ -386,6 +431,17 @@ class AutoStatsServer {
     int64_t backpressure_waits = 0;
     int64_t rejected = 0;
     int64_t shed = 0;
+    uint64_t submitted_seq = 0;  // dense span ingress sequence
+    // Owner-thread facts mirrored under shard->mu so Health() can read
+    // them from any thread without racing the owner: published at every
+    // batch epilogue and lifecycle/breaker transition.
+    struct HealthMirror {
+      uint64_t processed = 0;
+      bool durable = false;
+      bool wal_sealed = false;
+      uint64_t wal_last_lsn = 0;
+      int64_t wal_unsynced = 0;
+    } mirror;
   };
 
   // One independent scheduler: its mutex guards its tenants' queue state
@@ -428,6 +484,15 @@ class AutoStatsServer {
   void TripBreaker(Tenant* t, const char* cause);
   bool TryRecoverTenant(Tenant* t);
   int64_t ProbeBackoff(Tenant* t);
+  // Refreshes t->mirror from owner-thread state. The caller must own
+  // the tenant AND hold t->shard->mu (the mirror's guard).
+  void PublishHealthMirrorLocked(Tenant* t);
+  // The tenant's "<name>/..." registry series, for flight-recorder
+  // metric deltas.
+  std::vector<std::pair<std::string, int64_t>> TenantMetricValues(
+      const Tenant* t) const;
+  // Dumps t->flight to options_.flight_dump_dir (breaker-trip path).
+  void DumpFlightOnTrip(Tenant* t, int64_t trip_number);
 
   const ServerOptions options_;
   int resolved_workers_ = 1;
@@ -447,6 +512,19 @@ class AutoStatsServer {
   std::atomic<int> drains_active_{0};  // Drain-quiescence debug check
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;  // pending_total_ reached zero
+
+  // Health() rolling-window state: the previous call's cumulative
+  // counters per tenant index, and when it ran.
+  struct HealthWindow {
+    uint64_t processed = 0;
+    int64_t shed = 0;
+    int64_t rejected = 0;
+    int64_t parked_seen = 0;  // degraded statements (report accounting)
+  };
+  std::mutex health_mu_;
+  std::map<size_t, HealthWindow> health_prev_;
+  std::chrono::steady_clock::time_point health_prev_time_{};
+  bool health_called_ = false;
 
   // Aggregate (unlabeled) instruments, resolved once at construction.
   obs::Histogram* ingress_latency_us_;

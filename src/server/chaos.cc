@@ -309,6 +309,9 @@ FleetResult RunOnce(const ChaosOptions& options, const ChaosPlan& plan,
   so.breaker_probe_backoff_max_statements =
       options.breaker_probe_backoff_max_statements;
   so.breaker_seed = options.seed;
+  // Only the chaos run writes post-mortems; the reference twin stays
+  // dump-free so the two runs' observable bytes still match exactly.
+  so.flight_dump_dir = arm ? options.flight_dump_dir : "";
   AutoStatsServer server(so);
 
   auto tenant_config = [&](size_t i) {
@@ -523,9 +526,20 @@ ChaosReport RunChaosFleet(const ChaosOptions& options) {
   obs::EnableTrace(true);
   FaultInjector::Instance().Reset();
 
+  if (!options.flight_dump_dir.empty()) {
+    std::error_code ec;
+    fs::remove_all(options.flight_dump_dir, ec);
+  }
   const FleetResult chaos =
       RunOnce(options, plan, options.root_dir + "/chaos", /*arm=*/true);
   FaultInjector::Instance().Reset();
+  if (!options.flight_dump_dir.empty()) {
+    std::error_code ec;
+    for (const auto& entry :
+         fs::directory_iterator(options.flight_dump_dir, ec)) {
+      if (entry.is_regular_file()) ++report.flight_dumps;
+    }
+  }
 
   report.statements_submitted = chaos.statements_submitted;
   report.faults_fired = chaos.faults_fired;
@@ -647,6 +661,8 @@ std::string FormatChaosReport(const ChaosReport& report) {
          std::to_string(report.reopens) + "\n";
   out += "  live adds             " + std::to_string(report.live_adds) + "\n";
   out += "  statements shed       " + std::to_string(report.statements_shed) +
+         "\n";
+  out += "  flight dumps          " + std::to_string(report.flight_dumps) +
          "\n";
   out += "  identical tenants     " +
          std::to_string(report.tenants_checked_identical) + "\n";

@@ -90,6 +90,11 @@ struct ChaosOptions {
   // check); the serial-oracle victim check still runs. For benches that
   // only want the chaos load.
   bool skip_reference_run = false;
+  // When non-empty, the CHAOS run's server dumps each victim's flight
+  // recorder here on every breaker trip (the reference twin never arms
+  // it). The harness wipes the directory first and counts the dumps into
+  // ChaosReport::flight_dumps.
+  std::string flight_dump_dir;
 };
 
 struct ChaosReport {
@@ -105,6 +110,9 @@ struct ChaosReport {
   int64_t reopens = 0;
   int64_t live_adds = 0;
   int64_t statements_shed = 0;
+  // Flight-recorder post-mortems written on breaker trips (0 unless
+  // ChaosOptions::flight_dump_dir is set).
+  int64_t flight_dumps = 0;
   // What verification concluded.
   int64_t tenants_checked_identical = 0;  // byte-identical to reference
   int64_t victims_checked_oracle = 0;     // converged to serial oracle

@@ -175,6 +175,7 @@ void FsyncCoordinator::FlushBatch(const std::vector<size_t>& batch) {
     std::string name;
     obs::TraceSink* trace = nullptr;
     CatalogDurability* durability = nullptr;
+    obs::SpanSink* spans = nullptr;
     std::function<void(const Status&)> on_flush_error;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -183,11 +184,25 @@ void FsyncCoordinator::FlushBatch(const std::vector<size_t>& batch) {
       name = state.member.name;
       trace = state.member.trace;
       durability = state.member.durability;
+      spans = state.member.spans;
       on_flush_error = state.member.on_flush_error;
     }
     if (durability->crashed()) continue;  // sealed: only Open() resumes
     FlushScopes scopes(name, trace);
+    // Wall-clock spans only: passes are asynchronous, so they have no
+    // logical clock and never appear in deterministic recordings.
+    const bool span_pass =
+        spans != nullptr && obs::SpansEnabled() &&
+        obs::CurrentSpanMode() == obs::SpanMode::kWall;
+    const double begin_us = span_pass ? obs::SpanNowUs() : 0;
     const Status s = durability->Flush();
+    if (span_pass && s.ok()) {
+      obs::FsyncPassSpan pass;
+      pass.begin = begin_us;
+      pass.end = obs::SpanNowUs();
+      pass.synced_lsn = durability->last_committed_lsn();
+      spans->AppendFsyncPass(pass);
+    }
     // A failed flush on a live writer is a tenant durability failure. A
     // flush that *sealed* the writer (simulated kill) is not double
     // counted here: the tenant's next commit fails and its manager

@@ -55,6 +55,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "stats/durability.h"
 
@@ -76,6 +77,10 @@ class FsyncCoordinator {
     std::string name;                  // tenant name (scope tag)
     CatalogDurability* durability = nullptr;  // not owned
     obs::TraceSink* trace = nullptr;          // not owned
+    // When set and spans run in wall mode, each successful pass appends
+    // one FsyncPassSpan (begin/end/synced LSN) for this member. Not
+    // owned; the sink has its own mutex and outlives the coordinator.
+    obs::SpanSink* spans = nullptr;
     // Invoked (from the coordinator thread, no locks held) when a flush
     // fails for a live, unsealed writer — the owner accounts it as a
     // tenant durability failure. Seals are not reported here: the

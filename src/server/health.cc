@@ -1,0 +1,140 @@
+#include "server/health.h"
+
+#include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace autostats {
+
+namespace {
+
+std::string AttributionJson(const obs::SpanAttribution& a) {
+  std::string out = "{";
+  out += "\"spans\":" + obs::TraceFormatNumber(static_cast<double>(a.spans));
+  const auto seg = [&out](const char* key, const obs::SpanSegmentStats& s) {
+    out += StrFormat(",\"%s_p50_us\":%s,\"%s_p99_us\":%s", key,
+                     obs::TraceFormatNumber(s.p50_us).c_str(), key,
+                     obs::TraceFormatNumber(s.p99_us).c_str());
+  };
+  seg("queue_wait", a.queue_wait);
+  seg("apply", a.apply);
+  seg("wal_append", a.wal_append);
+  seg("fsync", a.fsync);
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string HealthJson(const HealthSnapshot& snapshot) {
+  std::string out = "{\"tenants\":[";
+  bool first = true;
+  for (const TenantHealthSnapshot& t : snapshot.tenants) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{";
+    out += "\"name\":\"" + JsonEscape(t.name) + '"';
+    out += ",\"state\":\"" + JsonEscape(t.state) + '"';
+    out += ",\"health\":\"" + JsonEscape(t.health) + '"';
+    out += StrFormat(",\"queue_depth\":%zu,\"parked\":%zu", t.queue_depth,
+                     t.parked);
+    out += StrFormat(",\"submitted\":%llu,\"processed\":%llu",
+                     static_cast<unsigned long long>(t.submitted),
+                     static_cast<unsigned long long>(t.processed));
+    out += StrFormat(
+        ",\"rejected\":%lld,\"shed\":%lld,\"backpressure_waits\":%lld",
+        static_cast<long long>(t.rejected), static_cast<long long>(t.shed),
+        static_cast<long long>(t.backpressure_waits));
+    out += StrFormat(",\"trips\":%lld,\"probes\":%lld,\"recoveries\":%lld",
+                     static_cast<long long>(t.trips),
+                     static_cast<long long>(t.probes),
+                     static_cast<long long>(t.recoveries));
+    out += std::string(",\"durable\":") + (t.durable ? "true" : "false");
+    out += std::string(",\"wal_sealed\":") + (t.wal_sealed ? "true" : "false");
+    out += StrFormat(",\"wal_last_lsn\":%llu,\"wal_unsynced\":%lld",
+                     static_cast<unsigned long long>(t.wal_last_lsn),
+                     static_cast<long long>(t.wal_unsynced));
+    out += ",\"window_seconds\":" + obs::TraceFormatNumber(t.window_seconds);
+    out += ",\"processed_per_sec\":" +
+           obs::TraceFormatNumber(t.processed_per_sec);
+    out += ",\"shed_per_sec\":" + obs::TraceFormatNumber(t.shed_per_sec);
+    out += ",\"rejected_per_sec\":" +
+           obs::TraceFormatNumber(t.rejected_per_sec);
+    out += ",\"park_per_sec\":" + obs::TraceFormatNumber(t.park_per_sec);
+    out += ",\"attribution\":" + AttributionJson(t.attribution);
+    out += '}';
+  }
+  out += StrFormat(
+      "\n],\"active\":%zu,\"draining\":%zu,\"removed\":%zu,"
+      "\"reopening\":%zu,\"degraded\":%zu,\"probing\":%zu,"
+      "\"queue_depth_total\":%zu}\n",
+      snapshot.active, snapshot.draining, snapshot.removed,
+      snapshot.reopening, snapshot.degraded, snapshot.probing,
+      snapshot.queue_depth_total);
+  return out;
+}
+
+std::string HealthPrometheus(const HealthSnapshot& snapshot) {
+  std::string out;
+  // One TYPE line per metric, then every tenant's sample — the single-
+  // group rule the registry exposition (obs/metrics.cc) also follows.
+  const auto series = [&](const char* name, const char* type,
+                          const auto& value_of) {
+    out += StrFormat("# TYPE %s %s\n",
+                     obs::PromSanitizeName(name).c_str(), type);
+    for (const TenantHealthSnapshot& t : snapshot.tenants) {
+      out += StrFormat("%s{tenant=\"%s\"} %s\n",
+                       obs::PromSanitizeName(name).c_str(),
+                       obs::PromEscapeLabelValue(t.name).c_str(),
+                       obs::TraceFormatNumber(value_of(t)).c_str());
+    }
+  };
+  series("autostats_tenant_up", "gauge", [](const TenantHealthSnapshot& t) {
+    return (t.state == "active" && t.health == "healthy") ? 1.0 : 0.0;
+  });
+  series("autostats_tenant_degraded", "gauge",
+         [](const TenantHealthSnapshot& t) {
+           return t.health == "degraded" ? 1.0 : 0.0;
+         });
+  series("autostats_tenant_queue_depth", "gauge",
+         [](const TenantHealthSnapshot& t) {
+           return static_cast<double>(t.queue_depth);
+         });
+  series("autostats_tenant_parked", "gauge",
+         [](const TenantHealthSnapshot& t) {
+           return static_cast<double>(t.parked);
+         });
+  series("autostats_tenant_processed_total", "counter",
+         [](const TenantHealthSnapshot& t) {
+           return static_cast<double>(t.processed);
+         });
+  series("autostats_tenant_rejected_total", "counter",
+         [](const TenantHealthSnapshot& t) {
+           return static_cast<double>(t.rejected);
+         });
+  series("autostats_tenant_shed_total", "counter",
+         [](const TenantHealthSnapshot& t) {
+           return static_cast<double>(t.shed);
+         });
+  series("autostats_tenant_breaker_trips_total", "counter",
+         [](const TenantHealthSnapshot& t) {
+           return static_cast<double>(t.trips);
+         });
+  series("autostats_tenant_wal_unsynced", "gauge",
+         [](const TenantHealthSnapshot& t) {
+           return static_cast<double>(t.wal_unsynced);
+         });
+  series("autostats_tenant_processed_per_sec", "gauge",
+         [](const TenantHealthSnapshot& t) { return t.processed_per_sec; });
+  series("autostats_tenant_queue_wait_p99_us", "gauge",
+         [](const TenantHealthSnapshot& t) {
+           return t.attribution.queue_wait.p99_us;
+         });
+  series("autostats_tenant_apply_p99_us", "gauge",
+         [](const TenantHealthSnapshot& t) {
+           return t.attribution.apply.p99_us;
+         });
+  return out;
+}
+
+}  // namespace autostats

@@ -1,0 +1,83 @@
+// Tenant health snapshots: the rolling-window SLO surface of the
+// multi-tenant server. AutoStatsServer::Health() folds every tenant's
+// scheduler state (queue depth, parked backlog, admission counters),
+// breaker state, WAL/fsync lag (last committed vs. fsynced LSN), and the
+// per-statement span attribution breakdown (obs/span.h: p50/p99 queue
+// wait / apply / WAL append / fsync) into one name-ordered
+// HealthSnapshot; the rate fields are computed over the window since the
+// previous Health() call, so a poller gets per-second rates for free.
+//
+// Serialization targets both humans and scrapers: HealthJson renders one
+// JSON object ("tenants" array, name-ordered, plus fleet aggregates);
+// HealthPrometheus renders the same data as Prometheus text with a
+// `tenant="<name>"` label per series (names sanitized and label values
+// escaped via obs/metrics.h's shared helpers — the data-model rules the
+// tenant-scoped registry exposition also follows).
+#ifndef AUTOSTATS_SERVER_HEALTH_H_
+#define AUTOSTATS_SERVER_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace autostats {
+
+struct TenantHealthSnapshot {
+  std::string name;
+  std::string state;   // TenantStateName: active|draining|removed|reopening
+  std::string health;  // TenantHealthName: healthy|degraded|probing
+
+  // Scheduler / admission (cumulative counters + instantaneous depths).
+  size_t queue_depth = 0;
+  size_t parked = 0;
+  uint64_t submitted = 0;
+  uint64_t processed = 0;
+  int64_t rejected = 0;
+  int64_t shed = 0;
+  int64_t backpressure_waits = 0;
+
+  // Breaker lifecycle (cumulative).
+  int64_t trips = 0;
+  int64_t probes = 0;
+  int64_t recoveries = 0;
+
+  // WAL / fsync lag. wal_unsynced is the group-commit window: records
+  // committed (appended + OS-flushed) but not yet physically fsynced.
+  bool durable = false;
+  bool wal_sealed = false;
+  uint64_t wal_last_lsn = 0;
+  int64_t wal_unsynced = 0;
+
+  // Rolling-window rates: per-second deltas since the previous Health()
+  // call on the same server (0 on the first call or a sub-ms window).
+  double window_seconds = 0;
+  double processed_per_sec = 0;
+  double shed_per_sec = 0;
+  double rejected_per_sec = 0;
+  double park_per_sec = 0;
+
+  // Per-segment p50/p99 over the tenant's span ring (empty when spans
+  // are disabled).
+  obs::SpanAttribution attribution;
+};
+
+struct HealthSnapshot {
+  std::vector<TenantHealthSnapshot> tenants;  // name-ordered
+  // Fleet aggregates (tenant counts by state/health, total queue depth).
+  size_t active = 0;
+  size_t draining = 0;
+  size_t removed = 0;
+  size_t reopening = 0;
+  size_t degraded = 0;
+  size_t probing = 0;
+  size_t queue_depth_total = 0;
+};
+
+std::string HealthJson(const HealthSnapshot& snapshot);
+std::string HealthPrometheus(const HealthSnapshot& snapshot);
+
+}  // namespace autostats
+
+#endif  // AUTOSTATS_SERVER_HEALTH_H_

@@ -12,6 +12,7 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace autostats {
@@ -674,7 +675,7 @@ Status CatalogDurability::Recover(RecoveryInfo* info) {
   }
   dirty_entries_.insert(flagged.begin(), flagged.end());
   info->entries_flagged = flagged.size();
-  if (obs::TraceEnabled()) {
+  if (obs::TraceActive()) {
     obs::TraceEvent("wal.recovery")
         .Bool("recovered", info->recovered)
         .Int("snapshot_lsn", static_cast<int64_t>(info->snapshot_lsn))
@@ -821,6 +822,9 @@ Status CatalogDurability::SyncJournal(const char* gate_detail) {
     return fsync_gate;
   }
   obs::ScopedLatency timer(WalFsyncHistogram());
+  // Attribute the inline fsync to the in-flight statement's span (a
+  // no-op when no scratch is installed — standalone tools, coordinator).
+  obs::SpanStage span_stage(obs::SpanStage::kFsync);
   const Status synced = FsyncStream(journal_, JournalPath());
   // One physical fsync acknowledges every append since the last one —
   // but only a successful one closes the window.
@@ -866,13 +870,14 @@ Status CatalogDurability::CommitStatementLocked(bool* defer_fsync) {
   Status appended;
   {
     obs::ScopedLatency timer(WalAppendHistogram());
+    obs::SpanStage span_stage(obs::SpanStage::kWalAppend);
     appended = AppendFrame(payload, "journal", &record_persisted);
   }
   if (crashed()) return appended;
   if (!record_persisted) {
     // Plain injected append failure: nothing reached the file. Keep the
     // dirty sets and retry under the same LSN on the next statement.
-    if (obs::TraceEnabled()) {
+    if (obs::TraceActive()) {
       obs::TraceEvent("wal.commit_failed")
           .Int("lsn", static_cast<int64_t>(lsn))
           .Str("error", appended.message())
@@ -893,6 +898,7 @@ Status CatalogDurability::CommitStatementLocked(bool* defer_fsync) {
       // Flush(). The LSN is consumed below exactly as for a synchronous
       // commit — a deferred record is committed-but-unacked by design.
       *defer_fsync = true;
+      obs::SpanNoteFsyncDeferred();
     } else {
       appended = SyncJournal("journal");
       // Kill during the batch fsync: the writer is sealed before the LSN
@@ -906,7 +912,7 @@ Status CatalogDurability::CommitStatementLocked(bool* defer_fsync) {
   // fsync is surfaced as accounting, never retried under the same LSN.
   ++next_lsn_;
   ClearDirty();
-  if (obs::TraceEnabled()) {
+  if (obs::TraceActive()) {
     if (appended.ok()) {
       obs::TraceEvent("wal.commit")
           .Int("lsn", static_cast<int64_t>(lsn))
@@ -982,7 +988,7 @@ Status CatalogDurability::Checkpoint() {
   // Only reachable when the boundary commit succeeded but the snapshot
   // publish failed: the committed record still owes its deferred fsync.
   if (defer_fsync) fsync_deferral_();
-  if (obs::TraceEnabled()) {
+  if (obs::TraceActive()) {
     if (s.ok()) {
       obs::TraceEvent("wal.checkpoint")
           .Int("lsn", static_cast<int64_t>(last_committed_lsn()));

@@ -130,7 +130,7 @@ Result<double> StatsCatalog::TryCreateStatistic(
       it->second.created_at = clock_;
       BumpStatsVersion();
       NotifyEntry(key);
-      if (obs::TraceEnabled()) {
+      if (obs::TraceActive()) {
         obs::TraceEvent("stat.resurrect").Str("key", key);
       }
       return 0.0;
@@ -153,7 +153,7 @@ Result<double> StatsCatalog::TryCreateStatistic(
     // Retry budget exhausted: no entry, no cost, and no version bump — a
     // failed build must not invalidate cached plans it did not change.
     ++failure_counters_.builds_failed;
-    if (obs::TraceEnabled()) {
+    if (obs::TraceActive()) {
       obs::TraceEvent("stat.create_failed")
           .Str("key", key)
           .Str("error", built.message());
@@ -181,7 +181,7 @@ Result<double> StatsCatalog::TryCreateStatistic(
   BumpStatsVersion();
   NotifyEntry(key);
   if (obs::MetricsEnabled()) BuildCostHistogram()->Observe(cost);
-  if (obs::TraceEnabled()) {
+  if (obs::TraceActive()) {
     obs::TraceEvent("stat.create")
         .Str("key", key)
         .Num("cost", cost)
@@ -201,7 +201,7 @@ void StatsCatalog::RestoreEntry(StatEntry entry) {
   entries_[key] = std::move(entry);
   BumpStatsVersion();
   NotifyEntry(key);
-  if (obs::TraceEnabled()) {
+  if (obs::TraceActive()) {
     obs::TraceEvent("stat.restore")
         .Str("key", key)
         .Bool("drop_listed", drop_listed);
@@ -235,7 +235,7 @@ void StatsCatalog::MoveToDropList(const StatKey& key) {
   it->second.dropped_at = clock_;
   BumpStatsVersion();
   NotifyEntry(key);
-  if (obs::TraceEnabled()) {
+  if (obs::TraceActive()) {
     obs::TraceEvent("stat.drop_list").Str("key", key);
   }
 }
@@ -247,7 +247,7 @@ void StatsCatalog::RemoveFromDropList(const StatKey& key) {
   it->second.created_at = clock_;
   BumpStatsVersion();
   NotifyEntry(key);
-  if (obs::TraceEnabled()) {
+  if (obs::TraceActive()) {
     obs::TraceEvent("stat.resurrect").Str("key", key);
   }
 }
@@ -255,7 +255,7 @@ void StatsCatalog::RemoveFromDropList(const StatKey& key) {
 void StatsCatalog::PhysicallyDrop(const StatKey& key) {
   if (entries_.erase(key) > 0) {
     NotifyErased(key);
-    if (obs::TraceEnabled()) {
+    if (obs::TraceActive()) {
       obs::TraceEvent("stat.physical_drop").Str("key", key);
     }
   }
@@ -337,7 +337,7 @@ std::vector<StatKey> StatsCatalog::FlagPendingFullRebuild(TableId table) {
     flagged.push_back(key);
   }
   std::sort(flagged.begin(), flagged.end());
-  if (obs::TraceEnabled()) {
+  if (obs::TraceActive()) {
     for (const StatKey& key : flagged) {
       obs::TraceEvent("stat.fence")
           .Str("key", key)
@@ -354,7 +354,7 @@ std::vector<StatKey> StatsCatalog::FlagAllPendingFullRebuild() {
     flagged.push_back(key);
   }
   std::sort(flagged.begin(), flagged.end());
-  if (obs::TraceEnabled()) {
+  if (obs::TraceActive()) {
     for (const StatKey& key : flagged) {
       obs::TraceEvent("stat.fence")
           .Str("key", key)
@@ -412,7 +412,7 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
     // A fault on stats.delta poisons the table's delta stream: every
     // statistic on the table rescans this round, restoring exactness.
     const bool delta_poisoned = deltas_.Tracked(table) && !deltas_.Valid(table);
-    if (obs::TraceEnabled()) {
+    if (obs::TraceActive()) {
       obs::TraceEvent("stat.refresh_trigger")
           .Int("table", table)
           .Int("modified", static_cast<int64_t>(modified))
@@ -431,7 +431,7 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
         // rather than merge onto the stale base.
         entry.pending_full_rebuild = true;
         NotifyEntry(key);
-        if (obs::TraceEnabled()) {
+        if (obs::TraceActive()) {
           obs::TraceEvent("stat.fence")
               .Str("key", key)
               .Str("reason", "drop_list_missed_delta");
@@ -468,7 +468,7 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
             ++failure_counters_.stale_fallbacks;
             entry.pending_full_rebuild = true;
             NotifyEntry(key);
-            if (obs::TraceEnabled()) {
+            if (obs::TraceActive()) {
               obs::TraceEvent("stat.refresh_stale")
                   .Str("key", key)
                   .Str("mode", "merge")
@@ -484,7 +484,7 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
               entry.stat.width());
           cost += merge_cost;
           if (obs::MetricsEnabled()) MergeCostHistogram()->Observe(merge_cost);
-          if (obs::TraceEnabled()) {
+          if (obs::TraceActive()) {
             obs::TraceEvent("stat.refresh")
                 .Str("key", key)
                 .Str("mode", "merge")
@@ -501,7 +501,7 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
           const bool changed = !SameStatistic(entry.stat, scaled);
           entry.stat = std::move(scaled);
           cost += cost_model_.fixed_overhead;  // O(buckets) metadata touch
-          if (obs::TraceEnabled()) {
+          if (obs::TraceActive()) {
             obs::TraceEvent("stat.refresh")
                 .Str("key", key)
                 .Str("mode", "scale")
@@ -530,7 +530,7 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
           ++failure_counters_.stale_fallbacks;
           entry.pending_full_rebuild = true;
           NotifyEntry(key);
-          if (obs::TraceEnabled()) {
+          if (obs::TraceActive()) {
             obs::TraceEvent("stat.refresh_stale")
                 .Str("key", key)
                 .Str("mode", "rebuild")
@@ -548,7 +548,7 @@ double StatsCatalog::RefreshIfTriggered(const UpdateTriggerPolicy& policy) {
         if (obs::MetricsEnabled()) {
           RebuildCostHistogram()->Observe(rebuild_cost);
         }
-        if (obs::TraceEnabled()) {
+        if (obs::TraceActive()) {
           obs::TraceEvent("stat.refresh")
               .Str("key", key)
               .Str("mode", "rebuild")

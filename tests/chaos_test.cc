@@ -87,6 +87,26 @@ TEST_F(ChaosTest, SeededEpisodesVerifyAcrossConfigurations) {
   }
 }
 
+// With a flight-dump directory armed, every breaker trip in the chaos
+// run leaves a post-mortem on disk — and the reference twin (which never
+// arms it) still verifies byte-identical, because dumps emit no events.
+TEST_F(ChaosTest, BreakerTripsLeaveFlightDumps) {
+  ChaosOptions options = SmallFleet();
+  options.workers = 4;
+  options.shards = 2;
+  options.flight_dump_dir = Root() + ".flight";
+  const ChaosReport report = RunChaosFleet(options);
+  for (const std::string& finding : report.findings) {
+    ADD_FAILURE() << finding;
+  }
+  EXPECT_TRUE(report.ok);
+  EXPECT_GT(report.breaker_trips, 0);
+  EXPECT_GT(report.flight_dumps, 0);
+  EXPECT_LE(report.flight_dumps, report.breaker_trips);
+  std::error_code ec;
+  fs::remove_all(options.flight_dump_dir, ec);
+}
+
 // Determinism of the harness itself: the report's counters (and the
 // tenant state behind them) are a pure function of ChaosOptions.
 TEST_F(ChaosTest, SameOptionsSameReport) {

@@ -179,6 +179,65 @@ TEST_F(ObservabilityTest, PrometheusTextExposition) {
   EXPECT_NE(text.find("prom_lat_us_count 2\n"), std::string::npos);
 }
 
+TEST_F(ObservabilityTest, HistogramCountsOverflowObservations) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);
+  h.Observe(4.0);   // edges are inclusive: NOT overflow
+  h.Observe(4.1);   // past the last edge
+  h.Observe(100.0);
+  EXPECT_EQ(h.Overflow(), 2);
+  const obs::Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.overflow, 2);
+  // The overflow bucket itself still carries the observations; the
+  // counter just makes a clipped distribution visible at a glance.
+  EXPECT_EQ(s.buckets.back(), 2);
+  EXPECT_EQ(s.count, 4);
+  h.Reset();
+  EXPECT_EQ(h.Overflow(), 0);
+  EXPECT_EQ(h.Snap().overflow, 0);
+}
+
+// Tenant-scoped series ("<tenant>/<name>", minted by ScopedMetricsLabel)
+// are exposed under the sanitized base name with a tenant label — a '/'
+// never reaches a Prometheus metric name, and label values are escaped.
+TEST_F(ObservabilityTest, PrometheusExpositionRewritesTenantScopedNames) {
+  auto& reg = obs::MetricsRegistry::Instance();
+  reg.GetCounter("srv.hits")->Add(5);
+  reg.GetCounter("t03/srv.hits")->Add(7);
+  reg.GetCounter("te\"n\\a/srv.hits")->Add(1);  // hostile tenant name
+  obs::Histogram* h = reg.GetHistogram("t03/srv.lat-us", {1.0});
+  h->Observe(0.5);
+  h->Observe(9.0);  // overflow
+  const std::string text = reg.PrometheusText();
+  // Unlabeled and labeled samples share the sanitized base name; one
+  // TYPE line covers the group.
+  EXPECT_NE(text.find("# TYPE srv_hits counter"), std::string::npos);
+  EXPECT_NE(text.find("srv_hits 5\n"), std::string::npos);
+  EXPECT_NE(text.find("srv_hits{tenant=\"t03\"} 7\n"), std::string::npos);
+  // The quote and backslash in the tenant name arrive escaped.
+  EXPECT_NE(text.find("srv_hits{tenant=\"te\\\"n\\\\a\"} 1\n"),
+            std::string::npos);
+  // Histogram expansion keeps the label on every row, overflow included.
+  EXPECT_NE(text.find("srv_lat_us_bucket{tenant=\"t03\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("srv_lat_us_count{tenant=\"t03\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("srv_lat_us_overflow{tenant=\"t03\"} 1\n"),
+            std::string::npos);
+  // No '/' survives in any exposed metric-name line.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    EXPECT_EQ(line.substr(0, name_end).find('/'), std::string::npos) << line;
+  }
+}
+
 TEST_F(ObservabilityTest, ScopedLatencyRespectsEnabledFlag) {
   obs::Histogram h({1e9});
   { obs::ScopedLatency t(&h); }  // disabled: records nothing

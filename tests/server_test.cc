@@ -36,6 +36,7 @@
 #include "common/fault.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "query/dml.h"
 #include "server/catalog_digest.h"
@@ -125,6 +126,7 @@ struct TenantResult {
   std::string dump;   // CatalogCanonicalDump — the bit-level oracle
   uint32_t digest = 0;
   std::string trace;  // the tenant sink's exact JSONL bytes
+  std::string spans;  // the tenant span ring's exact JSONL bytes
   RunReport report;
 };
 
@@ -139,6 +141,9 @@ struct RunConfig {
   // them almost immediately, and drop-listed statistics are never
   // refreshed), so the stats.refresh path actually executes.
   CreationMode mode = CreationMode::kMnsaDOnTheFly;
+  // Record per-statement spans in kLogical mode alongside the run (the
+  // spans-on determinism rider; see obs/span.h).
+  bool spans = false;
 };
 
 // Runs every tenant's stream through one server instance, interleaving
@@ -146,6 +151,7 @@ struct RunConfig {
 // always preserved — that is the determinism input).
 std::vector<TenantResult> RunServer(const RunConfig& cfg) {
   obs::EnableTrace(true);
+  if (cfg.spans) obs::EnableSpans(obs::SpanMode::kLogical);
   std::vector<TwoTableDb> dbs;
   dbs.reserve(cfg.tenants);
   for (size_t i = 0; i < cfg.tenants; ++i) {
@@ -195,9 +201,11 @@ std::vector<TenantResult> RunServer(const RunConfig& cfg) {
     out[i].dump = CatalogCanonicalDump(server.catalog(i));
     out[i].digest = CatalogDigest(server.catalog(i));
     out[i].trace = server.trace(i).Dump();
+    out[i].spans = server.spans(i).DumpJsonl();
     out[i].report = server.Report(i);
   }
   obs::EnableTrace(false);
+  obs::EnableSpans(obs::SpanMode::kDisabled);
   return out;
 }
 
@@ -302,6 +310,50 @@ TEST_F(ServerTest, DeterministicAcrossShardTopologies) {
             << " workers=" << workers;
         EXPECT_EQ(got[i].trace, dref[i].trace);
         EXPECT_EQ(got[i].report.durability_failures, 0);
+      }
+    }
+  }
+}
+
+// Span attribution is an observer, not a participant: the same run with
+// logical spans recording yields byte-identical catalogs, digests, AND
+// traces to the spans-off reference (the PR 7 contract is untouched),
+// and the span streams themselves are byte-identical across worker and
+// shard counts.
+TEST_F(ServerTest, SpansOnPreservesDeterminismContract) {
+  RunConfig off_cfg;
+  off_cfg.workers = 1;
+  off_cfg.shards = 1;
+  off_cfg.interleave_seed = 7;
+  const std::vector<TenantResult> off = RunServer(off_cfg);
+
+  RunConfig on_cfg = off_cfg;
+  on_cfg.spans = true;
+  const std::vector<TenantResult> on = RunServer(on_cfg);
+  ASSERT_EQ(on.size(), off.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(on[i].dump, off[i].dump)
+        << "catalog perturbed by span recording: tenant " << i;
+    EXPECT_EQ(on[i].digest, off[i].digest);
+    EXPECT_EQ(on[i].trace, off[i].trace)
+        << "trace bytes perturbed by span recording: tenant " << i;
+    EXPECT_FALSE(on[i].spans.empty());
+    EXPECT_TRUE(off[i].spans.empty());  // disabled mode records nothing
+  }
+
+  for (int shards : {1, 2}) {
+    for (int workers : {4, 8}) {
+      RunConfig cfg = on_cfg;
+      cfg.shards = shards;
+      cfg.workers = workers;
+      cfg.interleave_seed = static_cast<uint64_t>(17 * shards + workers);
+      const std::vector<TenantResult> got = RunServer(cfg);
+      for (size_t i = 0; i < off.size(); ++i) {
+        EXPECT_EQ(got[i].dump, off[i].dump);
+        EXPECT_EQ(got[i].trace, off[i].trace);
+        EXPECT_EQ(got[i].spans, on[i].spans)
+            << "span stream diverged: tenant " << i << " shards=" << shards
+            << " workers=" << workers;
       }
     }
   }
